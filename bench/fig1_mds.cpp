@@ -1,0 +1,28 @@
+// Reproduces Figure 1: SMACOF MDS of pairwise Jaccard distances between
+// root-store snapshots (2011-2021), with family clustering.  The paper
+// finds four disjoint clusters: Microsoft, NSS-like, Apple, Java.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/export.h"
+#include "src/core/study.h"
+
+int main(int argc, char** argv) {
+  // Args: [N] snapshots per provider (default 25); --csv dumps the raw
+  // embedding instead of the rendered figure.
+  std::size_t per_provider = 25;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") csv = true;
+    else per_provider = static_cast<std::size_t>(std::atoi(arg.c_str()));
+  }
+  auto study = rs::core::EcosystemStudy::from_paper_scenario();
+  if (csv) {
+    std::fputs(rs::core::figure1_csv(study.scenario(), per_provider).c_str(),
+               stdout);
+  } else {
+    std::fputs(study.report_figure1(per_provider).c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 2: the inverted-pyramid root-store ecosystem — the
+// share of top-200 user agents resting on each root program
+// (paper: NSS 34%, Apple 23%, Microsoft 20%, Java ~0%).
+#include <cstdio>
+
+#include "src/core/study.h"
+
+int main() {
+  auto study = rs::core::EcosystemStudy::from_paper_scenario();
+  std::fputs(study.report_figure2().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Figure 3: NSS-derivative staleness in substantial versions
+// (paper: Alpine 0.73 ... AmazonLinux 4.83 versions behind).
+#include <cstdio>
+#include <string>
+
+#include "src/core/export.h"
+#include "src/core/study.h"
+
+int main(int argc, char** argv) {
+  // Pass --csv to dump the raw data series instead of the rendered figure.
+  auto study = rs::core::EcosystemStudy::from_paper_scenario();
+  if (argc > 1 && std::string(argv[1]) == "--csv") {
+    std::fputs(rs::core::figure3_csv(study.scenario()).c_str(), stdout);
+  } else {
+    std::fputs(study.report_figure3().c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces Figure 4: per-derivative added/removed roots against the
+// matched NSS version, categorized (non-NSS roots, email-only conflation,
+// re-adds, Symantec partial-distrust fallout, custom removals).
+#include <cstdio>
+#include <string>
+
+#include "src/core/export.h"
+#include "src/core/study.h"
+
+int main(int argc, char** argv) {
+  // Pass --csv to dump the raw data series instead of the rendered figure.
+  auto study = rs::core::EcosystemStudy::from_paper_scenario();
+  if (argc > 1 && std::string(argv[1]) == "--csv") {
+    std::fputs(rs::core::figure4_csv(study.scenario()).c_str(), stdout);
+  } else {
+    std::fputs(study.report_figure4().c_str(), stdout);
+  }
+  return 0;
+}

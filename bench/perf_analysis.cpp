@@ -1,0 +1,193 @@
+// Microbenchmarks for the analysis layer: Jaccard matrix construction,
+// classical-vs-SMACOF MDS (the DESIGN.md ablation), clustering, staleness,
+// and full scenario construction.  Also reports the trust-aware vs
+// all-certificates Jaccard ablation.
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/cadence.h"
+#include "src/analysis/churn.h"
+#include "src/analysis/cluster.h"
+#include "src/analysis/jaccard.h"
+#include "src/analysis/mds.h"
+#include "src/analysis/operators.h"
+#include "src/analysis/staleness.h"
+#include "src/synth/paper_scenario.h"
+#include "src/synth/simulator.h"
+
+namespace {
+
+const rs::synth::PaperScenario& shared_scenario() {
+  static const rs::synth::PaperScenario scenario =
+      rs::synth::build_paper_scenario();
+  return scenario;
+}
+
+void BM_ScenarioBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    auto scenario = rs::synth::build_paper_scenario();
+    benchmark::DoNotOptimize(scenario.database().total_snapshots());
+  }
+}
+BENCHMARK(BM_ScenarioBuild)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorScaling(benchmark::State& state) {
+  rs::synth::SimulatorConfig cfg;
+  cfg.ca_count = static_cast<int>(state.range(0));
+  cfg.seed = 5;
+  for (auto _ : state) {
+    auto eco = rs::synth::simulate_ecosystem(cfg);
+    benchmark::DoNotOptimize(eco.database.total_snapshots());
+  }
+  state.counters["cas"] = static_cast<double>(cfg.ca_count);
+}
+BENCHMARK(BM_SimulatorScaling)->Arg(50)->Arg(150)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_JaccardMatrix(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  rs::analysis::JaccardOptions opts;
+  opts.max_per_provider = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto dist = rs::analysis::jaccard_matrix(scenario.database(), opts);
+    benchmark::DoNotOptimize(dist.values.data());
+    state.counters["snapshots"] = static_cast<double>(dist.size());
+  }
+}
+BENCHMARK(BM_JaccardMatrix)->Arg(10)->Arg(25)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation: all-certificates (paper) vs TLS-anchors-only (trust-aware) sets.
+void BM_JaccardSetKind(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  rs::analysis::JaccardOptions opts;
+  opts.max_per_provider = 25;
+  opts.set_kind = state.range(0) == 0
+                      ? rs::analysis::SetKind::kAllCertificates
+                      : rs::analysis::SetKind::kTlsAnchors;
+  for (auto _ : state) {
+    auto dist = rs::analysis::jaccard_matrix(scenario.database(), opts);
+    benchmark::DoNotOptimize(dist.values.data());
+  }
+  state.SetLabel(state.range(0) == 0 ? "all-certificates" : "tls-anchors");
+}
+BENCHMARK(BM_JaccardSetKind)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Ablation: classical MDS vs SMACOF (paper's choice), same input.
+void BM_MdsClassical(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  rs::analysis::JaccardOptions opts;
+  opts.max_per_provider = static_cast<std::size_t>(state.range(0));
+  const auto dist = rs::analysis::jaccard_matrix(scenario.database(), opts);
+  for (auto _ : state) {
+    auto mds = rs::analysis::classical_mds(dist);
+    benchmark::DoNotOptimize(mds.points.data());
+    state.counters["stress"] = mds.normalized_stress;
+  }
+}
+BENCHMARK(BM_MdsClassical)->Arg(15)->Arg(25)->Unit(benchmark::kMillisecond);
+
+void BM_MdsSmacof(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  rs::analysis::JaccardOptions opts;
+  opts.max_per_provider = static_cast<std::size_t>(state.range(0));
+  const auto dist = rs::analysis::jaccard_matrix(scenario.database(), opts);
+  for (auto _ : state) {
+    auto mds = rs::analysis::smacof_mds(dist);
+    benchmark::DoNotOptimize(mds.points.data());
+    state.counters["stress"] = mds.normalized_stress;
+    state.counters["iters"] = static_cast<double>(mds.iterations);
+  }
+}
+BENCHMARK(BM_MdsSmacof)->Arg(15)->Arg(25)->Unit(benchmark::kMillisecond);
+
+// Ablation: single vs complete linkage on the same matrix.  Complete
+// linkage fragments decade-long lineages (more clusters, worse purity fit
+// to the four families), which is why the pipeline uses single linkage.
+void BM_Clustering(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  rs::analysis::JaccardOptions opts;
+  opts.max_per_provider = 25;
+  const auto dist = rs::analysis::jaccard_matrix(scenario.database(), opts);
+  const bool complete = state.range(0) == 1;
+  for (auto _ : state) {
+    auto clusters =
+        complete ? rs::analysis::cluster_snapshots_complete(dist, 0.35)
+                 : rs::analysis::cluster_snapshots(dist, 0.35);
+    benchmark::DoNotOptimize(clusters.assignment.data());
+    state.counters["clusters"] = static_cast<double>(clusters.cluster_count);
+    state.counters["silhouette"] =
+        rs::analysis::silhouette_score(dist, clusters);
+  }
+  state.SetLabel(complete ? "complete-linkage" : "single-linkage");
+}
+BENCHMARK(BM_Clustering)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_VersionIndexBuild(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const auto* nss = scenario.database().find("NSS");
+  for (auto _ : state) {
+    auto index = rs::analysis::build_version_index(*nss);
+    benchmark::DoNotOptimize(index.size());
+  }
+}
+BENCHMARK(BM_VersionIndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_ChurnAndOutliers(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  for (auto _ : state) {
+    std::vector<rs::analysis::ChurnSeries> all;
+    for (const auto& [name, history] : scenario.database().histories()) {
+      (void)name;
+      all.push_back(rs::analysis::churn_series(history));
+    }
+    auto outliers = rs::analysis::find_outliers(all);
+    benchmark::DoNotOptimize(outliers.data());
+    state.counters["outliers"] = static_cast<double>(outliers.size());
+  }
+}
+BENCHMARK(BM_ChurnAndOutliers)->Unit(benchmark::kMillisecond);
+
+void BM_UpdateCadenceAll(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  for (auto _ : state) {
+    double total = 0;
+    for (const auto& [name, history] : scenario.database().histories()) {
+      (void)name;
+      total += rs::analysis::update_cadence(history).substantial_per_year;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_UpdateCadenceAll)->Unit(benchmark::kMillisecond);
+
+void BM_OperatorFootprints(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const std::vector<std::string> programs = {"NSS", "Java", "Apple",
+                                             "Microsoft"};
+  for (auto _ : state) {
+    auto footprints =
+        rs::analysis::operator_footprints(scenario.database(), programs);
+    benchmark::DoNotOptimize(footprints.data());
+    state.counters["operators"] = static_cast<double>(footprints.size());
+  }
+}
+BENCHMARK(BM_OperatorFootprints)->Unit(benchmark::kMillisecond);
+
+void BM_StalenessAllDerivatives(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const auto index =
+      rs::analysis::build_version_index(*scenario.database().find("NSS"));
+  for (auto _ : state) {
+    double total = 0;
+    for (const char* name :
+         {"Alpine", "AmazonLinux", "Android", "NodeJS", "Debian", "Ubuntu"}) {
+      total += rs::analysis::derivative_staleness(
+                   *scenario.database().find(name), index)
+                   .avg_versions_behind;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_StalenessAllDerivatives)->Unit(benchmark::kMillisecond);
+
+}  // namespace

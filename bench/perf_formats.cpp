@@ -1,0 +1,154 @@
+// Microbenchmarks for the parsing substrate: DER certificate decoding and
+// every root-store format, across realistic store sizes.
+#include <benchmark/benchmark.h>
+
+#include "src/formats/authroot_stl.h"
+#include "src/formats/cert_dir.h"
+#include "src/formats/certdata.h"
+#include "src/formats/jks.h"
+#include "src/formats/pem_bundle.h"
+#include "src/formats/portable.h"
+#include "src/synth/root_spec.h"
+#include "src/x509/certificate.h"
+
+namespace {
+
+using rs::store::TrustEntry;
+using rs::store::TrustPurpose;
+
+std::vector<TrustEntry> make_entries(std::size_t count) {
+  rs::synth::CertFactory factory(1);
+  std::vector<TrustEntry> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    rs::synth::RootSpec s;
+    s.id = "bench-" + std::to_string(i);
+    s.common_name = "Bench Root CA " + std::to_string(i);
+    s.organization = "Bench";
+    TrustEntry e = rs::store::make_anchor_for(
+        factory.get(s),
+        {TrustPurpose::kServerAuth, TrustPurpose::kEmailProtection});
+    if (i % 5 == 0) {
+      e.trust_for(TrustPurpose::kServerAuth).distrust_after =
+          rs::util::Date::ymd(2020, 1, 1);
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void BM_CertificateParse(benchmark::State& state) {
+  const auto entries = make_entries(1);
+  const auto& der = entries[0].certificate->der();
+  for (auto _ : state) {
+    auto parsed = rs::x509::Certificate::parse(der);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(der.size()));
+}
+BENCHMARK(BM_CertificateParse);
+
+void BM_CertdataParse(benchmark::State& state) {
+  const auto entries = make_entries(static_cast<std::size_t>(state.range(0)));
+  const std::string text = rs::formats::write_certdata(entries);
+  for (auto _ : state) {
+    auto parsed = rs::formats::parse_certdata(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+  state.counters["roots"] = static_cast<double>(entries.size());
+}
+BENCHMARK(BM_CertdataParse)->Arg(10)->Arg(50)->Arg(150)->Arg(300);
+
+void BM_CertdataWrite(benchmark::State& state) {
+  const auto entries = make_entries(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto text = rs::formats::write_certdata(entries);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_CertdataWrite)->Arg(50)->Arg(150);
+
+void BM_PemBundleParse(benchmark::State& state) {
+  const auto entries = make_entries(static_cast<std::size_t>(state.range(0)));
+  const std::string text = rs::formats::write_pem_bundle(entries);
+  const auto policy = rs::formats::BundleTrustPolicy::tls_only();
+  for (auto _ : state) {
+    auto parsed = rs::formats::parse_pem_bundle(text, policy);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_PemBundleParse)->Arg(10)->Arg(50)->Arg(150)->Arg(300);
+
+void BM_JksParse(benchmark::State& state) {
+  const auto entries = make_entries(static_cast<std::size_t>(state.range(0)));
+  const auto blob =
+      rs::formats::write_jks(entries, rs::util::Date::ymd(2021, 1, 1));
+  for (auto _ : state) {
+    auto parsed = rs::formats::parse_jks(blob);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_JksParse)->Arg(10)->Arg(50)->Arg(150);
+
+void BM_AuthrootParse(benchmark::State& state) {
+  const auto entries = make_entries(static_cast<std::size_t>(state.range(0)));
+  const auto blob = rs::formats::write_authroot(entries);
+  for (auto _ : state) {
+    auto parsed = rs::formats::parse_authroot(blob.stl, blob.certs);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_AuthrootParse)->Arg(10)->Arg(50)->Arg(150)->Arg(300);
+
+void BM_CertDirParse(benchmark::State& state) {
+  const auto entries = make_entries(static_cast<std::size_t>(state.range(0)));
+  const auto files = rs::formats::write_cert_dir(entries);
+  const auto policy = rs::formats::BundleTrustPolicy::tls_only();
+  for (auto _ : state) {
+    auto parsed = rs::formats::parse_cert_dir(files, policy);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_CertDirParse)->Arg(50)->Arg(150);
+
+void BM_RstsParse(benchmark::State& state) {
+  const auto entries = make_entries(static_cast<std::size_t>(state.range(0)));
+  const std::string text = rs::formats::write_rsts(entries);
+  for (auto _ : state) {
+    auto parsed = rs::formats::parse_rsts(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_RstsParse)->Arg(10)->Arg(50)->Arg(150)->Arg(300);
+
+void BM_RstsWrite(benchmark::State& state) {
+  const auto entries = make_entries(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto text = rs::formats::write_rsts(entries);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_RstsWrite)->Arg(50)->Arg(150);
+
+void BM_CertificateBuild(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    rs::synth::CertFactory factory(++seed);
+    rs::synth::RootSpec s;
+    s.id = "x";
+    s.common_name = "Build Bench Root";
+    auto cert = factory.get(s);
+    benchmark::DoNotOptimize(cert);
+  }
+}
+BENCHMARK(BM_CertificateBuild);
+
+}  // namespace

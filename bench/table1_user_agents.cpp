@@ -1,0 +1,10 @@
+// Reproduces Table 1: Major CDN Top 200 User Agents and root-store coverage.
+#include <cstdio>
+
+#include "src/core/study.h"
+
+int main() {
+  auto study = rs::core::EcosystemStudy::from_paper_scenario();
+  std::fputs(study.report_table1().c_str(), stdout);
+  return 0;
+}

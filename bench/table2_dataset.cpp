@@ -1,0 +1,10 @@
+// Reproduces Table 2: the root-store snapshot dataset, paper vs measured.
+#include <cstdio>
+
+#include "src/core/study.h"
+
+int main() {
+  auto study = rs::core::EcosystemStudy::from_paper_scenario();
+  std::fputs(study.report_table2().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Table 5 (Appendix A): the survey of which OSes, TLS libraries,
+// and TLS clients ship their own root store.
+#include <cstdio>
+
+#include "src/core/study.h"
+
+int main() {
+  auto study = rs::core::EcosystemStudy::from_paper_scenario();
+  std::fputs(study.report_table5().c_str(), stdout);
+  return 0;
+}

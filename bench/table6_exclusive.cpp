@@ -1,0 +1,11 @@
+// Reproduces Table 6 (Appendix B): roots exclusive to a single root program
+// (paper: NSS 1, Java 0, Apple 13, Microsoft 30).
+#include <cstdio>
+
+#include "src/core/study.h"
+
+int main() {
+  auto study = rs::core::EcosystemStudy::from_paper_scenario();
+  std::fputs(study.report_table6().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Table 7 (Appendix C): NSS root removals since 2010 by severity.
+#include <cstdio>
+
+#include "src/core/study.h"
+
+int main() {
+  auto study = rs::core::EcosystemStudy::from_paper_scenario();
+  std::fputs(study.report_table7().c_str(), stdout);
+  return 0;
+}

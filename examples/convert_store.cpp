@@ -1,0 +1,124 @@
+// convert_store: translate a root store between provider formats — the
+// lossy operation every NSS derivative performs (§6), made explicit.
+//
+//   ./convert_store <in> <out.{certdata|pem|jks|dir}>
+//   ./convert_store --demo            # scenario NSS store -> all formats
+//
+// Conversions into PEM/JKS/dir drop trust purposes and partial-distrust
+// cutoffs; the tool prints exactly what was lost.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/formats/cert_dir.h"
+#include "src/formats/certdata.h"
+#include "src/formats/jks.h"
+#include "src/formats/pem_bundle.h"
+#include "src/formats/portable.h"
+#include "src/formats/sniff.h"
+#include "src/synth/paper_scenario.h"
+#include "src/util/strings.h"
+
+namespace {
+
+using rs::formats::ParsedStore;
+using rs::store::TrustPurpose;
+
+void report_loss(const ParsedStore& store, const std::string& target) {
+  std::size_t cutoffs = 0, purpose_limited = 0;
+  for (const auto& e : store.entries) {
+    if (e.is_partially_distrusted_tls()) ++cutoffs;
+    bool all = true;
+    for (TrustPurpose p : rs::store::kAllPurposes) {
+      all = all && e.is_anchor_for(p);
+    }
+    if (!all) ++purpose_limited;
+  }
+  if (cutoffs > 0) {
+    std::printf("  LOST in %s: %zu partial-distrust cutoff(s)\n",
+                target.c_str(), cutoffs);
+  }
+  if (purpose_limited > 0) {
+    std::printf("  LOST in %s: purpose restrictions on %zu root(s)\n",
+                target.c_str(), purpose_limited);
+  }
+}
+
+bool write_as(const ParsedStore& store, const std::string& out) {
+  namespace fs = std::filesystem;
+  if (rs::util::ends_with(out, ".certdata") ||
+      rs::util::ends_with(out, "certdata.txt")) {
+    std::ofstream f(out, std::ios::binary);
+    f << rs::formats::write_certdata(store.entries);
+    return static_cast<bool>(f);
+  }
+  if (rs::util::ends_with(out, ".rsts")) {
+    // Full-fidelity target: nothing is lost.
+    std::ofstream f(out, std::ios::binary);
+    f << rs::formats::write_rsts(store.entries);
+    return static_cast<bool>(f);
+  }
+  if (rs::util::ends_with(out, ".pem") || rs::util::ends_with(out, ".crt")) {
+    report_loss(store, out);
+    std::ofstream f(out, std::ios::binary);
+    f << rs::formats::write_pem_bundle(store.entries);
+    return static_cast<bool>(f);
+  }
+  if (rs::util::ends_with(out, ".jks")) {
+    report_loss(store, out);
+    const auto blob =
+        rs::formats::write_jks(store.entries, rs::util::Date::ymd(2021, 5, 1));
+    std::ofstream f(out, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+    return static_cast<bool>(f);
+  }
+  if (rs::util::ends_with(out, ".dir") || rs::util::ends_with(out, "/")) {
+    report_loss(store, out);
+    fs::create_directories(out);
+    for (const auto& file : rs::formats::write_cert_dir(store.entries)) {
+      std::ofstream f(fs::path(out) / file.name, std::ios::binary);
+      f << file.content;
+      if (!f) return false;
+    }
+    return true;
+  }
+  std::fprintf(stderr,
+               "unknown target format for '%s' "
+               "(use .certdata/.rsts/.pem/.crt/.jks/.dir)\n",
+               out.c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--demo") {
+    auto scenario = rs::synth::build_paper_scenario();
+    ParsedStore store;
+    store.entries = scenario.database().find("NSS")->back().entries;
+    std::printf("demo: scenario NSS store (%zu roots) -> /tmp/rs_demo.*\n",
+                store.entries.size());
+    bool ok = write_as(store, "/tmp/rs_demo.certdata") &&
+              write_as(store, "/tmp/rs_demo.pem") &&
+              write_as(store, "/tmp/rs_demo.jks") &&
+              write_as(store, "/tmp/rs_demo.dir");
+    std::printf("%s\n", ok ? "done" : "FAILED");
+    return ok ? 0 : 1;
+  }
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <in> <out.{certdata|pem|jks|dir}>\n"
+                         "       %s --demo\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  auto store = rs::formats::load_any_store(argv[1]);
+  if (!store.ok()) {
+    std::fprintf(stderr, "error: %s\n", store.error().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu roots (%zu warnings)\n",
+              store.value().entries.size(), store.value().warnings.size());
+  return write_as(store.value(), argv[2]) ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Quickstart: build root certificates, assemble a store, serialize it as
+// NSS certdata.txt, parse it back, and inspect trust — the library's core
+// loop in ~80 lines.
+//
+//   ./quickstart
+#include <cstdio>
+#include <memory>
+
+#include "src/formats/certdata.h"
+#include "src/store/trust.h"
+#include "src/util/hex.h"
+#include "src/x509/builder.h"
+
+using rs::store::TrustEntry;
+using rs::store::TrustPurpose;
+using rs::util::Date;
+
+int main() {
+  // 1. Synthesize two root certificates (real DER, deterministic).
+  rs::x509::Name web_name;
+  web_name.add_common_name("Example Web Root CA")
+      .add_organization("Example Trust Services")
+      .add_country("US");
+  auto web_root = std::make_shared<const rs::x509::Certificate>(
+      rs::x509::CertificateBuilder()
+          .subject(web_name)
+          .serial_number(1001)
+          .not_before(Date::ymd(2015, 1, 1))
+          .not_after(Date::ymd(2040, 1, 1))
+          .key_seed(1)
+          .build());
+
+  rs::x509::Name mail_name;
+  mail_name.add_common_name("Example Mail Root CA")
+      .add_organization("Example Trust Services")
+      .add_country("US");
+  auto mail_root = std::make_shared<const rs::x509::Certificate>(
+      rs::x509::CertificateBuilder()
+          .subject(mail_name)
+          .serial_number(1002)
+          .not_before(Date::ymd(2016, 1, 1))
+          .not_after(Date::ymd(2041, 1, 1))
+          .signature_scheme(rs::x509::SignatureScheme::kEcdsaSha256)
+          .key_seed(2)
+          .build());
+
+  // 2. Express trust: the web root anchors TLS, the mail root only email.
+  TrustEntry web_entry = rs::store::make_tls_anchor(web_root);
+  // NSS-style partial distrust: leaves issued after 2030 are not trusted.
+  web_entry.trust_for(TrustPurpose::kServerAuth).distrust_after =
+      Date::ymd(2030, 1, 1);
+  TrustEntry mail_entry = rs::store::make_anchor_for(
+      mail_root, {TrustPurpose::kEmailProtection});
+
+  // 3. Serialize as NSS certdata.txt and parse it back.
+  const std::string certdata =
+      rs::formats::write_certdata({web_entry, mail_entry});
+  auto parsed = rs::formats::parse_certdata(certdata);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", parsed.error().c_str());
+    return 1;
+  }
+
+  // 4. Inspect what survived the round trip.
+  std::printf("certdata.txt: %zu bytes, %zu roots, %zu warnings\n\n",
+              certdata.size(), parsed.value().entries.size(),
+              parsed.value().warnings.size());
+  for (const auto& entry : parsed.value().entries) {
+    const auto& cert = *entry.certificate;
+    std::printf("%s\n", std::string(cert.subject().common_name().value_or("?"))
+                            .c_str());
+    std::printf("  sha256      %s...\n", cert.short_id().c_str());
+    std::printf("  key         %s %u bits\n",
+                rs::x509::to_string(cert.public_key().algorithm()),
+                cert.public_key().bits());
+    std::printf("  valid       %s .. %s\n",
+                cert.validity().not_before.date.to_string().c_str(),
+                cert.validity().not_after.date.to_string().c_str());
+    for (TrustPurpose p : rs::store::kAllPurposes) {
+      const auto& trust = entry.trust_for(p);
+      std::printf("  %-17s %s%s\n", rs::store::to_string(p),
+                  rs::store::to_string(trust.level),
+                  trust.distrust_after
+                      ? ("  (distrust after " +
+                         trust.distrust_after->to_string() + ")")
+                            .c_str()
+                      : "");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// store_audit: hygiene-audit a root store file the way §5.1 of the paper
+// audits the big four programs.
+//
+//   ./store_audit <file>        # certdata.txt, PEM bundle, or JKS
+//   ./store_audit               # audits the scenario's latest NSS store
+//
+// Reports: store size, per-purpose anchor counts, expired roots, MD5
+// signatures, sub-2048-bit RSA keys, and partial-distrust entries.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/analysis/hygiene.h"
+#include "src/formats/sniff.h"
+#include "src/synth/paper_scenario.h"
+#include "src/util/table.h"
+#include "src/x509/lint.h"
+
+using rs::store::TrustPurpose;
+
+namespace {
+
+rs::util::Date today() {
+  // Day resolution is enough for an audit.
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto days = std::chrono::duration_cast<std::chrono::hours>(now).count() / 24;
+  return rs::util::Date::from_days(days);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rs::formats::ParsedStore store;
+  std::string source;
+  if (argc > 1) {
+    auto loaded = rs::formats::load_any_store(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.error().c_str());
+      return 1;
+    }
+    store = std::move(loaded).take();
+    source = argv[1];
+  } else {
+    auto scenario = rs::synth::build_paper_scenario();
+    store.entries = scenario.database().find("NSS")->back().entries;
+    source = "scenario NSS @ " +
+             scenario.database().find("NSS")->back().date.to_string();
+  }
+
+  const auto now = today();
+  std::size_t expired = 0, md5 = 0, weak = 0, partial = 0;
+  std::size_t tls = 0, email = 0, codesign = 0;
+  for (const auto& e : store.entries) {
+    if (e.certificate->is_expired_at(now)) ++expired;
+    if (e.certificate->has_md5_signature()) ++md5;
+    if (e.certificate->has_weak_rsa_key()) ++weak;
+    if (e.is_partially_distrusted_tls()) ++partial;
+    if (e.is_anchor_for(TrustPurpose::kServerAuth)) ++tls;
+    if (e.is_anchor_for(TrustPurpose::kEmailProtection)) ++email;
+    if (e.is_anchor_for(TrustPurpose::kCodeSigning)) ++codesign;
+  }
+
+  std::printf("Root store audit: %s\n\n", source.c_str());
+  rs::util::TextTable t({"Metric", "Value"});
+  t.set_align(1, rs::util::Align::kRight);
+  t.add_row({"roots", std::to_string(store.entries.size())});
+  t.add_row({"TLS server-auth anchors", std::to_string(tls)});
+  t.add_row({"email-protection anchors", std::to_string(email)});
+  t.add_row({"code-signing anchors", std::to_string(codesign)});
+  t.add_separator();
+  t.add_row({"expired as of " + now.to_string(), std::to_string(expired)});
+  t.add_row({"MD5-signed roots", std::to_string(md5)});
+  t.add_row({"RSA < 2048 bits", std::to_string(weak)});
+  t.add_row({"partial TLS distrust entries", std::to_string(partial)});
+  t.add_row({"parse warnings", std::to_string(store.warnings.size())});
+  std::fputs(t.render().c_str(), stdout);
+
+  // The worst offenders, by name.
+  if (md5 + weak + expired > 0) {
+    std::printf("\nFindings:\n");
+    for (const auto& e : store.entries) {
+      const auto& cert = *e.certificate;
+      std::string why;
+      if (cert.has_md5_signature()) why += " MD5-signature";
+      if (cert.has_weak_rsa_key()) {
+        why += " RSA-" + std::to_string(cert.public_key().bits());
+      }
+      if (cert.is_expired_at(now)) {
+        why += " expired-" + cert.validity().not_after.date.to_string();
+      }
+      if (!why.empty()) {
+        std::printf("  %s  %s:%s\n", cert.short_id().c_str(),
+                    std::string(cert.subject().common_name().value_or("?"))
+                        .c_str(),
+                    why.c_str());
+      }
+    }
+  }
+  // BR-style lint pass (§7's "objective evaluation" direction): score every
+  // root and list the worst offenders.
+  rs::x509::LintOptions lint_opts;
+  lint_opts.now = now;
+  int total_score = 0;
+  std::vector<std::pair<int, std::string>> worst;
+  for (const auto& e : store.entries) {
+    const auto findings = rs::x509::lint_root(*e.certificate, lint_opts);
+    const int score = rs::x509::lint_score(findings);
+    total_score += score;
+    if (score > 0) {
+      std::string summary =
+          std::string(e.certificate->subject().common_name().value_or("?")) +
+          " [";
+      for (std::size_t i = 0; i < findings.size() && i < 3; ++i) {
+        if (i != 0) summary += ", ";
+        summary += findings[i].check;
+      }
+      summary += "]";
+      worst.emplace_back(score, std::move(summary));
+    }
+  }
+  std::sort(worst.rbegin(), worst.rend());
+  std::printf("\nLint: aggregate score %d over %zu roots (0 = clean)\n",
+              total_score, store.entries.size());
+  for (std::size_t i = 0; i < worst.size() && i < 8; ++i) {
+    std::printf("  score %3d  %s\n", worst[i].first, worst[i].second.c_str());
+  }
+
+  for (const auto& w : store.warnings) {
+    std::printf("warning: %s\n", w.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// store_diff: compare two root stores the way §6.2 compares derivative
+// snapshots against NSS versions.
+//
+//   ./store_diff <a> <b>         # certdata.txt / PEM / JKS / RSTS files
+//   ./store_diff --demo          # Debian@Symantec-window vs matched NSS
+//
+// Reports roots only in A, only in B, and roots present in both whose
+// trust differs (purpose levels or partial-distrust cutoffs).
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "src/formats/sniff.h"
+#include "src/synth/paper_scenario.h"
+#include "src/util/hex.h"
+
+namespace {
+
+using rs::formats::ParsedStore;
+using rs::store::TrustEntry;
+using rs::store::TrustPurpose;
+
+std::string describe(const TrustEntry& e) {
+  std::string out;
+  for (TrustPurpose p : rs::store::kAllPurposes) {
+    const auto& t = e.trust_for(p);
+    if (!out.empty()) out += " ";
+    out += std::string(rs::store::to_string(p)) + "=" +
+           rs::store::to_string(t.level);
+    if (t.distrust_after) out += "(until " + t.distrust_after->to_string() + ")";
+  }
+  return out;
+}
+
+void diff(const std::vector<TrustEntry>& a_entries, const std::string& a_name,
+          const std::vector<TrustEntry>& b_entries, const std::string& b_name) {
+  std::map<rs::crypto::Sha256Digest, const TrustEntry*> a_map, b_map;
+  for (const auto& e : a_entries) a_map[e.certificate->sha256()] = &e;
+  for (const auto& e : b_entries) b_map[e.certificate->sha256()] = &e;
+
+  std::size_t only_a = 0, only_b = 0, changed = 0;
+  std::printf("only in %s:\n", a_name.c_str());
+  for (const auto& [fp, e] : a_map) {
+    if (b_map.contains(fp)) continue;
+    ++only_a;
+    std::printf("  - %s  %s\n", e->certificate->short_id().c_str(),
+                std::string(e->certificate->subject().common_name().value_or("?"))
+                    .c_str());
+  }
+  std::printf("only in %s:\n", b_name.c_str());
+  for (const auto& [fp, e] : b_map) {
+    if (a_map.contains(fp)) continue;
+    ++only_b;
+    std::printf("  + %s  %s\n", e->certificate->short_id().c_str(),
+                std::string(e->certificate->subject().common_name().value_or("?"))
+                    .c_str());
+  }
+  std::printf("trust changes:\n");
+  for (const auto& [fp, ea] : a_map) {
+    const auto it = b_map.find(fp);
+    if (it == b_map.end()) continue;
+    bool same = true;
+    for (TrustPurpose p : rs::store::kAllPurposes) {
+      same = same && ea->trust_for(p) == it->second->trust_for(p);
+    }
+    if (same) continue;
+    ++changed;
+    std::printf("  ~ %s  %s\n      %s: %s\n      %s: %s\n",
+                ea->certificate->short_id().c_str(),
+                std::string(
+                    ea->certificate->subject().common_name().value_or("?"))
+                    .c_str(),
+                a_name.c_str(), describe(*ea).c_str(), b_name.c_str(),
+                describe(*it->second).c_str());
+  }
+  std::printf("\nsummary: %zu only in %s, %zu only in %s, %zu trust changes, "
+              "%zu shared\n",
+              only_a, a_name.c_str(), only_b, b_name.c_str(), changed,
+              a_map.size() - only_a);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--demo") {
+    // Debian during the premature Symantec removal vs NSS at the time.
+    auto scenario = rs::synth::build_paper_scenario();
+    const auto* debian =
+        scenario.database().find("Debian")->at(rs::util::Date::ymd(2020, 5, 1));
+    const auto* nss =
+        scenario.database().find("NSS")->at(rs::util::Date::ymd(2020, 5, 1));
+    std::printf("demo: Debian@%s vs NSS@%s\n\n",
+                debian->date.to_string().c_str(),
+                nss->date.to_string().c_str());
+    diff(nss->entries, "NSS", debian->entries, "Debian");
+    return 0;
+  }
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <store-a> <store-b>\n       %s --demo\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  auto a = rs::formats::load_any_store(argv[1]);
+  auto b = rs::formats::load_any_store(argv[2]);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!a.ok() ? a.error() : b.error()).c_str());
+    return 1;
+  }
+  diff(a.value().entries, argv[1], b.value().entries, argv[2]);
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "src/analysis/attribution.h"
+
+namespace rs::analysis {
+
+CoverageSummary coverage_summary(
+    const std::vector<rs::synth::UserAgentGroup>& population) {
+  CoverageSummary out;
+  for (const auto& g : population) {
+    out.total_user_agents += g.versions;
+    out.per_os_total[g.os] += g.versions;
+    if (g.included) {
+      out.included_user_agents += g.versions;
+      out.per_os_included[g.os] += g.versions;
+    }
+  }
+  out.coverage = out.total_user_agents > 0
+                     ? static_cast<double>(out.included_user_agents) /
+                           static_cast<double>(out.total_user_agents)
+                     : 0.0;
+  return out;
+}
+
+ProgramAttribution attribute_programs(
+    const std::vector<rs::synth::UserAgentGroup>& population) {
+  ProgramAttribution out;
+  int total = 0;
+  for (const auto& g : population) {
+    total += g.versions;
+    if (g.provider.empty()) {
+      out.unattributed += g.versions;
+      continue;
+    }
+    const auto program = rs::synth::program_of_provider(g.provider);
+    if (!program) {
+      out.unattributed += g.versions;
+      continue;
+    }
+    out.ua_count[rs::synth::to_string(*program)] += g.versions;
+  }
+  for (const auto& [program, count] : out.ua_count) {
+    out.ua_share[program] =
+        total > 0 ? static_cast<double>(count) / static_cast<double>(total)
+                  : 0.0;
+  }
+  return out;
+}
+
+}  // namespace rs::analysis

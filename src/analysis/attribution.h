@@ -1,0 +1,35 @@
+// User-agent to root-program attribution (Table 1 and Figure 2).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/synth/user_agents.h"
+
+namespace rs::analysis {
+
+/// Aggregated Table 1 coverage.
+struct CoverageSummary {
+  int total_user_agents = 0;     // sum of version counts (the "top 200")
+  int included_user_agents = 0;  // those with a collected root store
+  double coverage = 0;           // included / total
+  /// Per-OS totals, for the table's grouping.
+  std::map<std::string, int> per_os_total;
+  std::map<std::string, int> per_os_included;
+};
+
+CoverageSummary coverage_summary(
+    const std::vector<rs::synth::UserAgentGroup>& population);
+
+/// Figure 2: share of the UA population attributable to each root program.
+struct ProgramAttribution {
+  std::map<std::string, int> ua_count;       // program name -> UA count
+  std::map<std::string, double> ua_share;    // of the *total* population
+  int unattributed = 0;
+};
+
+ProgramAttribution attribute_programs(
+    const std::vector<rs::synth::UserAgentGroup>& population);
+
+}  // namespace rs::analysis

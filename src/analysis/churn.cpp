@@ -1,0 +1,75 @@
+#include "src/analysis/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/store/fingerprint_set.h"
+
+namespace rs::analysis {
+
+ChurnSeries churn_series(const rs::store::ProviderHistory& history) {
+  ChurnSeries out;
+  out.provider = history.provider();
+  if (history.empty()) return out;
+
+  rs::store::FingerprintSet previous;
+  bool first = true;
+  double fraction_sum = 0;
+  for (const auto& snap : history.snapshots()) {
+    const auto current = snap.all_fingerprints();
+    ChurnPoint p;
+    p.date = snap.date;
+    p.version = snap.version;
+    if (!first) {
+      p.added = current.difference(previous).size();
+      p.removed = previous.difference(current).size();
+      const std::size_t uni = current.union_size(previous);
+      p.change_fraction =
+          uni == 0 ? 0.0
+                   : static_cast<double>(p.added + p.removed) /
+                         static_cast<double>(uni);
+    }
+    fraction_sum += p.change_fraction;
+    out.points.push_back(std::move(p));
+    previous = current;
+    first = false;
+  }
+  out.mean_change_fraction =
+      fraction_sum / static_cast<double>(out.points.size());
+  return out;
+}
+
+std::vector<ChurnOutlier> find_outliers(const std::vector<ChurnSeries>& series,
+                                        double sigmas,
+                                        std::size_t min_change) {
+  std::vector<ChurnOutlier> out;
+  for (const auto& s : series) {
+    if (s.points.size() < 3) continue;
+    // Provider-local mean/stddev of the change fraction.
+    double mean = 0;
+    for (const auto& p : s.points) mean += p.change_fraction;
+    mean /= static_cast<double>(s.points.size());
+    double var = 0;
+    for (const auto& p : s.points) {
+      var += (p.change_fraction - mean) * (p.change_fraction - mean);
+    }
+    var /= static_cast<double>(s.points.size());
+    const double sd = std::sqrt(var);
+    if (sd <= 0) continue;
+
+    for (const auto& p : s.points) {
+      if (p.total_change() < min_change) continue;
+      const double score = (p.change_fraction - mean) / sd;
+      if (score >= sigmas) {
+        out.push_back(ChurnOutlier{s.provider, p, score});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ChurnOutlier& a, const ChurnOutlier& b) {
+              return a.score > b.score;
+            });
+  return out;
+}
+
+}  // namespace rs::analysis

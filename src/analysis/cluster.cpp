@@ -1,0 +1,170 @@
+#include "src/analysis/cluster.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace rs::analysis {
+
+Clustering cluster_snapshots(const DistanceMatrix& dist, double cutoff) {
+  const std::size_t n = dist.size();
+  Clustering out;
+  out.assignment.assign(n, 0);
+  if (n == 0) return out;
+
+  // Union-find over single-linkage merges: link every pair below cutoff.
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<std::size_t> rank(n, 0);
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (rank[a] < rank[b]) std::swap(a, b);
+    parent[b] = a;
+    if (rank[a] == rank[b]) ++rank[a];
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dist.at(i, j) < cutoff) unite(i, j);
+    }
+  }
+
+  // Densify cluster ids.
+  std::map<std::size_t, std::size_t> dense;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = find(i);
+    const auto [it, inserted] = dense.emplace(root, dense.size());
+    out.assignment[i] = it->second;
+    (void)inserted;
+  }
+  out.cluster_count = dense.size();
+  return out;
+}
+
+Clustering cluster_snapshots_complete(const DistanceMatrix& dist,
+                                      double cutoff) {
+  const std::size_t n = dist.size();
+  Clustering out;
+  out.assignment.assign(n, 0);
+  if (n == 0) return out;
+
+  // Naive agglomeration: repeatedly merge the pair of clusters whose
+  // complete-linkage distance (max pairwise) is smallest and below cutoff.
+  std::vector<std::vector<std::size_t>> clusters(n);
+  for (std::size_t i = 0; i < n; ++i) clusters[i] = {i};
+
+  auto complete_distance = [&](const std::vector<std::size_t>& a,
+                               const std::vector<std::size_t>& b) {
+    double worst = 0.0;
+    for (std::size_t x : a) {
+      for (std::size_t y : b) worst = std::max(worst, dist.at(x, y));
+    }
+    return worst;
+  };
+
+  while (clusters.size() > 1) {
+    double best = cutoff;
+    std::size_t bi = 0, bj = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+        const double d = complete_distance(clusters[i], clusters[j]);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
+                        clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+
+  for (std::size_t k = 0; k < clusters.size(); ++k) {
+    for (std::size_t row : clusters[k]) out.assignment[row] = k;
+  }
+  out.cluster_count = clusters.size();
+  return out;
+}
+
+double silhouette_score(const DistanceMatrix& dist, const Clustering& c) {
+  const std::size_t n = dist.size();
+  if (n < 2 || c.cluster_count < 2) return 0.0;
+  const auto members = cluster_members(c);
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t own = c.assignment[i];
+    if (members[own].size() < 2) continue;  // singleton contributes 0
+    // a(i): mean distance to own cluster (excluding self).
+    double a = 0.0;
+    for (std::size_t j : members[own]) {
+      if (j != i) a += dist.at(i, j);
+    }
+    a /= static_cast<double>(members[own].size() - 1);
+    // b(i): smallest mean distance to another cluster.
+    double b = 2.0;
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      if (k == own || members[k].empty()) continue;
+      double mean = 0.0;
+      for (std::size_t j : members[k]) mean += dist.at(i, j);
+      mean /= static_cast<double>(members[k].size());
+      b = std::min(b, mean);
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+std::vector<std::vector<std::size_t>> cluster_members(const Clustering& c) {
+  std::vector<std::vector<std::size_t>> out(c.cluster_count);
+  for (std::size_t i = 0; i < c.assignment.size(); ++i) {
+    out[c.assignment[i]].push_back(i);
+  }
+  return out;
+}
+
+ClusterQuality cluster_quality(const Clustering& c,
+                               const std::vector<std::string>& row_labels) {
+  ClusterQuality out;
+  const auto members = cluster_members(c);
+  out.majority_label.resize(members.size());
+  out.purity.resize(members.size());
+  std::size_t agree_total = 0;
+  for (std::size_t k = 0; k < members.size(); ++k) {
+    std::map<std::string, std::size_t> counts;
+    for (std::size_t row : members[k]) ++counts[row_labels[row]];
+    std::size_t best = 0;
+    for (const auto& [label, count] : counts) {
+      if (count > best) {
+        best = count;
+        out.majority_label[k] = label;
+      }
+    }
+    out.purity[k] = members[k].empty()
+                        ? 0.0
+                        : static_cast<double>(best) /
+                              static_cast<double>(members[k].size());
+    agree_total += best;
+  }
+  out.overall_purity =
+      row_labels.empty() ? 0.0
+                         : static_cast<double>(agree_total) /
+                               static_cast<double>(row_labels.size());
+  return out;
+}
+
+}  // namespace rs::analysis

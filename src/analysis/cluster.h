@@ -1,0 +1,55 @@
+// Agglomerative clustering of snapshots into root-store families (§4).
+//
+// Figure 1's four clusters (Microsoft, NSS-like, Apple, Java) are recovered
+// mechanically: single-linkage agglomeration over the Jaccard matrix with a
+// distance cutoff.  Purity against the known provider->program mapping
+// quantifies how cleanly the families separate.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/jaccard.h"
+
+namespace rs::analysis {
+
+/// Clustering output: a cluster id per matrix row.
+struct Clustering {
+  std::vector<std::size_t> assignment;  // row -> cluster id (0-based, dense)
+  std::size_t cluster_count = 0;
+};
+
+/// Single-linkage agglomerative clustering, merging while the closest pair
+/// of clusters is below `cutoff`.  Chains through intermediate snapshots —
+/// the right behaviour for store *lineages*, where consecutive snapshots
+/// are near-identical but endpoints a decade apart are not.
+Clustering cluster_snapshots(const DistanceMatrix& dist, double cutoff);
+
+/// Complete-linkage agglomerative clustering: clusters merge only while the
+/// *farthest* pair across them is below `cutoff`.  The no-chaining ablation
+/// (`bench/perf_analysis`): on lineage data it shreds long histories into
+/// era fragments, which is why the pipeline defaults to single linkage.
+Clustering cluster_snapshots_complete(const DistanceMatrix& dist,
+                                      double cutoff);
+
+/// Mean silhouette coefficient of a clustering over its distance matrix,
+/// in [-1, 1]; higher = tighter, better-separated clusters.  Singleton
+/// clusters contribute 0.
+double silhouette_score(const DistanceMatrix& dist, const Clustering& c);
+
+/// Members of each cluster, as label indices.
+std::vector<std::vector<std::size_t>> cluster_members(const Clustering& c);
+
+/// For each cluster, the majority provider-derived label and the fraction
+/// of members agreeing with it (label supplied per row).
+struct ClusterQuality {
+  std::vector<std::string> majority_label;  // per cluster
+  std::vector<double> purity;               // per cluster
+  double overall_purity = 0;                // weighted by cluster size
+};
+ClusterQuality cluster_quality(const Clustering& c,
+                               const std::vector<std::string>& row_labels);
+
+}  // namespace rs::analysis

@@ -1,0 +1,118 @@
+#include "src/analysis/diffs.h"
+
+#include <map>
+
+namespace rs::analysis {
+
+using rs::crypto::Sha256Digest;
+using rs::store::FingerprintSet;
+
+const char* to_string(AddCategory c) noexcept {
+  switch (c) {
+    case AddCategory::kNonNssRoot:
+      return "non-NSS root";
+    case AddCategory::kEmailOnlyRoot:
+      return "email-only root";
+    case AddCategory::kReAddedRoot:
+      return "re-added root";
+    case AddCategory::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+const char* to_string(RemoveCategory c) noexcept {
+  switch (c) {
+    case RemoveCategory::kPartialDistrustFallout:
+      return "partial-distrust fallout";
+    case RemoveCategory::kCustomRemoval:
+      return "custom removal";
+  }
+  return "?";
+}
+
+std::size_t SnapshotDiff::added_total() const noexcept {
+  std::size_t n = 0;
+  for (auto v : adds) n += v;
+  return n;
+}
+std::size_t SnapshotDiff::removed_total() const noexcept {
+  std::size_t n = 0;
+  for (auto v : removes) n += v;
+  return n;
+}
+
+DerivativeDiffSeries derivative_diffs(const rs::store::ProviderHistory& deriv,
+                                      const rs::store::ProviderHistory& nss,
+                                      const NssVersionIndex& index) {
+  DerivativeDiffSeries out;
+  out.provider = deriv.provider();
+
+  // NSS-ever sets and first-TLS dates, for categorization.
+  FingerprintSet nss_ever_any;
+  FingerprintSet nss_ever_tls;
+  std::map<Sha256Digest, rs::util::Date> first_tls_date;
+  for (const auto& snap : nss.snapshots()) {
+    nss_ever_any = nss_ever_any.set_union(snap.all_fingerprints());
+    const auto tls = snap.tls_anchors();
+    nss_ever_tls = nss_ever_tls.set_union(tls);
+    for (const auto& fp : tls.items()) {
+      first_tls_date.emplace(fp, snap.date);
+    }
+  }
+
+  for (const auto& snap : deriv.snapshots()) {
+    const auto deriv_tls = snap.tls_anchors();
+    const auto* matched = index.closest_match(deriv_tls);
+    if (matched == nullptr) continue;
+
+    SnapshotDiff diff;
+    diff.date = snap.date;
+    diff.matched_version = matched->index;
+
+    const FingerprintSet added = deriv_tls.difference(matched->tls_anchors);
+    const FingerprintSet removed = matched->tls_anchors.difference(deriv_tls);
+
+    for (const auto& fp : added.items()) {
+      AddCategory cat;
+      if (!nss_ever_any.contains(fp)) {
+        cat = AddCategory::kNonNssRoot;
+      } else if (!nss_ever_tls.contains(fp)) {
+        cat = AddCategory::kEmailOnlyRoot;
+      } else {
+        const auto it = first_tls_date.find(fp);
+        cat = (it != first_tls_date.end() && it->second <= matched->date)
+                  ? AddCategory::kReAddedRoot
+                  : AddCategory::kOther;
+      }
+      ++diff.adds[static_cast<std::size_t>(cat)];
+    }
+
+    // Which matched-version entries carry partial distrust?
+    // Find the NSS snapshot for this version to inspect entry trust bits.
+    const rs::store::Snapshot* version_snap = nullptr;
+    for (const auto& s : nss.snapshots()) {
+      if (s.date == matched->date) {
+        version_snap = &s;
+        break;
+      }
+    }
+    for (const auto& fp : removed.items()) {
+      RemoveCategory cat = RemoveCategory::kCustomRemoval;
+      if (version_snap != nullptr) {
+        if (const auto* entry = version_snap->find(fp)) {
+          if (entry->is_partially_distrusted_tls()) {
+            cat = RemoveCategory::kPartialDistrustFallout;
+          }
+        }
+      }
+      ++diff.removes[static_cast<std::size_t>(cat)];
+    }
+
+    if (diff.added_total() + diff.removed_total() > 0) out.ever_deviates = true;
+    out.points.push_back(diff);
+  }
+  return out;
+}
+
+}  // namespace rs::analysis

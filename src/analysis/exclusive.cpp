@@ -1,0 +1,47 @@
+#include "src/analysis/exclusive.h"
+
+#include "src/store/fingerprint_set.h"
+
+namespace rs::analysis {
+
+std::vector<ExclusiveSet> exclusive_roots(
+    const rs::store::StoreDatabase& db,
+    const std::vector<std::string>& programs) {
+  // Ever-TLS-trusted set per program.
+  struct ProgramSets {
+    std::string name;
+    rs::store::FingerprintSet ever;
+    rs::store::FingerprintSet latest;
+  };
+  std::vector<ProgramSets> sets;
+  for (const auto& name : programs) {
+    const auto* history = db.find(name);
+    if (history == nullptr || history->empty()) continue;
+    ProgramSets ps;
+    ps.name = name;
+    ps.ever = db.tls_roots_ever(name);
+    ps.latest = history->back().tls_anchors();
+    sets.push_back(std::move(ps));
+  }
+
+  std::vector<ExclusiveSet> out;
+  for (const auto& ps : sets) {
+    ExclusiveSet ex;
+    ex.program = ps.name;
+    for (const auto& fp : ps.latest.items()) {
+      bool elsewhere = false;
+      for (const auto& other : sets) {
+        if (other.name == ps.name) continue;
+        if (other.ever.contains(fp)) {
+          elsewhere = true;
+          break;
+        }
+      }
+      if (!elsewhere) ex.roots.push_back(fp);
+    }
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+}  // namespace rs::analysis

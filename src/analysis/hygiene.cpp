@@ -1,0 +1,43 @@
+#include "src/analysis/hygiene.h"
+
+namespace rs::analysis {
+
+HygieneMetrics hygiene_metrics(const rs::store::ProviderHistory& history) {
+  HygieneMetrics out;
+  out.provider = history.provider();
+  if (history.empty()) return out;
+
+  double size_sum = 0;
+  double expired_sum = 0;
+  bool md5_seen = false;
+  bool weak_seen = false;
+  for (const auto& snap : history.snapshots()) {
+    size_sum += static_cast<double>(snap.size());
+    expired_sum += static_cast<double>(snap.expired_count());
+
+    const bool md5_now = snap.md5_signed_count() > 0;
+    const bool weak_now = snap.weak_rsa_count() > 0;
+    if (md5_seen && !md5_now && !out.md5_removed) {
+      out.md5_removed = snap.date;
+    }
+    if (md5_now) {
+      md5_seen = true;
+      out.md5_removed.reset();  // reappeared: removal not final yet
+    }
+    if (weak_seen && !weak_now && !out.weak_rsa_removed) {
+      out.weak_rsa_removed = snap.date;
+    }
+    if (weak_now) {
+      weak_seen = true;
+      out.weak_rsa_removed.reset();
+    }
+  }
+  const double n = static_cast<double>(history.size());
+  out.avg_size = size_sum / n;
+  out.avg_expired = expired_sum / n;
+  out.md5_still_present = history.back().md5_signed_count() > 0;
+  out.weak_rsa_still_present = history.back().weak_rsa_count() > 0;
+  return out;
+}
+
+}  // namespace rs::analysis

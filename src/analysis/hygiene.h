@@ -1,0 +1,34 @@
+// Root-program hygiene metrics (Table 3).
+//
+// Per program: average store size across snapshots, average count of
+// expired-but-retained roots, and the dates the program finally purged
+// MD5-signed and 1024-bit-RSA roots from its TLS trust.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/store/snapshot.h"
+#include "src/util/date.h"
+
+namespace rs::analysis {
+
+/// Measured hygiene of one provider.
+struct HygieneMetrics {
+  std::string provider;
+  double avg_size = 0;
+  double avg_expired = 0;
+  /// Date of the first snapshot in which no MD5-signed TLS root remains
+  /// (after at least one was present); nullopt if never present or never
+  /// removed.
+  std::optional<rs::util::Date> md5_removed;
+  std::optional<rs::util::Date> weak_rsa_removed;
+  /// Still carrying MD5 / 1024-bit roots in the newest snapshot.
+  bool md5_still_present = false;
+  bool weak_rsa_still_present = false;
+};
+
+HygieneMetrics hygiene_metrics(const rs::store::ProviderHistory& history);
+
+}  // namespace rs::analysis

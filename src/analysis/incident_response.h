@@ -1,0 +1,66 @@
+// Incident-response lag measurement (Table 4).
+//
+// Given an incident (a set of root ids / certificates and NSS's removal
+// date), measure for every provider: how many of the roots it carried, the
+// last date it still trusted any of them, and the lag relative to NSS.
+// Measurement is overlay-aware: a provider may stop *trusting* a root via
+// an out-of-band revocation (valid.apple.com) while still *shipping* it —
+// both dates are reported, exactly the distinction Table 4's footnotes
+// draw.  Values are measured from the snapshot histories, then printed
+// alongside the paper's reported ones by the Table 4 bench.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/crypto/digest.h"
+#include "src/store/database.h"
+#include "src/store/overlay.h"
+#include "src/synth/incidents.h"
+#include "src/synth/root_spec.h"
+#include "src/util/date.h"
+
+namespace rs::analysis {
+
+/// Measured response of one provider to one incident.
+struct MeasuredResponse {
+  std::string provider;
+  int certs_carried = 0;  // incident roots ever TLS-trusted by the provider
+
+  /// Last snapshot date any incident root was *effectively* trusted
+  /// (present as a TLS anchor and not revoked by the provider's overlay).
+  std::optional<rs::util::Date> trusted_until;
+  /// Effectively trusted in the provider's newest snapshot.
+  bool still_trusted = false;
+  /// trusted_until - nss_removal, when the distrust is complete.
+  std::optional<int> lag_days;
+
+  /// Last snapshot date any incident root was *shipped*, regardless of
+  /// overlay revocations (equals trusted_until when no overlay applies).
+  std::optional<rs::util::Date> shipped_until;
+  bool still_shipped = false;
+  /// Roots revoked by the overlay yet present in the newest snapshot —
+  /// the paper's "revoked via valid.apple.com but not removed".
+  int revoked_not_removed = 0;
+};
+
+/// All providers' measured responses to one incident, NSS excluded
+/// (NSS defines the reference date).
+struct IncidentMeasurement {
+  std::string incident;
+  rs::util::Date nss_removal;
+  std::vector<MeasuredResponse> responses;
+};
+
+/// Measures one incident across the database.  `factory` resolves the
+/// incident's root ids to certificates (they must have been built by the
+/// scenario); `overlays` optionally supplies per-provider out-of-band
+/// revocation layers.
+IncidentMeasurement measure_incident(
+    const rs::store::StoreDatabase& db, const rs::synth::Incident& incident,
+    rs::synth::CertFactory& factory,
+    const std::map<std::string, rs::store::TrustOverlay>* overlays = nullptr);
+
+}  // namespace rs::analysis

@@ -1,0 +1,57 @@
+#include "src/analysis/jaccard.h"
+
+#include <algorithm>
+
+#include "src/store/fingerprint_set.h"
+
+namespace rs::analysis {
+
+DistanceMatrix jaccard_matrix(const rs::store::StoreDatabase& db,
+                              const JaccardOptions& options) {
+  DistanceMatrix out;
+  std::vector<rs::store::FingerprintSet> sets;
+
+  for (const auto& [name, history] : db.histories()) {
+    // Collect candidate indices honouring the date window.
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < history.size(); ++i) {
+      const auto& s = history.snapshots()[i];
+      if (options.min_date && s.date < *options.min_date) continue;
+      if (options.max_date && s.date > *options.max_date) continue;
+      idx.push_back(i);
+    }
+    // Uniform subsample if requested (keep ends, stride the middle).
+    if (options.max_per_provider > 0 && idx.size() > options.max_per_provider) {
+      std::vector<std::size_t> kept;
+      const double stride = static_cast<double>(idx.size() - 1) /
+                            static_cast<double>(options.max_per_provider - 1);
+      for (std::size_t k = 0; k < options.max_per_provider; ++k) {
+        kept.push_back(idx[static_cast<std::size_t>(
+            static_cast<double>(k) * stride + 0.5)]);
+      }
+      kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+      idx = std::move(kept);
+    }
+
+    for (std::size_t i : idx) {
+      const auto& s = history.snapshots()[i];
+      out.labels.push_back(SnapshotRef{name, s.date, s.version, i});
+      sets.push_back(options.set_kind == SetKind::kAllCertificates
+                         ? s.all_fingerprints()
+                         : s.tls_anchors());
+    }
+  }
+
+  const std::size_t n = out.labels.size();
+  out.values.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = sets[i].jaccard_distance(sets[j]);
+      out.values[i * n + j] = d;
+      out.values[j * n + i] = d;
+    }
+  }
+  return out;
+}
+
+}  // namespace rs::analysis

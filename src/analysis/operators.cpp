@@ -1,0 +1,61 @@
+#include "src/analysis/operators.h"
+
+#include <algorithm>
+
+namespace rs::analysis {
+
+std::size_t OperatorFootprint::total_roots() const {
+  std::size_t n = 0;
+  for (const auto& [_, count] : roots_per_program) n += count;
+  return n;
+}
+
+namespace {
+
+std::string operator_of(const rs::x509::Certificate& cert) {
+  if (const auto org = cert.subject().organization()) return std::string(*org);
+  if (const auto cn = cert.subject().common_name()) return std::string(*cn);
+  return "(unknown operator)";
+}
+
+}  // namespace
+
+std::vector<OperatorFootprint> operator_footprints(
+    const rs::store::StoreDatabase& db,
+    const std::vector<std::string>& programs) {
+  std::map<std::string, OperatorFootprint> by_operator;
+  for (const auto& program : programs) {
+    const auto* history = db.find(program);
+    if (history == nullptr || history->empty()) continue;
+    for (const auto& entry : history->back().entries) {
+      if (!entry.is_tls_anchor()) continue;
+      const std::string op = operator_of(*entry.certificate);
+      auto [it, inserted] = by_operator.try_emplace(op);
+      if (inserted) it->second.operator_name = op;
+      ++it->second.roots_per_program[program];
+    }
+  }
+  std::vector<OperatorFootprint> out;
+  out.reserve(by_operator.size());
+  for (auto& [_, footprint] : by_operator) out.push_back(std::move(footprint));
+  std::sort(out.begin(), out.end(),
+            [](const OperatorFootprint& a, const OperatorFootprint& b) {
+              if (a.program_count() != b.program_count()) {
+                return a.program_count() > b.program_count();
+              }
+              return a.operator_name < b.operator_name;
+            });
+  return out;
+}
+
+std::vector<OperatorFootprint> single_program_operators(
+    const rs::store::StoreDatabase& db,
+    const std::vector<std::string>& programs) {
+  auto all = operator_footprints(db, programs);
+  std::erase_if(all, [](const OperatorFootprint& f) {
+    return f.program_count() != 1;
+  });
+  return all;
+}
+
+}  // namespace rs::analysis

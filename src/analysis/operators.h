@@ -1,0 +1,43 @@
+// CA-operator attribution (§5.2's unit of analysis).
+//
+// Table 6 reasons about *CAs*, not certificates: "Microsoft trusts the same
+// issuer for email", "the new root accompanies an existing Microsec root".
+// Following the paper's companion work (Ma et al., "What's in a Name?"),
+// this module groups root certificates by operator — here the subject
+// organizationName (falling back to commonName) — and reports per-operator
+// trust across programs: which programs trust the operator, with how many
+// roots, and operators trusted by exactly one program.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/store/database.h"
+
+namespace rs::analysis {
+
+/// One CA operator's footprint across root programs.
+struct OperatorFootprint {
+  std::string operator_name;
+  /// program -> number of distinct roots TLS-trusted in its latest snapshot.
+  std::map<std::string, std::size_t> roots_per_program;
+
+  std::size_t program_count() const noexcept {
+    return roots_per_program.size();
+  }
+  std::size_t total_roots() const;
+};
+
+/// Groups the latest TLS anchors of `programs` by operator.
+std::vector<OperatorFootprint> operator_footprints(
+    const rs::store::StoreDatabase& db,
+    const std::vector<std::string>& programs);
+
+/// Operators trusted by exactly one of the programs (the CA-level analog of
+/// Table 6's exclusive roots).
+std::vector<OperatorFootprint> single_program_operators(
+    const rs::store::StoreDatabase& db,
+    const std::vector<std::string>& programs);
+
+}  // namespace rs::analysis

@@ -1,0 +1,234 @@
+#include "src/asn1/reader.h"
+
+#include <cstdio>
+#include <variant>
+
+namespace rs::asn1 {
+
+using rs::util::Result;
+
+std::string Reader::errmsg(const std::string& what) const {
+  return "DER error at offset " + std::to_string(offset()) + ": " + what;
+}
+
+Result<std::uint8_t> Reader::peek_tag() const {
+  if (at_end()) return Result<std::uint8_t>::err(errmsg("unexpected end of input"));
+  const std::uint8_t t = data_[pos_];
+  if ((t & 0x1F) == 0x1F) {
+    return Result<std::uint8_t>::err(errmsg("multi-byte tags unsupported"));
+  }
+  return t;
+}
+
+bool Reader::next_is(std::uint8_t tag) const noexcept {
+  return pos_ < data_.size() && data_[pos_] == tag;
+}
+
+Result<Element> Reader::read_tlv() {
+  auto tag = peek_tag();
+  if (!tag) return tag.propagate<Element>();
+  const std::size_t start = pos_;
+  std::size_t p = pos_ + 1;
+
+  if (p >= data_.size()) return Result<Element>::err(errmsg("missing length"));
+  const std::uint8_t first_len = data_[p++];
+  std::size_t length = 0;
+  if (first_len < 0x80) {
+    length = first_len;
+  } else if (first_len == 0x80) {
+    return Result<Element>::err(errmsg("indefinite length forbidden in DER"));
+  } else {
+    const std::size_t num_octets = first_len & 0x7F;
+    if (num_octets > sizeof(std::size_t)) {
+      return Result<Element>::err(errmsg("length too large"));
+    }
+    if (p + num_octets > data_.size()) {
+      return Result<Element>::err(errmsg("truncated length"));
+    }
+    if (data_[p] == 0x00) {
+      return Result<Element>::err(errmsg("non-minimal length (leading zero)"));
+    }
+    for (std::size_t i = 0; i < num_octets; ++i) {
+      length = (length << 8) | data_[p++];
+    }
+    if (length < 0x80) {
+      return Result<Element>::err(errmsg("non-minimal length (long form for short value)"));
+    }
+  }
+  if (length > data_.size() - p) {
+    return Result<Element>::err(errmsg("content extends past end of input"));
+  }
+
+  Element el;
+  el.tag = tag.value();
+  el.content = data_.subspan(p, length);
+  el.full = data_.subspan(start, (p - start) + length);
+  pos_ = p + length;
+  return el;
+}
+
+Result<Element> Reader::read_any() { return read_tlv(); }
+
+Result<Element> Reader::read(std::uint8_t tag) {
+  const std::size_t saved = pos_;
+  auto el = read_tlv();
+  if (!el) return el;
+  if (el.value().tag != tag) {
+    pos_ = saved;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "expected tag 0x%02X, found 0x%02X", tag,
+                  el.value().tag);
+    return Result<Element>::err(errmsg(buf));
+  }
+  return el;
+}
+
+Result<Reader> Reader::read_sequence() {
+  auto el = read(constructed(UniversalTag::kSequence));
+  if (!el) return el.propagate<Reader>();
+  const std::size_t content_base =
+      base_ + static_cast<std::size_t>(el.value().content.data() - data_.data());
+  return Reader(el.value().content, content_base);
+}
+
+Result<Reader> Reader::read_set() {
+  auto el = read(constructed(UniversalTag::kSet));
+  if (!el) return el.propagate<Reader>();
+  const std::size_t content_base =
+      base_ + static_cast<std::size_t>(el.value().content.data() - data_.data());
+  return Reader(el.value().content, content_base);
+}
+
+Result<Reader> Reader::read_context(std::uint8_t n) {
+  auto el = read(context(n));
+  if (!el) return el.propagate<Reader>();
+  const std::size_t content_base =
+      base_ + static_cast<std::size_t>(el.value().content.data() - data_.data());
+  return Reader(el.value().content, content_base);
+}
+
+Result<bool> Reader::read_boolean() {
+  auto el = read(primitive(UniversalTag::kBoolean));
+  if (!el) return el.propagate<bool>();
+  const auto& c = el.value().content;
+  if (c.size() != 1) return Result<bool>::err(errmsg("BOOLEAN must be 1 byte"));
+  if (c[0] == 0x00) return false;
+  if (c[0] == 0xFF) return true;
+  return Result<bool>::err(errmsg("BOOLEAN must be 0x00 or 0xFF in DER"));
+}
+
+namespace {
+// DER minimal-integer check on content octets.
+bool integer_is_minimal(std::span<const std::uint8_t> c) {
+  if (c.empty()) return false;
+  if (c.size() == 1) return true;
+  // First 9 bits must not be all-zero or all-one.
+  if (c[0] == 0x00 && (c[1] & 0x80) == 0) return false;
+  if (c[0] == 0xFF && (c[1] & 0x80) != 0) return false;
+  return true;
+}
+}  // namespace
+
+Result<std::int64_t> Reader::read_small_integer() {
+  auto el = read(primitive(UniversalTag::kInteger));
+  if (!el) return el.propagate<std::int64_t>();
+  const auto& c = el.value().content;
+  if (!integer_is_minimal(c)) {
+    return Result<std::int64_t>::err(errmsg("non-minimal INTEGER"));
+  }
+  if (c.size() > 8) {
+    return Result<std::int64_t>::err(errmsg("INTEGER exceeds 64 bits"));
+  }
+  std::int64_t v = (c[0] & 0x80) ? -1 : 0;  // sign-extend
+  for (std::uint8_t b : c) v = (v << 8) | b;
+  return v;
+}
+
+Result<std::vector<std::uint8_t>> Reader::read_big_integer() {
+  auto el = read(primitive(UniversalTag::kInteger));
+  if (!el) return el.propagate<std::vector<std::uint8_t>>();
+  const auto& c = el.value().content;
+  if (!integer_is_minimal(c)) {
+    return Result<std::vector<std::uint8_t>>::err(errmsg("non-minimal INTEGER"));
+  }
+  return std::vector<std::uint8_t>(c.begin(), c.end());
+}
+
+Result<Oid> Reader::read_oid() {
+  auto el = read(primitive(UniversalTag::kOid));
+  if (!el) return el.propagate<Oid>();
+  auto oid = Oid::from_der_content(el.value().content);
+  if (!oid) return Result<Oid>::err(errmsg("malformed OBJECT IDENTIFIER"));
+  return *oid;
+}
+
+Result<std::vector<std::uint8_t>> Reader::read_octet_string() {
+  auto el = read(primitive(UniversalTag::kOctetString));
+  if (!el) return el.propagate<std::vector<std::uint8_t>>();
+  const auto& c = el.value().content;
+  return std::vector<std::uint8_t>(c.begin(), c.end());
+}
+
+Result<Reader::BitString> Reader::read_bit_string() {
+  auto el = read(primitive(UniversalTag::kBitString));
+  if (!el) return el.propagate<BitString>();
+  const auto& c = el.value().content;
+  if (c.empty()) return Result<BitString>::err(errmsg("empty BIT STRING"));
+  const std::uint8_t unused = c[0];
+  if (unused > 7) {
+    return Result<BitString>::err(errmsg("BIT STRING unused bits > 7"));
+  }
+  if (c.size() == 1 && unused != 0) {
+    return Result<BitString>::err(errmsg("empty BIT STRING with unused bits"));
+  }
+  BitString bs;
+  bs.unused_bits = unused;
+  bs.bytes.assign(c.begin() + 1, c.end());
+  return bs;
+}
+
+namespace {
+bool printable_char_ok(char ch) {
+  if ((ch >= 'A' && ch <= 'Z') || (ch >= 'a' && ch <= 'z') ||
+      (ch >= '0' && ch <= '9')) {
+    return true;
+  }
+  constexpr std::string_view kAllowed = " '()+,-./:=?";
+  return kAllowed.find(ch) != std::string_view::npos;
+}
+}  // namespace
+
+Result<std::string> Reader::read_string() {
+  auto tag = peek_tag();
+  if (!tag) return tag.propagate<std::string>();
+  const std::uint8_t t = tag.value();
+  if (t != primitive(UniversalTag::kUtf8String) &&
+      t != primitive(UniversalTag::kPrintableString) &&
+      t != primitive(UniversalTag::kIa5String) &&
+      t != primitive(UniversalTag::kT61String)) {
+    return Result<std::string>::err(errmsg("expected a string type"));
+  }
+  auto el = read(t);
+  if (!el) return el.propagate<std::string>();
+  std::string s(el.value().content.begin(), el.value().content.end());
+  if (t == primitive(UniversalTag::kPrintableString)) {
+    for (char ch : s) {
+      if (!printable_char_ok(ch)) {
+        return Result<std::string>::err(
+            errmsg("invalid character in PrintableString"));
+      }
+    }
+  }
+  return s;
+}
+
+Result<std::monostate> Reader::read_null() {
+  auto el = read(primitive(UniversalTag::kNull));
+  if (!el) return el.propagate<std::monostate>();
+  if (!el.value().content.empty()) {
+    return Result<std::monostate>::err(errmsg("NULL must have empty content"));
+  }
+  return std::monostate{};
+}
+
+}  // namespace rs::asn1

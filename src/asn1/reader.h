@@ -1,0 +1,104 @@
+// Strict DER reader (X.690).
+//
+// A Reader is a non-owning cursor over a byte span.  It decodes one TLV at a
+// time with DER's canonical restrictions enforced: definite lengths only,
+// minimal length encodings, minimal INTEGERs, and valid tag structure.
+// Errors are reported as Result diagnostics carrying the byte offset, so a
+// malformed root-store blob names the exact failure point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/asn1/oid.h"
+#include "src/asn1/tag.h"
+#include "src/util/result.h"
+
+namespace rs::asn1 {
+
+/// One decoded TLV element.  `content` aliases the reader's input buffer.
+struct Element {
+  std::uint8_t tag = 0;                      // full identifier octet
+  std::span<const std::uint8_t> content;     // content octets (value)
+  std::span<const std::uint8_t> full;        // tag + length + content
+};
+
+/// Sequential DER decoder over a borrowed buffer.
+///
+/// The underlying bytes must outlive the Reader and any Element it returns.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data, std::size_t base_offset = 0)
+      : data_(data), base_(base_offset) {}
+
+  bool at_end() const noexcept { return pos_ >= data_.size(); }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  /// Absolute offset of the cursor within the original top-level buffer.
+  std::size_t offset() const noexcept { return base_ + pos_; }
+
+  /// Peeks at the next identifier octet without consuming (error at end).
+  rs::util::Result<std::uint8_t> peek_tag() const;
+
+  /// Reads the next TLV of any tag.
+  rs::util::Result<Element> read_any();
+
+  /// Reads the next TLV and requires its identifier octet to equal `tag`.
+  rs::util::Result<Element> read(std::uint8_t tag);
+
+  /// True if the next element exists and has identifier octet `tag`
+  /// (used for OPTIONAL fields).
+  bool next_is(std::uint8_t tag) const noexcept;
+
+  /// Reads a SEQUENCE and returns a sub-reader over its content.
+  rs::util::Result<Reader> read_sequence();
+
+  /// Reads a SET and returns a sub-reader over its content.
+  rs::util::Result<Reader> read_set();
+
+  /// Reads a constructed context-specific [n] and returns a sub-reader.
+  rs::util::Result<Reader> read_context(std::uint8_t n);
+
+  /// BOOLEAN; DER requires content 0x00 or 0xFF.
+  rs::util::Result<bool> read_boolean();
+
+  /// INTEGER that must fit in int64 (minimal encoding enforced).
+  rs::util::Result<std::int64_t> read_small_integer();
+
+  /// INTEGER of any width, returned as its content octets (two's complement,
+  /// minimal); used for serial numbers and RSA moduli.
+  rs::util::Result<std::vector<std::uint8_t>> read_big_integer();
+
+  /// OBJECT IDENTIFIER.
+  rs::util::Result<Oid> read_oid();
+
+  /// OCTET STRING content bytes.
+  rs::util::Result<std::vector<std::uint8_t>> read_octet_string();
+
+  /// BIT STRING; requires unused-bits octet 0..7 and returns the payload
+  /// bytes plus the unused-bit count.
+  struct BitString {
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t unused_bits = 0;
+  };
+  rs::util::Result<BitString> read_bit_string();
+
+  /// Any of UTF8String / PrintableString / IA5String / T61String, returned
+  /// as raw text (no character-set validation beyond PrintableString's set).
+  rs::util::Result<std::string> read_string();
+
+  /// NULL (content must be empty).
+  rs::util::Result<std::monostate> read_null();
+
+ private:
+  rs::util::Result<Element> read_tlv();
+  std::string errmsg(const std::string& what) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::size_t base_ = 0;
+};
+
+}  // namespace rs::asn1

@@ -1,0 +1,59 @@
+// ASN.1 identifier-octet vocabulary (X.690).
+#pragma once
+
+#include <cstdint>
+
+namespace rs::asn1 {
+
+/// Tag class bits (high two bits of the identifier octet).
+enum class TagClass : std::uint8_t {
+  kUniversal = 0x00,
+  kApplication = 0x40,
+  kContextSpecific = 0x80,
+  kPrivate = 0xC0,
+};
+
+/// The constructed bit.
+inline constexpr std::uint8_t kConstructed = 0x20;
+
+/// Universal tag numbers used by X.509 and the root-store formats.
+enum class UniversalTag : std::uint8_t {
+  kBoolean = 0x01,
+  kInteger = 0x02,
+  kBitString = 0x03,
+  kOctetString = 0x04,
+  kNull = 0x05,
+  kOid = 0x06,
+  kUtf8String = 0x0C,
+  kSequence = 0x10,
+  kSet = 0x11,
+  kPrintableString = 0x13,
+  kT61String = 0x14,
+  kIa5String = 0x16,
+  kUtcTime = 0x17,
+  kGeneralizedTime = 0x18,
+};
+
+/// Full identifier octet for a primitive universal tag.
+constexpr std::uint8_t primitive(UniversalTag t) noexcept {
+  return static_cast<std::uint8_t>(t);
+}
+
+/// Full identifier octet for a constructed universal tag (SEQUENCE/SET).
+constexpr std::uint8_t constructed(UniversalTag t) noexcept {
+  return static_cast<std::uint8_t>(static_cast<std::uint8_t>(t) | kConstructed);
+}
+
+/// Context-specific tag [n], constructed (the common X.509 EXPLICIT form).
+constexpr std::uint8_t context(std::uint8_t n) noexcept {
+  return static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(TagClass::kContextSpecific) | kConstructed | n);
+}
+
+/// Context-specific tag [n], primitive (IMPLICIT-tagged primitives).
+constexpr std::uint8_t context_primitive(std::uint8_t n) noexcept {
+  return static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(TagClass::kContextSpecific) | n);
+}
+
+}  // namespace rs::asn1

@@ -1,0 +1,101 @@
+#include "src/asn1/time.h"
+
+#include <cstdio>
+
+namespace rs::asn1 {
+
+using rs::util::Date;
+using rs::util::Result;
+
+namespace {
+
+bool parse_digits(std::span<const std::uint8_t> s, std::size_t pos,
+                  std::size_t count, int& out) {
+  int v = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t c = s[pos + i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  out = v;
+  return true;
+}
+
+Result<Asn1Time> parse_time_content(std::span<const std::uint8_t> c,
+                                    bool generalized) {
+  const std::size_t expected = generalized ? 15 : 13;  // incl. trailing 'Z'
+  if (c.size() != expected || c.back() != 'Z') {
+    return Result<Asn1Time>::err("time must be fixed-length with Z suffix");
+  }
+  std::size_t pos = 0;
+  int year = 0;
+  if (generalized) {
+    if (!parse_digits(c, pos, 4, year)) {
+      return Result<Asn1Time>::err("bad year digits");
+    }
+    pos += 4;
+  } else {
+    int yy = 0;
+    if (!parse_digits(c, pos, 2, yy)) {
+      return Result<Asn1Time>::err("bad year digits");
+    }
+    pos += 2;
+    year = yy >= 50 ? 1900 + yy : 2000 + yy;  // RFC 5280 pivot
+  }
+  int month = 0, day = 0, hh = 0, mm = 0, ss = 0;
+  if (!parse_digits(c, pos, 2, month) || !parse_digits(c, pos + 2, 2, day) ||
+      !parse_digits(c, pos + 4, 2, hh) || !parse_digits(c, pos + 6, 2, mm) ||
+      !parse_digits(c, pos + 8, 2, ss)) {
+    return Result<Asn1Time>::err("bad time digits");
+  }
+  if (hh > 23 || mm > 59 || ss > 59) {
+    return Result<Asn1Time>::err("time of day out of range");
+  }
+  const auto date = Date::from_civil({year, month, day});
+  if (!date) return Result<Asn1Time>::err("invalid calendar date");
+  if (generalized && year < 2050) {
+    return Result<Asn1Time>::err(
+        "GeneralizedTime before 2050 forbidden by RFC 5280");
+  }
+  return Asn1Time{*date,
+                  static_cast<std::uint32_t>(hh * 3600 + mm * 60 + ss)};
+}
+
+}  // namespace
+
+Result<Asn1Time> read_time(Reader& r) {
+  auto tag = r.peek_tag();
+  if (!tag) return tag.propagate<Asn1Time>();
+  if (tag.value() == primitive(UniversalTag::kUtcTime)) {
+    auto el = r.read(tag.value());
+    if (!el) return el.propagate<Asn1Time>();
+    return parse_time_content(el.value().content, /*generalized=*/false);
+  }
+  if (tag.value() == primitive(UniversalTag::kGeneralizedTime)) {
+    auto el = r.read(tag.value());
+    if (!el) return el.propagate<Asn1Time>();
+    return parse_time_content(el.value().content, /*generalized=*/true);
+  }
+  return Result<Asn1Time>::err("expected UTCTime or GeneralizedTime");
+}
+
+void write_time(Writer& w, const Asn1Time& t) {
+  const rs::util::CivilDate c = t.date.civil();
+  const int hh = static_cast<int>(t.seconds_of_day / 3600);
+  const int mm = static_cast<int>(t.seconds_of_day / 60 % 60);
+  const int ss = static_cast<int>(t.seconds_of_day % 60);
+  char buf[48];
+  if (c.year >= 2050) {
+    std::snprintf(buf, sizeof(buf), "%04d%02d%02d%02d%02d%02dZ", c.year,
+                  c.month, c.day, hh, mm, ss);
+    w.add_tlv(primitive(UniversalTag::kGeneralizedTime),
+              {reinterpret_cast<const std::uint8_t*>(buf), 15});
+  } else {
+    std::snprintf(buf, sizeof(buf), "%02d%02d%02d%02d%02d%02dZ", c.year % 100,
+                  c.month, c.day, hh, mm, ss);
+    w.add_tlv(primitive(UniversalTag::kUtcTime),
+              {reinterpret_cast<const std::uint8_t*>(buf), 13});
+  }
+}
+
+}  // namespace rs::asn1

@@ -1,0 +1,39 @@
+// X.509 time encoding: UTCTime and GeneralizedTime (RFC 5280 §4.1.2.5).
+//
+// RFC 5280 requires UTCTime ("YYMMDDHHMMSSZ", pivot 1950/2050) for dates
+// before 2050 and GeneralizedTime ("YYYYMMDDHHMMSSZ") from 2050 on.  The
+// measurement pipeline only needs day resolution, but parsing keeps the
+// time-of-day so round-trips are exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/asn1/reader.h"
+#include "src/asn1/writer.h"
+#include "src/util/date.h"
+#include "src/util/result.h"
+
+namespace rs::asn1 {
+
+/// A parsed X.509 time: civil date plus seconds-of-day, always UTC ("Z").
+struct Asn1Time {
+  rs::util::Date date;
+  std::uint32_t seconds_of_day = 0;  // 0..86399
+
+  friend auto operator<=>(const Asn1Time&, const Asn1Time&) = default;
+};
+
+/// Reads a UTCTime or GeneralizedTime element from `r`, enforcing RFC 5280
+/// shape (Z suffix, seconds present, correct digit counts) and the
+/// UTCTime 2050 pivot.
+rs::util::Result<Asn1Time> read_time(Reader& r);
+
+/// Appends `t` to `w`, choosing UTCTime before 2050 and GeneralizedTime
+/// from 2050 on, per RFC 5280.
+void write_time(Writer& w, const Asn1Time& t);
+
+/// Convenience for day-resolution timestamps (midnight UTC).
+inline Asn1Time at_midnight(rs::util::Date d) { return Asn1Time{d, 0}; }
+
+}  // namespace rs::asn1

@@ -1,0 +1,123 @@
+#include "src/asn1/writer.h"
+
+namespace rs::asn1 {
+
+void Writer::add_length(std::size_t len) {
+  if (len < 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(len));
+    return;
+  }
+  std::uint8_t tmp[sizeof(std::size_t)];
+  int n = 0;
+  while (len != 0) {
+    tmp[n++] = static_cast<std::uint8_t>(len & 0xFF);
+    len >>= 8;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(0x80 | n));
+  for (int i = n - 1; i >= 0; --i) buf_.push_back(tmp[i]);
+}
+
+void Writer::add_tlv(std::uint8_t tag, std::span<const std::uint8_t> content) {
+  buf_.push_back(tag);
+  add_length(content.size());
+  buf_.insert(buf_.end(), content.begin(), content.end());
+}
+
+void Writer::add_raw(std::span<const std::uint8_t> der) {
+  buf_.insert(buf_.end(), der.begin(), der.end());
+}
+
+void Writer::add_boolean(bool v) {
+  const std::uint8_t b = v ? 0xFF : 0x00;
+  add_tlv(primitive(UniversalTag::kBoolean), {&b, 1});
+}
+
+std::vector<std::uint8_t> encode_integer_content(std::int64_t v) {
+  // Emit minimal two's complement, at least one octet.
+  std::vector<std::uint8_t> out;
+  bool more = true;
+  while (more) {
+    const std::uint8_t octet = static_cast<std::uint8_t>(v & 0xFF);
+    v >>= 8;
+    // Done when remaining bits plus this octet's sign bit collapse to pure
+    // sign extension.
+    more = !((v == 0 && (octet & 0x80) == 0) || (v == -1 && (octet & 0x80) != 0));
+    out.push_back(octet);
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+void Writer::add_small_integer(std::int64_t v) {
+  const auto content = encode_integer_content(v);
+  add_tlv(primitive(UniversalTag::kInteger), content);
+}
+
+void Writer::add_unsigned_big_integer(std::span<const std::uint8_t> magnitude) {
+  std::size_t i = 0;
+  while (i + 1 < magnitude.size() && magnitude[i] == 0) ++i;  // strip zeros
+  std::vector<std::uint8_t> content;
+  if (magnitude.empty()) {
+    content.push_back(0);
+  } else {
+    if (magnitude[i] & 0x80) content.push_back(0);  // keep it non-negative
+    content.insert(content.end(), magnitude.begin() + static_cast<std::ptrdiff_t>(i),
+                   magnitude.end());
+  }
+  add_tlv(primitive(UniversalTag::kInteger), content);
+}
+
+void Writer::add_oid(const Oid& oid) {
+  add_tlv(primitive(UniversalTag::kOid), oid.to_der_content());
+}
+
+void Writer::add_octet_string(std::span<const std::uint8_t> bytes) {
+  add_tlv(primitive(UniversalTag::kOctetString), bytes);
+}
+
+void Writer::add_bit_string(std::span<const std::uint8_t> bytes,
+                            std::uint8_t unused_bits) {
+  std::vector<std::uint8_t> content;
+  content.reserve(bytes.size() + 1);
+  content.push_back(unused_bits);
+  content.insert(content.end(), bytes.begin(), bytes.end());
+  add_tlv(primitive(UniversalTag::kBitString), content);
+}
+
+void Writer::add_null() { add_tlv(primitive(UniversalTag::kNull), {}); }
+
+namespace {
+std::span<const std::uint8_t> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+}  // namespace
+
+void Writer::add_utf8_string(std::string_view s) {
+  add_tlv(primitive(UniversalTag::kUtf8String), as_bytes(s));
+}
+
+void Writer::add_printable_string(std::string_view s) {
+  add_tlv(primitive(UniversalTag::kPrintableString), as_bytes(s));
+}
+
+void Writer::add_ia5_string(std::string_view s) {
+  add_tlv(primitive(UniversalTag::kIa5String), as_bytes(s));
+}
+
+void Writer::add_sequence(const Writer& child) {
+  add_tlv(constructed(UniversalTag::kSequence), child.bytes());
+}
+
+void Writer::add_set(const Writer& child) {
+  add_tlv(constructed(UniversalTag::kSet), child.bytes());
+}
+
+void Writer::add_context(std::uint8_t n, const Writer& child) {
+  add_tlv(context(n), child.bytes());
+}
+
+void Writer::add_context_primitive(std::uint8_t n,
+                                   std::span<const std::uint8_t> content) {
+  add_tlv(context_primitive(n), content);
+}
+
+}  // namespace rs::asn1

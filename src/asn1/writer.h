@@ -1,0 +1,73 @@
+// DER writer (X.690) with canonical encodings.
+//
+// The writer builds DER bottom-up: leaf emitters append complete TLVs, and
+// nested structures are composed by encoding children into a buffer and
+// wrapping it.  All output is canonical DER (minimal lengths, minimal
+// integers), so encode(parse(x)) == x holds for well-formed input — the
+// property tests rely on this.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/asn1/oid.h"
+#include "src/asn1/tag.h"
+
+namespace rs::asn1 {
+
+/// Append-only DER output buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() && noexcept { return std::move(buf_); }
+
+  /// Appends a complete TLV with the given identifier octet and content.
+  void add_tlv(std::uint8_t tag, std::span<const std::uint8_t> content);
+
+  /// Appends pre-encoded DER verbatim (already a complete TLV).
+  void add_raw(std::span<const std::uint8_t> der);
+
+  void add_boolean(bool v);
+
+  /// INTEGER from a signed 64-bit value (minimal two's complement).
+  void add_small_integer(std::int64_t v);
+
+  /// INTEGER from raw big-endian *unsigned* magnitude; inserts a leading
+  /// zero octet if the high bit is set and strips redundant leading zeros.
+  void add_unsigned_big_integer(std::span<const std::uint8_t> magnitude);
+
+  void add_oid(const Oid& oid);
+  void add_octet_string(std::span<const std::uint8_t> bytes);
+  void add_bit_string(std::span<const std::uint8_t> bytes,
+                      std::uint8_t unused_bits = 0);
+  void add_null();
+
+  void add_utf8_string(std::string_view s);
+  void add_printable_string(std::string_view s);
+  void add_ia5_string(std::string_view s);
+
+  /// Wraps `child.bytes()` in a constructed SEQUENCE.
+  void add_sequence(const Writer& child);
+  /// Wraps in a constructed SET (caller is responsible for DER SET-OF
+  /// ordering if required).
+  void add_set(const Writer& child);
+  /// Wraps in constructed context-specific [n].
+  void add_context(std::uint8_t n, const Writer& child);
+  /// Primitive context-specific [n] with raw content.
+  void add_context_primitive(std::uint8_t n,
+                             std::span<const std::uint8_t> content);
+
+ private:
+  void add_length(std::size_t len);
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Encodes the minimal two's-complement content octets of `v`.
+std::vector<std::uint8_t> encode_integer_content(std::int64_t v);
+
+}  // namespace rs::asn1

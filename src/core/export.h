@@ -1,0 +1,31 @@
+// CSV exports of the figure data series.
+//
+// The bench binaries print human-readable tables; these functions emit the
+// underlying data as CSV so the figures can be re-plotted with external
+// tooling (matplotlib, gnuplot, R).  Pass --csv to the fig benches.
+#pragma once
+
+#include <string>
+
+#include "src/synth/paper_scenario.h"
+
+namespace rs::core {
+
+/// Figure 1: one row per embedded snapshot —
+/// provider,family,date,version,x,y,cluster
+std::string figure1_csv(rs::synth::PaperScenario& scenario,
+                        std::size_t max_per_provider = 25);
+
+/// Figure 3: one row per derivative sample —
+/// provider,date,matched_version,current_version,versions_behind
+std::string figure3_csv(rs::synth::PaperScenario& scenario);
+
+/// Figure 4: one row per derivative snapshot —
+/// provider,date,matched_version,add_* and remove_* category counts
+std::string figure4_csv(rs::synth::PaperScenario& scenario);
+
+/// §4 churn: one row per snapshot —
+/// provider,date,added,removed,change_fraction,is_outlier
+std::string churn_csv(rs::synth::PaperScenario& scenario);
+
+}  // namespace rs::core

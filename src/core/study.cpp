@@ -1,0 +1,541 @@
+#include "src/core/study.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/analysis/attribution.h"
+#include "src/analysis/cadence.h"
+#include "src/analysis/churn.h"
+#include "src/analysis/cluster.h"
+#include "src/analysis/diffs.h"
+#include "src/analysis/exclusive.h"
+#include "src/analysis/hygiene.h"
+#include "src/analysis/incident_response.h"
+#include "src/analysis/jaccard.h"
+#include "src/analysis/mds.h"
+#include "src/analysis/operators.h"
+#include "src/analysis/removals.h"
+#include "src/analysis/staleness.h"
+#include "src/synth/paper_reference.h"
+#include "src/synth/software_survey.h"
+#include "src/synth/user_agents.h"
+#include "src/util/table.h"
+
+namespace rs::core {
+
+using rs::util::Align;
+using rs::util::fmt_double;
+using rs::util::fmt_percent;
+using rs::util::TextTable;
+
+EcosystemStudy EcosystemStudy::from_paper_scenario(std::uint64_t seed) {
+  return EcosystemStudy(rs::synth::build_paper_scenario(seed));
+}
+
+EcosystemStudy::EcosystemStudy(rs::synth::PaperScenario scenario)
+    : scenario_(std::move(scenario)) {}
+
+std::string EcosystemStudy::report_table1() const {
+  const auto population = rs::synth::user_agent_population();
+  const auto summary = rs::analysis::coverage_summary(population);
+
+  TextTable t({"OS", "User Agent", "# versions", "Included?", "Provider"});
+  t.set_align(2, Align::kRight);
+  std::string last_os;
+  for (const auto& g : population) {
+    if (g.os != last_os && !last_os.empty()) t.add_separator();
+    t.add_row({g.os == last_os ? "" : g.os, g.agent,
+               std::to_string(g.versions), g.included ? "yes" : "no",
+               g.provider});
+    last_os = g.os;
+  }
+
+  std::string out = "Table 1: Major CDN Top 200 User Agents\n" + t.render();
+  out += "\nTotal included: " + std::to_string(summary.included_user_agents) +
+         " of " + std::to_string(summary.total_user_agents) + " (" +
+         fmt_percent(summary.coverage) + ")  [paper: 154 (77.0%)]\n";
+  return out;
+}
+
+std::string EcosystemStudy::report_table2() const {
+  const auto reference = rs::synth::paper::table2_dataset();
+  TextTable t({"Root store", "From", "To", "# SS", "# SS (paper)", "# Uniq",
+               "# Uniq (paper)", "Details"});
+  for (std::size_t i = 3; i <= 6; ++i) t.set_align(i, Align::kRight);
+
+  std::size_t measured_total = 0;
+  int paper_total = 0;
+  for (const auto& row : reference) {
+    const auto* h = database().find(row.provider);
+    if (h == nullptr || h->empty()) continue;
+    // "# Uniq" counts distinct store states across the history.
+    std::size_t uniq = 0;
+    rs::store::FingerprintSet prev;
+    bool first = true;
+    for (const auto& snap : h->snapshots()) {
+      auto prints = snap.all_fingerprints();
+      if (first || !(prints == prev)) ++uniq;
+      prev = std::move(prints);
+      first = false;
+    }
+    measured_total += h->size();
+    paper_total += row.snapshots;
+    t.add_row({row.provider, h->first_date().to_string(),
+               h->last_date().to_string(), std::to_string(h->size()),
+               std::to_string(row.snapshots), std::to_string(uniq),
+               std::to_string(row.unique_stores), row.details});
+  }
+  std::string out = "Table 2: Dataset (root store histories)\n" + t.render();
+  out += "\nTotal snapshots: measured " + std::to_string(measured_total) +
+         ", paper " + std::to_string(paper_total) + "\n";
+  return out;
+}
+
+std::string EcosystemStudy::report_table3() const {
+  const auto reference = rs::synth::paper::table3_hygiene();
+  TextTable t({"Root store", "Avg. Size", "(paper)", "Avg. Expired", "(paper)",
+               "MD5 purge", "(paper)", "1024-bit purge", "(paper)"});
+  for (std::size_t i = 1; i <= 4; ++i) t.set_align(i, Align::kRight);
+
+  auto month_of = [](const std::optional<rs::util::Date>& d) {
+    if (!d) return std::string("never");
+    return d->to_string().substr(0, 7);
+  };
+  for (const auto& row : reference) {
+    const auto* h = database().find(row.program);
+    if (h == nullptr) continue;
+    const auto m = rs::analysis::hygiene_metrics(*h);
+    t.add_row({row.program, fmt_double(m.avg_size, 1),
+               fmt_double(row.avg_size, 1), fmt_double(m.avg_expired, 1),
+               fmt_double(row.avg_expired, 1), month_of(m.md5_removed),
+               row.md5_removed, month_of(m.weak_rsa_removed),
+               row.rsa1024_removed});
+  }
+  return "Table 3: Root store hygiene (measured vs paper)\n" + t.render();
+}
+
+std::string EcosystemStudy::report_table4() {
+  std::string out = "Table 4: Responses to high-severity NSS removals\n";
+  for (const auto& incident : rs::synth::high_severity_incidents()) {
+    const auto measured = rs::analysis::measure_incident(
+        database(), incident, scenario_.factory(), &scenario_.overlays());
+    out += "\n" + incident.name + " [" + incident.details +
+           "]  NSS removal: " + incident.nss_removal.to_string() + "\n";
+    TextTable t({"Root store", "# Certs", "Trusted until", "Lag (days)",
+                 "Paper lag", "Note"});
+    t.set_align(1, Align::kRight);
+    t.set_align(3, Align::kRight);
+    t.set_align(4, Align::kRight);
+
+    // Order rows by measured trusted_until (paper's presentation order).
+    auto rows = measured.responses;
+    std::sort(rows.begin(), rows.end(),
+              [](const rs::analysis::MeasuredResponse& a,
+                 const rs::analysis::MeasuredResponse& b) {
+                if (a.still_trusted != b.still_trusted)
+                  return !a.still_trusted;
+                if (!a.trusted_until || !b.trusted_until)
+                  return a.provider < b.provider;
+                return *a.trusted_until < *b.trusted_until;
+              });
+    for (const auto& r : rows) {
+      const rs::synth::PaperResponse* paper_row = nullptr;
+      for (const auto& p : incident.responses) {
+        if (p.provider == r.provider) paper_row = &p;
+      }
+      std::string until = r.still_trusted
+                              ? "still trusted"
+                              : (r.trusted_until ? r.trusted_until->to_string()
+                                                 : "-");
+      std::string lag = r.lag_days ? std::to_string(*r.lag_days)
+                                   : (r.still_trusted ? "ongoing" : "-");
+      std::string paper_lag =
+          paper_row && paper_row->lag_days
+              ? std::to_string(*paper_row->lag_days)
+              : (paper_row && !paper_row->trusted_until ? "ongoing" : "-");
+      std::string note = paper_row ? paper_row->note : "";
+      if (r.revoked_not_removed > 0) {
+        if (!note.empty()) note += "; ";
+        note += "measured: " + std::to_string(r.revoked_not_removed) +
+                " root(s) revoked via overlay but still shipped";
+      }
+      t.add_row({r.provider, std::to_string(r.certs_carried), until, lag,
+                 paper_lag, note});
+    }
+    out += t.render();
+  }
+  return out;
+}
+
+std::string EcosystemStudy::report_table5() const {
+  TextTable t({"Category", "Name", "Root store?", "Details"});
+  std::string last;
+  for (const auto& s : rs::synth::software_survey()) {
+    const std::string cat = rs::synth::to_string(s.kind);
+    if (cat != last && !last.empty()) t.add_separator();
+    t.add_row({cat == last ? "" : cat, s.name, s.ships_root_store, s.details});
+    last = cat;
+  }
+  return "Table 5 (Appendix A): Popular OS & TLS software root stores\n" +
+         t.render();
+}
+
+std::string EcosystemStudy::report_table6() {
+  const std::vector<std::string> programs = {"NSS", "Java", "Apple",
+                                             "Microsoft"};
+  const auto measured = rs::analysis::exclusive_roots(database(), programs);
+  const auto reference = rs::synth::paper::table6_counts();
+
+  std::string out =
+      "Table 6 (Appendix B): program-exclusive TLS roots (measured vs "
+      "paper)\n";
+  TextTable summary({"Program", "Exclusive (measured)", "Exclusive (paper)"});
+  summary.set_align(1, Align::kRight);
+  summary.set_align(2, Align::kRight);
+  for (const auto& ref : reference) {
+    for (const auto& m : measured) {
+      if (m.program == ref.program) {
+        summary.add_row({ref.program, std::to_string(m.roots.size()),
+                         std::to_string(ref.exclusive_roots)});
+      }
+    }
+  }
+  out += summary.render();
+
+  out += "\nPer-root detail (scenario ground truth):\n";
+  TextTable detail({"Root", "Program", "CA", "NSS status", "Details"});
+  for (const auto& meta : scenario_.exclusive_roots()) {
+    std::string short_id = meta.root_id;
+    if (auto cert = scenario_.factory().find(meta.root_id)) {
+      short_id = cert->short_id() + "...";
+    }
+    detail.add_row(
+        {short_id, meta.program, meta.ca_name, meta.nss_status, meta.details});
+  }
+  out += detail.render();
+
+  // CA-operator view (§5.2 reasons about issuers, not certificates).
+  const auto single = rs::analysis::single_program_operators(
+      database(), programs);
+  std::map<std::string, std::size_t> per_program;
+  for (const auto& f : single) {
+    for (const auto& [program, _] : f.roots_per_program) {
+      ++per_program[program];
+    }
+  }
+  out += "\nCA operators trusted by exactly one program:\n";
+  for (const auto& [program, count] : per_program) {
+    out += "  " + program + ": " + std::to_string(count) + " operator(s)\n";
+  }
+  return out;
+}
+
+std::string EcosystemStudy::report_table7() {
+  TextTable t({"Bugzilla ID", "Severity", "Removed on", "# Certs", "Details"});
+  t.set_align(3, Align::kRight);
+  auto catalog = scenario_.incidents();
+  std::sort(catalog.begin(), catalog.end(),
+            [](const rs::synth::Incident& a, const rs::synth::Incident& b) {
+              if (a.severity != b.severity)
+                return static_cast<int>(a.severity) >
+                       static_cast<int>(b.severity);
+              return a.nss_removal > b.nss_removal;
+            });
+  for (const auto& inc : catalog) {
+    t.add_row({inc.bugzilla_id, rs::synth::to_string(inc.severity),
+               inc.nss_removal.to_string(),
+               std::to_string(inc.root_ids.size()),
+               inc.name + (inc.details.empty() ? "" : " - " + inc.details)});
+  }
+  std::string out =
+      "Table 7 (Appendix C): NSS removals since 2010\n" + t.render();
+
+  // §5.3's side-finding: Mozilla's Removed CA Report misses most routine
+  // removals.  Audit the analog: the "report" covers the tracked incidents
+  // (the Bugzilla-visible removals), while the history also contains
+  // expiry- and purge-driven disappearances.
+  const auto* nss = database().find("NSS");
+  if (nss != nullptr) {
+    const auto measured = rs::analysis::measured_removals(*nss);
+    std::vector<rs::crypto::Sha256Digest> reported;
+    auto& factory = scenario_.factory();
+    for (const auto& inc : catalog) {
+      for (const auto& id : inc.root_ids) {
+        if (auto cert = factory.find(id)) reported.push_back(cert->sha256());
+      }
+    }
+    const auto audit = rs::analysis::audit_removal_report(measured, reported);
+    out += "\nRemoved-CA-report audit (vs measured certdata history):\n";
+    out += "  removals visible in history: " + std::to_string(audit.measured) +
+           "\n  covered by the report:       " + std::to_string(audit.covered) +
+           "\n  missing from the report:     " + std::to_string(audit.missing) +
+           " (" + std::to_string(audit.missing_expired) +
+           " already expired at removal)\n";
+    out += "(paper: manual analysis found 92 removals missing from Mozilla's "
+           "Removed CA Report, mostly expirations and CA requests)\n";
+  }
+  return out;
+}
+
+std::string EcosystemStudy::report_figure1(std::size_t max_per_provider) const {
+  rs::analysis::JaccardOptions opts;
+  opts.min_date = rs::util::Date::ymd(2011, 1, 1);  // paper's Figure 1 window
+  opts.max_per_provider = max_per_provider;
+  const auto dist = rs::analysis::jaccard_matrix(database(), opts);
+  const auto mds = rs::analysis::smacof_mds(dist);
+
+  // Cluster and label by root program family.
+  const auto clustering = rs::analysis::cluster_snapshots(dist, 0.35);
+  std::vector<std::string> family;
+  family.reserve(dist.size());
+  for (const auto& label : dist.labels) {
+    const auto program = rs::synth::program_of_provider(label.provider);
+    family.push_back(program ? rs::synth::to_string(*program) : "?");
+  }
+  const auto quality = rs::analysis::cluster_quality(clustering, family);
+
+  std::string out = "Figure 1: Root store similarity (SMACOF MDS of Jaccard "
+                    "distances, 2011-2021)\n";
+  out += "snapshots=" + std::to_string(dist.size()) +
+         "  smacof-iterations=" + std::to_string(mds.iterations) +
+         "  normalized-stress=" + fmt_double(mds.normalized_stress, 4) + "\n\n";
+
+  // ASCII scatter: 72x28 grid, one letter per program family.
+  constexpr int kW = 72, kH = 26;
+  std::vector<std::string> grid(kH, std::string(kW, ' '));
+  double min_x = 1e30, max_x = -1e30, min_y = 1e30, max_y = -1e30;
+  for (const auto& p : mds.points) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double spanx = std::max(1e-12, max_x - min_x);
+  const double spany = std::max(1e-12, max_y - min_y);
+  auto family_char = [](const std::string& f) {
+    if (f == "Microsoft") return 'M';
+    if (f == "Apple") return 'A';
+    if (f == "Java") return 'J';
+    if (f == "Mozilla/NSS") return 'n';
+    return '?';
+  };
+  for (std::size_t i = 0; i < mds.points.size(); ++i) {
+    const int cx = static_cast<int>((mds.points[i].x - min_x) / spanx * (kW - 1));
+    const int cy = static_cast<int>((mds.points[i].y - min_y) / spany * (kH - 1));
+    grid[static_cast<std::size_t>(kH - 1 - cy)][static_cast<std::size_t>(cx)] =
+        family_char(family[i]);
+  }
+  out += "  legend: M=Microsoft  A=Apple  J=Java  n=NSS family\n";
+  for (const auto& row : grid) out += "  |" + row + "|\n";
+
+  out += "\nClusters (single linkage, cutoff 0.35):\n";
+  TextTable t({"Cluster", "Size", "Majority family", "Purity"});
+  t.set_align(1, Align::kRight);
+  const auto members = rs::analysis::cluster_members(clustering);
+  for (std::size_t k = 0; k < members.size(); ++k) {
+    t.add_row({std::to_string(k), std::to_string(members[k].size()),
+               quality.majority_label[k], fmt_percent(quality.purity[k])});
+  }
+  out += t.render();
+  out += "overall purity: " + fmt_percent(quality.overall_purity) +
+         "   silhouette: " +
+         fmt_double(rs::analysis::silhouette_score(dist, clustering), 3) +
+         "   clusters found: " + std::to_string(clustering.cluster_count) +
+         " (paper: 4 disjoint families)\n";
+
+  // §4 outliers: snapshots preceded by unusually large batch changes
+  // (the paper's Apple 2011-10 / 2014-02 / 2018-09 and Java 2018-08).
+  std::vector<rs::analysis::ChurnSeries> churn;
+  for (const auto& [name, history] : database().histories()) {
+    (void)name;
+    churn.push_back(rs::analysis::churn_series(history));
+  }
+  const auto outliers = rs::analysis::find_outliers(churn);
+  out += "\nOrdination outliers (batch-change snapshots, sigma >= 2):\n";
+  std::size_t shown = 0;
+  for (const auto& o : outliers) {
+    if (shown++ >= 8) break;
+    out += "  " + o.provider + " @ " + o.point.date.to_string() + ": +" +
+           std::to_string(o.point.added) + " / -" +
+           std::to_string(o.point.removed) + " roots (" +
+           fmt_double(o.score, 1) + " sigma)\n";
+  }
+  if (outliers.empty()) out += "  (none)\n";
+  out += "(paper: Java 2018-08 with 30 changed certificates; Apple 2011-10, "
+         "2014-02, 2018-09)\n";
+  return out;
+}
+
+std::string EcosystemStudy::report_figure2() const {
+  const auto population = rs::synth::user_agent_population();
+  const auto attribution = rs::analysis::attribute_programs(population);
+  const auto reference = rs::synth::paper::figure2_shares();
+
+  std::string out = "Figure 2: Root store ecosystem (inverted pyramid)\n";
+  TextTable t({"Root program", "UA count", "Share", "Paper share"});
+  t.set_align(1, Align::kRight);
+  t.set_align(2, Align::kRight);
+  t.set_align(3, Align::kRight);
+  for (const auto& ref : reference) {
+    const auto it = attribution.ua_count.find(ref.program);
+    const int count = it == attribution.ua_count.end() ? 0 : it->second;
+    const auto share_it = attribution.ua_share.find(ref.program);
+    const double share =
+        share_it == attribution.ua_share.end() ? 0.0 : share_it->second;
+    t.add_row({ref.program, std::to_string(count), fmt_percent(share),
+               fmt_percent(ref.share)});
+  }
+  out += t.render();
+  out += "unattributed UAs: " + std::to_string(attribution.unattributed) + "\n";
+
+  // The inverted pyramid, drawn: many user agents, a dozen providers,
+  // three-plus-one root programs.
+  std::size_t ua_families = 0;
+  for (const auto& g : population) {
+    if (g.included) ++ua_families;
+  }
+  const auto providers = database().providers();
+  out += "\n";
+  out += "  user agents          " + std::string(60, 'v') + "  (" +
+         std::to_string(population.size()) + " UA groups, " +
+         std::to_string(ua_families) + " with stores)\n";
+  out += "  root store providers     " + std::string(2 * providers.size(), 'v') +
+         "  (" + std::to_string(providers.size()) + ": ";
+  for (std::size_t i = 0; i < providers.size(); ++i) {
+    if (i != 0) out += " ";
+    out += providers[i];
+  }
+  out += ")\n";
+  out += "  root programs                " + std::string(8, 'v') +
+         "  (Microsoft, NSS, Apple + Java)\n";
+
+  out += "\nProvider families (derivatives resolve to NSS):\n";
+  for (const auto& name : providers) {
+    const auto program = rs::synth::program_of_provider(name);
+    out += "  " + name + " -> " +
+           (program ? rs::synth::to_string(*program) : "?") + "\n";
+  }
+  return out;
+}
+
+std::string EcosystemStudy::report_figure3() const {
+  const auto* nss = database().find("NSS");
+  std::string out = "Figure 3: NSS derivative staleness\n";
+  if (nss == nullptr) return out + "(no NSS history)\n";
+  const auto index = rs::analysis::build_version_index(*nss);
+  out += "NSS substantial versions: " + std::to_string(index.size()) + "\n";
+
+  const auto reference = rs::synth::paper::figure3_staleness();
+  TextTable t({"Derivative", "Avg. versions behind", "Paper", "Always stale?"});
+  t.set_align(1, Align::kRight);
+  t.set_align(2, Align::kRight);
+
+  std::vector<std::pair<double, std::string>> order;
+  std::map<std::string, rs::analysis::StalenessResult> results;
+  for (const auto& ref : reference) {
+    const auto* h = database().find(ref.provider);
+    if (h == nullptr) continue;
+    auto res = rs::analysis::derivative_staleness(*h, index);
+    order.emplace_back(res.avg_versions_behind, ref.provider);
+    results.emplace(ref.provider, std::move(res));
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [avg, provider] : order) {
+    double paper_value = 0;
+    for (const auto& ref : reference) {
+      if (ref.provider == provider) paper_value = ref.versions_behind;
+    }
+    const auto& res = results.at(provider);
+    t.add_row({provider, fmt_double(avg, 2), fmt_double(paper_value, 2),
+               res.always_stale ? "yes" : "no"});
+  }
+  out += t.render();
+  out += "(paper ordering: Alpine < Debian/Ubuntu < NodeJS < Android < "
+         "AmazonLinux)\n";
+
+  // §6.1 update dynamics: how often each provider actually ships changes.
+  out += "\nUpdate cadence:\n";
+  TextTable cadence({"Provider", "Snapshots", "Substantial", "No-op",
+                     "Median interval (d)", "Substantial/yr"});
+  for (std::size_t i = 1; i <= 5; ++i) cadence.set_align(i, Align::kRight);
+  for (const char* name : {"NSS", "Alpine", "Debian", "Ubuntu", "NodeJS",
+                           "Android", "AmazonLinux"}) {
+    const auto* h = database().find(name);
+    if (h == nullptr) continue;
+    const auto c = rs::analysis::update_cadence(*h);
+    cadence.add_row({name, std::to_string(c.snapshots),
+                     std::to_string(c.substantial_updates),
+                     std::to_string(c.noop_updates),
+                     fmt_double(c.median_interval_days, 0),
+                     fmt_double(c.substantial_per_year, 1)});
+  }
+  out += cadence.render();
+  out += "(paper: no derivative matches NSS's update regularity; some "
+         "derivative releases ignore pending NSS updates)\n";
+  return out;
+}
+
+std::string EcosystemStudy::report_figure4() const {
+  const auto* nss = database().find("NSS");
+  std::string out = "Figure 4: NSS derivative diffs (added/removed vs matched "
+                    "NSS version)\n";
+  if (nss == nullptr) return out + "(no NSS history)\n";
+  const auto index = rs::analysis::build_version_index(*nss);
+
+  for (const auto& name :
+       {"Alpine", "AmazonLinux", "Android", "NodeJS", "Debian", "Ubuntu"}) {
+    const auto* h = database().find(name);
+    if (h == nullptr) continue;
+    const auto series = rs::analysis::derivative_diffs(*h, *nss, index);
+
+    std::array<std::size_t, rs::analysis::kAddCategoryCount> add_totals{};
+    std::array<std::size_t, rs::analysis::kRemoveCategoryCount> rm_totals{};
+    std::size_t deviating = 0;
+    std::size_t peak_added = 0, peak_removed = 0;
+    for (const auto& p : series.points) {
+      for (std::size_t c = 0; c < p.adds.size(); ++c) add_totals[c] += p.adds[c];
+      for (std::size_t c = 0; c < p.removes.size(); ++c) {
+        rm_totals[c] += p.removes[c];
+      }
+      if (p.added_total() + p.removed_total() > 0) ++deviating;
+      peak_added = std::max(peak_added, p.added_total());
+      peak_removed = std::max(peak_removed, p.removed_total());
+    }
+
+    out += "\n" + std::string(name) + ": " +
+           std::to_string(series.points.size()) + " snapshots, " +
+           std::to_string(deviating) + " deviate from NSS (ever_deviates=" +
+           (series.ever_deviates ? "yes" : "no") + ")\n";
+    TextTable t({"Category", "Total roots (snapshot-summed)"});
+    t.set_align(1, Align::kRight);
+    for (std::size_t c = 0; c < add_totals.size(); ++c) {
+      t.add_row({std::string("added: ") +
+                     rs::analysis::to_string(static_cast<rs::analysis::AddCategory>(c)),
+                 std::to_string(add_totals[c])});
+    }
+    for (std::size_t c = 0; c < rm_totals.size(); ++c) {
+      t.add_row({std::string("removed: ") +
+                     rs::analysis::to_string(
+                         static_cast<rs::analysis::RemoveCategory>(c)),
+                 std::to_string(rm_totals[c])});
+    }
+    t.add_row({"peak added in one snapshot", std::to_string(peak_added)});
+    t.add_row({"peak removed in one snapshot", std::to_string(peak_removed)});
+    out += t.render();
+
+    // Sparkline of total deviation over time.
+    out += "  deviation over time: ";
+    for (const auto& p : series.points) {
+      const std::size_t mag = p.added_total() + p.removed_total();
+      out += mag == 0 ? '.' : (mag < 3 ? '+' : (mag < 10 ? '*' : '#'));
+    }
+    out += "\n";
+  }
+  out += "\n(paper: every derivative deviates; Symantec distrust fallout at "
+         "2020; Debian/Ubuntu non-NSS roots until 2015; email conflation "
+         "until 2017/2020)\n";
+  return out;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,59 @@
+// EcosystemStudy: the top-level façade reproducing the paper end to end.
+//
+// Wraps a materialized scenario (or any StoreDatabase) and renders every
+// table and figure of the evaluation as printable text, pairing measured
+// values with the paper's published ones.  The bench harnesses are thin
+// wrappers over these report functions; library users can call the
+// underlying analysis modules directly for structured results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/synth/paper_scenario.h"
+
+namespace rs::core {
+
+/// One study instance over a scenario database.
+class EcosystemStudy {
+ public:
+  /// Builds the curated paper scenario and wraps it.
+  static EcosystemStudy from_paper_scenario(
+      std::uint64_t seed = rs::synth::kPaperSeed);
+
+  explicit EcosystemStudy(rs::synth::PaperScenario scenario);
+
+  const rs::store::StoreDatabase& database() const {
+    return scenario_.database();
+  }
+  rs::synth::PaperScenario& scenario() { return scenario_; }
+
+  /// Table 1: top-200 user agents and root-store coverage.
+  std::string report_table1() const;
+  /// Table 2: dataset summary (snapshots per provider), paper vs measured.
+  std::string report_table2() const;
+  /// Table 3: root store hygiene, paper vs measured.
+  std::string report_table3() const;
+  /// Table 4: responses to high-severity NSS removals, paper vs measured.
+  std::string report_table4();
+  /// Table 5 (Appendix A): OS / TLS software root store survey.
+  std::string report_table5() const;
+  /// Table 6 (Appendix B): program-exclusive roots, paper vs measured.
+  std::string report_table6();
+  /// Table 7 (Appendix C): NSS removals since 2010, plus the
+  /// removal-report completeness audit.
+  std::string report_table7();
+  /// Figure 1: MDS of pairwise Jaccard distances + cluster summary.
+  std::string report_figure1(std::size_t max_per_provider = 40) const;
+  /// Figure 2: the inverted pyramid (program shares of top UAs).
+  std::string report_figure2() const;
+  /// Figure 3: derivative staleness, paper vs measured.
+  std::string report_figure3() const;
+  /// Figure 4: derivative diff categories over time.
+  std::string report_figure4() const;
+
+ private:
+  rs::synth::PaperScenario scenario_;
+};
+
+}  // namespace rs::core

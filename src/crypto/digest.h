@@ -1,0 +1,18 @@
+// Common digest vocabulary for certificate fingerprinting.
+//
+// Root-store formats identify certificates by hash: NSS trust objects carry
+// MD5 and SHA-1, authroot.stl entries are keyed by SHA-1, and modern tooling
+// compares SHA-256 fingerprints.  All three are implemented from scratch in
+// this module (RFC 1321, FIPS 180-4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rs::crypto {
+
+using Md5Digest = std::array<std::uint8_t, 16>;
+using Sha1Digest = std::array<std::uint8_t, 20>;
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+}  // namespace rs::crypto

@@ -1,0 +1,37 @@
+#include "src/crypto/hmac.h"
+
+#include <array>
+
+#include "src/crypto/sha256.h"
+
+namespace rs::crypto {
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> data) noexcept {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> k{};
+  if (key.size() > kBlock) {
+    const Sha256Digest d = Sha256::hash(key);
+    std::copy(d.begin(), d.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad{}, opad{};
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+}  // namespace rs::crypto

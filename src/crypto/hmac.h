@@ -1,0 +1,21 @@
+// HMAC-SHA256 (RFC 2104), used by the synthetic-signature scheme.
+//
+// The paper performs no chain validation, so synthesized roots do not need
+// real RSA/ECDSA signatures.  Instead, CertificateBuilder "signs" a
+// TBSCertificate with HMAC-SHA256 keyed by the issuing CA's key seed — a
+// deterministic stand-in that keeps signatures unique per (issuer, tbs) pair
+// and detectably wrong when either changes (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/crypto/digest.h"
+
+namespace rs::crypto {
+
+/// HMAC-SHA256 of `data` under `key`.
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace rs::crypto

@@ -1,0 +1,39 @@
+// MD5 (RFC 1321), implemented from scratch.
+//
+// MD5 is cryptographically broken; it exists here only because legacy
+// root-store formats (NSS certdata.txt trust objects) identify certificates
+// by MD5 fingerprint, and because Table 3 of the paper measures when each
+// root program purged MD5-signed roots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/crypto/digest.h"
+
+namespace rs::crypto {
+
+/// Incremental MD5 hasher.
+class Md5 {
+ public:
+  Md5() noexcept;
+
+  /// Absorbs `data`; may be called repeatedly.
+  void update(std::span<const std::uint8_t> data) noexcept;
+
+  /// Finalizes and returns the digest.  The hasher must not be used after.
+  Md5Digest finish() noexcept;
+
+  /// One-shot convenience.
+  static Md5Digest hash(std::span<const std::uint8_t> data) noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::uint32_t state_[4];
+  std::uint64_t length_ = 0;          // total bytes absorbed
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace rs::crypto

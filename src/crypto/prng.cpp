@@ -1,0 +1,105 @@
+#include "src/crypto/prng.h"
+
+#include <bit>
+#include <cmath>
+
+#include "src/crypto/sha256.h"
+
+namespace rs::crypto {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Prng::Prng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Prng Prng::from_label(std::uint64_t seed, std::string_view label) noexcept {
+  Sha256 h;
+  std::uint8_t seed_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    seed_bytes[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  }
+  h.update({seed_bytes, 8});
+  h.update({reinterpret_cast<const std::uint8_t*>(label.data()), label.size()});
+  const Sha256Digest d = h.finish();
+  std::uint64_t folded = 0;
+  for (int i = 0; i < 8; ++i) {
+    folded |= static_cast<std::uint64_t>(d[static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return Prng(folded);
+}
+
+std::uint64_t Prng::next() noexcept {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Prng::uniform(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method with rejection.
+  if (bound == 0) return 0;
+  // 128-bit multiply (GNU extension; fine on every supported toolchain).
+  __extension__ using uint128 = unsigned __int128;
+  while (true) {
+    const std::uint64_t x = next();
+    const uint128 m = static_cast<uint128>(x) * static_cast<uint128>(bound);
+    const std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo >= bound || lo >= (0 - bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Prng::uniform_range(std::int64_t lo, std::int64_t hi) noexcept {
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // hi >= lo required
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Prng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Prng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::uint64_t Prng::burst(double mean) noexcept {
+  const double lambda_mean = mean > 1.0 ? mean - 1.0 : 0.0;
+  if (lambda_mean <= 0.0) return 1;
+  const double u = uniform01();
+  const double e = -std::log(1.0 - u) * lambda_mean;
+  return 1 + static_cast<std::uint64_t>(e);
+}
+
+void Prng::fill(std::span<std::uint8_t> out) noexcept {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t x = next();
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(x);
+      x >>= 8;
+    }
+  }
+}
+
+std::size_t Prng::pick_index(std::size_t size) noexcept {
+  return static_cast<std::size_t>(uniform(size));
+}
+
+}  // namespace rs::crypto

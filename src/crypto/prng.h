@@ -1,0 +1,71 @@
+// Deterministic PRNG for the ecosystem simulator.
+//
+// All synthetic data (CA universes, inclusion/removal timelines, key
+// material) must be reproducible from a single seed so the benchmark
+// harnesses print identical tables on every run.  SplitMix64 seeds a
+// xoshiro256** generator (Blackman & Vigna), both implemented from scratch.
+// std::mt19937 is deliberately avoided: its distributions are not
+// specified bit-exactly across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace rs::crypto {
+
+/// SplitMix64 step: advances `state` and returns the next output.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG with convenience distributions (all bit-exact).
+class Prng {
+ public:
+  /// Seeds via SplitMix64 expansion of `seed`.
+  explicit Prng(std::uint64_t seed) noexcept;
+
+  /// Seeds from a string label (SHA-256 folded), so simulator entities can
+  /// derive independent streams: Prng(derive(seed, "ca:LetsEncrypt")).
+  static Prng from_label(std::uint64_t seed, std::string_view label) noexcept;
+
+  /// Next raw 64-bit output.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound); bound must be > 0.  Uses rejection
+  /// sampling (Lemire) to avoid modulo bias.
+  std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53-bit resolution.
+  double uniform01() noexcept;
+
+  /// Bernoulli trial with probability `p` (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Geometric-ish positive count: 1 + floor(Exp(mean-1)) clamped to >= 1.
+  /// Used for burst sizes (e.g., roots added per batch).
+  std::uint64_t burst(double mean) noexcept;
+
+  /// Fills `out` with random bytes.
+  void fill(std::span<std::uint8_t> out) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index; requires non-empty size.
+  std::size_t pick_index(std::size_t size) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rs::crypto

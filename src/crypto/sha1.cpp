@@ -1,0 +1,119 @@
+#include "src/crypto/sha1.h"
+
+#include <bit>
+#include <cstring>
+
+namespace rs::crypto {
+
+namespace {
+
+constexpr std::uint32_t kInit[5] = {0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                                    0x10325476u, 0xc3d2e1f0u};
+
+std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+Sha1::Sha1() noexcept { std::memcpy(state_, kInit, sizeof(state_)); }
+
+void Sha1::compress(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + i * 4);
+  for (int i = 16; i < 80; ++i) {
+    w[i] = std::rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    const std::uint32_t tmp = std::rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = std::rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+  length_ += data.size();
+  std::size_t off = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    off = take;
+    if (buffered_ == 64) {
+      compress(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (off + 64 <= data.size()) {
+    compress(data.data() + off);
+    off += 64;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_, data.data() + off, data.size() - off);
+    buffered_ = data.size() - off;
+  }
+}
+
+Sha1Digest Sha1::finish() noexcept {
+  const std::uint64_t bit_len = length_ * 8;
+  const std::uint8_t pad = 0x80;
+  update({&pad, 1});
+  static constexpr std::uint8_t kZeros[64] = {};
+  while (buffered_ != 56) {
+    const std::size_t need = buffered_ < 56 ? 56 - buffered_ : 64 - buffered_ + 56;
+    const std::size_t take = std::min<std::size_t>(need, 64 - buffered_);
+    update({kZeros, take});
+  }
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+  }
+  update({len_bytes, 8});
+
+  Sha1Digest out;
+  for (int i = 0; i < 5; ++i) store_be32(out.data() + i * 4, state_[i]);
+  return out;
+}
+
+Sha1Digest Sha1::hash(std::span<const std::uint8_t> data) noexcept {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace rs::crypto

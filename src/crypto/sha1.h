@@ -1,0 +1,36 @@
+// SHA-1 (FIPS 180-4), implemented from scratch.
+//
+// SHA-1 is deprecated for signatures but remains the identifier of record in
+// several root-store formats: authroot.stl keys entries by SHA-1, NSS trust
+// objects carry CKA_CERT_SHA1_HASH, and JKS v2 uses a SHA-1 integrity digest.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/crypto/digest.h"
+
+namespace rs::crypto {
+
+/// Incremental SHA-1 hasher.
+class Sha1 {
+ public:
+  Sha1() noexcept;
+
+  void update(std::span<const std::uint8_t> data) noexcept;
+
+  /// Finalizes and returns the digest.  The hasher must not be used after.
+  Sha1Digest finish() noexcept;
+
+  static Sha1Digest hash(std::span<const std::uint8_t> data) noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::uint32_t state_[5];
+  std::uint64_t length_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace rs::crypto

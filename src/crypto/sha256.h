@@ -1,0 +1,35 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// SHA-256 fingerprints are the canonical certificate identity throughout the
+// measurement pipeline (Jaccard sets, exclusive-root analysis, Table 6 ids).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/crypto/digest.h"
+
+namespace rs::crypto {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  void update(std::span<const std::uint8_t> data) noexcept;
+
+  /// Finalizes and returns the digest.  The hasher must not be used after.
+  Sha256Digest finish() noexcept;
+
+  static Sha256Digest hash(std::span<const std::uint8_t> data) noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::uint32_t state_[8];
+  std::uint64_t length_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace rs::crypto

@@ -1,0 +1,98 @@
+#include "src/encoding/pem.h"
+
+#include "src/encoding/base64.h"
+#include "src/util/strings.h"
+
+namespace rs::encoding {
+
+namespace {
+constexpr std::string_view kBegin = "-----BEGIN ";
+constexpr std::string_view kEnd = "-----END ";
+constexpr std::string_view kDashes = "-----";
+
+// Extracts the label from a framing line, or nullopt if malformed.
+std::optional<std::string_view> frame_label(std::string_view line,
+                                            std::string_view prefix) {
+  line = rs::util::trim(line);
+  if (!rs::util::starts_with(line, prefix) ||
+      !rs::util::ends_with(line, kDashes)) {
+    return std::nullopt;
+  }
+  return line.substr(prefix.size(),
+                     line.size() - prefix.size() - kDashes.size());
+}
+}  // namespace
+
+PemParseResult pem_parse_all(std::string_view text) {
+  PemParseResult result;
+  const auto lines = rs::util::split_lines(text);
+
+  std::size_t i = 0;
+  while (i < lines.size()) {
+    const auto begin_label = frame_label(lines[i], kBegin);
+    if (!begin_label) {
+      ++i;  // prose between blocks is ignored
+      continue;
+    }
+    std::string body;
+    bool closed = false;
+    std::size_t j = i + 1;
+    for (; j < lines.size(); ++j) {
+      if (const auto end_label = frame_label(lines[j], kEnd)) {
+        if (*end_label != *begin_label) {
+          result.errors.push_back("END label '" + std::string(*end_label) +
+                                  "' does not match BEGIN '" +
+                                  std::string(*begin_label) + "'");
+        } else {
+          closed = true;
+        }
+        break;
+      }
+      body.append(rs::util::trim(lines[j]));
+    }
+    if (!closed) {
+      if (j >= lines.size()) {
+        result.errors.push_back("unterminated PEM block '" +
+                                std::string(*begin_label) + "'");
+      }
+      i = j + 1;
+      continue;
+    }
+    auto der = base64_decode(body, {.allow_whitespace = true});
+    if (!der) {
+      result.errors.push_back("invalid Base64 in PEM block '" +
+                              std::string(*begin_label) + "'");
+    } else {
+      result.objects.push_back(
+          PemObject{std::string(*begin_label), std::move(*der)});
+    }
+    i = j + 1;
+  }
+  return result;
+}
+
+std::optional<PemObject> pem_parse_first(std::string_view text,
+                                         std::string_view label) {
+  for (auto& obj : pem_parse_all(text).objects) {
+    if (obj.label == label) return std::move(obj);
+  }
+  return std::nullopt;
+}
+
+std::string pem_encode(std::string_view label,
+                       std::span<const std::uint8_t> der) {
+  std::string out;
+  out.reserve(der.size() * 4 / 3 + label.size() * 2 + 64);
+  out.append(kBegin).append(label).append(kDashes).push_back('\n');
+  out += base64_encode_wrapped(der, 64);
+  out.append(kEnd).append(label).append(kDashes).push_back('\n');
+  return out;
+}
+
+std::string pem_encode_bundle(const std::vector<PemObject>& objects) {
+  std::string out;
+  for (const auto& obj : objects) out += pem_encode(obj.label, obj.der);
+  return out;
+}
+
+}  // namespace rs::encoding

@@ -1,0 +1,48 @@
+// RFC 7468 PEM textual envelope reader/writer.
+//
+// Linux distributions ship their root stores as PEM bundles
+// (/etc/ssl/certs/ca-certificates.crt); this module parses and emits those
+// envelopes.  Text outside BEGIN/END framing (bundle comments, cert subjects
+// printed by ca-certificates tooling) is ignored by the reader, matching how
+// TLS libraries consume bundles.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rs::encoding {
+
+/// One decoded PEM object ("-----BEGIN <label>-----" block).
+struct PemObject {
+  std::string label;                // e.g. "CERTIFICATE"
+  std::vector<std::uint8_t> der;    // decoded body
+};
+
+/// Parse outcome: decoded objects plus any malformed-block diagnostics.
+struct PemParseResult {
+  std::vector<PemObject> objects;
+  /// Human-readable reasons for blocks that were skipped (mismatched END
+  /// label, bad Base64, truncated block).  Empty means a fully clean parse.
+  std::vector<std::string> errors;
+};
+
+/// Scans `text` for PEM blocks and decodes each.  Malformed blocks are
+/// recorded in `errors` and skipped; parsing continues with the next block.
+PemParseResult pem_parse_all(std::string_view text);
+
+/// Convenience: first object with the given label, if any block parses.
+std::optional<PemObject> pem_parse_first(std::string_view text,
+                                         std::string_view label);
+
+/// Encodes one object as a PEM block (64-column body, trailing newline).
+std::string pem_encode(std::string_view label,
+                       std::span<const std::uint8_t> der);
+
+/// Encodes a bundle: concatenation of blocks, one per object.
+std::string pem_encode_bundle(const std::vector<PemObject>& objects);
+
+}  // namespace rs::encoding

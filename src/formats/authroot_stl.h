@@ -1,0 +1,63 @@
+// Microsoft authroot.stl-style certificate trust list (CTL).
+//
+// Windows Automatic Root Updates ship authroot.stl: a signed list of trust
+// anchors identified by SHA-1, each carrying Microsoft-specific properties —
+// the EKUs the root is trusted for, EKUs it is disallowed for, a
+// "DisallowedCertAfter" date (partial distrust: certificates issued after
+// the date are rejected), and a full-disallow flag.  Full certificates are
+// *not* embedded; Windows fetches them by SHA-1 from a separate URL.
+//
+// We implement a DER CTL that mirrors those semantics (the real container
+// adds a PKCS#7 signature envelope and Microsoft OID property bags around
+// the same payload — see DESIGN.md substitutions):
+//
+//   AuthRootList  ::= SEQUENCE {
+//     version        INTEGER (1),
+//     entries        SEQUENCE OF TrustedSubject }
+//   TrustedSubject ::= SEQUENCE {
+//     subjectId      OCTET STRING (SHA-1 of certificate),
+//     ekus           SEQUENCE OF OBJECT IDENTIFIER,        -- trusted purposes
+//     disallowed [0] SEQUENCE OF OBJECT IDENTIFIER OPTIONAL,
+//     disallowAfter [1] UTCTime/GeneralizedTime OPTIONAL,  -- partial distrust
+//     fullyDisallowed [2] BOOLEAN OPTIONAL }
+//
+// Like Windows, parsing needs a resolver that produces certificate DER for
+// a SHA-1 id (our CertByHash map plays the role of the download cache).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/crypto/digest.h"
+#include "src/formats/certdata.h"
+#include "src/store/trust.h"
+#include "src/util/result.h"
+
+namespace rs::formats {
+
+/// The sidecar "certificate cache": SHA-1 (hex, lowercase) -> DER.
+using CertByHash = std::map<std::string, std::vector<std::uint8_t>>;
+
+/// A serialized CTL plus the cache needed to resolve it.
+struct AuthRootBlob {
+  std::vector<std::uint8_t> stl;  // the DER CTL
+  CertByHash certs;               // full certificates, keyed by SHA-1 hex
+};
+
+/// Serializes entries to an AuthRootBlob.  Trust mapping:
+///  - anchor purposes  -> `ekus`
+///  - distrusted purposes -> `disallowed`
+///  - TLS distrust_after -> `disallowAfter`
+AuthRootBlob write_authroot(const std::vector<rs::store::TrustEntry>& entries);
+
+/// Parses a CTL, resolving certificates via `certs`.  Entries whose
+/// certificate cannot be resolved (or fails to parse) become warnings —
+/// exactly the failure mode of a stale Windows download cache.
+rs::util::Result<ParsedStore> parse_authroot(
+    std::span<const std::uint8_t> stl, const CertByHash& certs);
+
+}  // namespace rs::formats

@@ -1,0 +1,42 @@
+// Certificate-directory stores (Android, Apple open-source, Debian's
+// /usr/share/ca-certificates).
+//
+// These providers keep one file per root.  Android names files by the
+// OpenSSL subject-name hash ("5ed36f99.0"); Apple and Debian use
+// human-readable names.  The in-memory representation is a (name, content)
+// list so the parsers are filesystem-free; load_cert_dir_from_disk wires the
+// real filesystem in for the examples.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/formats/certdata.h"
+#include "src/formats/pem_bundle.h"
+#include "src/util/result.h"
+
+namespace rs::formats {
+
+/// One file in a certificate directory.
+struct CertDirFile {
+  std::string name;
+  std::string content;  // PEM or raw DER
+};
+
+/// Parses a directory listing: each file may contain PEM blocks or raw DER.
+/// Trust is assigned per `policy` (directories carry no trust metadata).
+rs::util::Result<ParsedStore> parse_cert_dir(
+    const std::vector<CertDirFile>& files, const BundleTrustPolicy& policy);
+
+/// Serializes entries to a directory listing, one PEM file per root, named
+/// "<sanitized-cn>_<short-fp>.pem" so names are unique and stable.
+std::vector<CertDirFile> write_cert_dir(
+    const std::vector<rs::store::TrustEntry>& entries);
+
+/// Reads every regular file in `path` (non-recursive) into CertDirFiles.
+/// Filesystem errors produce an error Result; an empty directory is valid.
+rs::util::Result<std::vector<CertDirFile>> load_cert_dir_from_disk(
+    const std::string& path);
+
+}  // namespace rs::formats

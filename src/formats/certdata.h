@@ -1,0 +1,39 @@
+// NSS certdata.txt reader/writer (PKCS#11 object grammar).
+//
+// Since 2000, NSS has shipped its trust anchors as a text file of PKCS#11
+// objects: CKO_CERTIFICATE objects carrying raw DER in MULTILINE_OCTAL, and
+// CKO_NSS_TRUST objects carrying per-purpose trust levels keyed by
+// SHA-1/MD5 hash plus issuer+serial.  Partial distrust (the Symantec
+// mechanism, NSS 3.53+) appears as CKA_NSS_SERVER_DISTRUST_AFTER.
+//
+// The parser is tolerant of comments and blank lines (real certdata.txt is
+// full of both), matches trust objects to certificates by SHA-1 hash, and
+// reports unmatched or contradictory objects as warnings.  The writer emits
+// the same grammar, so write(parse(x)) is semantically identity (tested).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/store/trust.h"
+#include "src/util/result.h"
+
+namespace rs::formats {
+
+/// Outcome of parsing a provider file: normalized entries + diagnostics.
+struct ParsedStore {
+  std::vector<rs::store::TrustEntry> entries;
+  /// Non-fatal anomalies (unmatched trust objects, undecodable certs, ...).
+  std::vector<std::string> warnings;
+};
+
+/// Parses a certdata.txt body.  Fails only on grammar-level corruption;
+/// object-level problems become warnings and the object is skipped.
+rs::util::Result<ParsedStore> parse_certdata(std::string_view text);
+
+/// Serializes entries to certdata.txt format (one CKO_CERTIFICATE plus one
+/// CKO_NSS_TRUST object per entry, BEGINDATA header, octal-encoded DER).
+std::string write_certdata(const std::vector<rs::store::TrustEntry>& entries);
+
+}  // namespace rs::formats

@@ -1,0 +1,129 @@
+#include "src/formats/dataset_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "src/formats/portable.h"
+#include "src/util/strings.h"
+
+namespace rs::formats {
+
+namespace fs = std::filesystem;
+using rs::util::Result;
+
+namespace {
+
+constexpr std::string_view kManifestHeader = "RSDS 1";
+
+Result<std::monostate> write_file(const fs::path& path,
+                                  const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  if (!out) {
+    return Result<std::monostate>::err("dataset: cannot write " +
+                                       path.string());
+  }
+  return std::monostate{};
+}
+
+}  // namespace
+
+Result<std::monostate> write_dataset(const rs::store::StoreDatabase& db,
+                                     const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Result<std::monostate>::err("dataset: cannot create " + dir + ": " +
+                                       ec.message());
+  }
+
+  std::string manifest = std::string(kManifestHeader) + "\n";
+  for (const auto& [provider, history] : db.histories()) {
+    const fs::path provider_dir = fs::path(dir) / provider;
+    fs::create_directories(provider_dir, ec);
+    if (ec) {
+      return Result<std::monostate>::err("dataset: cannot create " +
+                                         provider_dir.string());
+    }
+    // Same-day snapshots get a numeric suffix to keep file names unique.
+    std::map<std::string, int> seen_dates;
+    for (const auto& snap : history.snapshots()) {
+      const std::string date = snap.date.to_string();
+      const int n = seen_dates[date]++;
+      const std::string name =
+          n == 0 ? date + ".rsts" : date + "-" + std::to_string(n) + ".rsts";
+      const std::string rel = provider + "/" + name;
+      auto written =
+          write_file(fs::path(dir) / rel, write_rsts(snap.entries));
+      if (!written) return written;
+      manifest += provider + "\t" + date + "\t" + snap.version + "\t" + rel +
+                  "\n";
+    }
+  }
+  return write_file(fs::path(dir) / "MANIFEST", manifest);
+}
+
+Result<rs::store::StoreDatabase> load_dataset(const std::string& dir) {
+  using Out = Result<rs::store::StoreDatabase>;
+  std::ifstream manifest_in(fs::path(dir) / "MANIFEST", std::ios::binary);
+  if (!manifest_in) {
+    return Out::err("dataset: missing MANIFEST in " + dir);
+  }
+  const std::string manifest(std::istreambuf_iterator<char>(manifest_in),
+                             std::istreambuf_iterator<char>{});
+  const auto lines = rs::util::split_lines(manifest);
+  if (lines.empty() || rs::util::trim(lines[0]) != kManifestHeader) {
+    return Out::err("dataset: MANIFEST missing 'RSDS 1' header");
+  }
+
+  std::map<std::string, rs::store::ProviderHistory> histories;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto line = rs::util::trim(lines[i]);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = rs::util::split(line, '\t');
+    if (fields.size() != 4) {
+      return Out::err("dataset: malformed MANIFEST line " +
+                      std::to_string(i + 1));
+    }
+    const std::string provider(fields[0]);
+    const auto date = rs::util::Date::parse(fields[1]);
+    if (!date) {
+      return Out::err("dataset: bad date in MANIFEST line " +
+                      std::to_string(i + 1));
+    }
+    const fs::path path = fs::path(dir) / std::string(fields[3]);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Out::err("dataset: missing snapshot file " + path.string());
+    const std::string content(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>{});
+    auto parsed = parse_rsts(content);
+    if (!parsed) {
+      return Out::err("dataset: " + path.string() + ": " + parsed.error());
+    }
+    if (!parsed.value().warnings.empty()) {
+      return Out::err("dataset: " + path.string() +
+                      " has warnings; refusing to load a damaged artifact (" +
+                      parsed.value().warnings.front() + ")");
+    }
+
+    rs::store::Snapshot snap;
+    snap.provider = provider;
+    snap.date = *date;
+    snap.version = std::string(fields[2]);
+    snap.entries = std::move(parsed.value().entries);
+    auto [it, inserted] =
+        histories.try_emplace(provider, rs::store::ProviderHistory(provider));
+    (void)inserted;
+    it->second.add(std::move(snap));
+  }
+
+  rs::store::StoreDatabase db;
+  for (auto& [name, history] : histories) {
+    (void)name;
+    db.add(std::move(history));
+  }
+  return db;
+}
+
+}  // namespace rs::formats

@@ -1,0 +1,59 @@
+// Linux-style PEM bundle reader/writer.
+//
+// Debian/Ubuntu, Alpine and AmazonLinux ship their root store as a single
+// concatenated PEM file (e.g. /etc/ssl/certs/ca-certificates.crt).  The
+// format carries *no trust metadata*: presence means full trust for every
+// purpose the consuming application assumes — the paper's "rigid on-or-off
+// trust" pain point (§6).  The parser therefore maps each certificate to
+// anchors for a caller-chosen purpose set.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/formats/certdata.h"
+#include "src/store/trust.h"
+#include "src/util/result.h"
+
+namespace rs::formats {
+
+/// Which purposes a bare bundle is interpreted as granting.
+struct BundleTrustPolicy {
+  /// Multi-purpose (historical ca-certificates): TLS + email + code signing.
+  static BundleTrustPolicy multi_purpose();
+  /// Single-purpose TLS (modern tls-ca-bundle.pem).
+  static BundleTrustPolicy tls_only();
+
+  std::vector<rs::store::TrustPurpose> granted;
+};
+
+/// Parses a PEM bundle into trust entries, applying `policy` to every
+/// certificate.  Undecodable blocks become warnings.
+rs::util::Result<ParsedStore> parse_pem_bundle(std::string_view text,
+                                               const BundleTrustPolicy& policy);
+
+/// Serializes entries as a bundle.  Only the certificates are written —
+/// trust metadata is *lost by design*, mirroring the real format; callers
+/// exercising the §6 fidelity analysis rely on this lossiness.
+std::string write_pem_bundle(const std::vector<rs::store::TrustEntry>& entries);
+
+/// The §7 short-term fix: single-purpose bundles, one per trust purpose,
+/// as recently adopted by RHEL and AmazonLinux
+/// (tls-ca-bundle.pem / email-ca-bundle.pem / objsign-ca-bundle.pem).
+/// Each bundle contains only the roots that are anchors for that purpose,
+/// so a code-signing consumer can no longer misuse TLS-only roots.
+struct PurposeBundles {
+  std::string tls;       // tls-ca-bundle.pem
+  std::string email;     // email-ca-bundle.pem
+  std::string codesign;  // objsign-ca-bundle.pem
+};
+
+PurposeBundles write_purpose_bundles(
+    const std::vector<rs::store::TrustEntry>& entries);
+
+/// Parses one purpose bundle back, granting only `purpose`.
+rs::util::Result<ParsedStore> parse_purpose_bundle(
+    std::string_view text, rs::store::TrustPurpose purpose);
+
+}  // namespace rs::formats

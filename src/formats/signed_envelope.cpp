@@ -1,0 +1,101 @@
+#include "src/formats/signed_envelope.h"
+
+#include <algorithm>
+
+#include "src/asn1/reader.h"
+#include "src/asn1/writer.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+
+namespace rs::formats {
+
+using rs::util::Result;
+
+namespace {
+
+/// Derives the HMAC key for a signer: SHA-256("envelope:" signer seed).
+rs::crypto::Sha256Digest signer_key(std::string_view signer,
+                                    std::uint64_t key_seed) {
+  rs::crypto::Sha256 h;
+  constexpr std::string_view kTag = "envelope:";
+  h.update({reinterpret_cast<const std::uint8_t*>(kTag.data()), kTag.size()});
+  h.update(
+      {reinterpret_cast<const std::uint8_t*>(signer.data()), signer.size()});
+  std::uint8_t seed_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    seed_bytes[i] = static_cast<std::uint8_t>(key_seed >> (8 * i));
+  }
+  h.update({seed_bytes, 8});
+  return h.finish();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> seal_envelope(std::span<const std::uint8_t> payload,
+                                        std::string_view signer,
+                                        std::uint64_t key_seed) {
+  const auto key = signer_key(signer, key_seed);
+  const auto mac = rs::crypto::hmac_sha256(key, payload);
+
+  rs::asn1::Writer body;
+  body.add_small_integer(1);
+  body.add_utf8_string(signer);
+  body.add_octet_string(payload);
+  body.add_octet_string(mac);
+  rs::asn1::Writer top;
+  top.add_sequence(body);
+  return std::move(top).take();
+}
+
+Result<Envelope> open_envelope(std::span<const std::uint8_t> der,
+                               std::uint64_t key_seed) {
+  rs::asn1::Reader top(der);
+  auto seq = top.read_sequence();
+  if (!seq) return seq.propagate<Envelope>();
+  auto version = seq.value().read_small_integer();
+  if (!version) return version.propagate<Envelope>();
+  if (version.value() != 1) {
+    return Result<Envelope>::err("envelope: unsupported version " +
+                                 std::to_string(version.value()));
+  }
+  auto signer = seq.value().read_string();
+  if (!signer) return signer.propagate<Envelope>();
+  auto payload = seq.value().read_octet_string();
+  if (!payload) return payload.propagate<Envelope>();
+  auto signature = seq.value().read_octet_string();
+  if (!signature) return signature.propagate<Envelope>();
+  if (!seq.value().at_end()) {
+    return Result<Envelope>::err("envelope: trailing data");
+  }
+
+  const auto key = signer_key(signer.value(), key_seed);
+  const auto expected = rs::crypto::hmac_sha256(key, payload.value());
+  if (signature.value().size() != expected.size() ||
+      !std::equal(expected.begin(), expected.end(),
+                  signature.value().begin())) {
+    return Result<Envelope>::err(
+        "envelope: signature verification failed (tampered content or wrong "
+        "signer key)");
+  }
+  return Envelope{std::move(signer).take(), std::move(payload).take()};
+}
+
+SignedAuthRootBlob write_authroot_signed(
+    const std::vector<rs::store::TrustEntry>& entries, std::string_view signer,
+    std::uint64_t key_seed) {
+  AuthRootBlob inner = write_authroot(entries);
+  SignedAuthRootBlob out;
+  out.sealed_stl = seal_envelope(inner.stl, signer, key_seed);
+  out.certs = std::move(inner.certs);
+  return out;
+}
+
+Result<ParsedStore> parse_authroot_signed(
+    std::span<const std::uint8_t> sealed_stl, const CertByHash& certs,
+    std::uint64_t key_seed) {
+  auto envelope = open_envelope(sealed_stl, key_seed);
+  if (!envelope) return envelope.propagate<ParsedStore>();
+  return parse_authroot(envelope.value().payload, certs);
+}
+
+}  // namespace rs::formats

@@ -1,0 +1,61 @@
+// Signed update envelopes — the PKCS#7/CMS layer around authroot.stl.
+//
+// Windows does not trust a bare CTL: authrootstl.cab carries a PKCS#7
+// SignedData whose signature Microsoft's update client verifies before the
+// roots inside are believed.  This module models that layer with the same
+// substitution the certificate builder uses (DESIGN.md): the signature is
+// HMAC-SHA256 keyed by a signer seed instead of RSA-over-PKCS#7, which
+// preserves the behaviour that matters to the pipeline — a tampered or
+// mis-keyed update is rejected before parsing.
+//
+//   SignedEnvelope ::= SEQUENCE {
+//     version   INTEGER (1),
+//     signer    UTF8String,       -- e.g. "Microsoft Root Program"
+//     content   OCTET STRING,     -- the payload (a CTL, a certdata, ...)
+//     signature OCTET STRING }    -- HMAC-SHA256(signer key, content)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/formats/authroot_stl.h"
+#include "src/util/result.h"
+
+namespace rs::formats {
+
+/// A verified, opened envelope.
+struct Envelope {
+  std::string signer;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Seals `payload` under the signer's key seed.
+std::vector<std::uint8_t> seal_envelope(std::span<const std::uint8_t> payload,
+                                        std::string_view signer,
+                                        std::uint64_t key_seed);
+
+/// Opens and verifies an envelope; a wrong key seed, altered payload, or
+/// malformed DER is an error.
+rs::util::Result<Envelope> open_envelope(std::span<const std::uint8_t> der,
+                                         std::uint64_t key_seed);
+
+/// Convenience: authroot blob with the CTL sealed (what Windows actually
+/// downloads) plus the certificate cache.
+struct SignedAuthRootBlob {
+  std::vector<std::uint8_t> sealed_stl;
+  CertByHash certs;
+};
+
+SignedAuthRootBlob write_authroot_signed(
+    const std::vector<rs::store::TrustEntry>& entries, std::string_view signer,
+    std::uint64_t key_seed);
+
+/// Verifies the envelope, then parses the CTL inside.
+rs::util::Result<ParsedStore> parse_authroot_signed(
+    std::span<const std::uint8_t> sealed_stl, const CertByHash& certs,
+    std::uint64_t key_seed);
+
+}  // namespace rs::formats

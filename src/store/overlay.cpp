@@ -1,0 +1,44 @@
+#include "src/store/overlay.h"
+
+namespace rs::store {
+
+void TrustOverlay::add(OverlayRevocation revocation) {
+  revocations_.push_back(std::move(revocation));
+}
+
+bool TrustOverlay::is_revoked(const rs::crypto::Sha256Digest& root,
+                              rs::util::Date when) const {
+  return find(root, when) != nullptr;
+}
+
+const OverlayRevocation* TrustOverlay::find(
+    const rs::crypto::Sha256Digest& root, rs::util::Date when) const {
+  for (const auto& r : revocations_) {
+    if (r.root == root && r.effective <= when) return &r;
+  }
+  return nullptr;
+}
+
+FingerprintSet effective_tls_anchors(const Snapshot& snapshot,
+                                     const TrustOverlay& overlay) {
+  FingerprintSet out;
+  for (const auto& e : snapshot.entries) {
+    if (!e.is_tls_anchor()) continue;
+    const auto fp = e.certificate->sha256();
+    if (!overlay.is_revoked(fp, snapshot.date)) out.insert(fp);
+  }
+  return out;
+}
+
+FingerprintSet revoked_but_shipped(const Snapshot& snapshot,
+                                   const TrustOverlay& overlay) {
+  FingerprintSet out;
+  for (const auto& e : snapshot.entries) {
+    if (!e.is_tls_anchor()) continue;
+    const auto fp = e.certificate->sha256();
+    if (overlay.is_revoked(fp, snapshot.date)) out.insert(fp);
+  }
+  return out;
+}
+
+}  // namespace rs::store

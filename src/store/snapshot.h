@@ -1,0 +1,87 @@
+// Root-store snapshots and per-provider histories.
+//
+// A Snapshot is one provider's root store at one point in time — the unit of
+// the paper's 619-snapshot dataset (Table 2).  A ProviderHistory is the
+// date-ordered sequence of one provider's snapshots.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/store/fingerprint_set.h"
+#include "src/store/trust.h"
+#include "src/util/date.h"
+
+namespace rs::store {
+
+/// One provider's root store at a point in time.
+struct Snapshot {
+  std::string provider;  // e.g. "NSS", "Debian"
+  rs::util::Date date;   // approximate release date (§3.1 caveats)
+  std::string version;   // provider-native version label, e.g. "3.53"
+  std::vector<TrustEntry> entries;
+
+  std::size_t size() const noexcept { return entries.size(); }
+
+  /// Fingerprints of every certificate present, regardless of trust bits.
+  FingerprintSet all_fingerprints() const;
+
+  /// Fingerprints of anchors for the given purpose.
+  FingerprintSet anchors_for(TrustPurpose p) const;
+
+  /// Fingerprints of TLS server-auth anchors — the set used for family
+  /// clustering and derivative matching.
+  FingerprintSet tls_anchors() const { return anchors_for(TrustPurpose::kServerAuth); }
+
+  /// Entry for a fingerprint, if present.
+  const TrustEntry* find(const rs::crypto::Sha256Digest& fp) const;
+
+  /// Count of entries whose certificate has expired as of the snapshot date
+  /// (Table 3's "Avg. Expired" input).
+  std::size_t expired_count() const;
+
+  /// Counts of trusted-for-TLS roots with MD5 signatures / RSA < 2048.
+  std::size_t md5_signed_count() const;
+  std::size_t weak_rsa_count() const;
+};
+
+/// Date-ordered snapshots for one provider.
+class ProviderHistory {
+ public:
+  ProviderHistory() = default;
+  explicit ProviderHistory(std::string provider)
+      : provider_(std::move(provider)) {}
+
+  const std::string& provider() const noexcept { return provider_; }
+
+  /// Inserts keeping date order (stable for equal dates).
+  void add(Snapshot snapshot);
+
+  const std::vector<Snapshot>& snapshots() const noexcept { return snapshots_; }
+  bool empty() const noexcept { return snapshots_.empty(); }
+  std::size_t size() const noexcept { return snapshots_.size(); }
+
+  const Snapshot& front() const { return snapshots_.front(); }
+  const Snapshot& back() const { return snapshots_.back(); }
+
+  /// Latest snapshot dated on or before `when`, if any.
+  const Snapshot* at(rs::util::Date when) const;
+
+  /// Number of distinct certificates ever present (Table 2 "# Uniq" is the
+  /// count of distinct *trusted-for-TLS* roots; see unique_tls_certificates).
+  std::size_t unique_certificates() const;
+
+  /// Distinct certificates that were ever TLS anchors in this history.
+  std::size_t unique_tls_certificates() const;
+
+  /// Date range covered.
+  rs::util::Date first_date() const { return snapshots_.front().date; }
+  rs::util::Date last_date() const { return snapshots_.back().date; }
+
+ private:
+  std::string provider_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace rs::store

@@ -1,0 +1,151 @@
+#include "src/synth/derivatives.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/crypto/prng.h"
+
+namespace rs::synth {
+
+using rs::store::TrustEntry;
+using rs::store::TrustLevel;
+using rs::store::TrustPurpose;
+using rs::util::Date;
+
+int derivative_lag_days(const DerivativePolicy& policy, Date snapshot) {
+  if (policy.lag_jitter_days <= 0) return policy.lag_days;
+  // Deterministic per-(provider, date) jitter so histories are reproducible.
+  rs::crypto::Prng rng = rs::crypto::Prng::from_label(
+      0x9e1ab5, policy.name + "@" + snapshot.to_string());
+  const int spread = 2 * policy.lag_jitter_days + 1;
+  return policy.lag_days +
+         static_cast<int>(rng.uniform(static_cast<std::uint64_t>(spread))) -
+         policy.lag_jitter_days;
+}
+
+namespace {
+
+/// Applies the copy transform to one NSS entry; nullopt = not copied.
+std::optional<TrustEntry> copy_entry(const TrustEntry& src, Date snapshot_date,
+                                     const DerivativePolicy& policy) {
+  const bool tls = src.is_anchor_for(TrustPurpose::kServerAuth);
+  const bool email = src.is_anchor_for(TrustPurpose::kEmailProtection);
+  const bool conflating = policy.email_conflation_until.has_value() &&
+                          snapshot_date < *policy.email_conflation_until;
+  if (!tls && !(email && conflating)) return std::nullopt;
+
+  // The single-file format grants every purpose to every bundled root and
+  // cannot carry partial-distrust cutoffs: both are dropped on copy.
+  TrustEntry out;
+  out.certificate = src.certificate;
+  for (TrustPurpose p : rs::store::kAllPurposes) {
+    out.trust_for(p).level = TrustLevel::kTrustedDelegator;
+  }
+  return out;
+}
+
+const RootSpec* find_spec(const std::string& id, const Timeline& nss,
+                          const std::map<std::string, RootSpec>& extra) {
+  if (nss.has_spec(id)) return &nss.spec(id);
+  const auto it = extra.find(id);
+  return it == extra.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+rs::store::ProviderHistory generate_derivative(
+    const DerivativePolicy& policy, const Timeline& nss, CertFactory& factory,
+    const std::map<std::string, RootSpec>& extra_specs) {
+  rs::store::ProviderHistory history(policy.name);
+
+  std::vector<Date> dates = policy.snapshot_dates;
+  std::sort(dates.begin(), dates.end());
+  dates.erase(std::unique(dates.begin(), dates.end()), dates.end());
+
+  for (const Date snapshot_date : dates) {
+    Date effective = snapshot_date - derivative_lag_days(policy, snapshot_date);
+    if (policy.freeze_effective_after && effective > *policy.freeze_effective_after) {
+      effective = *policy.freeze_effective_after;
+    }
+
+    std::vector<TrustEntry> entries;
+    std::vector<std::string> present_ids;  // parallel, for override matching
+    {
+      // Map certificates back to spec ids via the factory cache: rebuild the
+      // NSS state and record which spec produced each entry.
+      const auto nss_entries = nss.materialize(effective, factory);
+      // materialize() yields entries in inclusion order; recover ids by
+      // matching fingerprints against the specs.
+      std::map<const rs::x509::Certificate*, std::string> cert_to_id;
+      for (const auto& [id, spec] : nss.specs()) {
+        if (auto cert = factory.find(id)) cert_to_id[cert.get()] = id;
+        (void)spec;
+      }
+      for (const auto& e : nss_entries) {
+        auto copied = copy_entry(e, snapshot_date, policy);
+        if (!copied) continue;
+        entries.push_back(std::move(*copied));
+        const auto it = cert_to_id.find(e.certificate.get());
+        present_ids.push_back(it == cert_to_id.end() ? std::string{}
+                                                     : it->second);
+      }
+    }
+
+    // Overrides: forced absences first (they win), then forced presences.
+    auto remove_id = [&](const std::string& id) {
+      for (std::size_t i = 0; i < present_ids.size(); ++i) {
+        if (present_ids[i] == id) {
+          entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+          present_ids.erase(present_ids.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+          return;
+        }
+      }
+    };
+    auto is_present = [&](const std::string& id) {
+      return std::find(present_ids.begin(), present_ids.end(), id) !=
+             present_ids.end();
+    };
+
+    auto absent_now = [&](const DerivativeOverride& ov) {
+      return ov.always_absent ||
+             (ov.absent_from.has_value() && snapshot_date >= *ov.absent_from &&
+              (!ov.absent_until.has_value() ||
+               snapshot_date <= *ov.absent_until));
+    };
+    // Pass 1: forced presences.
+    for (const auto& ov : policy.overrides) {
+      if (absent_now(ov)) continue;
+      const bool in_window =
+          (!ov.present_from || snapshot_date >= *ov.present_from) &&
+          (!ov.present_until || snapshot_date <= *ov.present_until);
+      if (in_window && !is_present(ov.root_id)) {
+        const RootSpec* spec = find_spec(ov.root_id, nss, extra_specs);
+        assert(spec != nullptr && "override references unknown root id");
+        if (spec == nullptr) continue;
+        TrustEntry entry;
+        entry.certificate = factory.get(*spec);
+        for (TrustPurpose p : rs::store::kAllPurposes) {
+          entry.trust_for(p).level = TrustLevel::kTrustedDelegator;
+        }
+        entries.push_back(std::move(entry));
+        present_ids.push_back(ov.root_id);
+      }
+    }
+    // Pass 2: forced absences — they win over presences regardless of the
+    // order the overrides were declared in.
+    for (const auto& ov : policy.overrides) {
+      if (absent_now(ov)) remove_id(ov.root_id);
+    }
+
+    rs::store::Snapshot snap;
+    snap.provider = policy.name;
+    snap.date = snapshot_date;
+    snap.version = "sync-" + effective.to_string();
+    snap.entries = std::move(entries);
+    history.add(std::move(snap));
+  }
+  return history;
+}
+
+}  // namespace rs::synth

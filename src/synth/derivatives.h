@@ -1,0 +1,68 @@
+// NSS-derivative root-store generation (§6 of the paper).
+//
+// Every derivative provider (Linux distributions, Android, NodeJS) builds
+// its store by copying an NSS version — late, through a lossy format, and
+// with bespoke edits.  DerivativePolicy captures exactly those degrees of
+// freedom:
+//   * copy lag (how stale the copied NSS version is), with an optional
+//     freeze date modelling providers stuck on an old NSS branch;
+//   * email conflation (multi-purpose bundles that grant TLS trust to
+//     email-only NSS roots until a single-purpose cutover);
+//   * trust flattening (partial distrust cannot be represented, so
+//     CKA_NSS_SERVER_DISTRUST_AFTER cutoffs are silently dropped);
+//   * explicit overrides (non-NSS roots, re-adds, manual removals, and the
+//     Table 4 incident-response dates).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/store/snapshot.h"
+#include "src/synth/program_model.h"
+#include "src/util/date.h"
+
+namespace rs::synth {
+
+/// A bespoke presence edit for one root in one derivative.
+struct DerivativeOverride {
+  std::string root_id;
+  /// Force-present window (inclusive); nullopt from/until = unbounded.
+  std::optional<rs::util::Date> present_from;
+  std::optional<rs::util::Date> present_until;
+  /// Force-absent window [absent_from, absent_until] (absent_until empty =
+  /// forever).  Absence takes precedence over presence.
+  std::optional<rs::util::Date> absent_from;
+  std::optional<rs::util::Date> absent_until;
+  /// Never present regardless of the NSS copy.
+  bool always_absent = false;
+};
+
+/// Full description of one derivative provider's copying behaviour.
+struct DerivativePolicy {
+  std::string name;
+  std::vector<rs::util::Date> snapshot_dates;
+  /// Base staleness of the copied NSS state, plus deterministic jitter.
+  int lag_days = 120;
+  int lag_jitter_days = 30;
+  /// Effective NSS date never advances past this (provider stuck on an old
+  /// NSS branch, e.g. Alpine/Android pre-3.48 during Symantec distrust).
+  std::optional<rs::util::Date> freeze_effective_after;
+  /// Before this date the provider bundles NSS email-only roots too and
+  /// (mis)trusts them for TLS; from it on, TLS-only (single-purpose shift).
+  std::optional<rs::util::Date> email_conflation_until;
+  std::vector<DerivativeOverride> overrides;
+};
+
+/// Materializes a derivative history by copying `nss` under `policy`.
+/// `extra_specs` supplies blueprints for override roots that never existed
+/// in NSS (Debian-local CAs, CAcert, ...).
+rs::store::ProviderHistory generate_derivative(
+    const DerivativePolicy& policy, const Timeline& nss, CertFactory& factory,
+    const std::map<std::string, RootSpec>& extra_specs);
+
+/// The deterministic per-snapshot lag (exposed for tests).
+int derivative_lag_days(const DerivativePolicy& policy, rs::util::Date snapshot);
+
+}  // namespace rs::synth

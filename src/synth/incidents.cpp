@@ -1,0 +1,188 @@
+#include "src/synth/incidents.h"
+
+namespace rs::synth {
+
+using rs::util::Date;
+
+const char* to_string(RemovalSeverity s) noexcept {
+  switch (s) {
+    case RemovalSeverity::kLow:
+      return "low";
+    case RemovalSeverity::kMedium:
+      return "medium";
+    case RemovalSeverity::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+std::vector<Incident> incident_catalog() {
+  std::vector<Incident> out;
+
+  // ---- High severity (Table 4 / Table 7) --------------------------------
+  {
+    Incident i;
+    i.name = "DigiNotar";
+    i.bugzilla_id = "682927";
+    i.severity = RemovalSeverity::kHigh;
+    i.nss_removal = Date::ymd(2011, 10, 6);
+    i.root_ids = {"diginotar-root"};
+    i.never_included = {"Java", "NodeJS", "AmazonLinux", "Alpine", "Android"};
+    i.responses = {
+        {"Microsoft", 1, Date::ymd(2011, 8, 30), -37, ""},
+        {"Apple", 1, Date::ymd(2011, 10, 12), 6, ""},
+        {"Debian", 1, Date::ymd(2011, 10, 22), 16, ""},
+        {"Ubuntu", 1, Date::ymd(2011, 10, 22), 16, ""},
+    };
+    i.details = "Key compromise; forged *.google.com certificates";
+    out.push_back(std::move(i));
+  }
+  {
+    Incident i;
+    i.name = "CNNIC";
+    i.bugzilla_id = "1380868";
+    i.severity = RemovalSeverity::kHigh;
+    i.nss_removal = Date::ymd(2017, 7, 27);
+    i.root_ids = {"cnnic-root-1", "cnnic-root-2"};
+    i.never_included = {"Java", "Alpine"};
+    i.responses = {
+        {"Apple", 2, Date::ymd(2015, 6, 30), -758,
+         "removed preemptively, 1429 leaves whitelisted"},
+        {"Android", 1, Date::ymd(2017, 12, 5), 131, ""},
+        {"Debian", 2, Date::ymd(2018, 4, 9), 256, ""},
+        {"Ubuntu", 2, Date::ymd(2018, 4, 9), 256, ""},
+        {"NodeJS", 2, Date::ymd(2018, 4, 24), 271, ""},
+        {"AmazonLinux", 2, Date::ymd(2019, 2, 18), 571, ""},
+        {"Microsoft", 2, Date::ymd(2020, 2, 26), 944, ""},
+    };
+    i.details = "MCS intermediate issued forged TLS certificates";
+    out.push_back(std::move(i));
+  }
+  {
+    Incident i;
+    i.name = "StartCom";
+    i.bugzilla_id = "1392849";
+    i.severity = RemovalSeverity::kHigh;
+    i.nss_removal = Date::ymd(2017, 11, 14);
+    i.root_ids = {"startcom-root-1", "startcom-root-2", "startcom-root-3"};
+    i.never_included = {"Java"};
+    i.responses = {
+        {"Debian", 3, Date::ymd(2017, 7, 17), -120, ""},
+        {"Ubuntu", 3, Date::ymd(2017, 7, 17), -120, ""},
+        {"Microsoft", 2, Date::ymd(2017, 9, 22), -53, ""},
+        {"Android", 3, Date::ymd(2017, 12, 5), 21, ""},
+        {"NodeJS", 3, Date::ymd(2018, 4, 24), 161, ""},
+        {"AmazonLinux", 3, Date::ymd(2019, 2, 18), 461, ""},
+        {"Apple", 3, std::nullopt, std::nullopt,
+         "1 root still trusted (2 revoked via valid.apple.com)"},
+    };
+    i.details = "Secretly acquired by WoSign; shared issuance infrastructure";
+    out.push_back(std::move(i));
+  }
+  {
+    Incident i;
+    i.name = "WoSign";
+    i.bugzilla_id = "1387260";
+    i.severity = RemovalSeverity::kHigh;
+    i.nss_removal = Date::ymd(2017, 11, 14);
+    i.root_ids = {"wosign-root-1", "wosign-root-2", "wosign-root-3",
+                  "wosign-root-4"};
+    i.never_included = {"Apple", "Java"};
+    i.responses = {
+        {"Debian", 4, Date::ymd(2017, 7, 17), -120, ""},
+        {"Ubuntu", 4, Date::ymd(2017, 7, 17), -120, ""},
+        {"Microsoft", 4, Date::ymd(2017, 9, 22), -53, ""},
+        {"Android", 4, Date::ymd(2017, 12, 5), 21, ""},
+        {"NodeJS", 4, Date::ymd(2018, 4, 24), 161, ""},
+        {"AmazonLinux", 4, Date::ymd(2019, 2, 18), 461, ""},
+    };
+    i.details = "Backdated SSL certificates to evade the SHA-1 deadline";
+    out.push_back(std::move(i));
+  }
+  {
+    Incident i;
+    i.name = "PSPProcert";
+    i.bugzilla_id = "1408080";
+    i.severity = RemovalSeverity::kHigh;
+    i.nss_removal = Date::ymd(2017, 11, 14);
+    i.root_ids = {"procert-root"};
+    i.never_included = {"Apple", "Microsoft", "Java", "Android"};
+    i.responses = {
+        {"Debian", 1, Date::ymd(2018, 4, 9), 146, ""},
+        {"Ubuntu", 1, Date::ymd(2018, 4, 9), 146, ""},
+        {"NodeJS", 1, Date::ymd(2018, 4, 24), 161, ""},
+        {"AmazonLinux", 1, Date::ymd(2019, 2, 18), 461, ""},
+    };
+    i.details = "Repeated transgressions after 2010 inclusion";
+    out.push_back(std::move(i));
+  }
+  {
+    Incident i;
+    i.name = "Certinomis";
+    i.bugzilla_id = "1552374";
+    i.severity = RemovalSeverity::kHigh;
+    i.nss_removal = Date::ymd(2019, 7, 5);
+    i.root_ids = {"certinomis-root"};
+    i.never_included = {"Java"};
+    i.responses = {
+        {"NodeJS", 1, Date::ymd(2019, 10, 22), 109, ""},
+        {"Alpine", 1, Date::ymd(2020, 3, 23), 262, ""},
+        {"Debian", 1, Date::ymd(2020, 6, 1), 332, ""},
+        {"Ubuntu", 1, Date::ymd(2020, 6, 1), 332, ""},
+        {"Android", 1, Date::ymd(2020, 9, 7), 430, ""},
+        {"AmazonLinux", 1, Date::ymd(2021, 3, 26), 630, ""},
+        {"Apple", 1, Date::ymd(2021, 1, 1), 577,
+         "revoked via valid.apple.com at unknown date"},
+        {"Microsoft", 1, std::nullopt, std::nullopt, "still trusted"},
+    };
+    i.details = "Cross-signed distrusted StartCom; 111-day disclosure delay";
+    out.push_back(std::move(i));
+  }
+
+  // ---- Medium severity (Table 7 only) ------------------------------------
+  {
+    Incident i;
+    i.name = "Symantec distrust (batch 2)";
+    i.bugzilla_id = "1670769";
+    i.severity = RemovalSeverity::kMedium;
+    i.nss_removal = Date::ymd(2020, 12, 11);
+    i.root_ids = {"symantec-root-4",  "symantec-root-5",  "symantec-root-6",
+                  "symantec-root-7",  "symantec-root-8",  "symantec-root-9",
+                  "symantec-root-10", "symantec-root-11", "symantec-root-12",
+                  "symantec-root-13"};
+    i.details = "Symantec distrust - root certificates ready to be removed";
+    out.push_back(std::move(i));
+  }
+  {
+    Incident i;
+    i.name = "Taiwan GRCA misissuance";
+    i.bugzilla_id = "1656077";
+    i.severity = RemovalSeverity::kMedium;
+    i.nss_removal = Date::ymd(2020, 9, 18);
+    i.root_ids = {"taiwan-grca-root"};
+    i.details = "Misissuance tracked in Bugzilla 1463975";
+    out.push_back(std::move(i));
+  }
+  {
+    Incident i;
+    i.name = "Symantec distrust (batch 1)";
+    i.bugzilla_id = "1618402";
+    i.severity = RemovalSeverity::kMedium;
+    i.nss_removal = Date::ymd(2020, 6, 26);
+    i.root_ids = {"symantec-root-1", "symantec-root-2", "symantec-root-3"};
+    i.details = "Symantec distrust - root certificates ready to be removed";
+    out.push_back(std::move(i));
+  }
+
+  return out;
+}
+
+std::vector<Incident> high_severity_incidents() {
+  std::vector<Incident> out;
+  for (auto& i : incident_catalog()) {
+    if (i.severity == RemovalSeverity::kHigh) out.push_back(std::move(i));
+  }
+  return out;
+}
+
+}  // namespace rs::synth

@@ -1,0 +1,57 @@
+// The CA-incident catalog: NSS removals since 2010 (paper Appendix C /
+// Table 7) and the per-provider responses to the six high-severity ones
+// (Table 4).
+//
+// These are published ground truth from the paper, encoded as data.  The
+// scenario builder turns them into timeline actions; the Table 4 bench then
+// *re-measures* response lags from the materialized histories and prints
+// them next to these reference values.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/date.h"
+
+namespace rs::synth {
+
+/// Severity buckets from the paper's §5.3 classification.
+enum class RemovalSeverity { kLow, kMedium, kHigh };
+
+const char* to_string(RemovalSeverity s) noexcept;
+
+/// One provider's paper-reported response to an incident.
+struct PaperResponse {
+  std::string provider;
+  int cert_count = 0;
+  /// Last date the roots were trusted; nullopt == still trusted at study end.
+  std::optional<rs::util::Date> trusted_until;
+  /// Paper's reported lag in days (reference for the bench output).
+  std::optional<int> lag_days;
+  /// Annotation, e.g. "revoked via valid.apple.com".
+  std::string note;
+};
+
+/// One NSS removal event (a Table 7 row, expanded with Table 4 responses
+/// for the high-severity ones).
+struct Incident {
+  std::string name;           // "DigiNotar"
+  std::string bugzilla_id;    // "682927"
+  RemovalSeverity severity = RemovalSeverity::kHigh;
+  rs::util::Date nss_removal; // reference date all lags are measured against
+  /// Scenario root ids affected (synthetic stand-ins for the real certs).
+  std::vector<std::string> root_ids;
+  /// Providers that never included these roots.
+  std::vector<std::string> never_included;
+  std::vector<PaperResponse> responses;
+  std::string details;
+};
+
+/// The full catalog, ordered as in the paper's tables.
+std::vector<Incident> incident_catalog();
+
+/// Only the high-severity incidents (the Table 4 set, in table order).
+std::vector<Incident> high_severity_incidents();
+
+}  // namespace rs::synth

@@ -1,0 +1,145 @@
+#include "src/synth/program_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rs::synth {
+
+using rs::store::TrustEntry;
+using rs::store::TrustLevel;
+using rs::store::TrustPurpose;
+using rs::util::Date;
+
+void Timeline::add_spec(RootSpec spec) {
+  const std::string id = spec.id;
+  assert(!id.empty());
+  const auto [it, inserted] = specs_.emplace(id, std::move(spec));
+  (void)it;
+  (void)inserted;  // re-registering an identical spec is harmless
+}
+
+bool Timeline::has_spec(const std::string& id) const {
+  return specs_.contains(id);
+}
+
+const RootSpec& Timeline::spec(const std::string& id) const {
+  const auto it = specs_.find(id);
+  assert(it != specs_.end() && "action references unregistered spec");
+  return it->second;
+}
+
+void Timeline::include(Date d, const std::string& root_id,
+                       std::vector<TrustPurpose> purposes) {
+  actions_.push_back(
+      {d, root_id, TrustAction::Kind::kInclude, std::move(purposes), {}});
+}
+
+void Timeline::remove(Date d, const std::string& root_id) {
+  actions_.push_back({d, root_id, TrustAction::Kind::kRemove, {}, {}});
+}
+
+void Timeline::set_server_distrust_after(Date d, const std::string& root_id,
+                                         Date cutoff) {
+  actions_.push_back(
+      {d, root_id, TrustAction::Kind::kSetServerDistrustAfter, {}, cutoff});
+}
+
+void Timeline::distrust(Date d, const std::string& root_id,
+                        std::vector<TrustPurpose> purposes) {
+  actions_.push_back(
+      {d, root_id, TrustAction::Kind::kDistrustPurposes, std::move(purposes), {}});
+}
+
+std::vector<TrustEntry> Timeline::materialize(Date when,
+                                              CertFactory& factory) const {
+  // Replay in date order; equal dates replay in insertion order so a
+  // same-day remove-then-include behaves as written.
+  std::vector<const TrustAction*> ordered;
+  ordered.reserve(actions_.size());
+  for (const auto& a : actions_) {
+    if (a.date <= when) ordered.push_back(&a);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TrustAction* a, const TrustAction* b) {
+                     return a->date < b->date;
+                   });
+
+  struct State {
+    TrustEntry entry;
+    std::size_t order;  // first-inclusion order for stable output
+  };
+  std::map<std::string, State> state;
+  std::size_t next_order = 0;
+
+  for (const TrustAction* a : ordered) {
+    switch (a->kind) {
+      case TrustAction::Kind::kInclude: {
+        TrustEntry entry;
+        entry.certificate = factory.get(spec(a->root_id));
+        for (TrustPurpose p : a->purposes) {
+          entry.trust_for(p).level = TrustLevel::kTrustedDelegator;
+        }
+        const auto it = state.find(a->root_id);
+        if (it == state.end()) {
+          state.emplace(a->root_id, State{std::move(entry), next_order++});
+        } else {
+          it->second.entry = std::move(entry);  // re-include resets trust
+        }
+        break;
+      }
+      case TrustAction::Kind::kRemove:
+        state.erase(a->root_id);
+        break;
+      case TrustAction::Kind::kSetServerDistrustAfter: {
+        const auto it = state.find(a->root_id);
+        if (it != state.end()) {
+          it->second.entry.trust_for(TrustPurpose::kServerAuth).distrust_after =
+              a->cutoff;
+        }
+        break;
+      }
+      case TrustAction::Kind::kDistrustPurposes: {
+        const auto it = state.find(a->root_id);
+        if (it != state.end()) {
+          for (TrustPurpose p : a->purposes) {
+            it->second.entry.trust_for(p).level = TrustLevel::kDistrusted;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  std::vector<const State*> by_order;
+  by_order.reserve(state.size());
+  for (const auto& [_, s] : state) by_order.push_back(&s);
+  std::sort(by_order.begin(), by_order.end(),
+            [](const State* a, const State* b) { return a->order < b->order; });
+
+  std::vector<TrustEntry> out;
+  out.reserve(by_order.size());
+  for (const State* s : by_order) out.push_back(s->entry);
+  return out;
+}
+
+std::vector<Date> Timeline::change_dates() const {
+  std::vector<Date> dates;
+  dates.reserve(actions_.size());
+  for (const auto& a : actions_) dates.push_back(a.date);
+  std::sort(dates.begin(), dates.end());
+  dates.erase(std::unique(dates.begin(), dates.end()), dates.end());
+  return dates;
+}
+
+rs::store::Snapshot snapshot_at(const Timeline& timeline, CertFactory& factory,
+                                std::string provider, Date date,
+                                std::string version) {
+  rs::store::Snapshot snap;
+  snap.provider = std::move(provider);
+  snap.date = date;
+  snap.version = std::move(version);
+  snap.entries = timeline.materialize(date, factory);
+  return snap;
+}
+
+}  // namespace rs::synth

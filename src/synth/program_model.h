@@ -1,0 +1,81 @@
+// Event-sourced root-program timelines.
+//
+// A program's root store over time is a stream of TrustActions (include,
+// remove, set partial distrust, change level).  Timeline::materialize
+// replays the stream up to a date and yields the store state — the snapshot
+// generator for every provider in the scenario.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/store/snapshot.h"
+#include "src/store/trust.h"
+#include "src/synth/root_spec.h"
+#include "src/util/date.h"
+
+namespace rs::synth {
+
+/// One change to a program's trust in one root.
+struct TrustAction {
+  enum class Kind {
+    /// Add the root with the given per-purpose anchor set.
+    kInclude,
+    /// Drop the root entirely.
+    kRemove,
+    /// Set TLS partial distrust (CKA_NSS_SERVER_DISTRUST_AFTER analog).
+    kSetServerDistrustAfter,
+    /// Actively distrust the given purposes (entry remains present).
+    kDistrustPurposes,
+  };
+
+  rs::util::Date date;
+  std::string root_id;
+  Kind kind = Kind::kInclude;
+  /// kInclude / kDistrustPurposes: which purposes.
+  std::vector<rs::store::TrustPurpose> purposes;
+  /// kSetServerDistrustAfter: the cutoff.
+  std::optional<rs::util::Date> cutoff;
+};
+
+/// A date-ordered action stream plus the specs it references.
+class Timeline {
+ public:
+  /// Registers a root blueprint; actions reference it by spec.id.
+  void add_spec(RootSpec spec);
+  bool has_spec(const std::string& id) const;
+  const RootSpec& spec(const std::string& id) const;
+  const std::map<std::string, RootSpec>& specs() const { return specs_; }
+
+  void include(rs::util::Date d, const std::string& root_id,
+               std::vector<rs::store::TrustPurpose> purposes = {
+                   rs::store::TrustPurpose::kServerAuth});
+  void remove(rs::util::Date d, const std::string& root_id);
+  void set_server_distrust_after(rs::util::Date d, const std::string& root_id,
+                                 rs::util::Date cutoff);
+  void distrust(rs::util::Date d, const std::string& root_id,
+                std::vector<rs::store::TrustPurpose> purposes);
+
+  const std::vector<TrustAction>& actions() const { return actions_; }
+
+  /// Store state after replaying all actions dated <= `when`.
+  /// Entry order is stable (insertion order of surviving roots).
+  std::vector<rs::store::TrustEntry> materialize(rs::util::Date when,
+                                                 CertFactory& factory) const;
+
+  /// Dates at which replay output changes — candidate snapshot dates.
+  std::vector<rs::util::Date> change_dates() const;
+
+ private:
+  std::map<std::string, RootSpec> specs_;
+  std::vector<TrustAction> actions_;
+};
+
+/// Materializes a Snapshot from a timeline.
+rs::store::Snapshot snapshot_at(const Timeline& timeline, CertFactory& factory,
+                                std::string provider, rs::util::Date date,
+                                std::string version);
+
+}  // namespace rs::synth

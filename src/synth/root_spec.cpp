@@ -1,0 +1,61 @@
+#include "src/synth/root_spec.h"
+
+#include <cassert>
+
+#include "src/crypto/prng.h"
+
+namespace rs::synth {
+
+namespace {
+std::string spec_digest(const RootSpec& s) {
+  return s.common_name + "|" + s.organization + "|" + s.country + "|" +
+         s.not_before.to_string() + "|" + s.not_after.to_string() + "|" +
+         std::to_string(static_cast<int>(s.scheme)) + "|" +
+         std::to_string(s.rsa_bits) + "|" + (s.version1 ? "1" : "3");
+}
+}  // namespace
+
+std::shared_ptr<const rs::x509::Certificate> CertFactory::get(
+    const RootSpec& spec) {
+  const auto it = cache_.find(spec.id);
+  if (it != cache_.end()) {
+    assert(spec_digests_.at(spec.id) == spec_digest(spec) &&
+           "RootSpec id reused with different parameters");
+    return it->second;
+  }
+
+  // Key seed and serial derive from the factory seed + spec id, so the same
+  // scenario always yields byte-identical certificates.
+  rs::crypto::Prng rng = rs::crypto::Prng::from_label(seed_, "root:" + spec.id);
+  const std::uint64_t key_seed = rng.next();
+  const std::uint64_t serial = (rng.next() >> 16) | 1;  // positive, non-zero
+
+  rs::x509::Name subject;
+  subject.add_common_name(spec.common_name);
+  if (!spec.organization.empty()) subject.add_organization(spec.organization);
+  if (!spec.country.empty()) subject.add_country(spec.country);
+
+  rs::x509::CertificateBuilder builder;
+  builder.subject(subject)
+      .serial_number(serial)
+      .not_before(spec.not_before)
+      .not_after(spec.not_after)
+      .signature_scheme(spec.scheme)
+      .rsa_bits(spec.rsa_bits)
+      .version1(spec.version1)
+      .key_seed(key_seed);
+
+  auto cert =
+      std::make_shared<const rs::x509::Certificate>(builder.build());
+  cache_.emplace(spec.id, cert);
+  spec_digests_.emplace(spec.id, spec_digest(spec));
+  return cert;
+}
+
+std::shared_ptr<const rs::x509::Certificate> CertFactory::find(
+    const std::string& id) const {
+  const auto it = cache_.find(id);
+  return it == cache_.end() ? nullptr : it->second;
+}
+
+}  // namespace rs::synth

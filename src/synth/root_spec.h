@@ -1,0 +1,57 @@
+// Declarative root-certificate specifications and the memoizing factory.
+//
+// The curated scenario and the stochastic simulator both describe roots as
+// RootSpecs — everything the X.509 builder needs, keyed by a stable string
+// id.  CertFactory turns specs into real DER certificates, deterministically
+// (key material and signatures derive from the factory seed + spec id) and
+// memoized (the same root referenced by ten providers is one object).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/date.h"
+#include "src/x509/builder.h"
+#include "src/x509/certificate.h"
+
+namespace rs::synth {
+
+/// Blueprint for one synthetic root certificate.
+struct RootSpec {
+  std::string id;  // stable unique label, e.g. "diginotar-root"
+  std::string common_name;
+  std::string organization;
+  std::string country = "US";
+  rs::util::Date not_before = rs::util::Date::ymd(2000, 1, 1);
+  rs::util::Date not_after = rs::util::Date::ymd(2030, 1, 1);
+  rs::x509::SignatureScheme scheme = rs::x509::SignatureScheme::kSha256Rsa;
+  unsigned rsa_bits = 2048;
+  bool version1 = false;
+};
+
+/// Builds and caches certificates from specs.
+///
+/// Not thread-safe; the pipeline is single-threaded by design.
+class CertFactory {
+ public:
+  explicit CertFactory(std::uint64_t seed) : seed_(seed) {}
+
+  /// The certificate for `spec` (built on first use).  Two specs with the
+  /// same id must be identical — violating that asserts.
+  std::shared_ptr<const rs::x509::Certificate> get(const RootSpec& spec);
+
+  /// Cache lookup by id only (nullptr if never built).
+  std::shared_ptr<const rs::x509::Certificate> find(const std::string& id) const;
+
+  std::size_t built_count() const noexcept { return cache_.size(); }
+
+ private:
+  std::uint64_t seed_;
+  std::map<std::string, std::shared_ptr<const rs::x509::Certificate>> cache_;
+  std::map<std::string, std::string> spec_digests_;  // id -> config digest
+};
+
+}  // namespace rs::synth

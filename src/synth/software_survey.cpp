@@ -1,0 +1,84 @@
+#include "src/synth/software_survey.h"
+
+namespace rs::synth {
+
+const char* to_string(SoftwareKind k) noexcept {
+  switch (k) {
+    case SoftwareKind::kOperatingSystem:
+      return "Operating System";
+    case SoftwareKind::kTlsLibrary:
+      return "TLS Library";
+    case SoftwareKind::kTlsClient:
+      return "TLS Client";
+  }
+  return "?";
+}
+
+std::vector<SurveyedSoftware> software_survey() {
+  using K = SoftwareKind;
+  return {
+      // Operating systems.
+      {K::kOperatingSystem, "Alpine Linux", "Yes", "Popular Docker image base"},
+      {K::kOperatingSystem, "Amazon Linux", "Yes", "AWS base image"},
+      {K::kOperatingSystem, "Android", "Yes",
+       "Most common mobile OS; also Android Automotive"},
+      {K::kOperatingSystem, "ChromeOS", "Yes",
+       "Excluded: no build target history"},
+      {K::kOperatingSystem, "Debian", "Yes",
+       "Base of OpenWRT/Ubuntu and other distributions"},
+      {K::kOperatingSystem, "iOS / macOS", "Yes", "Common Apple root store"},
+      {K::kOperatingSystem, "Microsoft Windows", "Yes",
+       "PC and server operating system"},
+      {K::kOperatingSystem, "Ubuntu", "Yes", "Debian-based desktop Linux"},
+      // TLS libraries.
+      {K::kTlsLibrary, "AlamoFire", "No", "Swift HTTP library"},
+      {K::kTlsLibrary, "Botan", "No", "Defaults to system store"},
+      {K::kTlsLibrary, "BoringSSL", "No",
+       "Google OpenSSL fork used in Chrome/Android"},
+      {K::kTlsLibrary, "Bouncy Castle", "No", "Requires configured keystore"},
+      {K::kTlsLibrary, "cryptlib", "No", "Unknown default"},
+      {K::kTlsLibrary, "GnuTLS", "No",
+       "--with-default-trust-store-<format> configure flag"},
+      {K::kTlsLibrary, "Java Secure Socket Ext. (JSSE)", "Yes",
+       "cacerts JKS file"},
+      {K::kTlsLibrary, "LibreSSL libtls/libssl", "No",
+       "TLS_DEFAULT_CA_FILE configuration"},
+      {K::kTlsLibrary, "MatrixSSL", "No", "Requires configuration"},
+      {K::kTlsLibrary, "Mbed TLS (prev. PolarSSL)", "No",
+       "ca_path/ca_file configuration"},
+      {K::kTlsLibrary, "Network Security Services (NSS)", "Yes",
+       "certdata.txt plus additional trust in code"},
+      {K::kTlsLibrary, "OkHttp", "No", "Uses platform TLS (JSSE, ...)"},
+      {K::kTlsLibrary, "OpenSSL", "No",
+       "$OPENSSLDIR/{certs, cert.pem}, often symlinked to system certs"},
+      {K::kTlsLibrary, "RSA BSAFE", "No", "Unknown default"},
+      {K::kTlsLibrary, "S2n", "No", "Defaults to system stores"},
+      {K::kTlsLibrary, "SChannel", "No", "Microsoft system store"},
+      {K::kTlsLibrary, "wolfSSL (prev. CyaSSL)", "No", "Requires configuration"},
+      {K::kTlsLibrary, "Erlang/OTP SSL", "No", "Unknown default"},
+      {K::kTlsLibrary, "BearSSL", "No", "Requires configuration"},
+      {K::kTlsLibrary, "NodeJS", "Yes", "Static src/node_root_certs.h"},
+      // TLS clients.
+      {K::kTlsClient, "Safari", "No", "macOS root store"},
+      {K::kTlsClient, "Mobile Safari", "No", "iOS root store"},
+      {K::kTlsClient, "Chrome", "Yes*",
+       "Historically system roots + bespoke distrust; own program from 2020"},
+      {K::kTlsClient, "Chrome Mobile", "No", "Android root store"},
+      {K::kTlsClient, "Chrome Mobile iOS", "No",
+       "iOS root store; custom stores prohibited"},
+      {K::kTlsClient, "Edge", "No", "Windows certificates, not via SChannel"},
+      {K::kTlsClient, "Internet Explorer", "No",
+       "Windows certificates via SChannel"},
+      {K::kTlsClient, "Firefox", "Yes", "NSS root store"},
+      {K::kTlsClient, "Opera", "No*",
+       "Own program until 2013; now Chromium + system roots"},
+      {K::kTlsClient, "Electron", "Yes",
+       "Chromium + NodeJS; can use roots through both"},
+      {K::kTlsClient, "360Browser", "Yes", "Excluded: no open-source history"},
+      {K::kTlsClient, "curl", "No",
+       "libcurl compiled against system or custom store"},
+      {K::kTlsClient, "wget", "No", "wgetrc configuration; GnuTLS"},
+  };
+}
+
+}  // namespace rs::synth

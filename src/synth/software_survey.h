@@ -1,0 +1,28 @@
+// The popular OS / TLS-software root-store survey (paper Table 5 /
+// Appendix A): which software ships its own trust anchors and which defers
+// to the platform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rs::synth {
+
+/// Survey categories.
+enum class SoftwareKind { kOperatingSystem, kTlsLibrary, kTlsClient };
+
+const char* to_string(SoftwareKind k) noexcept;
+
+/// One surveyed OS / library / client.
+struct SurveyedSoftware {
+  SoftwareKind kind = SoftwareKind::kTlsLibrary;
+  std::string name;
+  /// "Yes"/"No"/"Yes*"/"No*" as printed in the paper's table.
+  std::string ships_root_store;
+  std::string details;
+};
+
+/// All Table 5 rows, in table order.
+std::vector<SurveyedSoftware> software_survey();
+
+}  // namespace rs::synth

@@ -1,0 +1,81 @@
+#include "src/synth/user_agents.h"
+
+namespace rs::synth {
+
+const char* to_string(RootProgram p) noexcept {
+  switch (p) {
+    case RootProgram::kMicrosoft:
+      return "Microsoft";
+    case RootProgram::kNss:
+      return "Mozilla/NSS";
+    case RootProgram::kApple:
+      return "Apple";
+    case RootProgram::kJava:
+      return "Java";
+  }
+  return "?";
+}
+
+std::vector<UserAgentGroup> user_agent_population() {
+  // Encodes Table 1 verbatim.  Attribution rules:
+  //  - Chrome (pre root-program transition) uses the platform store.
+  //  - Firefox ships NSS everywhere.
+  //  - Electron follows NodeJS (NSS family).
+  //  - iOS/macOS browsers use the Apple store (iOS forbids custom stores).
+  return {
+      // Android
+      {"Android", "Chrome Mobile", 48, true, "Android"},
+      {"Android", "Samsung Internet", 2, false, ""},
+      {"Android", "Android", 3, false, ""},
+      {"Android", "Firefox Mobile", 1, true, "NSS"},
+      {"Android", "Chrome Mobile WebView", 1, false, ""},
+      {"Android", "Chrome", 1, true, "Android"},
+      // Windows
+      {"Windows", "Chrome", 23, true, "Microsoft"},
+      {"Windows", "Firefox", 7, true, "NSS"},
+      {"Windows", "Electron", 6, true, "NodeJS"},
+      {"Windows", "Opera", 4, true, "Microsoft"},
+      {"Windows", "Edge", 4, true, "Microsoft"},
+      {"Windows", "Yandex Browser", 3, false, ""},
+      {"Windows", "IE", 3, true, "Microsoft"},
+      // iOS
+      {"iOS", "Mobile Safari", 18, true, "Apple"},
+      {"iOS", "WKWebView", 4, true, "Apple"},
+      {"iOS", "Chrome Mobile iOS", 2, true, "Apple"},
+      {"iOS", "Google", 2, false, ""},
+      // Mac OS X
+      {"Mac OS X", "Safari", 15, true, "Apple"},
+      {"Mac OS X", "Chrome", 14, true, "Apple"},
+      {"Mac OS X", "Firefox", 2, true, "NSS"},
+      {"Mac OS X", "Apple Mail", 1, false, ""},
+      {"Mac OS X", "Electron", 1, true, "NodeJS"},
+      // ChromeOS
+      {"ChromeOS", "Chrome", 8, false, ""},
+      // Linux
+      {"Linux", "Chrome", 2, false, ""},
+      {"Linux", "Safari", 1, false, ""},
+      {"Linux", "Firefox", 1, true, "NSS"},
+      {"Linux", "Samsung Internet", 1, false, ""},
+      // Unknown
+      {"Unknown", "okhttp", 3, false, ""},
+      {"Unknown", "Unknown", 2, false, ""},
+      {"Unknown", "CryptoAPI", 1, false, ""},
+      // API clients
+      {"API Clients", "API Clients", 16, false, ""},
+  };
+}
+
+std::optional<RootProgram> program_of_provider(const std::string& provider) {
+  if (provider == "Microsoft") return RootProgram::kMicrosoft;
+  if (provider == "Apple") return RootProgram::kApple;
+  if (provider == "Java") return RootProgram::kJava;
+  // The NSS family: NSS itself plus every derivative in the dataset (§4).
+  if (provider == "NSS" || provider == "Android" || provider == "NodeJS" ||
+      provider == "Debian" || provider == "Ubuntu" || provider == "Alpine" ||
+      provider == "AmazonLinux") {
+    return RootProgram::kNss;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rs::synth

@@ -1,0 +1,39 @@
+// The top-200 CDN user-agent population (paper Table 1) and its attribution
+// to root-store providers and root programs (Figure 2).
+//
+// The raw CDN sample is proprietary; Table 1 publishes the aggregation we
+// need — UA family × OS × version-count × whether a root store history was
+// collected.  This module encodes that table plus the attribution rules
+// (which store each UA consults), which is exactly the judgement the
+// paper's authors applied manually.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rs::synth {
+
+/// The four independent root programs (§4).
+enum class RootProgram { kMicrosoft, kNss, kApple, kJava };
+
+const char* to_string(RootProgram p) noexcept;
+
+/// One Table 1 row: a user-agent family on one OS.
+struct UserAgentGroup {
+  std::string os;          // "Android", "Windows", ...
+  std::string agent;       // "Chrome Mobile", "Firefox", ...
+  int versions = 0;        // distinct UA strings observed
+  bool included = false;   // root store history collected?
+  /// Provider whose store the UA consults (empty if unknown/excluded).
+  std::string provider;
+};
+
+/// The full Table 1 population (154 of 200 UAs covered).
+std::vector<UserAgentGroup> user_agent_population();
+
+/// Provider -> root program family mapping used by Figure 2 (derivatives
+/// resolve to NSS).  Unknown providers return nullopt.
+std::optional<RootProgram> program_of_provider(const std::string& provider);
+
+}  // namespace rs::synth

@@ -1,0 +1,24 @@
+// Hex codec for certificate fingerprints and DER dumps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rs::util {
+
+/// Lowercase hex encoding of `bytes` ("deadbeef").
+std::string hex_encode(std::span<const std::uint8_t> bytes);
+
+/// Uppercase hex with ':' separators ("DE:AD:BE:EF") — the fingerprint
+/// presentation used by most root-store tooling.
+std::string hex_encode_colon(std::span<const std::uint8_t> bytes);
+
+/// Decodes a hex string (case-insensitive, ':' and whitespace ignored).
+/// Returns nullopt on odd digit counts or non-hex characters.
+std::optional<std::vector<std::uint8_t>> hex_decode(std::string_view text);
+
+}  // namespace rs::util

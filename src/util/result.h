@@ -1,0 +1,62 @@
+// Lightweight expected-style result for parse paths.
+//
+// The format parsers never throw on malformed input (Core Guidelines E.x:
+// exceptions are for programming errors, not data errors); they return
+// Result<T> carrying either a value or a human-readable diagnostic.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rs::util {
+
+/// Either a T or an error message.  Inspect with ok() before value().
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from a value, so `return parsed;` works.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-*)
+
+  /// Named error constructor: Result<X>::err("why").
+  static Result err(std::string message) {
+    return Result(Error{std::move(message)});
+  }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(data_).message;
+  }
+
+  /// Propagates this error into a Result of another type.
+  template <typename U>
+  Result<U> propagate() const {
+    return Result<U>::err(error());
+  }
+
+ private:
+  struct Error {
+    std::string message;
+  };
+  explicit Result(Error e) : data_(std::move(e)) {}
+  std::variant<T, Error> data_;
+};
+
+}  // namespace rs::util

@@ -1,0 +1,26 @@
+// Minimal descriptive statistics used by the analysis layer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace rs::util {
+
+double mean(std::span<const double> xs) noexcept;
+
+/// Population standard deviation (sqrt of E[(x-mu)^2]); 0 for n < 2.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Median via copy-and-nth_element; 0 for empty input.
+double median(std::span<const double> xs);
+
+double min_of(std::span<const double> xs) noexcept;
+double max_of(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100]; 0 for empty input.
+double percentile(std::span<const double> xs, double p);
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+}  // namespace rs::util

@@ -1,0 +1,39 @@
+// Small string helpers shared by the format parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rs::util {
+
+/// Splits on a single-character delimiter.  Adjacent delimiters yield empty
+/// fields; an empty input yields one empty field.
+std::vector<std::string_view> split(std::string_view text, char delim);
+
+/// Splits into lines, accepting "\n" and "\r\n" terminators.  A trailing
+/// newline does not produce a final empty line.
+std::vector<std::string_view> split_lines(std::string_view text);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Tokenizes on runs of ASCII whitespace; never yields empty tokens.
+std::vector<std::string_view> split_ws(std::string_view text);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `needle` occurs in `haystack` ignoring ASCII case.
+bool icontains(std::string_view haystack, std::string_view needle);
+
+}  // namespace rs::util

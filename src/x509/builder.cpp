@@ -1,0 +1,188 @@
+#include "src/x509/builder.h"
+
+#include <cassert>
+
+#include "src/asn1/time.h"
+#include "src/asn1/writer.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/prng.h"
+
+namespace rs::x509 {
+
+using rs::asn1::Oid;
+using rs::asn1::Writer;
+
+CertificateBuilder::CertificateBuilder() = default;
+
+CertificateBuilder& CertificateBuilder::subject(Name n) {
+  subject_ = std::move(n);
+  return *this;
+}
+CertificateBuilder& CertificateBuilder::issuer(Name n) {
+  issuer_ = std::move(n);
+  return *this;
+}
+CertificateBuilder& CertificateBuilder::serial_number(std::uint64_t serial) {
+  serial_ = serial;
+  return *this;
+}
+CertificateBuilder& CertificateBuilder::not_before(rs::util::Date d) {
+  not_before_ = d;
+  return *this;
+}
+CertificateBuilder& CertificateBuilder::not_after(rs::util::Date d) {
+  not_after_ = d;
+  return *this;
+}
+CertificateBuilder& CertificateBuilder::signature_scheme(SignatureScheme s) {
+  scheme_ = s;
+  return *this;
+}
+CertificateBuilder& CertificateBuilder::rsa_bits(unsigned bits) {
+  rsa_bits_ = bits;
+  return *this;
+}
+CertificateBuilder& CertificateBuilder::version1(bool v1) {
+  version1_ = v1;
+  return *this;
+}
+CertificateBuilder& CertificateBuilder::add_eku(std::vector<Oid> purposes) {
+  ExtendedKeyUsage eku{std::move(purposes)};
+  extensions_.push_back(
+      Extension{rs::asn1::oids::ext_key_usage(), false, eku.encode()});
+  return *this;
+}
+CertificateBuilder& CertificateBuilder::add_policies(
+    std::vector<Oid> policy_ids) {
+  CertificatePolicies policies{std::move(policy_ids)};
+  extensions_.push_back(Extension{rs::asn1::oids::certificate_policies(),
+                                  false, policies.encode()});
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::add_extension(Extension ext) {
+  extensions_.push_back(std::move(ext));
+  return *this;
+}
+CertificateBuilder& CertificateBuilder::key_seed(std::uint64_t seed) {
+  key_seed_ = seed;
+  return *this;
+}
+
+namespace {
+
+Oid scheme_oid(SignatureScheme s) {
+  switch (s) {
+    case SignatureScheme::kMd5Rsa:
+      return rs::asn1::oids::md5_with_rsa();
+    case SignatureScheme::kSha1Rsa:
+      return rs::asn1::oids::sha1_with_rsa();
+    case SignatureScheme::kSha256Rsa:
+      return rs::asn1::oids::sha256_with_rsa();
+    case SignatureScheme::kEcdsaSha256:
+      return rs::asn1::oids::ecdsa_with_sha256();
+  }
+  return rs::asn1::oids::sha256_with_rsa();
+}
+
+void encode_algorithm(Writer& w, SignatureScheme s) {
+  Writer alg;
+  alg.add_oid(scheme_oid(s));
+  if (s != SignatureScheme::kEcdsaSha256) alg.add_null();
+  w.add_sequence(alg);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> CertificateBuilder::build_der() const {
+  assert(!subject_.empty() && "builder requires a subject name");
+  assert(not_before_ <= not_after_ && "validity window inverted");
+
+  rs::crypto::Prng key_rng(key_seed_);
+  const PublicKey key =
+      scheme_ == SignatureScheme::kEcdsaSha256
+          ? PublicKey::synth_ec(key_rng, KeyAlgorithm::kEcP256)
+          : PublicKey::synth_rsa(key_rng, rsa_bits_);
+
+  const Name& issuer = issuer_ ? *issuer_ : subject_;
+
+  Writer tbs;
+  if (!version1_) {
+    Writer v;
+    v.add_small_integer(2);  // v3
+    tbs.add_context(0, v);
+  }
+  tbs.add_small_integer(static_cast<std::int64_t>(serial_));
+  encode_algorithm(tbs, scheme_);
+  issuer.encode(tbs);
+  {
+    Writer validity;
+    rs::asn1::write_time(validity, rs::asn1::at_midnight(not_before_));
+    rs::asn1::write_time(validity, rs::asn1::at_midnight(not_after_));
+    tbs.add_sequence(validity);
+  }
+  subject_.encode(tbs);
+  key.encode(tbs);
+
+  std::vector<Extension> exts = extensions_;
+  if (!version1_) {
+    // Roots carry BasicConstraints CA:TRUE (critical) and key-signing usage.
+    bool has_bc = find_extension(exts, rs::asn1::oids::basic_constraints());
+    bool has_ku = find_extension(exts, rs::asn1::oids::key_usage());
+    if (!has_bc) {
+      BasicConstraints bc{true, std::nullopt};
+      exts.insert(exts.begin(), Extension{rs::asn1::oids::basic_constraints(),
+                                          true, bc.encode()});
+    }
+    if (!has_ku) {
+      KeyUsage ku;
+      ku.key_cert_sign = true;
+      ku.crl_sign = true;
+      exts.push_back(Extension{rs::asn1::oids::key_usage(), true, ku.encode()});
+    }
+    Writer ext_list;
+    for (const auto& e : exts) {
+      Writer one;
+      one.add_oid(e.oid);
+      if (e.critical) one.add_boolean(true);
+      one.add_octet_string(e.value);
+      ext_list.add_sequence(one);
+    }
+    Writer ext_seq;
+    ext_seq.add_sequence(ext_list);
+    tbs.add_context(3, ext_seq);
+  }
+
+  Writer cert;
+  Writer tbs_wrapped;
+  tbs_wrapped.add_sequence(tbs);
+  const std::vector<std::uint8_t> tbs_der = tbs_wrapped.bytes();
+  cert.add_raw(tbs_der);
+
+  encode_algorithm(cert, scheme_);
+
+  // Simulated signature: HMAC-SHA256(issuer key seed, TBS), repeated to the
+  // width a real signature of this scheme would occupy.
+  std::uint8_t seed_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    seed_bytes[i] = static_cast<std::uint8_t>(key_seed_ >> (8 * i));
+  }
+  const auto mac = rs::crypto::hmac_sha256({seed_bytes, 8}, tbs_der);
+  const std::size_t sig_len =
+      scheme_ == SignatureScheme::kEcdsaSha256 ? 72 : rsa_bits_ / 8;
+  std::vector<std::uint8_t> sig(sig_len);
+  for (std::size_t i = 0; i < sig_len; ++i) sig[i] = mac[i % mac.size()];
+  cert.add_bit_string(sig);
+
+  Writer top;
+  top.add_sequence(cert);
+  return std::move(top).take();
+}
+
+Certificate CertificateBuilder::build() const {
+  auto parsed = Certificate::parse(build_der());
+  assert(parsed.ok() && "builder must emit parseable DER");
+  return std::move(parsed).take();
+}
+
+}  // namespace rs::x509

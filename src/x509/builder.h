@@ -1,0 +1,81 @@
+// Certificate synthesis for the simulated ecosystem.
+//
+// The paper's dataset is 20 years of real root certificates we cannot ship;
+// the builder manufactures structurally equivalent roots: correct DER, v1 or
+// v3, RSA or EC keys of chosen size, MD5/SHA-1/SHA-256 signature OIDs,
+// CA extensions, and deterministic key material from a seed.  Signatures are
+// HMAC-SHA256 over the TBS bytes keyed by the issuer's key seed (padded to
+// the width a real signature would have) — see DESIGN.md substitutions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/asn1/oid.h"
+#include "src/util/date.h"
+#include "src/x509/certificate.h"
+#include "src/x509/name.h"
+#include "src/x509/public_key.h"
+
+namespace rs::x509 {
+
+/// Signature algorithm families the builder can emit.
+enum class SignatureScheme : std::uint8_t {
+  kMd5Rsa,
+  kSha1Rsa,
+  kSha256Rsa,
+  kEcdsaSha256,
+};
+
+/// Fluent builder for self-signed (root) certificates.
+///
+/// Every setter returns *this.  build() is deterministic: the same
+/// configuration and seed always produce byte-identical DER.
+class CertificateBuilder {
+ public:
+  CertificateBuilder();
+
+  CertificateBuilder& subject(Name n);
+  /// Issuer defaults to the subject (self-signed roots).
+  CertificateBuilder& issuer(Name n);
+  CertificateBuilder& serial_number(std::uint64_t serial);
+  CertificateBuilder& not_before(rs::util::Date d);
+  CertificateBuilder& not_after(rs::util::Date d);
+  CertificateBuilder& signature_scheme(SignatureScheme s);
+  /// RSA modulus bits (default 2048).  Ignored for ECDSA schemes, which use
+  /// P-256.
+  CertificateBuilder& rsa_bits(unsigned bits);
+  /// v1 certificates omit extensions entirely (common for pre-2000 roots).
+  CertificateBuilder& version1(bool v1);
+  /// Adds an Extended Key Usage extension with the given purposes.
+  CertificateBuilder& add_eku(std::vector<rs::asn1::Oid> purposes);
+  /// Adds a CertificatePolicies extension (e.g. an EV policy OID).
+  CertificateBuilder& add_policies(std::vector<rs::asn1::Oid> policy_ids);
+  /// Adds an arbitrary pre-encoded extension.
+  CertificateBuilder& add_extension(Extension ext);
+  /// Seed for deterministic key material and signature bytes.
+  CertificateBuilder& key_seed(std::uint64_t seed);
+
+  /// Produces the DER certificate.  Never fails for a consistent
+  /// configuration; programming errors (e.g. not_after < not_before) assert.
+  std::vector<std::uint8_t> build_der() const;
+
+  /// Convenience: build_der() then Certificate::parse (which must succeed).
+  Certificate build() const;
+
+ private:
+  Name subject_;
+  std::optional<Name> issuer_;
+  std::uint64_t serial_ = 1;
+  rs::util::Date not_before_ = rs::util::Date::ymd(2000, 1, 1);
+  rs::util::Date not_after_ = rs::util::Date::ymd(2030, 1, 1);
+  SignatureScheme scheme_ = SignatureScheme::kSha256Rsa;
+  unsigned rsa_bits_ = 2048;
+  bool version1_ = false;
+  std::vector<Extension> extensions_;
+  std::uint64_t key_seed_ = 0;
+};
+
+}  // namespace rs::x509

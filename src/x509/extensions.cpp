@@ -1,0 +1,203 @@
+#include "src/x509/extensions.h"
+
+#include "src/asn1/tag.h"
+
+namespace rs::x509 {
+
+using rs::asn1::Oid;
+using rs::asn1::Reader;
+using rs::asn1::Writer;
+using rs::util::Result;
+
+std::vector<std::uint8_t> BasicConstraints::encode() const {
+  Writer body;
+  if (ca) body.add_boolean(true);  // DEFAULT FALSE omitted in DER
+  if (path_len) body.add_small_integer(*path_len);
+  Writer seq;
+  seq.add_sequence(body);
+  return std::move(seq).take();
+}
+
+Result<BasicConstraints> BasicConstraints::parse(
+    std::span<const std::uint8_t> der) {
+  Reader r(der);
+  auto seq = r.read_sequence();
+  if (!seq) return seq.propagate<BasicConstraints>();
+  BasicConstraints bc;
+  if (seq.value().next_is(rs::asn1::primitive(rs::asn1::UniversalTag::kBoolean))) {
+    auto ca = seq.value().read_boolean();
+    if (!ca) return ca.propagate<BasicConstraints>();
+    bc.ca = ca.value();
+  }
+  if (!seq.value().at_end()) {
+    auto len = seq.value().read_small_integer();
+    if (!len) return len.propagate<BasicConstraints>();
+    bc.path_len = len.value();
+  }
+  if (!seq.value().at_end()) {
+    return Result<BasicConstraints>::err("trailing data in BasicConstraints");
+  }
+  return bc;
+}
+
+std::vector<std::uint8_t> KeyUsage::encode() const {
+  // Named-bit-list DER: trailing zero bits are truncated.
+  std::uint8_t bits = 0;
+  if (digital_signature) bits |= 0x80;  // bit 0
+  if (key_cert_sign) bits |= 0x04;      // bit 5
+  if (crl_sign) bits |= 0x02;           // bit 6
+  int last_set = -1;
+  for (int i = 0; i < 8; ++i) {
+    if (bits & (0x80 >> i)) last_set = i;
+  }
+  Writer w;
+  if (last_set < 0) {
+    w.add_bit_string({}, 0);
+  } else {
+    const std::uint8_t unused = static_cast<std::uint8_t>(7 - last_set);
+    const std::uint8_t payload =
+        static_cast<std::uint8_t>((bits >> unused) << unused);
+    w.add_bit_string({&payload, 1}, unused);
+  }
+  return std::move(w).take();
+}
+
+Result<KeyUsage> KeyUsage::parse(std::span<const std::uint8_t> der) {
+  Reader r(der);
+  auto bs = r.read_bit_string();
+  if (!bs) return bs.propagate<KeyUsage>();
+  KeyUsage ku;
+  if (!bs.value().bytes.empty()) {
+    const std::uint8_t b0 = bs.value().bytes[0];
+    ku.digital_signature = (b0 & 0x80) != 0;
+    ku.key_cert_sign = (b0 & 0x04) != 0;
+    ku.crl_sign = (b0 & 0x02) != 0;
+  }
+  return ku;
+}
+
+bool ExtendedKeyUsage::permits(const Oid& purpose) const {
+  for (const auto& p : purposes) {
+    if (p == purpose || p == rs::asn1::oids::eku_any()) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> ExtendedKeyUsage::encode() const {
+  Writer body;
+  for (const auto& p : purposes) body.add_oid(p);
+  Writer seq;
+  seq.add_sequence(body);
+  return std::move(seq).take();
+}
+
+Result<ExtendedKeyUsage> ExtendedKeyUsage::parse(
+    std::span<const std::uint8_t> der) {
+  Reader r(der);
+  auto seq = r.read_sequence();
+  if (!seq) return seq.propagate<ExtendedKeyUsage>();
+  ExtendedKeyUsage eku;
+  while (!seq.value().at_end()) {
+    auto oid = seq.value().read_oid();
+    if (!oid) return oid.propagate<ExtendedKeyUsage>();
+    eku.purposes.push_back(std::move(oid).take());
+  }
+  if (eku.purposes.empty()) {
+    return Result<ExtendedKeyUsage>::err("EKU must list at least one purpose");
+  }
+  return eku;
+}
+
+rs::asn1::Oid any_policy() {
+  return *Oid::from_dotted("2.5.29.32.0");
+}
+
+bool CertificatePolicies::asserts(const Oid& policy) const {
+  for (const auto& p : policy_ids) {
+    if (p == policy || p == any_policy()) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> CertificatePolicies::encode() const {
+  Writer body;
+  for (const auto& p : policy_ids) {
+    Writer info;
+    info.add_oid(p);
+    body.add_sequence(info);
+  }
+  Writer seq;
+  seq.add_sequence(body);
+  return std::move(seq).take();
+}
+
+Result<CertificatePolicies> CertificatePolicies::parse(
+    std::span<const std::uint8_t> der) {
+  Reader r(der);
+  auto seq = r.read_sequence();
+  if (!seq) return seq.propagate<CertificatePolicies>();
+  CertificatePolicies out;
+  while (!seq.value().at_end()) {
+    auto info = seq.value().read_sequence();
+    if (!info) return info.propagate<CertificatePolicies>();
+    auto oid = info.value().read_oid();
+    if (!oid) return oid.propagate<CertificatePolicies>();
+    out.policy_ids.push_back(std::move(oid).take());
+    // policyQualifiers, if present, are skipped opaquely.
+    while (!info.value().at_end()) {
+      auto skip = info.value().read_any();
+      if (!skip) return skip.propagate<CertificatePolicies>();
+    }
+  }
+  if (out.policy_ids.empty()) {
+    return Result<CertificatePolicies>::err(
+        "CertificatePolicies must list at least one policy");
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> SubjectKeyIdentifier::encode() const {
+  Writer w;
+  w.add_octet_string(key_id);
+  return std::move(w).take();
+}
+
+Result<SubjectKeyIdentifier> SubjectKeyIdentifier::parse(
+    std::span<const std::uint8_t> der) {
+  Reader r(der);
+  auto os = r.read_octet_string();
+  if (!os) return os.propagate<SubjectKeyIdentifier>();
+  return SubjectKeyIdentifier{std::move(os).take()};
+}
+
+std::vector<std::uint8_t> AuthorityKeyIdentifier::encode() const {
+  Writer body;
+  body.add_context_primitive(0, key_id);  // [0] keyIdentifier
+  Writer seq;
+  seq.add_sequence(body);
+  return std::move(seq).take();
+}
+
+Result<AuthorityKeyIdentifier> AuthorityKeyIdentifier::parse(
+    std::span<const std::uint8_t> der) {
+  Reader r(der);
+  auto seq = r.read_sequence();
+  if (!seq) return seq.propagate<AuthorityKeyIdentifier>();
+  AuthorityKeyIdentifier aki;
+  if (seq.value().next_is(rs::asn1::context_primitive(0))) {
+    auto el = seq.value().read(rs::asn1::context_primitive(0));
+    if (!el) return el.propagate<AuthorityKeyIdentifier>();
+    aki.key_id.assign(el.value().content.begin(), el.value().content.end());
+  }
+  return aki;
+}
+
+const Extension* find_extension(const std::vector<Extension>& exts,
+                                const Oid& oid) {
+  for (const auto& e : exts) {
+    if (e.oid == oid) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace rs::x509

@@ -1,0 +1,106 @@
+// X.509 v3 extensions used in root certificates (RFC 5280 §4.2).
+//
+// Trust-purpose analysis (TLS server auth vs email vs code signing) reads
+// the Extended Key Usage extension; CA-ness reads BasicConstraints; hygiene
+// checks read KeyUsage.  Extensions round-trip as raw DER so unknown
+// extensions survive re-encoding.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/asn1/oid.h"
+#include "src/asn1/reader.h"
+#include "src/asn1/writer.h"
+#include "src/util/result.h"
+
+namespace rs::x509 {
+
+/// A raw extension: OID, criticality, and the inner extnValue DER (the
+/// bytes inside the OCTET STRING wrapper).
+struct Extension {
+  rs::asn1::Oid oid;
+  bool critical = false;
+  std::vector<std::uint8_t> value;
+
+  friend auto operator<=>(const Extension&, const Extension&) = default;
+};
+
+/// BasicConstraints (2.5.29.19).
+struct BasicConstraints {
+  bool ca = false;
+  std::optional<std::int64_t> path_len;
+
+  std::vector<std::uint8_t> encode() const;
+  static rs::util::Result<BasicConstraints> parse(
+      std::span<const std::uint8_t> der);
+};
+
+/// KeyUsage (2.5.29.15) bit flags (RFC 5280 bit positions).
+struct KeyUsage {
+  bool digital_signature = false;  // bit 0
+  bool key_cert_sign = false;      // bit 5
+  bool crl_sign = false;           // bit 6
+
+  std::vector<std::uint8_t> encode() const;
+  static rs::util::Result<KeyUsage> parse(std::span<const std::uint8_t> der);
+
+  friend auto operator<=>(const KeyUsage&, const KeyUsage&) = default;
+};
+
+/// ExtendedKeyUsage (2.5.29.37): ordered list of purpose OIDs.
+struct ExtendedKeyUsage {
+  std::vector<rs::asn1::Oid> purposes;
+
+  bool permits(const rs::asn1::Oid& purpose) const;
+
+  std::vector<std::uint8_t> encode() const;
+  static rs::util::Result<ExtendedKeyUsage> parse(
+      std::span<const std::uint8_t> der);
+};
+
+/// CertificatePolicies (2.5.29.32): the policy OIDs a certificate asserts.
+///
+/// Root programs use these for EV recognition — the trust the paper notes
+/// Mozilla manages *outside* certdata.txt (§3).  Only the policy
+/// identifiers are modelled; qualifiers (CPS URIs, user notices) are
+/// preserved opaquely by the raw Extension bytes when present.
+struct CertificatePolicies {
+  std::vector<rs::asn1::Oid> policy_ids;
+
+  bool asserts(const rs::asn1::Oid& policy) const;
+
+  std::vector<std::uint8_t> encode() const;
+  static rs::util::Result<CertificatePolicies> parse(
+      std::span<const std::uint8_t> der);
+};
+
+/// The anyPolicy identifier (2.5.29.32.0).
+rs::asn1::Oid any_policy();
+
+/// SubjectKeyIdentifier (2.5.29.14): an OCTET STRING key id.
+struct SubjectKeyIdentifier {
+  std::vector<std::uint8_t> key_id;
+
+  std::vector<std::uint8_t> encode() const;
+  static rs::util::Result<SubjectKeyIdentifier> parse(
+      std::span<const std::uint8_t> der);
+};
+
+/// AuthorityKeyIdentifier (2.5.29.35), keyIdentifier form only.
+struct AuthorityKeyIdentifier {
+  std::vector<std::uint8_t> key_id;
+
+  std::vector<std::uint8_t> encode() const;
+  static rs::util::Result<AuthorityKeyIdentifier> parse(
+      std::span<const std::uint8_t> der);
+};
+
+/// Finds an extension by OID in a list.
+const Extension* find_extension(const std::vector<Extension>& exts,
+                                const rs::asn1::Oid& oid);
+
+}  // namespace rs::x509

@@ -1,0 +1,189 @@
+#include "src/x509/lint.h"
+
+#include <algorithm>
+
+#include "src/asn1/oid.h"
+
+namespace rs::x509 {
+
+const char* to_string(LintSeverity s) noexcept {
+  switch (s) {
+    case LintSeverity::kInfo:
+      return "info";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+void add(std::vector<LintFinding>& out, std::string check, LintSeverity sev,
+         std::string message) {
+  out.push_back(LintFinding{std::move(check), sev, std::move(message)});
+}
+
+}  // namespace
+
+std::vector<LintFinding> lint_root(const Certificate& cert,
+                                   const LintOptions& options) {
+  std::vector<LintFinding> out;
+  namespace oids = rs::asn1::oids;
+
+  // --- Signature algorithm -------------------------------------------------
+  if (cert.signature_algorithm() == oids::md5_with_rsa()) {
+    add(out, "root.md5_signature", LintSeverity::kError,
+        "signature algorithm is md5WithRSAEncryption (forbidden)");
+  } else if (cert.signature_algorithm() == oids::sha1_with_rsa()) {
+    add(out, "root.sha1_signature", LintSeverity::kWarning,
+        "signature algorithm is sha1WithRSAEncryption (deprecated)");
+  }
+
+  // --- Key strength ---------------------------------------------------------
+  const auto& key = cert.public_key();
+  if (key.algorithm() == KeyAlgorithm::kRsa) {
+    if (key.bits() < 2048) {
+      add(out, "root.rsa_key_too_small", LintSeverity::kError,
+          "RSA modulus is " + std::to_string(key.bits()) +
+              " bits (BRs require >= 2048)");
+    } else if (key.bits() < 3072) {
+      add(out, "root.rsa_2048", LintSeverity::kInfo,
+          "RSA-2048 root; consider >= 3072 or EC for new roots");
+    }
+  }
+
+  // --- Serial number ---------------------------------------------------------
+  if (cert.serial().empty()) {
+    add(out, "root.serial_empty", LintSeverity::kError,
+        "serialNumber has no content octets");
+  } else {
+    if (cert.serial()[0] & 0x80) {
+      add(out, "root.serial_negative", LintSeverity::kError,
+          "serialNumber is negative (RFC 5280 requires positive)");
+    }
+    if (cert.serial().size() > 20) {
+      add(out, "root.serial_too_long", LintSeverity::kError,
+          "serialNumber exceeds 20 octets");
+    }
+  }
+
+  // --- Validity ---------------------------------------------------------------
+  const auto& validity = cert.validity();
+  if (validity.not_after < validity.not_before) {
+    add(out, "root.validity_inverted", LintSeverity::kError,
+        "notAfter precedes notBefore");
+  } else {
+    const double years = rs::util::years_between(validity.not_before.date,
+                                                 validity.not_after.date);
+    if (years > options.max_validity_years) {
+      add(out, "root.validity_excessive", LintSeverity::kWarning,
+          "validity spans " + std::to_string(static_cast<int>(years)) +
+              " years (> " + std::to_string(options.max_validity_years) + ")");
+    }
+  }
+  if (cert.is_expired_at(options.now)) {
+    add(out, "root.expired", LintSeverity::kWarning,
+        "expired on " + validity.not_after.date.to_string());
+  }
+
+  // --- Names ------------------------------------------------------------------
+  if (cert.subject().empty()) {
+    add(out, "root.empty_subject", LintSeverity::kError,
+        "subject distinguished name is empty");
+  } else if (!cert.subject().common_name() &&
+             !cert.subject().organization()) {
+    add(out, "root.anonymous_subject", LintSeverity::kWarning,
+        "subject carries neither commonName nor organizationName");
+  }
+  if (!cert.is_self_issued()) {
+    add(out, "root.not_self_issued", LintSeverity::kWarning,
+        "issuer differs from subject (cross-certificate shipped as a root?)");
+  }
+
+  // --- Version / extensions ----------------------------------------------------
+  if (cert.version() == 1) {
+    add(out, "root.v1_certificate", LintSeverity::kWarning,
+        "X.509 v1 certificate: no extensions, CA-ness only by convention");
+  } else {
+    const Extension* bc =
+        find_extension(cert.extensions(), oids::basic_constraints());
+    if (bc == nullptr) {
+      add(out, "root.missing_basic_constraints", LintSeverity::kError,
+          "v3 root lacks BasicConstraints");
+    } else {
+      if (!bc->critical) {
+        add(out, "root.basic_constraints_not_critical", LintSeverity::kWarning,
+            "BasicConstraints should be critical in CA certificates");
+      }
+      auto parsed = BasicConstraints::parse(bc->value);
+      if (!parsed.ok() || !parsed.value().ca) {
+        add(out, "root.not_a_ca", LintSeverity::kError,
+            "BasicConstraints does not assert CA:TRUE");
+      }
+    }
+    const Extension* ku = find_extension(cert.extensions(), oids::key_usage());
+    if (ku == nullptr) {
+      add(out, "root.missing_key_usage", LintSeverity::kWarning,
+          "v3 root lacks KeyUsage");
+    } else {
+      auto parsed = KeyUsage::parse(ku->value);
+      if (parsed.ok() && !parsed.value().key_cert_sign) {
+        add(out, "root.no_keycertsign", LintSeverity::kError,
+            "KeyUsage lacks keyCertSign");
+      }
+    }
+    // EKU in a root is an anti-pattern: the BRs scope EKU to intermediates.
+    if (find_extension(cert.extensions(), oids::ext_key_usage()) != nullptr) {
+      add(out, "root.eku_present", LintSeverity::kInfo,
+          "root carries an EKU extension (BRs scope EKU to intermediates)");
+    }
+    // RFC 5280 §4.2: a certificate MUST NOT include more than one instance
+    // of a particular extension.
+    for (std::size_t i = 0; i < cert.extensions().size(); ++i) {
+      for (std::size_t j = i + 1; j < cert.extensions().size(); ++j) {
+        if (cert.extensions()[i].oid == cert.extensions()[j].oid) {
+          add(out, "root.duplicate_extension", LintSeverity::kError,
+              "extension " + cert.extensions()[i].oid.to_dotted() +
+                  " appears more than once");
+        }
+      }
+    }
+    // RFC 5280 §4.2.1.2: CA certificates MUST include SubjectKeyIdentifier.
+    if (find_extension(cert.extensions(), oids::subject_key_id()) == nullptr) {
+      add(out, "root.missing_ski", LintSeverity::kInfo,
+          "CA certificate lacks SubjectKeyIdentifier (RFC 5280 requires it)");
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              if (a.severity != b.severity) {
+                return static_cast<int>(a.severity) >
+                       static_cast<int>(b.severity);
+              }
+              return a.check < b.check;
+            });
+  return out;
+}
+
+int lint_score(const std::vector<LintFinding>& findings) noexcept {
+  int score = 0;
+  for (const auto& f : findings) {
+    switch (f.severity) {
+      case LintSeverity::kError:
+        score += 10;
+        break;
+      case LintSeverity::kWarning:
+        score += 3;
+        break;
+      case LintSeverity::kInfo:
+        score += 1;
+        break;
+    }
+  }
+  return score;
+}
+
+}  // namespace rs::x509

@@ -1,0 +1,139 @@
+#include "src/x509/name.h"
+
+namespace rs::x509 {
+
+using rs::asn1::Oid;
+using rs::asn1::Reader;
+using rs::asn1::UniversalTag;
+using rs::asn1::Writer;
+using rs::util::Result;
+
+Name& Name::add(Oid type, std::string value, StringKind kind) {
+  attrs_.push_back(NameAttribute{std::move(type), std::move(value), kind});
+  return *this;
+}
+
+Name& Name::add_common_name(std::string cn) {
+  return add(rs::asn1::oids::common_name(), std::move(cn), StringKind::kUtf8);
+}
+
+Name& Name::add_country(std::string c) {
+  return add(rs::asn1::oids::country(), std::move(c), StringKind::kPrintable);
+}
+
+Name& Name::add_organization(std::string o) {
+  return add(rs::asn1::oids::organization(), std::move(o), StringKind::kUtf8);
+}
+
+std::optional<std::string_view> Name::find(const Oid& type) const {
+  for (const auto& a : attrs_) {
+    if (a.type == type) return a.value;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string_view> Name::common_name() const {
+  return find(rs::asn1::oids::common_name());
+}
+std::optional<std::string_view> Name::organization() const {
+  return find(rs::asn1::oids::organization());
+}
+std::optional<std::string_view> Name::country() const {
+  return find(rs::asn1::oids::country());
+}
+
+std::string Name::to_string() const {
+  std::string out;
+  for (const auto& a : attrs_) {
+    if (!out.empty()) out += ", ";
+    if (a.type == rs::asn1::oids::common_name()) {
+      out += "CN=";
+    } else if (a.type == rs::asn1::oids::country()) {
+      out += "C=";
+    } else if (a.type == rs::asn1::oids::organization()) {
+      out += "O=";
+    } else if (a.type == rs::asn1::oids::organizational_unit()) {
+      out += "OU=";
+    } else {
+      out += a.type.to_dotted() + "=";
+    }
+    out += a.value;
+  }
+  return out;
+}
+
+void Name::encode(Writer& w) const {
+  Writer rdns;
+  for (const auto& a : attrs_) {
+    Writer atv;
+    atv.add_oid(a.type);
+    switch (a.kind) {
+      case StringKind::kUtf8:
+        atv.add_utf8_string(a.value);
+        break;
+      case StringKind::kPrintable:
+        atv.add_printable_string(a.value);
+        break;
+      case StringKind::kIa5:
+        atv.add_ia5_string(a.value);
+        break;
+      case StringKind::kT61:
+        atv.add_tlv(rs::asn1::primitive(UniversalTag::kT61String),
+                    {reinterpret_cast<const std::uint8_t*>(a.value.data()),
+                     a.value.size()});
+        break;
+    }
+    Writer atv_seq;
+    atv_seq.add_sequence(atv);
+    rdns.add_set(atv_seq);
+  }
+  w.add_sequence(rdns);
+}
+
+Result<Name> Name::parse(Reader& r) {
+  auto seq = r.read_sequence();
+  if (!seq) return seq.propagate<Name>();
+  Reader& rdn_seq = seq.value();
+
+  std::vector<NameAttribute> attrs;
+  while (!rdn_seq.at_end()) {
+    auto set = rdn_seq.read_set();
+    if (!set) return set.propagate<Name>();
+    Reader& rdn = set.value();
+    // The study's certificates use single-attribute RDNs; accept multiple
+    // attributes per RDN and flatten in order.
+    while (!rdn.at_end()) {
+      auto atv = rdn.read_sequence();
+      if (!atv) return atv.propagate<Name>();
+      auto type = atv.value().read_oid();
+      if (!type) return type.propagate<Name>();
+      auto tag = atv.value().peek_tag();
+      if (!tag) return tag.propagate<Name>();
+      StringKind kind = StringKind::kUtf8;
+      switch (tag.value()) {
+        case rs::asn1::primitive(UniversalTag::kPrintableString):
+          kind = StringKind::kPrintable;
+          break;
+        case rs::asn1::primitive(UniversalTag::kIa5String):
+          kind = StringKind::kIa5;
+          break;
+        case rs::asn1::primitive(UniversalTag::kT61String):
+          kind = StringKind::kT61;
+          break;
+        default:
+          kind = StringKind::kUtf8;
+          break;
+      }
+      auto value = atv.value().read_string();
+      if (!value) return value.propagate<Name>();
+      if (!atv.value().at_end()) {
+        return Result<Name>::err("trailing data in AttributeTypeAndValue");
+      }
+      attrs.push_back(
+          NameAttribute{std::move(type).take(), std::move(value).take(), kind});
+    }
+  }
+  return Name(std::move(attrs));
+}
+
+}  // namespace rs::x509

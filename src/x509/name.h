@@ -1,0 +1,80 @@
+// X.501 distinguished names (RFC 5280 §4.1.2.4).
+//
+// A Name is an ordered sequence of relative distinguished names; this module
+// models the common single-attribute-per-RDN shape used by every root
+// certificate in the study, with DER round-tripping and RFC 4514-style
+// display.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/asn1/oid.h"
+#include "src/asn1/reader.h"
+#include "src/asn1/writer.h"
+#include "src/util/result.h"
+
+namespace rs::x509 {
+
+/// How an attribute value is encoded in DER.
+enum class StringKind : std::uint8_t {
+  kUtf8,
+  kPrintable,
+  kIa5,
+  kT61,
+};
+
+/// One AttributeTypeAndValue.
+struct NameAttribute {
+  rs::asn1::Oid type;
+  std::string value;
+  StringKind kind = StringKind::kUtf8;
+
+  friend auto operator<=>(const NameAttribute&, const NameAttribute&) = default;
+};
+
+/// An X.501 Name: ordered RDN sequence (one attribute per RDN).
+class Name {
+ public:
+  Name() = default;
+  explicit Name(std::vector<NameAttribute> attrs) : attrs_(std::move(attrs)) {}
+
+  /// Fluent construction for builders and the simulator.
+  Name& add(rs::asn1::Oid type, std::string value,
+            StringKind kind = StringKind::kUtf8);
+  Name& add_common_name(std::string cn);
+  Name& add_country(std::string c);        // encoded PrintableString
+  Name& add_organization(std::string o);
+
+  const std::vector<NameAttribute>& attributes() const noexcept {
+    return attrs_;
+  }
+  bool empty() const noexcept { return attrs_.empty(); }
+
+  /// First value of the given attribute type, if present.
+  std::optional<std::string_view> find(const rs::asn1::Oid& type) const;
+  std::optional<std::string_view> common_name() const;
+  std::optional<std::string_view> organization() const;
+  std::optional<std::string_view> country() const;
+
+  /// RFC 4514-flavoured display: "CN=Foo Root CA, O=Foo, C=US".
+  std::string to_string() const;
+
+  /// Appends this name's DER (SEQUENCE OF RDN) to `w`.
+  void encode(rs::asn1::Writer& w) const;
+
+  /// Parses a Name from the next element of `r`.
+  static rs::util::Result<Name> parse(rs::asn1::Reader& r);
+
+  friend auto operator<=>(const Name&, const Name&) = default;
+
+ private:
+  std::vector<NameAttribute> attrs_;
+};
+
+}  // namespace rs::x509

@@ -1,0 +1,135 @@
+#include "src/x509/public_key.h"
+
+#include "src/asn1/oid.h"
+
+namespace rs::x509 {
+
+using rs::asn1::Oid;
+using rs::asn1::Reader;
+using rs::asn1::Writer;
+using rs::util::Result;
+
+const char* to_string(KeyAlgorithm a) noexcept {
+  switch (a) {
+    case KeyAlgorithm::kRsa:
+      return "RSA";
+    case KeyAlgorithm::kEcP256:
+      return "EC P-256";
+    case KeyAlgorithm::kEcP384:
+      return "EC P-384";
+  }
+  return "?";
+}
+
+PublicKey PublicKey::synth_rsa(rs::crypto::Prng& seed_rng, unsigned bits) {
+  PublicKey k;
+  k.algorithm_ = KeyAlgorithm::kRsa;
+  k.bits_ = bits;
+
+  std::vector<std::uint8_t> modulus(bits / 8);
+  seed_rng.fill(modulus);
+  if (!modulus.empty()) {
+    modulus.front() |= 0x80;  // exact bit length
+    modulus.back() |= 0x01;   // odd, as a real modulus would be
+  }
+
+  // RSAPublicKey ::= SEQUENCE { modulus INTEGER, publicExponent INTEGER }
+  Writer body;
+  body.add_unsigned_big_integer(modulus);
+  body.add_small_integer(65537);
+  Writer rsa_pub;
+  rsa_pub.add_sequence(body);
+  k.material_ = std::move(rsa_pub).take();
+  return k;
+}
+
+PublicKey PublicKey::synth_ec(rs::crypto::Prng& seed_rng, KeyAlgorithm curve) {
+  PublicKey k;
+  k.algorithm_ = curve;
+  k.bits_ = curve == KeyAlgorithm::kEcP256 ? 256 : 384;
+
+  // Uncompressed point: 0x04 || X || Y.
+  const std::size_t coord = k.bits_ / 8;
+  k.material_.resize(1 + 2 * coord);
+  k.material_[0] = 0x04;
+  seed_rng.fill(std::span(k.material_).subspan(1));
+  return k;
+}
+
+void PublicKey::encode(Writer& w) const {
+  Writer alg;
+  if (algorithm_ == KeyAlgorithm::kRsa) {
+    alg.add_oid(rs::asn1::oids::rsa_encryption());
+    alg.add_null();
+  } else {
+    alg.add_oid(rs::asn1::oids::ec_public_key());
+    alg.add_oid(algorithm_ == KeyAlgorithm::kEcP256
+                    ? rs::asn1::oids::curve_p256()
+                    : rs::asn1::oids::curve_p384());
+  }
+  Writer spki;
+  spki.add_sequence(alg);
+  spki.add_bit_string(material_);
+  w.add_sequence(spki);
+}
+
+Result<PublicKey> PublicKey::parse(Reader& r) {
+  auto spki = r.read_sequence();
+  if (!spki) return spki.propagate<PublicKey>();
+  auto alg = spki.value().read_sequence();
+  if (!alg) return alg.propagate<PublicKey>();
+  auto alg_oid = alg.value().read_oid();
+  if (!alg_oid) return alg_oid.propagate<PublicKey>();
+
+  PublicKey k;
+  if (alg_oid.value() == rs::asn1::oids::rsa_encryption()) {
+    k.algorithm_ = KeyAlgorithm::kRsa;
+    if (!alg.value().at_end()) {
+      auto null = alg.value().read_null();
+      if (!null) return null.propagate<PublicKey>();
+    }
+  } else if (alg_oid.value() == rs::asn1::oids::ec_public_key()) {
+    auto curve = alg.value().read_oid();
+    if (!curve) return curve.propagate<PublicKey>();
+    if (curve.value() == rs::asn1::oids::curve_p256()) {
+      k.algorithm_ = KeyAlgorithm::kEcP256;
+      k.bits_ = 256;
+    } else if (curve.value() == rs::asn1::oids::curve_p384()) {
+      k.algorithm_ = KeyAlgorithm::kEcP384;
+      k.bits_ = 384;
+    } else {
+      return Result<PublicKey>::err("unsupported EC curve " +
+                                    curve.value().to_dotted());
+    }
+  } else {
+    return Result<PublicKey>::err("unsupported key algorithm " +
+                                  alg_oid.value().to_dotted());
+  }
+
+  auto bits = spki.value().read_bit_string();
+  if (!bits) return bits.propagate<PublicKey>();
+  if (bits.value().unused_bits != 0) {
+    return Result<PublicKey>::err("SPKI BIT STRING must be octet-aligned");
+  }
+  k.material_ = std::move(bits.value().bytes);
+
+  if (k.algorithm_ == KeyAlgorithm::kRsa) {
+    // Recover the modulus size from the inner RSAPublicKey.
+    Reader inner(k.material_);
+    auto rsa_seq = inner.read_sequence();
+    if (!rsa_seq) return rsa_seq.propagate<PublicKey>();
+    auto modulus = rsa_seq.value().read_big_integer();
+    if (!modulus) return modulus.propagate<PublicKey>();
+    auto exponent = rsa_seq.value().read_big_integer();
+    if (!exponent) return exponent.propagate<PublicKey>();
+    std::span<const std::uint8_t> m = modulus.value();
+    while (!m.empty() && m.front() == 0) m = m.subspan(1);  // sign octet
+    if (m.empty()) return Result<PublicKey>::err("empty RSA modulus");
+    unsigned top_bits = 0;
+    for (std::uint8_t b = m.front(); b != 0; b >>= 1) ++top_bits;
+    k.bits_ = static_cast<unsigned>((m.size() - 1) * 8) + top_bits;
+  }
+  return k;
+}
+
+}  // namespace rs::x509

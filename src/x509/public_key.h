@@ -1,0 +1,67 @@
+// SubjectPublicKeyInfo modelling (RFC 5280 §4.1.2.7).
+//
+// Table 3 of the paper measures when each root program purged 1024-bit RSA
+// roots, so the parser must recover RSA modulus sizes exactly.  Synthetic
+// keys carry deterministic pseudo-random material of the correct shape; no
+// cryptographic operations are ever performed on them (see DESIGN.md).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/asn1/reader.h"
+#include "src/asn1/writer.h"
+#include "src/crypto/prng.h"
+#include "src/util/result.h"
+
+namespace rs::x509 {
+
+/// Public key algorithm families observed in root stores.
+enum class KeyAlgorithm : std::uint8_t {
+  kRsa,
+  kEcP256,
+  kEcP384,
+};
+
+const char* to_string(KeyAlgorithm a) noexcept;
+
+/// A parsed SubjectPublicKeyInfo.
+class PublicKey {
+ public:
+  PublicKey() = default;
+
+  /// Deterministically synthesizes an RSA key of `bits` (512/1024/2048/4096)
+  /// from `seed_rng`: random modulus with high bit set, exponent 65537.
+  static PublicKey synth_rsa(rs::crypto::Prng& seed_rng, unsigned bits);
+
+  /// Deterministically synthesizes an EC key on P-256 or P-384.
+  static PublicKey synth_ec(rs::crypto::Prng& seed_rng, KeyAlgorithm curve);
+
+  KeyAlgorithm algorithm() const noexcept { return algorithm_; }
+
+  /// Key strength in bits: RSA modulus size, or 256/384 for EC.
+  unsigned bits() const noexcept { return bits_; }
+
+  /// Raw subjectPublicKey BIT STRING payload (RSAPublicKey DER or EC point).
+  const std::vector<std::uint8_t>& key_material() const noexcept {
+    return material_;
+  }
+
+  /// Appends the SubjectPublicKeyInfo SEQUENCE to `w`.
+  void encode(rs::asn1::Writer& w) const;
+
+  /// Parses the next element of `r` as SubjectPublicKeyInfo.
+  static rs::util::Result<PublicKey> parse(rs::asn1::Reader& r);
+
+  friend bool operator==(const PublicKey&, const PublicKey&) = default;
+
+ private:
+  KeyAlgorithm algorithm_ = KeyAlgorithm::kRsa;
+  unsigned bits_ = 0;
+  std::vector<std::uint8_t> material_;
+};
+
+}  // namespace rs::x509

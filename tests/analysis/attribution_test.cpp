@@ -1,0 +1,82 @@
+#include "src/analysis/attribution.h"
+
+#include <gtest/gtest.h>
+
+namespace rs::analysis {
+namespace {
+
+using rs::synth::UserAgentGroup;
+
+TEST(Attribution, CoverageOverTable1Population) {
+  const auto summary =
+      coverage_summary(rs::synth::user_agent_population());
+  EXPECT_EQ(summary.total_user_agents, 200);
+  EXPECT_EQ(summary.included_user_agents, 154);
+  EXPECT_NEAR(summary.coverage, 0.77, 1e-9);
+  EXPECT_EQ(summary.per_os_total.at("Windows"), 50);
+  EXPECT_EQ(summary.per_os_total.at("Android"), 56);
+}
+
+TEST(Attribution, ProgramSharesMatchPaperShape) {
+  const auto attribution =
+      attribute_programs(rs::synth::user_agent_population());
+  // Paper: NSS 34%, Apple 23%, Windows 20%; Java none.
+  const double nss = attribution.ua_share.at("Mozilla/NSS");
+  const double apple = attribution.ua_share.at("Apple");
+  const double microsoft = attribution.ua_share.at("Microsoft");
+  EXPECT_GT(nss, apple);
+  EXPECT_GT(apple, microsoft);
+  EXPECT_NEAR(nss, 0.34, 0.05);
+  EXPECT_NEAR(apple, 0.23, 0.05);
+  EXPECT_NEAR(microsoft, 0.20, 0.05);
+  EXPECT_EQ(attribution.ua_count.count("Java"), 0u);
+}
+
+TEST(Attribution, CustomPopulation) {
+  std::vector<UserAgentGroup> pop = {
+      {"OS1", "agent-a", 10, true, "NSS"},
+      {"OS1", "agent-b", 5, true, "Apple"},
+      {"OS2", "agent-c", 5, false, ""},
+  };
+  const auto summary = coverage_summary(pop);
+  EXPECT_EQ(summary.total_user_agents, 20);
+  EXPECT_EQ(summary.included_user_agents, 15);
+  const auto attribution = attribute_programs(pop);
+  EXPECT_EQ(attribution.ua_count.at("Mozilla/NSS"), 10);
+  EXPECT_EQ(attribution.ua_count.at("Apple"), 5);
+  EXPECT_EQ(attribution.unattributed, 5);
+  EXPECT_NEAR(attribution.ua_share.at("Mozilla/NSS"), 0.5, 1e-12);
+}
+
+TEST(Attribution, UnknownProviderIsUnattributed) {
+  std::vector<UserAgentGroup> pop = {
+      {"OS", "agent", 7, true, "SomethingElse"},
+  };
+  const auto attribution = attribute_programs(pop);
+  EXPECT_EQ(attribution.unattributed, 7);
+  EXPECT_TRUE(attribution.ua_count.empty());
+}
+
+TEST(Attribution, EmptyPopulation) {
+  const auto summary = coverage_summary({});
+  EXPECT_EQ(summary.total_user_agents, 0);
+  EXPECT_EQ(summary.coverage, 0.0);
+  const auto attribution = attribute_programs({});
+  EXPECT_TRUE(attribution.ua_count.empty());
+}
+
+TEST(ProviderFamilies, DerivativesResolveToNss) {
+  using rs::synth::RootProgram;
+  using rs::synth::program_of_provider;
+  EXPECT_EQ(program_of_provider("NSS"), RootProgram::kNss);
+  EXPECT_EQ(program_of_provider("Debian"), RootProgram::kNss);
+  EXPECT_EQ(program_of_provider("Android"), RootProgram::kNss);
+  EXPECT_EQ(program_of_provider("NodeJS"), RootProgram::kNss);
+  EXPECT_EQ(program_of_provider("Apple"), RootProgram::kApple);
+  EXPECT_EQ(program_of_provider("Microsoft"), RootProgram::kMicrosoft);
+  EXPECT_EQ(program_of_provider("Java"), RootProgram::kJava);
+  EXPECT_FALSE(program_of_provider("Yandex").has_value());
+}
+
+}  // namespace
+}  // namespace rs::analysis

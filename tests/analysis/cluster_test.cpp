@@ -1,0 +1,146 @@
+#include "src/analysis/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace rs::analysis {
+namespace {
+
+DistanceMatrix matrix_from(const std::vector<std::vector<double>>& rows) {
+  DistanceMatrix m;
+  const std::size_t n = rows.size();
+  m.labels.resize(n);
+  m.values.resize(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m.values[i * n + j] = rows[i][j];
+  }
+  return m;
+}
+
+TEST(Cluster, TwoObviousClusters) {
+  const auto m = matrix_from({
+      {0.0, 0.1, 0.9, 0.9},
+      {0.1, 0.0, 0.9, 0.9},
+      {0.9, 0.9, 0.0, 0.1},
+      {0.9, 0.9, 0.1, 0.0},
+  });
+  const auto c = cluster_snapshots(m, 0.5);
+  EXPECT_EQ(c.cluster_count, 2u);
+  EXPECT_EQ(c.assignment[0], c.assignment[1]);
+  EXPECT_EQ(c.assignment[2], c.assignment[3]);
+  EXPECT_NE(c.assignment[0], c.assignment[2]);
+}
+
+TEST(Cluster, SingleLinkageChains) {
+  // 0-1 close, 1-2 close, 0-2 far: single linkage still merges all three.
+  const auto m = matrix_from({
+      {0.0, 0.2, 0.8},
+      {0.2, 0.0, 0.2},
+      {0.8, 0.2, 0.0},
+  });
+  const auto c = cluster_snapshots(m, 0.3);
+  EXPECT_EQ(c.cluster_count, 1u);
+}
+
+TEST(Cluster, CutoffBoundaryIsExclusive) {
+  const auto m = matrix_from({{0.0, 0.5}, {0.5, 0.0}});
+  EXPECT_EQ(cluster_snapshots(m, 0.5).cluster_count, 2u);   // d < cutoff fails
+  EXPECT_EQ(cluster_snapshots(m, 0.51).cluster_count, 1u);
+}
+
+TEST(Cluster, EmptyAndSingleton) {
+  EXPECT_EQ(cluster_snapshots(matrix_from({}), 0.5).cluster_count, 0u);
+  EXPECT_EQ(cluster_snapshots(matrix_from({{0.0}}), 0.5).cluster_count, 1u);
+}
+
+TEST(Cluster, MembersPartitionRows) {
+  const auto m = matrix_from({
+      {0.0, 0.1, 0.9},
+      {0.1, 0.0, 0.9},
+      {0.9, 0.9, 0.0},
+  });
+  const auto c = cluster_snapshots(m, 0.5);
+  const auto members = cluster_members(c);
+  std::size_t total = 0;
+  for (const auto& cluster : members) total += cluster.size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(CompleteLinkage, DoesNotChain) {
+  // 0-1 close, 1-2 close, 0-2 far: complete linkage must NOT merge all
+  // three (contrast with SingleLinkageChains above).
+  const auto m = matrix_from({
+      {0.0, 0.2, 0.8},
+      {0.2, 0.0, 0.2},
+      {0.8, 0.2, 0.0},
+  });
+  const auto c = cluster_snapshots_complete(m, 0.3);
+  EXPECT_EQ(c.cluster_count, 2u);
+}
+
+TEST(CompleteLinkage, MergesTightClusters) {
+  const auto m = matrix_from({
+      {0.0, 0.1, 0.9, 0.9},
+      {0.1, 0.0, 0.9, 0.9},
+      {0.9, 0.9, 0.0, 0.1},
+      {0.9, 0.9, 0.1, 0.0},
+  });
+  const auto c = cluster_snapshots_complete(m, 0.5);
+  EXPECT_EQ(c.cluster_count, 2u);
+  EXPECT_EQ(c.assignment[0], c.assignment[1]);
+  EXPECT_NE(c.assignment[0], c.assignment[2]);
+}
+
+TEST(CompleteLinkage, EmptyMatrix) {
+  EXPECT_EQ(cluster_snapshots_complete(matrix_from({}), 0.5).cluster_count, 0u);
+}
+
+TEST(Silhouette, PerfectSeparationScoresHigh) {
+  const auto m = matrix_from({
+      {0.0, 0.05, 0.9, 0.9},
+      {0.05, 0.0, 0.9, 0.9},
+      {0.9, 0.9, 0.0, 0.05},
+      {0.9, 0.9, 0.05, 0.0},
+  });
+  const auto c = cluster_snapshots(m, 0.5);
+  EXPECT_GT(silhouette_score(m, c), 0.9);
+}
+
+TEST(Silhouette, BadClusteringScoresLow) {
+  const auto m = matrix_from({
+      {0.0, 0.05, 0.9, 0.9},
+      {0.05, 0.0, 0.9, 0.9},
+      {0.9, 0.9, 0.0, 0.05},
+      {0.9, 0.9, 0.05, 0.0},
+  });
+  // Deliberately wrong assignment: split each tight pair across clusters.
+  Clustering bad;
+  bad.assignment = {0, 1, 0, 1};
+  bad.cluster_count = 2;
+  EXPECT_LT(silhouette_score(m, bad), 0.0);
+}
+
+TEST(Silhouette, DegenerateCasesAreZero) {
+  const auto m = matrix_from({{0.0, 0.5}, {0.5, 0.0}});
+  Clustering one;
+  one.assignment = {0, 0};
+  one.cluster_count = 1;
+  EXPECT_EQ(silhouette_score(m, one), 0.0);
+  EXPECT_EQ(silhouette_score(matrix_from({}), Clustering{}), 0.0);
+}
+
+TEST(ClusterQuality, PurityComputation) {
+  Clustering c;
+  c.assignment = {0, 0, 0, 1, 1};
+  c.cluster_count = 2;
+  const std::vector<std::string> labels = {"a", "a", "b", "c", "c"};
+  const auto q = cluster_quality(c, labels);
+  ASSERT_EQ(q.purity.size(), 2u);
+  EXPECT_EQ(q.majority_label[0], "a");
+  EXPECT_NEAR(q.purity[0], 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(q.majority_label[1], "c");
+  EXPECT_DOUBLE_EQ(q.purity[1], 1.0);
+  EXPECT_NEAR(q.overall_purity, 4.0 / 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rs::analysis

@@ -1,0 +1,114 @@
+#include "src/analysis/hygiene.h"
+
+#include <gtest/gtest.h>
+
+#include "src/store/trust.h"
+#include "src/x509/builder.h"
+
+namespace rs::analysis {
+namespace {
+
+using rs::store::ProviderHistory;
+using rs::store::Snapshot;
+using rs::store::TrustEntry;
+using rs::util::Date;
+using rs::x509::SignatureScheme;
+
+std::shared_ptr<const rs::x509::Certificate> cert_with(
+    std::uint64_t seed, SignatureScheme scheme, unsigned bits,
+    Date not_after = Date::ymd(2030, 1, 1)) {
+  rs::x509::Name n;
+  n.add_common_name("Hyg Root " + std::to_string(seed));
+  return std::make_shared<const rs::x509::Certificate>(
+      rs::x509::CertificateBuilder()
+          .subject(n)
+          .key_seed(seed)
+          .not_before(Date::ymd(2000, 1, 1))
+          .not_after(not_after)
+          .signature_scheme(scheme)
+          .rsa_bits(bits)
+          .build());
+}
+
+Snapshot snap(Date date, std::vector<TrustEntry> entries) {
+  Snapshot s;
+  s.provider = "P";
+  s.date = date;
+  s.entries = std::move(entries);
+  return s;
+}
+
+TEST(Hygiene, AveragesOverSnapshots) {
+  auto good = rs::store::make_tls_anchor(
+      cert_with(1, SignatureScheme::kSha256Rsa, 2048));
+  auto expired = rs::store::make_tls_anchor(cert_with(
+      2, SignatureScheme::kSha256Rsa, 2048, Date::ymd(2015, 1, 1)));
+  ProviderHistory h("P");
+  h.add(snap(Date::ymd(2014, 1, 1), {good, expired}));      // nothing expired
+  h.add(snap(Date::ymd(2016, 1, 1), {good, expired}));      // one expired
+  h.add(snap(Date::ymd(2017, 1, 1), {good}));               // pruned
+  const auto m = hygiene_metrics(h);
+  EXPECT_NEAR(m.avg_size, (2 + 2 + 1) / 3.0, 1e-12);
+  EXPECT_NEAR(m.avg_expired, (0 + 1 + 0) / 3.0, 1e-12);
+}
+
+TEST(Hygiene, Md5RemovalDateIsFirstCleanSnapshot) {
+  auto md5 = rs::store::make_tls_anchor(
+      cert_with(3, SignatureScheme::kMd5Rsa, 2048));
+  auto modern = rs::store::make_tls_anchor(
+      cert_with(4, SignatureScheme::kSha256Rsa, 2048));
+  ProviderHistory h("P");
+  h.add(snap(Date::ymd(2014, 1, 1), {md5, modern}));
+  h.add(snap(Date::ymd(2015, 1, 1), {md5, modern}));
+  h.add(snap(Date::ymd(2016, 2, 15), {modern}));
+  h.add(snap(Date::ymd(2017, 1, 1), {modern}));
+  const auto m = hygiene_metrics(h);
+  ASSERT_TRUE(m.md5_removed.has_value());
+  EXPECT_EQ(*m.md5_removed, Date::ymd(2016, 2, 15));
+  EXPECT_FALSE(m.md5_still_present);
+}
+
+TEST(Hygiene, ReappearanceResetsRemoval) {
+  auto weak = rs::store::make_tls_anchor(
+      cert_with(5, SignatureScheme::kSha1Rsa, 1024));
+  auto modern = rs::store::make_tls_anchor(
+      cert_with(6, SignatureScheme::kSha256Rsa, 2048));
+  ProviderHistory h("P");
+  h.add(snap(Date::ymd(2014, 1, 1), {weak, modern}));
+  h.add(snap(Date::ymd(2015, 1, 1), {modern}));          // removed...
+  h.add(snap(Date::ymd(2016, 1, 1), {weak, modern}));    // ...re-added!
+  h.add(snap(Date::ymd(2018, 1, 1), {modern}));          // removed again
+  const auto m = hygiene_metrics(h);
+  ASSERT_TRUE(m.weak_rsa_removed.has_value());
+  EXPECT_EQ(*m.weak_rsa_removed, Date::ymd(2018, 1, 1));
+}
+
+TEST(Hygiene, NeverPresentMeansNoRemovalDate) {
+  auto modern = rs::store::make_tls_anchor(
+      cert_with(7, SignatureScheme::kSha256Rsa, 2048));
+  ProviderHistory h("P");
+  h.add(snap(Date::ymd(2014, 1, 1), {modern}));
+  const auto m = hygiene_metrics(h);
+  EXPECT_FALSE(m.md5_removed.has_value());
+  EXPECT_FALSE(m.weak_rsa_removed.has_value());
+  EXPECT_FALSE(m.md5_still_present);
+}
+
+TEST(Hygiene, StillPresentFlag) {
+  auto md5 = rs::store::make_tls_anchor(
+      cert_with(8, SignatureScheme::kMd5Rsa, 2048));
+  ProviderHistory h("P");
+  h.add(snap(Date::ymd(2014, 1, 1), {md5}));
+  const auto m = hygiene_metrics(h);
+  EXPECT_TRUE(m.md5_still_present);
+  EXPECT_FALSE(m.md5_removed.has_value());
+}
+
+TEST(Hygiene, EmptyHistory) {
+  const auto m = hygiene_metrics(ProviderHistory("P"));
+  EXPECT_EQ(m.avg_size, 0.0);
+  EXPECT_EQ(m.avg_expired, 0.0);
+}
+
+}  // namespace
+}  // namespace rs::analysis

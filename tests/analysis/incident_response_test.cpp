@@ -1,0 +1,129 @@
+#include "src/analysis/incident_response.h"
+
+#include <gtest/gtest.h>
+
+#include "src/synth/program_model.h"
+
+namespace rs::analysis {
+namespace {
+
+using rs::store::ProviderHistory;
+using rs::store::Snapshot;
+using rs::store::StoreDatabase;
+using rs::synth::CertFactory;
+using rs::synth::RootSpec;
+using rs::util::Date;
+
+RootSpec spec(const std::string& id) {
+  RootSpec s;
+  s.id = id;
+  s.common_name = id;
+  s.not_before = Date::ymd(2005, 1, 1);
+  s.not_after = Date::ymd(2035, 1, 1);
+  return s;
+}
+
+Snapshot snap(const std::string& provider, Date date,
+              std::vector<std::shared_ptr<const rs::x509::Certificate>> certs) {
+  Snapshot s;
+  s.provider = provider;
+  s.date = date;
+  for (auto& c : certs) s.entries.push_back(rs::store::make_tls_anchor(c));
+  return s;
+}
+
+TEST(IncidentResponse, MeasuresLagAndCounts) {
+  CertFactory factory(1);
+  auto bad = factory.get(spec("bad-root"));
+  auto good = factory.get(spec("good-root"));
+
+  rs::synth::Incident incident;
+  incident.name = "TestIncident";
+  incident.nss_removal = Date::ymd(2020, 1, 1);
+  incident.root_ids = {"bad-root"};
+
+  StoreDatabase db;
+  {
+    ProviderHistory nss("NSS");  // excluded from measurement
+    nss.add(snap("NSS", Date::ymd(2019, 1, 1), {bad, good}));
+    nss.add(snap("NSS", Date::ymd(2020, 1, 1), {good}));
+    db.add(std::move(nss));
+  }
+  {
+    ProviderHistory slow("Slow");
+    slow.add(snap("Slow", Date::ymd(2019, 6, 1), {bad, good}));
+    slow.add(snap("Slow", Date::ymd(2020, 4, 10), {bad, good}));
+    slow.add(snap("Slow", Date::ymd(2020, 7, 1), {good}));
+    db.add(std::move(slow));
+  }
+  {
+    ProviderHistory never("Never");
+    never.add(snap("Never", Date::ymd(2019, 6, 1), {good}));
+    db.add(std::move(never));
+  }
+  {
+    ProviderHistory still("Still");
+    still.add(snap("Still", Date::ymd(2021, 1, 1), {bad, good}));
+    db.add(std::move(still));
+  }
+
+  const auto m = measure_incident(db, incident, factory);
+  EXPECT_EQ(m.incident, "TestIncident");
+  ASSERT_EQ(m.responses.size(), 2u);  // "Never" carried 0, NSS excluded
+
+  const auto* slow = &m.responses[0];
+  const auto* still = &m.responses[1];
+  if (slow->provider != "Slow") std::swap(slow, still);
+  EXPECT_EQ(slow->provider, "Slow");
+  EXPECT_EQ(slow->certs_carried, 1);
+  ASSERT_TRUE(slow->trusted_until.has_value());
+  EXPECT_EQ(*slow->trusted_until, Date::ymd(2020, 4, 10));
+  ASSERT_TRUE(slow->lag_days.has_value());
+  EXPECT_EQ(*slow->lag_days, 100);
+  EXPECT_FALSE(slow->still_trusted);
+
+  EXPECT_EQ(still->provider, "Still");
+  EXPECT_TRUE(still->still_trusted);
+  EXPECT_FALSE(still->lag_days.has_value());
+}
+
+TEST(IncidentResponse, MultiRootIncidentCountsDistinctRoots) {
+  CertFactory factory(2);
+  auto r1 = factory.get(spec("r1"));
+  auto r2 = factory.get(spec("r2"));
+
+  rs::synth::Incident incident;
+  incident.name = "Multi";
+  incident.nss_removal = Date::ymd(2020, 1, 1);
+  incident.root_ids = {"r1", "r2"};
+
+  StoreDatabase db;
+  ProviderHistory p("P");
+  p.add(snap("P", Date::ymd(2019, 1, 1), {r1}));
+  p.add(snap("P", Date::ymd(2019, 6, 1), {r1, r2}));
+  p.add(snap("P", Date::ymd(2020, 6, 1), {}));
+  db.add(std::move(p));
+
+  const auto m = measure_incident(db, incident, factory);
+  ASSERT_EQ(m.responses.size(), 1u);
+  EXPECT_EQ(m.responses[0].certs_carried, 2);
+  EXPECT_EQ(*m.responses[0].trusted_until, Date::ymd(2019, 6, 1));
+  EXPECT_EQ(*m.responses[0].lag_days, -214);  // negative: removed pre-NSS
+}
+
+TEST(IncidentResponse, UnknownRootIdsYieldNoResponses) {
+  CertFactory factory(3);
+  rs::synth::Incident incident;
+  incident.name = "Ghost";
+  incident.nss_removal = Date::ymd(2020, 1, 1);
+  incident.root_ids = {"never-built"};
+  StoreDatabase db;
+  ProviderHistory p("P");
+  p.add(snap("P", Date::ymd(2019, 1, 1), {}));
+  db.add(std::move(p));
+  const auto m = measure_incident(db, incident, factory);
+  EXPECT_TRUE(m.responses.empty());
+}
+
+}  // namespace
+}  // namespace rs::analysis

@@ -1,0 +1,122 @@
+#include "src/analysis/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/store/trust.h"
+#include "src/synth/paper_scenario.h"
+#include "src/x509/builder.h"
+
+namespace rs::analysis {
+namespace {
+
+using rs::store::ProviderHistory;
+using rs::store::Snapshot;
+using rs::store::StoreDatabase;
+using rs::util::Date;
+
+std::shared_ptr<const rs::x509::Certificate> cert_for(const std::string& org,
+                                                      std::uint64_t seed) {
+  rs::x509::Name n;
+  n.add_common_name(org + " Root " + std::to_string(seed))
+      .add_organization(org);
+  return std::make_shared<const rs::x509::Certificate>(
+      rs::x509::CertificateBuilder().subject(n).key_seed(seed).build());
+}
+
+StoreDatabase db_with(
+    const std::map<std::string,
+                   std::vector<std::shared_ptr<const rs::x509::Certificate>>>&
+        per_program) {
+  StoreDatabase db;
+  for (const auto& [program, certs] : per_program) {
+    ProviderHistory h(program);
+    Snapshot s;
+    s.provider = program;
+    s.date = Date::ymd(2021, 1, 1);
+    for (const auto& c : certs) {
+      s.entries.push_back(rs::store::make_tls_anchor(c));
+    }
+    h.add(std::move(s));
+    db.add(std::move(h));
+  }
+  return db;
+}
+
+TEST(Operators, GroupsRootsByOrganization) {
+  auto shared1 = cert_for("SharedCA", 1);
+  auto shared2 = cert_for("SharedCA", 2);   // second root, same operator
+  auto a_only = cert_for("OnlyInA", 3);
+  const auto db = db_with({
+      {"A", {shared1, shared2, a_only}},
+      {"B", {shared1}},
+  });
+
+  const auto footprints = operator_footprints(db, {"A", "B"});
+  ASSERT_EQ(footprints.size(), 2u);
+  // Sorted: multi-program operators first.
+  EXPECT_EQ(footprints[0].operator_name, "SharedCA");
+  EXPECT_EQ(footprints[0].program_count(), 2u);
+  EXPECT_EQ(footprints[0].roots_per_program.at("A"), 2u);
+  EXPECT_EQ(footprints[0].roots_per_program.at("B"), 1u);
+  EXPECT_EQ(footprints[0].total_roots(), 3u);
+  EXPECT_EQ(footprints[1].operator_name, "OnlyInA");
+}
+
+TEST(Operators, SingleProgramFilter) {
+  auto shared = cert_for("Everywhere", 1);
+  auto a_only = cert_for("JustA", 2);
+  auto b_only = cert_for("JustB", 3);
+  const auto db = db_with({
+      {"A", {shared, a_only}},
+      {"B", {shared, b_only}},
+  });
+  const auto single = single_program_operators(db, {"A", "B"});
+  ASSERT_EQ(single.size(), 2u);
+  EXPECT_EQ(single[0].operator_name, "JustA");
+  EXPECT_EQ(single[1].operator_name, "JustB");
+}
+
+TEST(Operators, NonTlsAnchorsIgnored) {
+  auto email_cert = cert_for("EmailHouse", 4);
+  StoreDatabase db;
+  ProviderHistory h("A");
+  Snapshot s;
+  s.provider = "A";
+  s.date = Date::ymd(2021, 1, 1);
+  s.entries = {rs::store::make_anchor_for(
+      email_cert, {rs::store::TrustPurpose::kEmailProtection})};
+  h.add(std::move(s));
+  db.add(std::move(h));
+  EXPECT_TRUE(operator_footprints(db, {"A"}).empty());
+}
+
+TEST(Operators, PaperScenarioShape) {
+  auto scenario = rs::synth::build_paper_scenario();
+  const std::vector<std::string> programs = {"NSS", "Java", "Apple",
+                                             "Microsoft"};
+  const auto footprints =
+      operator_footprints(scenario.database(), programs);
+  ASSERT_FALSE(footprints.empty());
+  // The mainstream pool is shared: a healthy majority of operators span
+  // several programs.
+  std::size_t multi = 0;
+  for (const auto& f : footprints) {
+    if (f.program_count() >= 3) ++multi;
+  }
+  EXPECT_GT(multi, footprints.size() / 3);
+
+  // Government super-CAs from Table 6 appear as Microsoft-only operators.
+  const auto single =
+      single_program_operators(scenario.database(), programs);
+  bool found_gov = false;
+  for (const auto& f : single) {
+    if (f.operator_name.find("Gov. of") != std::string::npos &&
+        f.roots_per_program.contains("Microsoft")) {
+      found_gov = true;
+    }
+  }
+  EXPECT_TRUE(found_gov);
+}
+
+}  // namespace
+}  // namespace rs::analysis

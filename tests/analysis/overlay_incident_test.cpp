@@ -1,0 +1,110 @@
+// Overlay-aware incident measurement: revoked-but-shipped roots must split
+// the "trusted until" and "shipped until" dates the way Table 4's Apple
+// footnotes describe.
+#include <gtest/gtest.h>
+
+#include "src/analysis/incident_response.h"
+#include "src/synth/paper_scenario.h"
+
+namespace rs::analysis {
+namespace {
+
+using rs::store::ProviderHistory;
+using rs::store::Snapshot;
+using rs::store::StoreDatabase;
+using rs::synth::CertFactory;
+using rs::synth::RootSpec;
+using rs::util::Date;
+
+RootSpec spec(const std::string& id) {
+  RootSpec s;
+  s.id = id;
+  s.common_name = id;
+  s.not_before = Date::ymd(2005, 1, 1);
+  s.not_after = Date::ymd(2035, 1, 1);
+  return s;
+}
+
+TEST(OverlayIncident, RevokedNotRemovedSplitsDates) {
+  CertFactory factory(1);
+  auto bad = factory.get(spec("bad"));
+
+  rs::synth::Incident incident;
+  incident.name = "Test";
+  incident.nss_removal = Date::ymd(2020, 1, 1);
+  incident.root_ids = {"bad"};
+
+  StoreDatabase db;
+  ProviderHistory p("P");
+  for (int month : {1, 6, 12}) {
+    Snapshot s;
+    s.provider = "P";
+    s.date = Date::ymd(2020, month, 15);
+    s.entries = {rs::store::make_tls_anchor(bad)};
+    p.add(std::move(s));
+  }
+  db.add(std::move(p));
+
+  std::map<std::string, rs::store::TrustOverlay> overlays;
+  rs::store::TrustOverlay ov("P");
+  ov.add({bad->sha256(), Date::ymd(2020, 7, 1), "valid.example.com", 0});
+  overlays.emplace("P", std::move(ov));
+
+  // Without overlays: trusted to the end.
+  const auto plain = measure_incident(db, incident, factory);
+  ASSERT_EQ(plain.responses.size(), 1u);
+  EXPECT_TRUE(plain.responses[0].still_trusted);
+  EXPECT_EQ(plain.responses[0].revoked_not_removed, 0);
+
+  // With overlays: effective trust ends at the June snapshot; the root is
+  // still shipped in December.
+  const auto measured = measure_incident(db, incident, factory, &overlays);
+  ASSERT_EQ(measured.responses.size(), 1u);
+  const auto& r = measured.responses[0];
+  EXPECT_FALSE(r.still_trusted);
+  ASSERT_TRUE(r.trusted_until.has_value());
+  EXPECT_EQ(*r.trusted_until, Date::ymd(2020, 6, 15));
+  ASSERT_TRUE(r.lag_days.has_value());
+  EXPECT_EQ(*r.lag_days, 166);
+  EXPECT_TRUE(r.still_shipped);
+  ASSERT_TRUE(r.shipped_until.has_value());
+  EXPECT_EQ(*r.shipped_until, Date::ymd(2020, 12, 15));
+  EXPECT_EQ(r.revoked_not_removed, 1);
+}
+
+TEST(OverlayIncident, PaperScenarioAppleStartComAndCertinomis) {
+  auto scenario = rs::synth::build_paper_scenario();
+  const auto incidents = rs::synth::high_severity_incidents();
+
+  for (const auto& incident : incidents) {
+    const auto measured =
+        measure_incident(scenario.database(), incident, scenario.factory(),
+                         &scenario.overlays());
+    const MeasuredResponse* apple = nullptr;
+    for (const auto& r : measured.responses) {
+      if (r.provider == "Apple") apple = &r;
+    }
+    if (incident.name == "StartCom") {
+      ASSERT_NE(apple, nullptr);
+      // All three roots shipped; one still effectively trusted, two
+      // revoked out-of-band — the paper's exact footnote.
+      EXPECT_EQ(apple->certs_carried, 3);
+      EXPECT_TRUE(apple->still_shipped);
+      EXPECT_TRUE(apple->still_trusted);
+      EXPECT_EQ(apple->revoked_not_removed, 2);
+    }
+    if (incident.name == "Certinomis") {
+      ASSERT_NE(apple, nullptr);
+      // Shipped to the end of the history, but no longer trusted: the
+      // revocation landed after the paper's "trusted until 2021-01-01".
+      EXPECT_TRUE(apple->still_shipped);
+      EXPECT_FALSE(apple->still_trusted);
+      ASSERT_TRUE(apple->trusted_until.has_value());
+      EXPECT_EQ(*apple->trusted_until, Date::ymd(2021, 1, 1));
+      EXPECT_EQ(apple->revoked_not_removed, 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rs::analysis

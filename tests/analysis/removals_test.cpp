@@ -1,0 +1,121 @@
+#include "src/analysis/removals.h"
+
+#include <gtest/gtest.h>
+
+#include "src/store/trust.h"
+#include "src/synth/paper_scenario.h"
+#include "src/x509/builder.h"
+
+namespace rs::analysis {
+namespace {
+
+using rs::store::ProviderHistory;
+using rs::store::Snapshot;
+using rs::util::Date;
+
+std::shared_ptr<const rs::x509::Certificate> make_cert(
+    std::uint64_t seed, Date not_after = Date::ymd(2030, 1, 1)) {
+  rs::x509::Name n;
+  n.add_common_name("Removal Root " + std::to_string(seed));
+  return std::make_shared<const rs::x509::Certificate>(
+      rs::x509::CertificateBuilder()
+          .subject(n)
+          .key_seed(seed)
+          .not_before(Date::ymd(2000, 1, 1))
+          .not_after(not_after)
+          .build());
+}
+
+Snapshot snap(Date date,
+              std::vector<std::shared_ptr<const rs::x509::Certificate>> certs) {
+  Snapshot s;
+  s.provider = "P";
+  s.date = date;
+  for (auto& c : certs) s.entries.push_back(rs::store::make_tls_anchor(c));
+  return s;
+}
+
+TEST(MeasuredRemovals, DetectsPermanentDisappearance) {
+  auto keeper = make_cert(1);
+  auto removed = make_cert(2);
+  ProviderHistory h("P");
+  h.add(snap(Date::ymd(2019, 1, 1), {keeper, removed}));
+  h.add(snap(Date::ymd(2019, 6, 1), {keeper, removed}));
+  h.add(snap(Date::ymd(2020, 1, 1), {keeper}));
+  const auto removals = measured_removals(h);
+  ASSERT_EQ(removals.size(), 1u);
+  EXPECT_EQ(removals[0].root, removed->sha256());
+  EXPECT_EQ(removals[0].date, Date::ymd(2020, 1, 1));
+  EXPECT_FALSE(removals[0].expired_at_removal);
+}
+
+TEST(MeasuredRemovals, ReAddedRootsNotCounted) {
+  auto flapper = make_cert(3);
+  auto keeper = make_cert(4);
+  ProviderHistory h("P");
+  h.add(snap(Date::ymd(2019, 1, 1), {keeper, flapper}));
+  h.add(snap(Date::ymd(2019, 6, 1), {keeper}));           // gone...
+  h.add(snap(Date::ymd(2020, 1, 1), {keeper, flapper}));  // ...and back
+  EXPECT_TRUE(measured_removals(h).empty());
+}
+
+TEST(MeasuredRemovals, ExpiredFlag) {
+  auto expired = make_cert(5, Date::ymd(2019, 3, 1));
+  auto keeper = make_cert(6);
+  ProviderHistory h("P");
+  h.add(snap(Date::ymd(2019, 1, 1), {keeper, expired}));
+  h.add(snap(Date::ymd(2019, 6, 1), {keeper, expired}));  // now expired
+  h.add(snap(Date::ymd(2020, 1, 1), {keeper}));
+  const auto removals = measured_removals(h);
+  ASSERT_EQ(removals.size(), 1u);
+  EXPECT_TRUE(removals[0].expired_at_removal);
+}
+
+TEST(MeasuredRemovals, DegenerateHistories) {
+  EXPECT_TRUE(measured_removals(ProviderHistory("P")).empty());
+  ProviderHistory one("P");
+  one.add(snap(Date::ymd(2020, 1, 1), {make_cert(7)}));
+  EXPECT_TRUE(measured_removals(one).empty());
+}
+
+TEST(ReportAudit, CountsCoverageAndGaps) {
+  auto a = make_cert(10);
+  auto b = make_cert(11, Date::ymd(2018, 1, 1));
+  std::vector<MeasuredRemoval> measured = {
+      {a->sha256(), Date::ymd(2019, 1, 1), false},
+      {b->sha256(), Date::ymd(2019, 1, 1), true},
+  };
+  auto ghost = make_cert(12);
+  const auto audit = audit_removal_report(
+      measured, {a->sha256(), ghost->sha256()});
+  EXPECT_EQ(audit.measured, 2u);
+  EXPECT_EQ(audit.reported, 2u);
+  EXPECT_EQ(audit.covered, 1u);
+  EXPECT_EQ(audit.missing, 1u);
+  EXPECT_EQ(audit.missing_expired, 1u);
+  EXPECT_EQ(audit.unmatched_report_entries, 1u);
+}
+
+TEST(ReportAudit, PaperScenarioReportIsIncomplete) {
+  // §5.3's side-finding: the incident report covers only the tracked
+  // removals; expiry- and purge-driven removals are invisible to it.
+  auto scenario = rs::synth::build_paper_scenario();
+  const auto measured =
+      measured_removals(*scenario.database().find("NSS"));
+  std::vector<rs::crypto::Sha256Digest> reported;
+  for (const auto& inc : scenario.incidents()) {
+    for (const auto& id : inc.root_ids) {
+      if (auto cert = scenario.factory().find(id)) {
+        reported.push_back(cert->sha256());
+      }
+    }
+  }
+  const auto audit = audit_removal_report(measured, reported);
+  EXPECT_GT(audit.measured, 50u);
+  EXPECT_GT(audit.covered, 20u);
+  EXPECT_GT(audit.missing, 30u);           // the paper found 92
+  EXPECT_GT(audit.missing_expired, 10u);   // "mostly expirations"
+}
+
+}  // namespace
+}  // namespace rs::analysis

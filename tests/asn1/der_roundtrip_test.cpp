@@ -1,0 +1,150 @@
+// Property tests: Writer output parses back to the written value, and
+// re-encoding is byte-identical (canonical DER).
+#include <gtest/gtest.h>
+
+#include "src/asn1/reader.h"
+#include "src/asn1/writer.h"
+
+namespace rs::asn1 {
+namespace {
+
+TEST(DerRoundTrip, SmallIntegers) {
+  for (std::int64_t v :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1}, std::int64_t{127},
+        std::int64_t{128}, std::int64_t{-128}, std::int64_t{-129},
+        std::int64_t{255}, std::int64_t{256}, std::int64_t{65537},
+        std::int64_t{INT64_MAX}, std::int64_t{INT64_MIN}}) {
+    Writer w;
+    w.add_small_integer(v);
+    Reader r(w.bytes());
+    auto parsed = r.read_small_integer();
+    ASSERT_TRUE(parsed.ok()) << v << ": " << parsed.error();
+    EXPECT_EQ(parsed.value(), v);
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(DerRoundTrip, IntegerMinimalEncodingSizes) {
+  auto encoded_size = [](std::int64_t v) {
+    Writer w;
+    w.add_small_integer(v);
+    return w.bytes().size();
+  };
+  EXPECT_EQ(encoded_size(0), 3u);      // 02 01 00
+  EXPECT_EQ(encoded_size(127), 3u);    // 02 01 7F
+  EXPECT_EQ(encoded_size(128), 4u);    // 02 02 00 80
+  EXPECT_EQ(encoded_size(-128), 3u);   // 02 01 80
+  EXPECT_EQ(encoded_size(-129), 4u);   // 02 02 FF 7F
+}
+
+TEST(DerRoundTrip, BigIntegerStripsAndPads) {
+  // Leading zeros are stripped; high-bit values get a sign octet.
+  const std::vector<std::uint8_t> magnitude = {0x00, 0x00, 0x80, 0x01};
+  Writer w;
+  w.add_unsigned_big_integer(magnitude);
+  Reader r(w.bytes());
+  auto parsed = r.read_big_integer();
+  ASSERT_TRUE(parsed.ok());
+  const std::vector<std::uint8_t> expected = {0x00, 0x80, 0x01};
+  EXPECT_EQ(parsed.value(), expected);
+}
+
+TEST(DerRoundTrip, Booleans) {
+  for (bool b : {true, false}) {
+    Writer w;
+    w.add_boolean(b);
+    Reader r(w.bytes());
+    auto parsed = r.read_boolean();
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), b);
+  }
+}
+
+TEST(DerRoundTrip, OctetAndBitStrings) {
+  std::vector<std::uint8_t> payload;
+  for (int i = 0; i < 300; ++i) payload.push_back(static_cast<std::uint8_t>(i));
+  {
+    Writer w;
+    w.add_octet_string(payload);
+    Reader r(w.bytes());
+    auto parsed = r.read_octet_string();
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), payload);
+  }
+  {
+    Writer w;
+    w.add_bit_string(payload, 3);
+    Reader r(w.bytes());
+    auto parsed = r.read_bit_string();
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().bytes, payload);
+    EXPECT_EQ(parsed.value().unused_bits, 3);
+  }
+}
+
+TEST(DerRoundTrip, Strings) {
+  Writer w;
+  w.add_utf8_string("Тест UTF8");
+  w.add_printable_string("Example Root CA");
+  w.add_ia5_string("ca@example.com");
+  Reader r(w.bytes());
+  EXPECT_EQ(r.read_string().value(), "Тест UTF8");
+  EXPECT_EQ(r.read_string().value(), "Example Root CA");
+  EXPECT_EQ(r.read_string().value(), "ca@example.com");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(DerRoundTrip, NestedSequencesAndSets) {
+  Writer inner;
+  inner.add_small_integer(7);
+  inner.add_boolean(true);
+  Writer mid;
+  mid.add_sequence(inner);
+  mid.add_null();
+  Writer outer;
+  outer.add_set(mid);
+
+  Reader r(outer.bytes());
+  auto set = r.read_set();
+  ASSERT_TRUE(set.ok());
+  auto seq = set.value().read_sequence();
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq.value().read_small_integer().value(), 7);
+  EXPECT_TRUE(seq.value().read_boolean().value());
+  EXPECT_TRUE(set.value().read_null().ok());
+  EXPECT_TRUE(set.value().at_end());
+}
+
+TEST(DerRoundTrip, ContextTags) {
+  Writer inner;
+  inner.add_small_integer(2);
+  Writer w;
+  w.add_context(0, inner);
+  w.add_context_primitive(1, std::vector<std::uint8_t>{0xAA, 0xBB});
+
+  Reader r(w.bytes());
+  ASSERT_TRUE(r.next_is(context(0)));
+  auto c0 = r.read_context(0);
+  ASSERT_TRUE(c0.ok());
+  EXPECT_EQ(c0.value().read_small_integer().value(), 2);
+  auto c1 = r.read(context_primitive(1));
+  ASSERT_TRUE(c1.ok());
+  EXPECT_EQ(c1.value().content.size(), 2u);
+}
+
+TEST(DerRoundTrip, LongFormLengths) {
+  // > 127 bytes of content forces long-form length; > 255 forces 2 octets.
+  for (std::size_t n : {127u, 128u, 255u, 256u, 65535u, 70000u}) {
+    std::vector<std::uint8_t> payload(n, 0x5A);
+    Writer w;
+    w.add_octet_string(payload);
+    Reader r(w.bytes());
+    auto parsed = r.read_octet_string();
+    ASSERT_TRUE(parsed.ok()) << n;
+    EXPECT_EQ(parsed.value().size(), n);
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+}  // namespace
+}  // namespace rs::asn1

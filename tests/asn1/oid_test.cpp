@@ -1,0 +1,74 @@
+#include "src/asn1/oid.h"
+
+#include <gtest/gtest.h>
+
+namespace rs::asn1 {
+namespace {
+
+TEST(Oid, FromDottedBasic) {
+  const auto oid = Oid::from_dotted("1.2.840.113549.1.1.11");
+  ASSERT_TRUE(oid.has_value());
+  EXPECT_EQ(oid->to_dotted(), "1.2.840.113549.1.1.11");
+  EXPECT_EQ(oid->arcs().size(), 7u);
+}
+
+TEST(Oid, FromDottedRejectsInvalid) {
+  EXPECT_FALSE(Oid::from_dotted("").has_value());
+  EXPECT_FALSE(Oid::from_dotted("1").has_value());       // < 2 arcs
+  EXPECT_FALSE(Oid::from_dotted("3.1").has_value());     // arc0 > 2
+  EXPECT_FALSE(Oid::from_dotted("1.40").has_value());    // arc1 >= 40
+  EXPECT_FALSE(Oid::from_dotted("1..2").has_value());    // empty arc
+  EXPECT_FALSE(Oid::from_dotted("1.2.x").has_value());   // non-digit
+  EXPECT_FALSE(Oid::from_dotted("1.2.").has_value());    // trailing dot
+  EXPECT_TRUE(Oid::from_dotted("2.999").has_value());    // arc1>=40 ok for arc0=2
+}
+
+TEST(Oid, DerContentKnownEncoding) {
+  // 1.2.840.113549 => 2a 86 48 86 f7 0d
+  const auto oid = Oid::from_dotted("1.2.840.113549");
+  const auto der = oid->to_der_content();
+  const std::vector<std::uint8_t> expected = {0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d};
+  EXPECT_EQ(der, expected);
+}
+
+TEST(Oid, Sha256RsaEncoding) {
+  const auto der = oids::sha256_with_rsa().to_der_content();
+  const std::vector<std::uint8_t> expected = {0x2a, 0x86, 0x48, 0x86, 0xf7,
+                                              0x0d, 0x01, 0x01, 0x0b};
+  EXPECT_EQ(der, expected);
+}
+
+TEST(Oid, FromDerContentRoundTrip) {
+  for (const char* dotted :
+       {"1.2.840.113549.1.1.11", "2.5.29.19", "1.3.6.1.5.5.7.3.1", "2.999.1",
+        "0.39", "2.5.4.3"}) {
+    const auto oid = Oid::from_dotted(dotted);
+    ASSERT_TRUE(oid.has_value()) << dotted;
+    const auto back = Oid::from_der_content(oid->to_der_content());
+    ASSERT_TRUE(back.has_value()) << dotted;
+    EXPECT_EQ(back->to_dotted(), dotted);
+  }
+}
+
+TEST(Oid, FromDerRejectsMalformed) {
+  EXPECT_FALSE(Oid::from_der_content({}).has_value());
+  const std::vector<std::uint8_t> truncated = {0x2a, 0x86};  // continuation bit set
+  EXPECT_FALSE(Oid::from_der_content(truncated).has_value());
+  const std::vector<std::uint8_t> nonminimal = {0x2a, 0x80, 0x01};
+  EXPECT_FALSE(Oid::from_der_content(nonminimal).has_value());
+}
+
+TEST(Oid, ComparisonOrdersLexicographically) {
+  EXPECT_LT(*Oid::from_dotted("1.2.3"), *Oid::from_dotted("1.2.4"));
+  EXPECT_LT(*Oid::from_dotted("1.2"), *Oid::from_dotted("1.2.0"));
+  EXPECT_EQ(oids::eku_server_auth(), *Oid::from_dotted("1.3.6.1.5.5.7.3.1"));
+}
+
+TEST(Oid, WellKnownConstantsDistinct) {
+  EXPECT_NE(oids::eku_server_auth(), oids::eku_email_protection());
+  EXPECT_NE(oids::eku_code_signing(), oids::eku_time_stamping());
+  EXPECT_NE(oids::md5_with_rsa(), oids::sha1_with_rsa());
+}
+
+}  // namespace
+}  // namespace rs::asn1

@@ -1,0 +1,156 @@
+// Negative-path tests: the strict DER reader must reject malformed input
+// with a diagnostic, never crash or accept.
+#include <gtest/gtest.h>
+
+#include "src/asn1/reader.h"
+#include "src/asn1/writer.h"
+
+namespace rs::asn1 {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+TEST(Reader, EmptyInputIsAtEnd) {
+  Reader r(Bytes{});
+  EXPECT_TRUE(r.at_end());
+  EXPECT_FALSE(r.read_any().ok());
+}
+
+TEST(Reader, RejectsIndefiniteLength) {
+  const Bytes der = {0x30, 0x80, 0x00, 0x00};
+  Reader r(der);
+  auto el = r.read_any();
+  ASSERT_FALSE(el.ok());
+  EXPECT_NE(el.error().find("indefinite"), std::string::npos);
+}
+
+TEST(Reader, RejectsNonMinimalLongFormLength) {
+  // 0x81 0x05: long form for a length that fits short form.
+  const Bytes der = {0x04, 0x81, 0x05, 1, 2, 3, 4, 5};
+  Reader r(der);
+  auto el = r.read_any();
+  ASSERT_FALSE(el.ok());
+  EXPECT_NE(el.error().find("non-minimal"), std::string::npos);
+}
+
+TEST(Reader, RejectsLeadingZeroLength) {
+  const Bytes der = {0x04, 0x82, 0x00, 0x85};
+  Reader r(der);
+  EXPECT_FALSE(r.read_any().ok());
+}
+
+TEST(Reader, RejectsTruncatedContent) {
+  const Bytes der = {0x04, 0x05, 1, 2};  // claims 5, has 2
+  Reader r(der);
+  auto el = r.read_any();
+  ASSERT_FALSE(el.ok());
+  EXPECT_NE(el.error().find("past end"), std::string::npos);
+}
+
+TEST(Reader, RejectsTruncatedLength) {
+  const Bytes der = {0x04, 0x82, 0x01};  // 2 length octets promised, 1 present
+  Reader r(der);
+  EXPECT_FALSE(r.read_any().ok());
+}
+
+TEST(Reader, RejectsMultiByteTag) {
+  const Bytes der = {0x1F, 0x81, 0x00, 0x00};
+  Reader r(der);
+  EXPECT_FALSE(r.read_any().ok());
+}
+
+TEST(Reader, TagMismatchDoesNotConsume) {
+  Writer w;
+  w.add_small_integer(5);
+  Reader r(w.bytes());
+  EXPECT_FALSE(r.read_boolean().ok());  // wrong tag
+  auto v = r.read_small_integer();      // cursor unchanged, still readable
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 5);
+}
+
+TEST(Reader, RejectsNonMinimalInteger) {
+  const Bytes padded_positive = {0x02, 0x02, 0x00, 0x05};
+  Reader r1(padded_positive);
+  EXPECT_FALSE(r1.read_small_integer().ok());
+
+  const Bytes padded_negative = {0x02, 0x02, 0xFF, 0x85};
+  Reader r2(padded_negative);
+  EXPECT_FALSE(r2.read_small_integer().ok());
+
+  const Bytes empty_integer = {0x02, 0x00};
+  Reader r3(empty_integer);
+  EXPECT_FALSE(r3.read_small_integer().ok());
+}
+
+TEST(Reader, RejectsOverwideSmallInteger) {
+  Bytes der = {0x02, 0x09};
+  der.push_back(0x01);
+  for (int i = 0; i < 8; ++i) der.push_back(0x00);
+  Reader r(der);
+  EXPECT_FALSE(r.read_small_integer().ok());
+}
+
+TEST(Reader, RejectsBadBoolean) {
+  const Bytes not_canonical = {0x01, 0x01, 0x42};
+  Reader r1(not_canonical);
+  EXPECT_FALSE(r1.read_boolean().ok());
+
+  const Bytes wrong_size = {0x01, 0x02, 0xFF, 0xFF};
+  Reader r2(wrong_size);
+  EXPECT_FALSE(r2.read_boolean().ok());
+}
+
+TEST(Reader, RejectsBadBitString) {
+  const Bytes empty = {0x03, 0x00};
+  Reader r1(empty);
+  EXPECT_FALSE(r1.read_bit_string().ok());
+
+  const Bytes unused_too_big = {0x03, 0x02, 0x09, 0xFF};
+  Reader r2(unused_too_big);
+  EXPECT_FALSE(r2.read_bit_string().ok());
+
+  const Bytes empty_with_unused = {0x03, 0x01, 0x03};
+  Reader r3(empty_with_unused);
+  EXPECT_FALSE(r3.read_bit_string().ok());
+}
+
+TEST(Reader, RejectsNonEmptyNull) {
+  const Bytes der = {0x05, 0x01, 0x00};
+  Reader r(der);
+  EXPECT_FALSE(r.read_null().ok());
+}
+
+TEST(Reader, RejectsInvalidPrintableStringChars) {
+  // '@' is not in the PrintableString alphabet.
+  const Bytes der = {0x13, 0x03, 'a', '@', 'b'};
+  Reader r(der);
+  EXPECT_FALSE(r.read_string().ok());
+}
+
+TEST(Reader, ErrorsCarryOffsets) {
+  Writer good;
+  good.add_small_integer(1);
+  Bytes der = good.bytes();
+  der.push_back(0x02);  // truncated second element at offset 3
+  Reader r(der);
+  ASSERT_TRUE(r.read_small_integer().ok());
+  auto bad = r.read_small_integer();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().find("offset 3"), std::string::npos) << bad.error();
+}
+
+TEST(Reader, SubReaderOffsetsAreAbsolute) {
+  Writer inner;
+  inner.add_small_integer(1);
+  Writer w;
+  w.add_sequence(inner);
+  Reader r(w.bytes());
+  auto seq = r.read_sequence();
+  ASSERT_TRUE(seq.ok());
+  // Content of the sequence begins after the 2-byte header.
+  EXPECT_EQ(seq.value().offset(), 2u);
+}
+
+}  // namespace
+}  // namespace rs::asn1

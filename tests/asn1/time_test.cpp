@@ -1,0 +1,105 @@
+#include "src/asn1/time.h"
+
+#include <gtest/gtest.h>
+
+#include "src/asn1/reader.h"
+#include "src/asn1/writer.h"
+
+namespace rs::asn1 {
+namespace {
+
+using rs::util::Date;
+
+Asn1Time roundtrip(const Asn1Time& t) {
+  Writer w;
+  write_time(w, t);
+  Reader r(w.bytes());
+  auto parsed = read_time(r);
+  EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error());
+  return parsed.ok() ? parsed.value() : Asn1Time{};
+}
+
+TEST(Asn1Time, UtcTimeRoundTrip) {
+  const Asn1Time t{Date::ymd(2021, 11, 2), 3600 * 12 + 60 * 34 + 56};
+  EXPECT_EQ(roundtrip(t), t);
+}
+
+TEST(Asn1Time, GeneralizedTimeRoundTripFrom2050) {
+  const Asn1Time t{Date::ymd(2050, 1, 1), 0};
+  EXPECT_EQ(roundtrip(t), t);
+  const Asn1Time later{Date::ymd(2099, 12, 31), 86399};
+  EXPECT_EQ(roundtrip(later), later);
+}
+
+TEST(Asn1Time, WriterPicksTagByPivot) {
+  Writer before;
+  write_time(before, at_midnight(Date::ymd(2049, 12, 31)));
+  EXPECT_EQ(before.bytes()[0], primitive(UniversalTag::kUtcTime));
+
+  Writer after;
+  write_time(after, at_midnight(Date::ymd(2050, 1, 1)));
+  EXPECT_EQ(after.bytes()[0], primitive(UniversalTag::kGeneralizedTime));
+}
+
+TEST(Asn1Time, UtcTimePivotParsesCorrectCentury) {
+  // "500101000000Z" => 1950; "491231235959Z" => 2049.
+  auto parse_utc = [](std::string_view s) {
+    Writer w;
+    w.add_tlv(primitive(UniversalTag::kUtcTime),
+              {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+    Reader r(w.bytes());
+    return read_time(r);
+  };
+  auto a = parse_utc("500101000000Z");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().date.year(), 1950);
+  auto b = parse_utc("491231235959Z");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().date.year(), 2049);
+}
+
+TEST(Asn1Time, RejectsMalformedContent) {
+  auto parse_raw = [](UniversalTag tag, std::string_view s) {
+    Writer w;
+    w.add_tlv(primitive(tag),
+              {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+    Reader r(w.bytes());
+    return read_time(r);
+  };
+  // Missing Z.
+  EXPECT_FALSE(parse_raw(UniversalTag::kUtcTime, "2101010000000").ok());
+  // Missing seconds.
+  EXPECT_FALSE(parse_raw(UniversalTag::kUtcTime, "21010100000Z").ok());
+  // Bad month/day.
+  EXPECT_FALSE(parse_raw(UniversalTag::kUtcTime, "211301000000Z").ok());
+  EXPECT_FALSE(parse_raw(UniversalTag::kUtcTime, "210230000000Z").ok());
+  // Hour out of range.
+  EXPECT_FALSE(parse_raw(UniversalTag::kUtcTime, "210101240000Z").ok());
+  // Letters in digits.
+  EXPECT_FALSE(parse_raw(UniversalTag::kUtcTime, "21010a000000Z").ok());
+  // GeneralizedTime before 2050 violates RFC 5280.
+  EXPECT_FALSE(parse_raw(UniversalTag::kGeneralizedTime, "20210101000000Z").ok());
+  // Wrong element type entirely.
+  Writer w;
+  w.add_small_integer(5);
+  Reader r(w.bytes());
+  EXPECT_FALSE(read_time(r).ok());
+}
+
+TEST(Asn1Time, OrderingComparesDateThenTime) {
+  const Asn1Time a{Date::ymd(2021, 1, 1), 0};
+  const Asn1Time b{Date::ymd(2021, 1, 1), 1};
+  const Asn1Time c{Date::ymd(2021, 1, 2), 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(Asn1TimeProperty, RoundTripSweepAcrossPivot) {
+  for (int year = 1970; year <= 2070; year += 7) {
+    const Asn1Time t{Date::ymd(year, 6, 15), 43210};
+    EXPECT_EQ(roundtrip(t), t) << year;
+  }
+}
+
+}  // namespace
+}  // namespace rs::asn1

@@ -1,0 +1,87 @@
+// CSV exports: the figure data series must be well-formed CSV with the
+// documented headers and one row per data point.
+#include "src/core/export.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/strings.h"
+
+namespace rs::core {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ =
+        new rs::synth::PaperScenario(rs::synth::build_paper_scenario());
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static rs::synth::PaperScenario* scenario_;
+};
+rs::synth::PaperScenario* ExportTest::scenario_ = nullptr;
+
+std::vector<std::string_view> rows(const std::string& csv) {
+  auto lines = rs::util::split_lines(csv);
+  return lines;
+}
+
+TEST_F(ExportTest, Figure1CsvShape) {
+  const auto csv = figure1_csv(*scenario_, 10);
+  const auto lines = rows(csv);
+  ASSERT_GT(lines.size(), 10u);
+  EXPECT_EQ(lines[0], "provider,family,date,version,x,y,cluster");
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(rs::util::split(lines[i], ',').size(), 7u) << lines[i];
+  }
+  // Every provider family appears.
+  EXPECT_NE(csv.find("Microsoft,Microsoft"), std::string::npos);
+  EXPECT_NE(csv.find("Debian,Mozilla/NSS"), std::string::npos);
+}
+
+TEST_F(ExportTest, Figure3CsvShape) {
+  const auto csv = figure3_csv(*scenario_);
+  const auto lines = rows(csv);
+  EXPECT_EQ(lines[0],
+            "provider,date,matched_version,current_version,versions_behind");
+  ASSERT_GT(lines.size(), 50u);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto fields = rs::util::split(lines[i], ',');
+    ASSERT_EQ(fields.size(), 5u);
+    // versions_behind is non-negative.
+    EXPECT_NE(fields[4].front(), '-');
+  }
+}
+
+TEST_F(ExportTest, Figure4CsvShape) {
+  const auto csv = figure4_csv(*scenario_);
+  const auto lines = rows(csv);
+  // Header: 3 id columns + 4 add categories + 2 remove categories.
+  EXPECT_EQ(rs::util::split(lines[0], ',').size(), 9u);
+  EXPECT_EQ(lines[0].find(' '), std::string::npos) << "no spaces in header";
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(rs::util::split(lines[i], ',').size(), 9u) << lines[i];
+  }
+}
+
+TEST_F(ExportTest, ChurnCsvMarksOutliers) {
+  const auto csv = churn_csv(*scenario_);
+  const auto lines = rows(csv);
+  EXPECT_EQ(lines[0], "provider,date,added,removed,change_fraction,is_outlier");
+  bool any_outlier = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto fields = rs::util::split(lines[i], ',');
+    ASSERT_EQ(fields.size(), 6u);
+    if (fields[5] == "1") any_outlier = true;
+  }
+  EXPECT_TRUE(any_outlier);  // the scenario has batch-change outliers
+}
+
+TEST_F(ExportTest, CsvIsDeterministic) {
+  EXPECT_EQ(figure3_csv(*scenario_), figure3_csv(*scenario_));
+}
+
+}  // namespace
+}  // namespace rs::core

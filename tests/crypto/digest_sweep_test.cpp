@@ -1,0 +1,78 @@
+// Parameterized digest sweeps: for every input length around the 64-byte
+// block boundary and beyond, incremental hashing in every chunking must
+// equal the one-shot result, for all three digests.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/crypto/md5.h"
+#include "src/crypto/sha1.h"
+#include "src/crypto/sha256.h"
+
+namespace rs::crypto {
+namespace {
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  }
+  return out;
+}
+
+class DigestSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DigestSweepTest, Md5IncrementalEqualsOneShot) {
+  const auto data = pattern_bytes(GetParam());
+  const auto oneshot = Md5::hash(data);
+  for (std::size_t chunk : {1u, 7u, 64u}) {
+    Md5 h;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      h.update(std::span(data).subspan(off, std::min(chunk, data.size() - off)));
+    }
+    EXPECT_EQ(h.finish(), oneshot) << "len=" << GetParam() << " chunk=" << chunk;
+  }
+}
+
+TEST_P(DigestSweepTest, Sha1IncrementalEqualsOneShot) {
+  const auto data = pattern_bytes(GetParam());
+  const auto oneshot = Sha1::hash(data);
+  for (std::size_t chunk : {1u, 13u, 63u}) {
+    Sha1 h;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      h.update(std::span(data).subspan(off, std::min(chunk, data.size() - off)));
+    }
+    EXPECT_EQ(h.finish(), oneshot) << "len=" << GetParam() << " chunk=" << chunk;
+  }
+}
+
+TEST_P(DigestSweepTest, Sha256IncrementalEqualsOneShot) {
+  const auto data = pattern_bytes(GetParam());
+  const auto oneshot = Sha256::hash(data);
+  for (std::size_t chunk : {1u, 31u, 65u}) {
+    Sha256 h;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      h.update(std::span(data).subspan(off, std::min(chunk, data.size() - off)));
+    }
+    EXPECT_EQ(h.finish(), oneshot) << "len=" << GetParam() << " chunk=" << chunk;
+  }
+}
+
+TEST_P(DigestSweepTest, LengthExtensionChangesDigest) {
+  // Appending one byte must change all three digests (padding encodes
+  // length; catches broken finalization).
+  const auto data = pattern_bytes(GetParam());
+  auto longer = data;
+  longer.push_back(0x00);
+  EXPECT_NE(Md5::hash(data), Md5::hash(longer));
+  EXPECT_NE(Sha1::hash(data), Sha1::hash(longer));
+  EXPECT_NE(Sha256::hash(data), Sha256::hash(longer));
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockBoundaries, DigestSweepTest,
+                         ::testing::Values(0u, 1u, 54u, 55u, 56u, 57u, 63u,
+                                           64u, 65u, 118u, 119u, 120u, 127u,
+                                           128u, 129u, 1000u));
+
+}  // namespace
+}  // namespace rs::crypto

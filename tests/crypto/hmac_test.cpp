@@ -1,0 +1,55 @@
+#include "src/crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/util/hex.h"
+
+namespace rs::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+// RFC 4231 test cases for HMAC-SHA256.
+TEST(HmacSha256, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const auto mac = hmac_sha256(key, bytes("Hi There"));
+  EXPECT_EQ(rs::util::hex_encode(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const auto mac =
+      hmac_sha256(bytes("Jefe"), bytes("what do ya want for nothing?"));
+  EXPECT_EQ(rs::util::hex_encode(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  const auto mac = hmac_sha256(key, data);
+  EXPECT_EQ(rs::util::hex_encode(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const auto mac = hmac_sha256(
+      key, bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(rs::util::hex_encode(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, KeySensitivity) {
+  const auto a = hmac_sha256(bytes("key1"), bytes("msg"));
+  const auto b = hmac_sha256(bytes("key2"), bytes("msg"));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rs::crypto

@@ -1,0 +1,64 @@
+#include "src/crypto/md5.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/hex.h"
+
+namespace rs::crypto {
+namespace {
+
+std::string md5_hex(std::string_view s) {
+  const auto d =
+      Md5::hash({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  return rs::util::hex_encode(d);
+}
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(md5_hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(md5_hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(md5_hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(md5_hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(md5_hex("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      md5_hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(md5_hex("12345678901234567890123456789012345678901234567890123456"
+                    "789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  const std::string msg(1000, 'x');
+  const auto data = std::span(
+      reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size());
+  const auto oneshot = Md5::hash(data);
+  // Feed in awkward chunk sizes that straddle block boundaries.
+  for (std::size_t chunk : {1u, 3u, 63u, 64u, 65u, 127u}) {
+    Md5 h;
+    for (std::size_t off = 0; off < msg.size(); off += chunk) {
+      h.update(data.subspan(off, std::min(chunk, msg.size() - off)));
+    }
+    EXPECT_EQ(h.finish(), oneshot) << "chunk " << chunk;
+  }
+}
+
+TEST(Md5, LengthsAroundBlockBoundary) {
+  // Exercise the padding logic at 55/56/57/63/64/65 bytes.
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(n, 'q');
+    const auto d = Md5::hash(
+        {reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()});
+    // Differing lengths must differ (sanity that padding encodes length).
+    const std::string msg2(n + 1, 'q');
+    const auto d2 = Md5::hash(
+        {reinterpret_cast<const std::uint8_t*>(msg2.data()), msg2.size()});
+    EXPECT_NE(d, d2) << n;
+  }
+}
+
+}  // namespace
+}  // namespace rs::crypto

@@ -1,0 +1,130 @@
+#include "src/crypto/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace rs::crypto {
+namespace {
+
+TEST(SplitMix64, KnownSequenceFromZero) {
+  // Reference outputs of SplitMix64 seeded with 0.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(splitmix64(state), 0x06c45d188009454full);
+}
+
+TEST(Prng, DeterministicForSameSeed) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, FromLabelIndependentStreams) {
+  Prng a = Prng::from_label(7, "ca:alpha");
+  Prng b = Prng::from_label(7, "ca:beta");
+  Prng a2 = Prng::from_label(7, "ca:alpha");
+  EXPECT_NE(a.next(), b.next());
+  Prng a3 = Prng::from_label(7, "ca:alpha");
+  (void)a2;
+  EXPECT_EQ(Prng::from_label(7, "ca:alpha").next(), a3.next());
+}
+
+TEST(Prng, UniformRespectsBound) {
+  Prng p(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(p.uniform(17), 17u);
+  }
+  // All residues eventually appear.
+  Prng q(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(q.uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Prng, UniformRangeInclusive) {
+  Prng p(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = p.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, Uniform01InHalfOpenInterval) {
+  Prng p(12);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = p.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Prng, ChanceExtremes) {
+  Prng p(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(p.chance(0.0));
+    EXPECT_TRUE(p.chance(1.0));
+  }
+}
+
+TEST(Prng, ChanceApproximatesProbability) {
+  Prng p(14);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += p.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Prng, BurstAlwaysPositive) {
+  Prng p(15);
+  double total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto b = p.burst(3.0);
+    EXPECT_GE(b, 1u);
+    total += static_cast<double>(b);
+  }
+  // E[1 + floor(Exp(mean 2))] = 1 + e^{-1/2}/(1 - e^{-1/2}) ~= 2.54.
+  EXPECT_NEAR(total / 5000.0, 2.54, 0.15);
+  // Mean <= 1 degenerates to always 1.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(p.burst(1.0), 1u);
+}
+
+TEST(Prng, FillCoversBuffer) {
+  Prng p(16);
+  std::vector<std::uint8_t> buf(100, 0);
+  p.fill(buf);
+  int nonzero = 0;
+  for (auto b : buf) nonzero += b != 0;
+  EXPECT_GT(nonzero, 50);
+}
+
+TEST(Prng, ShuffleIsPermutation) {
+  Prng p(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  p.shuffle(v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+}  // namespace
+}  // namespace rs::crypto

@@ -1,0 +1,54 @@
+#include "src/crypto/sha1.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/hex.h"
+
+namespace rs::crypto {
+namespace {
+
+std::string sha1_hex(std::string_view s) {
+  const auto d =
+      Sha1::hash({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  return rs::util::hex_encode(d);
+}
+
+// FIPS 180-4 / RFC 3174 vectors.
+TEST(Sha1, KnownVectors) {
+  EXPECT_EQ(sha1_hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(sha1_hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(sha1_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  EXPECT_EQ(sha1_hex("The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.update({reinterpret_cast<const std::uint8_t*>(chunk.data()),
+              chunk.size()});
+  }
+  EXPECT_EQ(rs::util::hex_encode(h.finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string msg(777, 'z');
+  const auto data = std::span(
+      reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size());
+  const auto oneshot = Sha1::hash(data);
+  for (std::size_t chunk : {1u, 7u, 64u, 100u}) {
+    Sha1 h;
+    for (std::size_t off = 0; off < msg.size(); off += chunk) {
+      h.update(data.subspan(off, std::min(chunk, msg.size() - off)));
+    }
+    EXPECT_EQ(h.finish(), oneshot) << "chunk " << chunk;
+  }
+}
+
+}  // namespace
+}  // namespace rs::crypto

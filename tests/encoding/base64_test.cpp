@@ -1,0 +1,90 @@
+#include "src/encoding/base64.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rs::encoding {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+// RFC 4648 §10 test vectors.
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(bytes("")), "");
+  EXPECT_EQ(base64_encode(bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeVectors) {
+  EXPECT_EQ(base64_decode("Zm9vYmFy"), bytes("foobar"));
+  EXPECT_EQ(base64_decode("Zg=="), bytes("f"));
+  EXPECT_EQ(base64_decode(""), bytes(""));
+}
+
+TEST(Base64, DecodeRejectsBadLength) {
+  EXPECT_FALSE(base64_decode("Zm9").has_value());
+  EXPECT_FALSE(base64_decode("Z").has_value());
+}
+
+TEST(Base64, DecodeRejectsBadChars) {
+  EXPECT_FALSE(base64_decode("Zm9v!A==").has_value());
+  EXPECT_FALSE(base64_decode("Zm 9v").has_value());  // strict mode
+}
+
+TEST(Base64, DecodeRejectsMisplacedPadding) {
+  EXPECT_FALSE(base64_decode("=m9v").has_value());
+  EXPECT_FALSE(base64_decode("Z=9v").has_value());
+  EXPECT_FALSE(base64_decode("Zm=v").has_value());   // data after '='
+  EXPECT_FALSE(base64_decode("Zg==Zg==").has_value());  // '=' mid-stream
+}
+
+TEST(Base64, DecodeRejectsNonCanonicalTrailingBits) {
+  // "Zh==" decodes the same byte as "Zg==" but with non-zero discarded bits.
+  EXPECT_TRUE(base64_decode("Zg==").has_value());
+  EXPECT_FALSE(base64_decode("Zh==").has_value());
+  EXPECT_TRUE(base64_decode("Zm8=").has_value());
+  EXPECT_FALSE(base64_decode("Zm9=").has_value());
+}
+
+TEST(Base64, WhitespaceModeAcceptsWrapped) {
+  Base64DecodeOptions opts{.allow_whitespace = true};
+  EXPECT_EQ(base64_decode("Zm9v\nYmFy", opts), bytes("foobar"));
+  EXPECT_EQ(base64_decode("  Zg==\r\n", opts), bytes("f"));
+}
+
+TEST(Base64, WrappedEncoding) {
+  const auto data = bytes("this is a longer input that wraps lines");
+  const std::string wrapped = base64_encode_wrapped(data, 16);
+  for (const char c : wrapped) {
+    EXPECT_TRUE(c == '\n' || (c != ' ' && c != '\t'));
+  }
+  // Every line (except possibly the last) is exactly 16 chars.
+  std::size_t start = 0;
+  while (start < wrapped.size()) {
+    const std::size_t nl = wrapped.find('\n', start);
+    ASSERT_NE(nl, std::string::npos);
+    EXPECT_LE(nl - start, 16u);
+    start = nl + 1;
+  }
+  EXPECT_EQ(base64_decode(wrapped, {.allow_whitespace = true}), data);
+}
+
+// Property: round-trip over varied sizes and contents.
+TEST(Base64Property, RoundTripSweep) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 300; ++i) {
+    const std::string enc = base64_encode(data);
+    EXPECT_EQ(base64_decode(enc), data) << "size " << i;
+    data.push_back(static_cast<std::uint8_t>(i * 97 + 13));
+  }
+}
+
+}  // namespace
+}  // namespace rs::encoding

@@ -1,0 +1,106 @@
+#include "src/encoding/pem.h"
+
+#include <gtest/gtest.h>
+
+namespace rs::encoding {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Pem, EncodeParseRoundTrip) {
+  const auto der = bytes("not really DER but any bytes work");
+  const std::string pem = pem_encode("CERTIFICATE", der);
+  const auto result = pem_parse_all(pem);
+  EXPECT_TRUE(result.errors.empty());
+  ASSERT_EQ(result.objects.size(), 1u);
+  EXPECT_EQ(result.objects[0].label, "CERTIFICATE");
+  EXPECT_EQ(result.objects[0].der, der);
+}
+
+TEST(Pem, BundleOfMultipleObjects) {
+  std::vector<PemObject> objs = {
+      {"CERTIFICATE", bytes("first")},
+      {"CERTIFICATE", bytes("second")},
+      {"X509 CRL", bytes("third")},
+  };
+  const std::string bundle = pem_encode_bundle(objs);
+  const auto result = pem_parse_all(bundle);
+  EXPECT_TRUE(result.errors.empty());
+  ASSERT_EQ(result.objects.size(), 3u);
+  EXPECT_EQ(result.objects[1].der, bytes("second"));
+  EXPECT_EQ(result.objects[2].label, "X509 CRL");
+}
+
+TEST(Pem, IgnoresProseBetweenBlocks) {
+  // ca-certificates bundles interleave subject comments with blocks.
+  const std::string text =
+      "# Subject: CN=Example Root CA\n" + pem_encode("CERTIFICATE", bytes("a")) +
+      "random prose\n" + pem_encode("CERTIFICATE", bytes("b"));
+  const auto result = pem_parse_all(text);
+  EXPECT_TRUE(result.errors.empty());
+  EXPECT_EQ(result.objects.size(), 2u);
+}
+
+TEST(Pem, ReportsMismatchedEndLabel) {
+  const std::string text =
+      "-----BEGIN CERTIFICATE-----\nZm9v\n-----END TRUST-----\n";
+  const auto result = pem_parse_all(text);
+  EXPECT_TRUE(result.objects.empty());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].find("does not match"), std::string::npos);
+}
+
+TEST(Pem, ReportsUnterminatedBlock) {
+  const std::string text = "-----BEGIN CERTIFICATE-----\nZm9v\n";
+  const auto result = pem_parse_all(text);
+  EXPECT_TRUE(result.objects.empty());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].find("unterminated"), std::string::npos);
+}
+
+TEST(Pem, ReportsBadBase64ButContinues) {
+  const std::string text =
+      "-----BEGIN CERTIFICATE-----\n!!!!\n-----END CERTIFICATE-----\n" +
+      pem_encode("CERTIFICATE", bytes("ok"));
+  const auto result = pem_parse_all(text);
+  ASSERT_EQ(result.objects.size(), 1u);
+  EXPECT_EQ(result.objects[0].der, bytes("ok"));
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].find("Base64"), std::string::npos);
+}
+
+TEST(Pem, ParseFirstFiltersByLabel) {
+  const std::string text = pem_encode("X509 CRL", bytes("crl")) +
+                           pem_encode("CERTIFICATE", bytes("cert"));
+  const auto obj = pem_parse_first(text, "CERTIFICATE");
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->der, bytes("cert"));
+  EXPECT_FALSE(pem_parse_first(text, "PRIVATE KEY").has_value());
+}
+
+TEST(Pem, CrlfLineEndingsAccepted) {
+  std::string pem = pem_encode("CERTIFICATE", bytes("data"));
+  std::string crlf;
+  for (char c : pem) {
+    if (c == '\n') crlf += "\r\n";
+    else crlf += c;
+  }
+  const auto result = pem_parse_all(crlf);
+  EXPECT_TRUE(result.errors.empty());
+  ASSERT_EQ(result.objects.size(), 1u);
+  EXPECT_EQ(result.objects[0].der, bytes("data"));
+}
+
+TEST(Pem, EmptyBodyYieldsEmptyDer) {
+  const std::string text =
+      "-----BEGIN CERTIFICATE-----\n-----END CERTIFICATE-----\n";
+  const auto result = pem_parse_all(text);
+  EXPECT_TRUE(result.errors.empty());
+  ASSERT_EQ(result.objects.size(), 1u);
+  EXPECT_TRUE(result.objects[0].der.empty());
+}
+
+}  // namespace
+}  // namespace rs::encoding

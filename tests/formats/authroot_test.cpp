@@ -1,0 +1,129 @@
+#include "src/formats/authroot_stl.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/date.h"
+#include "src/util/hex.h"
+#include "src/x509/builder.h"
+
+namespace rs::formats {
+namespace {
+
+using rs::store::TrustEntry;
+using rs::store::TrustLevel;
+using rs::store::TrustPurpose;
+using rs::util::Date;
+
+std::shared_ptr<const rs::x509::Certificate> make_cert(std::uint64_t seed) {
+  rs::x509::Name n;
+  n.add_common_name("Authroot Root " + std::to_string(seed));
+  return std::make_shared<const rs::x509::Certificate>(
+      rs::x509::CertificateBuilder().subject(n).key_seed(seed).build());
+}
+
+TEST(Authroot, RoundTripTrustAndDisallow) {
+  TrustEntry tls = rs::store::make_tls_anchor(make_cert(1));
+  TrustEntry mixed = rs::store::make_anchor_for(
+      make_cert(2), {TrustPurpose::kEmailProtection, TrustPurpose::kCodeSigning});
+  mixed.trust_for(TrustPurpose::kServerAuth).level = TrustLevel::kDistrusted;
+  TrustEntry partial = rs::store::make_tls_anchor(make_cert(3));
+  partial.trust_for(TrustPurpose::kServerAuth).distrust_after =
+      Date::ymd(2019, 2, 1);
+
+  const AuthRootBlob blob = write_authroot({tls, mixed, partial});
+  EXPECT_EQ(blob.certs.size(), 3u);
+
+  auto parsed = parse_authroot(blob.stl, blob.certs);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_TRUE(parsed.value().warnings.empty());
+  ASSERT_EQ(parsed.value().entries.size(), 3u);
+
+  const auto& out_tls = parsed.value().entries[0];
+  EXPECT_TRUE(out_tls.is_tls_anchor());
+  EXPECT_FALSE(out_tls.is_anchor_for(TrustPurpose::kEmailProtection));
+
+  const auto& out_mixed = parsed.value().entries[1];
+  EXPECT_EQ(out_mixed.trust_for(TrustPurpose::kServerAuth).level,
+            TrustLevel::kDistrusted);
+  EXPECT_TRUE(out_mixed.is_anchor_for(TrustPurpose::kEmailProtection));
+  EXPECT_TRUE(out_mixed.is_anchor_for(TrustPurpose::kCodeSigning));
+
+  const auto& out_partial = parsed.value().entries[2];
+  EXPECT_EQ(out_partial.trust_for(TrustPurpose::kServerAuth).distrust_after,
+            Date::ymd(2019, 2, 1));
+}
+
+TEST(Authroot, MissingCachedCertBecomesWarning) {
+  const TrustEntry e = rs::store::make_tls_anchor(make_cert(4));
+  AuthRootBlob blob = write_authroot({e});
+  blob.certs.clear();  // simulate an empty download cache
+  auto parsed = parse_authroot(blob.stl, blob.certs);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().entries.empty());
+  ASSERT_EQ(parsed.value().warnings.size(), 1u);
+  EXPECT_NE(parsed.value().warnings[0].find("no cached certificate"),
+            std::string::npos);
+}
+
+TEST(Authroot, CacheMismatchDetected) {
+  const TrustEntry e = rs::store::make_tls_anchor(make_cert(5));
+  AuthRootBlob blob = write_authroot({e});
+  // Replace the cached DER with a different certificate's bytes.
+  blob.certs.begin()->second = make_cert(6)->der();
+  auto parsed = parse_authroot(blob.stl, blob.certs);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().entries.empty());
+  ASSERT_EQ(parsed.value().warnings.size(), 1u);
+  EXPECT_NE(parsed.value().warnings[0].find("mismatch"), std::string::npos);
+}
+
+TEST(Authroot, FullyDisallowedEntryRoundTrips) {
+  TrustEntry e;
+  e.certificate = make_cert(7);
+  for (TrustPurpose p : rs::store::kAllPurposes) {
+    e.trust_for(p).level = TrustLevel::kDistrusted;
+  }
+  const AuthRootBlob blob = write_authroot({e});
+  auto parsed = parse_authroot(blob.stl, blob.certs);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().entries.size(), 1u);
+  for (TrustPurpose p : rs::store::kAllPurposes) {
+    EXPECT_EQ(parsed.value().entries[0].trust_for(p).level,
+              TrustLevel::kDistrusted);
+  }
+}
+
+TEST(Authroot, RejectsWrongVersion) {
+  const TrustEntry e = rs::store::make_tls_anchor(make_cert(8));
+  AuthRootBlob blob = write_authroot({e});
+  // Version INTEGER is the first element inside the outer SEQUENCE; it is
+  // encoded as 02 01 01 — flip the value byte.
+  for (std::size_t i = 0; i + 2 < blob.stl.size(); ++i) {
+    if (blob.stl[i] == 0x02 && blob.stl[i + 1] == 0x01 &&
+        blob.stl[i + 2] == 0x01) {
+      blob.stl[i + 2] = 0x07;
+      break;
+    }
+  }
+  auto parsed = parse_authroot(blob.stl, blob.certs);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("version"), std::string::npos);
+}
+
+TEST(Authroot, RejectsTruncatedStl) {
+  const TrustEntry e = rs::store::make_tls_anchor(make_cert(9));
+  const AuthRootBlob blob = write_authroot({e});
+  const std::vector<std::uint8_t> truncated(blob.stl.begin(),
+                                            blob.stl.begin() + 10);
+  EXPECT_FALSE(parse_authroot(truncated, blob.certs).ok());
+}
+
+TEST(Authroot, EmptyListRoundTrips) {
+  const AuthRootBlob blob = write_authroot({});
+  auto parsed = parse_authroot(blob.stl, blob.certs);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().entries.empty());
+}
+
+}  // namespace
+}  // namespace rs::formats

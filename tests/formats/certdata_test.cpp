@@ -1,0 +1,188 @@
+#include "src/formats/certdata.h"
+
+#include <gtest/gtest.h>
+
+#include "src/store/trust.h"
+#include "src/util/date.h"
+#include "src/x509/builder.h"
+
+namespace rs::formats {
+namespace {
+
+using rs::store::TrustEntry;
+using rs::store::TrustLevel;
+using rs::store::TrustPurpose;
+using rs::util::Date;
+
+std::shared_ptr<const rs::x509::Certificate> make_cert(std::uint64_t seed,
+                                                       const std::string& cn) {
+  rs::x509::Name n;
+  n.add_common_name(cn);
+  return std::make_shared<const rs::x509::Certificate>(
+      rs::x509::CertificateBuilder().subject(n).key_seed(seed).build());
+}
+
+TrustEntry full_entry(std::uint64_t seed) {
+  TrustEntry e = rs::store::make_anchor_for(
+      make_cert(seed, "Certdata Root " + std::to_string(seed)),
+      {TrustPurpose::kServerAuth, TrustPurpose::kEmailProtection});
+  e.trust_for(TrustPurpose::kCodeSigning).level = TrustLevel::kDistrusted;
+  return e;
+}
+
+TEST(Certdata, WriteParseRoundTripPreservesTrust) {
+  std::vector<TrustEntry> entries = {full_entry(1), full_entry(2)};
+  entries[1].trust_for(TrustPurpose::kServerAuth).distrust_after =
+      Date::ymd(2020, 1, 1);
+
+  const std::string text = write_certdata(entries);
+  auto parsed = parse_certdata(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_TRUE(parsed.value().warnings.empty());
+  ASSERT_EQ(parsed.value().entries.size(), 2u);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto& in = entries[i];
+    const auto& out = parsed.value().entries[i];
+    EXPECT_EQ(out.certificate->der(), in.certificate->der());
+    for (TrustPurpose p : rs::store::kAllPurposes) {
+      EXPECT_EQ(out.trust_for(p).level, in.trust_for(p).level);
+    }
+  }
+  EXPECT_EQ(parsed.value()
+                .entries[1]
+                .trust_for(TrustPurpose::kServerAuth)
+                .distrust_after,
+            Date::ymd(2020, 1, 1));
+  EXPECT_FALSE(parsed.value()
+                   .entries[0]
+                   .trust_for(TrustPurpose::kServerAuth)
+                   .distrust_after.has_value());
+}
+
+TEST(Certdata, ToleratesCommentsAndBlankLines) {
+  const std::string text = "# leading comment\n\n" +
+                           write_certdata({full_entry(3)}) +
+                           "\n# trailing comment\n";
+  auto parsed = parse_certdata(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().entries.size(), 1u);
+}
+
+TEST(Certdata, AcceptsLegacyNetscapeTokens) {
+  std::string text = write_certdata({full_entry(4)});
+  // Downgrade spellings to the pre-NSS-3.x vocabulary.
+  auto replace_all = [&](const std::string& from, const std::string& to) {
+    std::size_t pos = 0;
+    while ((pos = text.find(from, pos)) != std::string::npos) {
+      text.replace(pos, from.size(), to);
+      pos += to.size();
+    }
+  };
+  replace_all("CKO_NSS_TRUST", "CKO_NETSCAPE_TRUST");
+  replace_all("CKT_NSS_TRUSTED_DELEGATOR", "CKT_NETSCAPE_TRUSTED_DELEGATOR");
+  replace_all("CKT_NSS_MUST_VERIFY_TRUST", "CKT_NETSCAPE_MUST_VERIFY_TRUST");
+  replace_all("CKT_NSS_NOT_TRUSTED", "CKT_NETSCAPE_UNTRUSTED");
+  auto parsed = parse_certdata(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().entries.size(), 1u);
+  EXPECT_TRUE(parsed.value().entries[0].is_tls_anchor());
+}
+
+TEST(Certdata, CertificateWithoutTrustObjectWarns) {
+  std::string text = write_certdata({full_entry(5)});
+  // Chop off everything from the trust object on.
+  const std::size_t pos = text.find("CKO_NSS_TRUST");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t line_start = text.rfind("CKA_CLASS", pos);
+  text.resize(line_start);
+  auto parsed = parse_certdata(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().entries.size(), 1u);
+  EXPECT_FALSE(parsed.value().entries[0].is_tls_anchor());  // must-verify
+  ASSERT_FALSE(parsed.value().warnings.empty());
+  EXPECT_NE(parsed.value().warnings[0].find("without trust object"),
+            std::string::npos);
+}
+
+TEST(Certdata, TrustObjectForUnknownHashWarns) {
+  std::string text = write_certdata({full_entry(6)});
+  // Remove the certificate object, keep the trust object.
+  const std::size_t trust_pos = text.find("# Trust for");
+  ASSERT_NE(trust_pos, std::string::npos);
+  const std::size_t header_end = text.find("BEGINDATA\n") + 10;
+  text = text.substr(0, header_end) + text.substr(trust_pos);
+  auto parsed = parse_certdata(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_TRUE(parsed.value().entries.empty());
+  ASSERT_FALSE(parsed.value().warnings.empty());
+  EXPECT_NE(parsed.value().warnings[0].find("unknown SHA1"),
+            std::string::npos);
+}
+
+TEST(Certdata, RejectsGrammarCorruption) {
+  // Bad octal digit.
+  EXPECT_FALSE(parse_certdata("BEGINDATA\n"
+                              "CKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\n"
+                              "CKA_VALUE MULTILINE_OCTAL\n"
+                              "\\999\n"
+                              "END\n")
+                   .ok());
+  // Unterminated octal block.
+  EXPECT_FALSE(parse_certdata("BEGINDATA\n"
+                              "CKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\n"
+                              "CKA_VALUE MULTILINE_OCTAL\n"
+                              "\\060\\061\n")
+                   .ok());
+  // Non-attribute junk line.
+  EXPECT_FALSE(parse_certdata("BEGINDATA\nGARBAGE LINE\n").ok());
+  // Attribute with no type.
+  EXPECT_FALSE(parse_certdata("BEGINDATA\nCKA_CLASS\n").ok());
+}
+
+TEST(Certdata, MissingBegindataRejected) {
+  const std::string text = "CKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\n";
+  auto parsed = parse_certdata(text);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("BEGINDATA"), std::string::npos);
+}
+
+TEST(Certdata, EmptyInputYieldsEmptyStore) {
+  auto parsed = parse_certdata("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().entries.empty());
+}
+
+TEST(Certdata, UndecodableCertSkippedWithWarning) {
+  const std::string text =
+      "BEGINDATA\n"
+      "CKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\n"
+      "CKA_VALUE MULTILINE_OCTAL\n"
+      "\\001\\002\\003\n"
+      "END\n";
+  auto parsed = parse_certdata(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().entries.empty());
+  ASSERT_FALSE(parsed.value().warnings.empty());
+  EXPECT_NE(parsed.value().warnings[0].find("undecodable"), std::string::npos);
+}
+
+TEST(Certdata, DistrustAfterRoundTripsYearsAcrossPivot) {
+  for (int year : {2005, 2019, 2035, 2049}) {
+    TrustEntry e = full_entry(70 + static_cast<std::uint64_t>(year));
+    e.trust_for(TrustPurpose::kServerAuth).distrust_after =
+        Date::ymd(year, 7, 4);
+    auto parsed = parse_certdata(write_certdata({e}));
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed.value().entries.size(), 1u);
+    EXPECT_EQ(parsed.value()
+                  .entries[0]
+                  .trust_for(TrustPurpose::kServerAuth)
+                  .distrust_after,
+              Date::ymd(year, 7, 4))
+        << year;
+  }
+}
+
+}  // namespace
+}  // namespace rs::formats

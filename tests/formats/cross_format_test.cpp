@@ -1,0 +1,147 @@
+// Cross-format property tests: the same trust entries written through every
+// provider format and parsed back must agree on certificate identity, and
+// must lose exactly the metadata each format is documented to lose.
+#include <gtest/gtest.h>
+
+#include "src/formats/authroot_stl.h"
+#include "src/formats/cert_dir.h"
+#include "src/formats/certdata.h"
+#include "src/formats/jks.h"
+#include "src/formats/pem_bundle.h"
+#include "src/x509/builder.h"
+
+namespace rs::formats {
+namespace {
+
+using rs::store::TrustEntry;
+using rs::store::TrustPurpose;
+using rs::util::Date;
+
+std::vector<TrustEntry> make_entries(int count, std::uint64_t seed_base) {
+  std::vector<TrustEntry> entries;
+  for (int i = 0; i < count; ++i) {
+    rs::x509::Name n;
+    n.add_common_name("Cross Root " + std::to_string(seed_base) + "-" +
+                      std::to_string(i));
+    auto cert = std::make_shared<const rs::x509::Certificate>(
+        rs::x509::CertificateBuilder()
+            .subject(n)
+            .key_seed(seed_base * 1000 + static_cast<std::uint64_t>(i))
+            .build());
+    TrustEntry e = rs::store::make_anchor_for(
+        cert, {TrustPurpose::kServerAuth, TrustPurpose::kEmailProtection});
+    if (i % 3 == 0) {
+      e.trust_for(TrustPurpose::kServerAuth).distrust_after =
+          Date::ymd(2020, 1, 1 + i % 20);
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::vector<rs::crypto::Sha256Digest> fingerprints(
+    const std::vector<TrustEntry>& entries) {
+  std::vector<rs::crypto::Sha256Digest> out;
+  for (const auto& e : entries) out.push_back(e.certificate->sha256());
+  return out;
+}
+
+class CrossFormatTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossFormatTest, AllFormatsPreserveCertificateIdentity) {
+  const auto entries = make_entries(GetParam(), 42);
+  const auto expected = fingerprints(entries);
+
+  {
+    auto parsed = parse_certdata(write_certdata(entries));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(fingerprints(parsed.value().entries), expected) << "certdata";
+  }
+  {
+    const auto blob = write_authroot(entries);
+    auto parsed = parse_authroot(blob.stl, blob.certs);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(fingerprints(parsed.value().entries), expected) << "authroot";
+  }
+  {
+    auto parsed = parse_jks(write_jks(entries, Date::ymd(2021, 1, 1)));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(fingerprints(parsed.value().entries), expected) << "jks";
+  }
+  {
+    auto parsed = parse_pem_bundle(write_pem_bundle(entries),
+                                   BundleTrustPolicy::tls_only());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(fingerprints(parsed.value().entries), expected) << "pem";
+  }
+  {
+    auto parsed = parse_cert_dir(write_cert_dir(entries),
+                                 BundleTrustPolicy::tls_only());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(fingerprints(parsed.value().entries), expected) << "certdir";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StoreSizes, CrossFormatTest,
+                         ::testing::Values(0, 1, 2, 7, 25, 100));
+
+TEST(CrossFormat, RichFormatsKeepCutoffsLossyFormatsDropThem) {
+  const auto entries = make_entries(6, 7);
+
+  // Rich formats: certdata and authroot keep distrust_after.
+  auto certdata = parse_certdata(write_certdata(entries));
+  ASSERT_TRUE(certdata.ok());
+  const auto blob = write_authroot(entries);
+  auto authroot = parse_authroot(blob.stl, blob.certs);
+  ASSERT_TRUE(authroot.ok());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto expected =
+        entries[i].trust_for(TrustPurpose::kServerAuth).distrust_after;
+    EXPECT_EQ(certdata.value()
+                  .entries[i]
+                  .trust_for(TrustPurpose::kServerAuth)
+                  .distrust_after,
+              expected);
+    EXPECT_EQ(authroot.value()
+                  .entries[i]
+                  .trust_for(TrustPurpose::kServerAuth)
+                  .distrust_after,
+              expected);
+  }
+
+  // Lossy formats: JKS and PEM bundles drop every cutoff.
+  auto jks = parse_jks(write_jks(entries, Date::ymd(2021, 1, 1)));
+  ASSERT_TRUE(jks.ok());
+  auto pem = parse_pem_bundle(write_pem_bundle(entries),
+                              BundleTrustPolicy::tls_only());
+  ASSERT_TRUE(pem.ok());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_FALSE(jks.value()
+                     .entries[i]
+                     .trust_for(TrustPurpose::kServerAuth)
+                     .distrust_after.has_value());
+    EXPECT_FALSE(pem.value()
+                     .entries[i]
+                     .trust_for(TrustPurpose::kServerAuth)
+                     .distrust_after.has_value());
+  }
+}
+
+TEST(CrossFormat, DoubleRoundTripIsStable) {
+  // write(parse(write(x))) == write(x) for the text formats.
+  const auto entries = make_entries(10, 11);
+  const std::string once = write_certdata(entries);
+  auto parsed = parse_certdata(once);
+  ASSERT_TRUE(parsed.ok());
+  const std::string twice = write_certdata(parsed.value().entries);
+  EXPECT_EQ(once, twice);
+
+  const std::string pem_once = write_pem_bundle(entries);
+  auto pem_parsed =
+      parse_pem_bundle(pem_once, BundleTrustPolicy::multi_purpose());
+  ASSERT_TRUE(pem_parsed.ok());
+  EXPECT_EQ(write_pem_bundle(pem_parsed.value().entries), pem_once);
+}
+
+}  // namespace
+}  // namespace rs::formats

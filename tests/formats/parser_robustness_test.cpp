@@ -1,0 +1,151 @@
+// Robustness sweeps: every parser must reject or tolerate arbitrarily
+// mutated input without crashing, and never fabricate trust that was not in
+// the original.  Mutations are deterministic (seeded PRNG).
+#include <gtest/gtest.h>
+
+#include "src/crypto/prng.h"
+#include "src/formats/authroot_stl.h"
+#include "src/formats/certdata.h"
+#include "src/formats/jks.h"
+#include "src/formats/pem_bundle.h"
+#include "src/formats/portable.h"
+#include "src/x509/builder.h"
+
+namespace rs::formats {
+namespace {
+
+using rs::store::TrustEntry;
+
+std::vector<TrustEntry> sample_entries() {
+  std::vector<TrustEntry> out;
+  for (int i = 0; i < 5; ++i) {
+    rs::x509::Name n;
+    n.add_common_name("Robust Root " + std::to_string(i));
+    out.push_back(rs::store::make_tls_anchor(
+        std::make_shared<const rs::x509::Certificate>(
+            rs::x509::CertificateBuilder()
+                .subject(n)
+                .key_seed(static_cast<std::uint64_t>(100 + i))
+                .build())));
+  }
+  return out;
+}
+
+template <typename Bytes>
+void mutate(Bytes& data, rs::crypto::Prng& rng, int flips) {
+  for (int i = 0; i < flips && !data.empty(); ++i) {
+    const std::size_t pos = rng.pick_index(data.size());
+    data[pos] = static_cast<typename Bytes::value_type>(
+        static_cast<std::uint8_t>(data[pos]) ^
+        static_cast<std::uint8_t>(1u << rng.uniform(8)));
+  }
+}
+
+class MutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationTest, CertdataNeverCrashes) {
+  const std::string original = write_certdata(sample_entries());
+  rs::crypto::Prng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int round = 0; round < 200; ++round) {
+    std::string text = original;
+    mutate(text, rng, GetParam());
+    auto parsed = parse_certdata(text);  // ok or error; must not crash
+    if (parsed.ok()) {
+      EXPECT_LE(parsed.value().entries.size(), sample_entries().size() + 1);
+    }
+  }
+}
+
+TEST_P(MutationTest, PemBundleNeverCrashes) {
+  const std::string original = write_pem_bundle(sample_entries());
+  rs::crypto::Prng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const auto policy = BundleTrustPolicy::tls_only();
+  for (int round = 0; round < 200; ++round) {
+    std::string text = original;
+    mutate(text, rng, GetParam());
+    auto parsed = parse_pem_bundle(text, policy);
+    ASSERT_TRUE(parsed.ok());  // PEM parsing degrades to warnings, not errors
+    EXPECT_LE(parsed.value().entries.size(), sample_entries().size());
+  }
+}
+
+TEST_P(MutationTest, JksNeverCrashesAndDetectsCorruption) {
+  const auto original =
+      write_jks(sample_entries(), rs::util::Date::ymd(2021, 1, 1));
+  rs::crypto::Prng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  int accepted = 0;
+  for (int round = 0; round < 200; ++round) {
+    auto blob = original;
+    mutate(blob, rng, GetParam());
+    auto parsed = parse_jks(blob);
+    if (parsed.ok()) ++accepted;
+  }
+  // The SHA-1 integrity digest must catch essentially every byte flip.
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST_P(MutationTest, AuthrootNeverCrashes) {
+  const auto blob = write_authroot(sample_entries());
+  rs::crypto::Prng rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  for (int round = 0; round < 200; ++round) {
+    auto stl = blob.stl;
+    mutate(stl, rng, GetParam());
+    auto parsed = parse_authroot(stl, blob.certs);
+    if (parsed.ok()) {
+      EXPECT_LE(parsed.value().entries.size(), sample_entries().size());
+    }
+  }
+}
+
+TEST_P(MutationTest, CertificateParserNeverCrashes) {
+  const auto original = sample_entries()[0].certificate->der();
+  rs::crypto::Prng rng(static_cast<std::uint64_t>(GetParam()) + 4000);
+  for (int round = 0; round < 400; ++round) {
+    auto der = original;
+    mutate(der, rng, GetParam());
+    auto parsed = rs::x509::Certificate::parse(der);
+    (void)parsed;
+  }
+}
+
+TEST_P(MutationTest, RstsNeverCrashesAndNeverGainsTrust) {
+  const std::string original = write_rsts(sample_entries());
+  rs::crypto::Prng rng(static_cast<std::uint64_t>(GetParam()) + 6000);
+  for (int round = 0; round < 200; ++round) {
+    std::string text = original;
+    mutate(text, rng, GetParam());
+    auto parsed = parse_rsts(text);
+    if (!parsed.ok()) continue;
+    EXPECT_LE(parsed.value().entries.size(), sample_entries().size());
+    // The sha256 pin must keep mutated certificates out.
+    for (const auto& e : parsed.value().entries) {
+      bool known = false;
+      for (const auto& orig : sample_entries()) {
+        known = known || orig.certificate->sha256() == e.certificate->sha256();
+      }
+      EXPECT_TRUE(known) << "mutation smuggled in an unknown certificate";
+    }
+  }
+}
+
+TEST_P(MutationTest, TruncationsNeverCrash) {
+  const std::string certdata = write_certdata(sample_entries());
+  const auto jks = write_jks(sample_entries(), rs::util::Date::ymd(2021, 1, 1));
+  const auto authroot = write_authroot(sample_entries());
+  rs::crypto::Prng rng(static_cast<std::uint64_t>(GetParam()) + 5000);
+  for (int round = 0; round < 100; ++round) {
+    const std::size_t cd_cut = rng.pick_index(certdata.size());
+    (void)parse_certdata(std::string_view(certdata).substr(0, cd_cut));
+    const std::size_t jks_cut = rng.pick_index(jks.size());
+    (void)parse_jks(std::span(jks).first(jks_cut));
+    const std::size_t ar_cut = rng.pick_index(authroot.stl.size());
+    (void)parse_authroot(std::span(authroot.stl).first(ar_cut),
+                         authroot.certs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FlipCounts, MutationTest,
+                         ::testing::Values(1, 4, 16, 64));
+
+}  // namespace
+}  // namespace rs::formats

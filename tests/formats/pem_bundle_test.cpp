@@ -1,0 +1,149 @@
+#include "src/formats/pem_bundle.h"
+
+#include <gtest/gtest.h>
+
+#include "src/encoding/pem.h"
+#include "src/x509/builder.h"
+
+namespace rs::formats {
+namespace {
+
+using rs::store::TrustEntry;
+using rs::store::TrustPurpose;
+
+std::shared_ptr<const rs::x509::Certificate> make_cert(std::uint64_t seed) {
+  rs::x509::Name n;
+  n.add_common_name("Bundle Root " + std::to_string(seed));
+  return std::make_shared<const rs::x509::Certificate>(
+      rs::x509::CertificateBuilder().subject(n).key_seed(seed).build());
+}
+
+TEST(PemBundle, RoundTripCertificates) {
+  std::vector<TrustEntry> entries = {
+      rs::store::make_tls_anchor(make_cert(1)),
+      rs::store::make_tls_anchor(make_cert(2)),
+  };
+  const std::string text = write_pem_bundle(entries);
+  auto parsed = parse_pem_bundle(text, BundleTrustPolicy::tls_only());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().entries.size(), 2u);
+  EXPECT_EQ(parsed.value().entries[0].certificate->der(),
+            entries[0].certificate->der());
+}
+
+TEST(PemBundle, PolicyControlsGrantedPurposes) {
+  const std::string text =
+      write_pem_bundle({rs::store::make_tls_anchor(make_cert(3))});
+
+  auto tls = parse_pem_bundle(text, BundleTrustPolicy::tls_only());
+  ASSERT_TRUE(tls.ok());
+  EXPECT_TRUE(tls.value().entries[0].is_tls_anchor());
+  EXPECT_FALSE(
+      tls.value().entries[0].is_anchor_for(TrustPurpose::kEmailProtection));
+
+  auto multi = parse_pem_bundle(text, BundleTrustPolicy::multi_purpose());
+  ASSERT_TRUE(multi.ok());
+  for (TrustPurpose p : rs::store::kAllPurposes) {
+    EXPECT_TRUE(multi.value().entries[0].is_anchor_for(p));
+  }
+}
+
+TEST(PemBundle, TrustMetadataIsLostByDesign) {
+  // A partial-distrust cutoff cannot survive the bundle format — the §6
+  // fidelity failure the paper documents.
+  TrustEntry e = rs::store::make_tls_anchor(make_cert(4));
+  e.trust_for(TrustPurpose::kServerAuth).distrust_after =
+      rs::util::Date::ymd(2020, 1, 1);
+  const std::string text = write_pem_bundle({e});
+  auto parsed = parse_pem_bundle(text, BundleTrustPolicy::tls_only());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value()
+                   .entries[0]
+                   .trust_for(TrustPurpose::kServerAuth)
+                   .distrust_after.has_value());
+}
+
+TEST(PemBundle, NonCertificateBlocksWarn) {
+  const std::string text =
+      write_pem_bundle({rs::store::make_tls_anchor(make_cert(5))}) +
+      rs::encoding::pem_encode("X509 CRL", std::vector<std::uint8_t>{1, 2});
+  auto parsed = parse_pem_bundle(text, BundleTrustPolicy::tls_only());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().entries.size(), 1u);
+  ASSERT_EQ(parsed.value().warnings.size(), 1u);
+  EXPECT_NE(parsed.value().warnings[0].find("X509 CRL"), std::string::npos);
+}
+
+TEST(PemBundle, UndecodableCertificateWarns) {
+  const std::string text = rs::encoding::pem_encode(
+      "CERTIFICATE", std::vector<std::uint8_t>{0xDE, 0xAD});
+  auto parsed = parse_pem_bundle(text, BundleTrustPolicy::tls_only());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().entries.empty());
+  EXPECT_FALSE(parsed.value().warnings.empty());
+}
+
+TEST(PemBundle, BundleContainsSubjectComments) {
+  const std::string text =
+      write_pem_bundle({rs::store::make_tls_anchor(make_cert(6))});
+  EXPECT_NE(text.find("# Bundle Root 6"), std::string::npos);
+}
+
+TEST(PurposeBundles, SplitByPurpose) {
+  // The §7 single-purpose recommendation: a TLS-only root must not appear
+  // in the email or code-signing bundle.
+  auto tls_only = rs::store::make_tls_anchor(make_cert(10));
+  auto email_only = rs::store::make_anchor_for(
+      make_cert(11), {TrustPurpose::kEmailProtection});
+  auto both = rs::store::make_anchor_for(
+      make_cert(12),
+      {TrustPurpose::kServerAuth, TrustPurpose::kEmailProtection});
+
+  const auto bundles = write_purpose_bundles({tls_only, email_only, both});
+
+  auto tls = parse_purpose_bundle(bundles.tls, TrustPurpose::kServerAuth);
+  ASSERT_TRUE(tls.ok());
+  EXPECT_EQ(tls.value().entries.size(), 2u);  // tls_only + both
+  for (const auto& e : tls.value().entries) {
+    EXPECT_TRUE(e.is_tls_anchor());
+    EXPECT_FALSE(e.is_anchor_for(TrustPurpose::kCodeSigning));
+  }
+
+  auto email =
+      parse_purpose_bundle(bundles.email, TrustPurpose::kEmailProtection);
+  ASSERT_TRUE(email.ok());
+  EXPECT_EQ(email.value().entries.size(), 2u);  // email_only + both
+
+  auto codesign =
+      parse_purpose_bundle(bundles.codesign, TrustPurpose::kCodeSigning);
+  ASSERT_TRUE(codesign.ok());
+  EXPECT_TRUE(codesign.value().entries.empty());  // nobody signs code here
+}
+
+TEST(PurposeBundles, FixesTheNuGetMisuse) {
+  // §6.2's NuGet incident: a consumer reading the *multi-purpose* bundle
+  // for code signing trusts TLS-only roots.  With purpose bundles the
+  // code-signing view is empty unless roots genuinely carry that trust.
+  auto tls_root = rs::store::make_tls_anchor(make_cert(13));
+  const std::string multi = write_pem_bundle({tls_root});
+  auto misused = parse_pem_bundle(multi, BundleTrustPolicy::multi_purpose());
+  ASSERT_TRUE(misused.ok());
+  EXPECT_TRUE(misused.value().entries[0].is_anchor_for(
+      TrustPurpose::kCodeSigning));  // the bug
+
+  const auto bundles = write_purpose_bundles({tls_root});
+  auto fixed =
+      parse_purpose_bundle(bundles.codesign, TrustPurpose::kCodeSigning);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_TRUE(fixed.value().entries.empty());  // the fix
+}
+
+TEST(PemBundle, EmptyInputYieldsEmptyStore) {
+  auto parsed = parse_pem_bundle("", BundleTrustPolicy::tls_only());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().entries.empty());
+  EXPECT_TRUE(parsed.value().warnings.empty());
+}
+
+}  // namespace
+}  // namespace rs::formats

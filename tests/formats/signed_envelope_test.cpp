@@ -1,0 +1,121 @@
+#include "src/formats/signed_envelope.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/prng.h"
+#include "src/x509/builder.h"
+
+namespace rs::formats {
+namespace {
+
+using rs::store::TrustEntry;
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+std::vector<TrustEntry> entries() {
+  std::vector<TrustEntry> out;
+  for (int i = 0; i < 3; ++i) {
+    rs::x509::Name n;
+    n.add_common_name("Envelope Root " + std::to_string(i));
+    out.push_back(rs::store::make_tls_anchor(
+        std::make_shared<const rs::x509::Certificate>(
+            rs::x509::CertificateBuilder()
+                .subject(n)
+                .key_seed(static_cast<std::uint64_t>(300 + i))
+                .build())));
+  }
+  return out;
+}
+
+TEST(SignedEnvelope, SealOpenRoundTrip) {
+  const auto payload = bytes("the payload bytes");
+  const auto sealed = seal_envelope(payload, "Microsoft Root Program", 42);
+  auto opened = open_envelope(sealed, 42);
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  EXPECT_EQ(opened.value().signer, "Microsoft Root Program");
+  EXPECT_EQ(opened.value().payload, payload);
+}
+
+TEST(SignedEnvelope, WrongKeyRejected) {
+  const auto sealed = seal_envelope(bytes("data"), "Signer", 1);
+  auto opened = open_envelope(sealed, 2);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_NE(opened.error().find("verification failed"), std::string::npos);
+}
+
+TEST(SignedEnvelope, TamperedPayloadRejected) {
+  auto sealed = seal_envelope(bytes("original data here"), "Signer", 7);
+  // Flip a byte inside the payload OCTET STRING (search for 'd' of "data").
+  for (std::size_t i = 0; i + 4 < sealed.size(); ++i) {
+    if (sealed[i] == 'd' && sealed[i + 1] == 'a' && sealed[i + 2] == 't') {
+      sealed[i] ^= 0x01;
+      break;
+    }
+  }
+  EXPECT_FALSE(open_envelope(sealed, 7).ok());
+}
+
+TEST(SignedEnvelope, SignerIsAuthenticated) {
+  // Re-labelling the signer invalidates the MAC (key binds the name).
+  const auto a = seal_envelope(bytes("payload"), "Alice", 9);
+  const auto b = seal_envelope(bytes("payload"), "Bob", 9);
+  EXPECT_NE(a, b);
+  // Splice Bob's name into Alice's envelope: must fail.
+  auto spliced = a;
+  bool replaced = false;
+  for (std::size_t i = 0; i + 5 <= spliced.size(); ++i) {
+    if (std::equal(spliced.begin() + static_cast<long>(i),
+                   spliced.begin() + static_cast<long>(i) + 5,
+                   "Alice")) {
+      std::copy_n("Bob\0\0", 5, spliced.begin() + static_cast<long>(i));
+      replaced = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(replaced);
+  EXPECT_FALSE(open_envelope(spliced, 9).ok());
+}
+
+TEST(SignedEnvelope, EmptyPayloadSupported) {
+  const auto sealed = seal_envelope({}, "Signer", 3);
+  auto opened = open_envelope(sealed, 3);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened.value().payload.empty());
+}
+
+TEST(SignedEnvelope, GarbageRejected) {
+  EXPECT_FALSE(open_envelope(bytes("not DER at all"), 1).ok());
+  EXPECT_FALSE(open_envelope({}, 1).ok());
+}
+
+TEST(SignedAuthroot, EndToEnd) {
+  const auto blob =
+      write_authroot_signed(entries(), "Microsoft Root Program", 20211102);
+  auto parsed = parse_authroot_signed(blob.sealed_stl, blob.certs, 20211102);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().entries.size(), 3u);
+  EXPECT_TRUE(parsed.value().entries[0].is_tls_anchor());
+}
+
+TEST(SignedAuthroot, MutationsNeverVerify) {
+  const auto blob = write_authroot_signed(entries(), "MS", 5);
+  rs::crypto::Prng rng(99);
+  int accepted = 0;
+  for (int round = 0; round < 200; ++round) {
+    auto sealed = blob.sealed_stl;
+    const std::size_t pos = rng.pick_index(sealed.size());
+    sealed[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+    if (parse_authroot_signed(sealed, blob.certs, 5).ok()) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(SignedAuthroot, WrongProgramKeyRejected) {
+  const auto blob = write_authroot_signed(entries(), "MS", 5);
+  EXPECT_FALSE(parse_authroot_signed(blob.sealed_stl, blob.certs, 6).ok());
+}
+
+}  // namespace
+}  // namespace rs::formats

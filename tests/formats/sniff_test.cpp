@@ -1,0 +1,88 @@
+#include "src/formats/sniff.h"
+
+#include <gtest/gtest.h>
+
+#include "src/formats/jks.h"
+#include "src/formats/pem_bundle.h"
+#include "src/formats/portable.h"
+#include "src/x509/builder.h"
+
+namespace rs::formats {
+namespace {
+
+using rs::store::TrustEntry;
+
+std::vector<TrustEntry> entries() {
+  rs::x509::Name n;
+  n.add_common_name("Sniff Root");
+  return {rs::store::make_tls_anchor(
+      std::make_shared<const rs::x509::Certificate>(
+          rs::x509::CertificateBuilder().subject(n).key_seed(1).build()))};
+}
+
+TEST(Sniff, DetectsEveryFormat) {
+  EXPECT_EQ(detect_store_format(write_certdata(entries())),
+            StoreFormat::kCertdata);
+  EXPECT_EQ(detect_store_format(write_pem_bundle(entries())),
+            StoreFormat::kPemBundle);
+  EXPECT_EQ(detect_store_format(write_rsts(entries())), StoreFormat::kRsts);
+  const auto jks = write_jks(entries(), rs::util::Date::ymd(2021, 1, 1));
+  EXPECT_EQ(detect_store_format(
+                std::string_view(reinterpret_cast<const char*>(jks.data()),
+                                 jks.size())),
+            StoreFormat::kJks);
+  EXPECT_EQ(detect_store_format("random bytes"), StoreFormat::kUnknown);
+  EXPECT_EQ(detect_store_format(""), StoreFormat::kUnknown);
+}
+
+TEST(Sniff, ParseAnyDispatchesCorrectly) {
+  const std::vector<std::string> documents = {write_certdata(entries()),
+                                              write_pem_bundle(entries()),
+                                              write_rsts(entries())};
+  for (const std::string& content : documents) {
+    auto parsed = parse_any_store(content);
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    EXPECT_EQ(parsed.value().entries.size(), 1u);
+    EXPECT_EQ(parsed.value().entries[0].certificate->sha256(),
+              entries()[0].certificate->sha256());
+  }
+  const auto jks = write_jks(entries(), rs::util::Date::ymd(2021, 1, 1));
+  auto parsed = parse_any_store(
+      std::string_view(reinterpret_cast<const char*>(jks.data()), jks.size()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().entries.size(), 1u);
+}
+
+TEST(Sniff, MultiPurposeFlagControlsBundleTrust) {
+  const std::string pem = write_pem_bundle(entries());
+  auto multi = parse_any_store(pem, /*multi_purpose=*/true);
+  ASSERT_TRUE(multi.ok());
+  EXPECT_TRUE(multi.value().entries[0].is_anchor_for(
+      rs::store::TrustPurpose::kCodeSigning));
+  auto tls = parse_any_store(pem, /*multi_purpose=*/false);
+  ASSERT_TRUE(tls.ok());
+  EXPECT_FALSE(tls.value().entries[0].is_anchor_for(
+      rs::store::TrustPurpose::kCodeSigning));
+}
+
+TEST(Sniff, UnknownContentFallsBackToPem) {
+  auto parsed = parse_any_store("not a store at all");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().entries.empty());
+}
+
+TEST(Sniff, LoadAnyStoreReportsMissingFile) {
+  auto loaded = load_any_store("/no/such/file");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().find("cannot open"), std::string::npos);
+}
+
+TEST(Sniff, FormatNames) {
+  EXPECT_STREQ(to_string(StoreFormat::kCertdata), "certdata.txt");
+  EXPECT_STREQ(to_string(StoreFormat::kJks), "JKS keystore");
+  EXPECT_STREQ(to_string(StoreFormat::kRsts), "RSTS");
+  EXPECT_STREQ(to_string(StoreFormat::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace rs::formats

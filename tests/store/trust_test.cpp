@@ -1,0 +1,75 @@
+#include "src/store/trust.h"
+
+#include <gtest/gtest.h>
+
+#include "src/x509/builder.h"
+
+namespace rs::store {
+namespace {
+
+std::shared_ptr<const rs::x509::Certificate> make_cert(std::uint64_t seed) {
+  rs::x509::Name n;
+  n.add_common_name("Trust Test Root " + std::to_string(seed));
+  return std::make_shared<const rs::x509::Certificate>(
+      rs::x509::CertificateBuilder().subject(n).key_seed(seed).build());
+}
+
+TEST(TrustEntry, DefaultsToMustVerifyEverywhere) {
+  TrustEntry e;
+  e.certificate = make_cert(1);
+  for (TrustPurpose p : kAllPurposes) {
+    EXPECT_EQ(e.trust_for(p).level, TrustLevel::kMustVerify);
+    EXPECT_FALSE(e.is_anchor_for(p));
+  }
+  EXPECT_FALSE(e.is_tls_anchor());
+}
+
+TEST(TrustEntry, MakeTlsAnchor) {
+  const TrustEntry e = make_tls_anchor(make_cert(2));
+  EXPECT_TRUE(e.is_tls_anchor());
+  EXPECT_FALSE(e.is_anchor_for(TrustPurpose::kEmailProtection));
+  EXPECT_FALSE(e.is_anchor_for(TrustPurpose::kCodeSigning));
+}
+
+TEST(TrustEntry, MakeAnchorForMultiplePurposes) {
+  const TrustEntry e = make_anchor_for(
+      make_cert(3), {TrustPurpose::kServerAuth, TrustPurpose::kCodeSigning});
+  EXPECT_TRUE(e.is_tls_anchor());
+  EXPECT_TRUE(e.is_anchor_for(TrustPurpose::kCodeSigning));
+  EXPECT_FALSE(e.is_anchor_for(TrustPurpose::kEmailProtection));
+}
+
+TEST(TrustEntry, PartialDistrustDetection) {
+  TrustEntry e = make_tls_anchor(make_cert(4));
+  EXPECT_FALSE(e.is_partially_distrusted_tls());
+  e.trust_for(TrustPurpose::kServerAuth).distrust_after =
+      rs::util::Date::ymd(2020, 1, 1);
+  EXPECT_TRUE(e.is_partially_distrusted_tls());
+  // A cutoff on a non-anchor is not "partial distrust of TLS".
+  TrustEntry f;
+  f.certificate = make_cert(5);
+  f.trust_for(TrustPurpose::kServerAuth).distrust_after =
+      rs::util::Date::ymd(2020, 1, 1);
+  EXPECT_FALSE(f.is_partially_distrusted_tls());
+}
+
+TEST(TrustNames, Strings) {
+  EXPECT_STREQ(to_string(TrustPurpose::kServerAuth), "server-auth");
+  EXPECT_STREQ(to_string(TrustPurpose::kEmailProtection), "email-protection");
+  EXPECT_STREQ(to_string(TrustPurpose::kCodeSigning), "code-signing");
+  EXPECT_STREQ(to_string(TrustLevel::kTrustedDelegator), "trusted-delegator");
+  EXPECT_STREQ(to_string(TrustLevel::kMustVerify), "must-verify");
+  EXPECT_STREQ(to_string(TrustLevel::kDistrusted), "distrusted");
+}
+
+TEST(PurposeTrust, AnchorPredicate) {
+  PurposeTrust t;
+  EXPECT_FALSE(t.is_anchor());
+  t.level = TrustLevel::kTrustedDelegator;
+  EXPECT_TRUE(t.is_anchor());
+  t.level = TrustLevel::kDistrusted;
+  EXPECT_FALSE(t.is_anchor());
+}
+
+}  // namespace
+}  // namespace rs::store

@@ -1,0 +1,103 @@
+#include "src/synth/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace rs::synth {
+namespace {
+
+TEST(Simulator, ProducesRequestedShape) {
+  SimulatorConfig cfg;
+  cfg.seed = 3;
+  cfg.program_count = 2;
+  cfg.derivative_count = 2;
+  cfg.ca_count = 40;
+  const auto eco = simulate_ecosystem(cfg);
+  EXPECT_EQ(eco.database.provider_count(), 4u);
+  EXPECT_NE(eco.database.find("Prog0"), nullptr);
+  EXPECT_NE(eco.database.find("Prog1"), nullptr);
+  EXPECT_NE(eco.database.find("Deriv0"), nullptr);
+  EXPECT_NE(eco.database.find("Deriv1"), nullptr);
+  EXPECT_EQ(eco.base_program, "Prog0");
+  EXPECT_EQ(eco.derivative_names.size(), 2u);
+}
+
+TEST(Simulator, DeterministicInSeed) {
+  SimulatorConfig cfg;
+  cfg.seed = 11;
+  cfg.ca_count = 30;
+  const auto a = simulate_ecosystem(cfg);
+  const auto b = simulate_ecosystem(cfg);
+  const auto& ha = *a.database.find("Prog0");
+  const auto& hb = *b.database.find("Prog0");
+  ASSERT_EQ(ha.size(), hb.size());
+  EXPECT_EQ(ha.back().all_fingerprints(), hb.back().all_fingerprints());
+
+  cfg.seed = 12;
+  const auto c = simulate_ecosystem(cfg);
+  EXPECT_FALSE(ha.back().all_fingerprints() ==
+               c.database.find("Prog0")->back().all_fingerprints());
+}
+
+TEST(Simulator, IncidentsAreRemovedFromBaseProgram) {
+  SimulatorConfig cfg;
+  cfg.seed = 5;
+  cfg.incident_count = 4;
+  const auto eco = simulate_ecosystem(cfg);
+  EXPECT_GT(eco.incidents.size(), 0u);
+  const auto* base = eco.database.find(eco.base_program);
+  for (const auto& inc : eco.incidents) {
+    // After removal (+ one snapshot interval), the base program must not
+    // trust the root any more.
+    const auto* after =
+        base->at(inc.removal + cfg.snapshot_interval_days + 1);
+    if (after == nullptr) continue;
+    for (const auto& e : after->entries) {
+      EXPECT_NE(e.certificate->subject().common_name().value_or(""),
+                "Simulated Root CA " + inc.root_id.substr(7));
+    }
+  }
+}
+
+TEST(Simulator, SnapshotsRespectDateRange) {
+  SimulatorConfig cfg;
+  cfg.seed = 9;
+  cfg.start = rs::util::Date::ymd(2010, 1, 1);
+  cfg.end = rs::util::Date::ymd(2012, 1, 1);
+  const auto eco = simulate_ecosystem(cfg);
+  for (const auto& [name, history] : eco.database.histories()) {
+    for (const auto& snap : history.snapshots()) {
+      EXPECT_GE(snap.date, cfg.start) << name;
+      EXPECT_LE(snap.date, cfg.end) << name;
+    }
+  }
+}
+
+TEST(Simulator, DerivativesTrackBaseProgram) {
+  SimulatorConfig cfg;
+  cfg.seed = 21;
+  cfg.derivative_count = 1;
+  cfg.min_lag_days = 30;
+  cfg.max_lag_days = 120;
+  const auto eco = simulate_ecosystem(cfg);
+  const auto* base = eco.database.find("Prog0");
+  const auto* deriv = eco.database.find("Deriv0");
+  ASSERT_NE(deriv, nullptr);
+  // The derivative's final TLS set should heavily overlap the base's.
+  const auto base_tls = base->back().tls_anchors();
+  const auto deriv_tls = deriv->back().tls_anchors();
+  ASSERT_GT(base_tls.size(), 0u);
+  EXPECT_LT(deriv_tls.jaccard_distance(base_tls), 0.5);
+}
+
+TEST(Simulator, ZeroDerivativesSupported) {
+  SimulatorConfig cfg;
+  cfg.seed = 2;
+  cfg.derivative_count = 0;
+  cfg.program_count = 1;
+  const auto eco = simulate_ecosystem(cfg);
+  EXPECT_EQ(eco.database.provider_count(), 1u);
+  EXPECT_TRUE(eco.derivative_names.empty());
+}
+
+}  // namespace
+}  // namespace rs::synth

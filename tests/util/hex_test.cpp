@@ -1,0 +1,56 @@
+#include "src/util/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace rs::util {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> xs) {
+  std::vector<std::uint8_t> v;
+  for (int x : xs) v.push_back(static_cast<std::uint8_t>(x));
+  return v;
+}
+
+TEST(Hex, EncodeLowercase) {
+  EXPECT_EQ(hex_encode(bytes({0xDE, 0xAD, 0xBE, 0xEF})), "deadbeef");
+  EXPECT_EQ(hex_encode(bytes({0x00, 0x01, 0x0F})), "00010f");
+  EXPECT_EQ(hex_encode({}), "");
+}
+
+TEST(Hex, EncodeColonUppercase) {
+  EXPECT_EQ(hex_encode_colon(bytes({0xDE, 0xAD})), "DE:AD");
+  EXPECT_EQ(hex_encode_colon(bytes({0x5A})), "5A");
+  EXPECT_EQ(hex_encode_colon({}), "");
+}
+
+TEST(Hex, DecodeBasic) {
+  EXPECT_EQ(hex_decode("deadbeef"), bytes({0xDE, 0xAD, 0xBE, 0xEF}));
+  EXPECT_EQ(hex_decode("DEADBEEF"), bytes({0xDE, 0xAD, 0xBE, 0xEF}));
+  EXPECT_EQ(hex_decode(""), bytes({}));
+}
+
+TEST(Hex, DecodeIgnoresColonsAndWhitespace) {
+  EXPECT_EQ(hex_decode("DE:AD:BE:EF"), bytes({0xDE, 0xAD, 0xBE, 0xEF}));
+  EXPECT_EQ(hex_decode(" de ad\nbe\tef "), bytes({0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(Hex, DecodeRejectsBadInput) {
+  EXPECT_FALSE(hex_decode("abc").has_value());     // odd digits
+  EXPECT_FALSE(hex_decode("zz").has_value());      // non-hex
+  EXPECT_FALSE(hex_decode("0x10").has_value());    // 'x'
+  EXPECT_FALSE(hex_decode("a:b:c").has_value());   // odd after strip
+}
+
+TEST(HexProperty, RoundTripSweep) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 257; ++i) {
+    data.push_back(static_cast<std::uint8_t>(i * 31 + 7));
+    const std::string enc = hex_encode(data);
+    ASSERT_EQ(enc.size(), data.size() * 2);
+    EXPECT_EQ(hex_decode(enc), data);
+    EXPECT_EQ(hex_decode(hex_encode_colon(data)), data);
+  }
+}
+
+}  // namespace
+}  // namespace rs::util

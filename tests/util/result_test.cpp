@@ -1,0 +1,69 @@
+#include "src/util/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rs::util {
+namespace {
+
+TEST(Result, ValueConstruction) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, ImplicitFromValue) {
+  auto make = []() -> Result<std::string> { return std::string("hi"); };
+  auto r = make();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "hi");
+}
+
+TEST(Result, ErrorConstruction) {
+  auto r = Result<int>::err("it broke");
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.error(), "it broke");
+}
+
+TEST(Result, TakeMovesOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  const auto v = std::move(r).take();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(Result, MutableValueAccess) {
+  Result<std::string> r(std::string("a"));
+  r.value() += "b";
+  EXPECT_EQ(r.value(), "ab");
+}
+
+TEST(Result, PropagateCarriesMessageAcrossTypes) {
+  auto source = Result<int>::err("root cause");
+  auto propagated = source.propagate<std::string>();
+  ASSERT_FALSE(propagated.ok());
+  EXPECT_EQ(propagated.error(), "root cause");
+}
+
+TEST(Result, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).take();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(Result, StringValueIsNotConfusedWithError) {
+  // A Result<std::string> holding a value must report ok() even though the
+  // error alternative is also string-like.
+  Result<std::string> r(std::string("payload"));
+  EXPECT_TRUE(r.ok());
+  auto e = Result<std::string>::err("failure");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.error(), "failure");
+}
+
+}  // namespace
+}  // namespace rs::util

@@ -1,0 +1,62 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rs::util {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+  EXPECT_EQ(median({}), 0.0);
+  EXPECT_EQ(percentile({}, 50), 0.0);
+  EXPECT_EQ(min_of({}), 0.0);
+  EXPECT_EQ(max_of({}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  const std::vector<double> odd = {3, 1, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, PercentileEndpointsAndMid) {
+  const std::vector<double> xs = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3, -1, 7};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  const std::vector<double> xs = {1, 1, 1};
+  const std::vector<double> ys = {2, 3, 4};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+  EXPECT_EQ(pearson(xs, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace rs::util

@@ -1,0 +1,61 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace rs::util {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Store", "Size"});
+  t.set_align(1, Align::kRight);
+  t.add_row({"NSS", "121.8"});
+  t.add_row({"Microsoft", "246.6"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Store"), std::string::npos);
+  EXPECT_NE(out.find("NSS"), std::string::npos);
+  // Right-aligned numeric column: "121.8" padded to the width of "246.6".
+  EXPECT_NE(out.find("121.8"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, ShortRowsPadAndLongRowsTruncate) {
+  TextTable t({"a", "b"});
+  t.add_row({"only"});
+  t.add_row({"x", "y", "dropped"});
+  const std::string out = t.render();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorInsertsRule) {
+  TextTable t({"h"});
+  t.add_row({"above"});
+  t.add_separator();
+  t.add_row({"below"});
+  const std::string out = t.render();
+  // Header rule + explicit separator = at least two dashed lines.
+  std::size_t dashes = 0;
+  for (std::size_t pos = out.find("-----"); pos != std::string::npos;
+       pos = out.find("-----", pos + 1)) {
+    ++dashes;
+  }
+  EXPECT_GE(dashes, 2u);
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable t({"name", "note"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"q\"uote", "line\nbreak"});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"uote\""), std::string::npos);
+}
+
+TEST(Fmt, DoubleAndPercent) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 1), "2.0");
+  EXPECT_EQ(fmt_percent(0.77), "77.0%");
+  EXPECT_EQ(fmt_percent(0.005), "0.5%");
+}
+
+}  // namespace
+}  // namespace rs::util

@@ -1,0 +1,157 @@
+#include "src/x509/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/x509/certificate.h"
+
+namespace rs::x509 {
+namespace {
+
+namespace oids = rs::asn1::oids;
+using rs::util::Date;
+
+Name subject(const std::string& cn) {
+  Name n;
+  n.add_common_name(cn);
+  return n;
+}
+
+TEST(Builder, DeterministicOutput) {
+  auto make = [] {
+    return CertificateBuilder()
+        .subject(subject("Det Root"))
+        .serial_number(1)
+        .key_seed(42)
+        .build_der();
+  };
+  EXPECT_EQ(make(), make());
+}
+
+TEST(Builder, KeySeedChangesKeyAndSignature) {
+  const Certificate a =
+      CertificateBuilder().subject(subject("A")).key_seed(1).build();
+  const Certificate b =
+      CertificateBuilder().subject(subject("A")).key_seed(2).build();
+  EXPECT_NE(a.public_key().key_material(), b.public_key().key_material());
+  EXPECT_NE(a.signature(), b.signature());
+}
+
+class SchemeTest : public ::testing::TestWithParam<SignatureScheme> {};
+
+TEST_P(SchemeTest, EmitsParseableCertWithMatchingOid) {
+  const Certificate c = CertificateBuilder()
+                            .subject(subject("Scheme Root"))
+                            .signature_scheme(GetParam())
+                            .build();
+  switch (GetParam()) {
+    case SignatureScheme::kMd5Rsa:
+      EXPECT_EQ(c.signature_algorithm(), oids::md5_with_rsa());
+      break;
+    case SignatureScheme::kSha1Rsa:
+      EXPECT_EQ(c.signature_algorithm(), oids::sha1_with_rsa());
+      break;
+    case SignatureScheme::kSha256Rsa:
+      EXPECT_EQ(c.signature_algorithm(), oids::sha256_with_rsa());
+      break;
+    case SignatureScheme::kEcdsaSha256:
+      EXPECT_EQ(c.signature_algorithm(), oids::ecdsa_with_sha256());
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeTest,
+                         ::testing::Values(SignatureScheme::kMd5Rsa,
+                                           SignatureScheme::kSha1Rsa,
+                                           SignatureScheme::kSha256Rsa,
+                                           SignatureScheme::kEcdsaSha256));
+
+TEST(Builder, SignatureWidthMatchesScheme) {
+  const Certificate rsa2048 = CertificateBuilder()
+                                  .subject(subject("R"))
+                                  .rsa_bits(2048)
+                                  .build();
+  EXPECT_EQ(rsa2048.signature().size(), 256u);
+  const Certificate rsa1024 = CertificateBuilder()
+                                  .subject(subject("R"))
+                                  .rsa_bits(1024)
+                                  .build();
+  EXPECT_EQ(rsa1024.signature().size(), 128u);
+  const Certificate ec = CertificateBuilder()
+                             .subject(subject("R"))
+                             .signature_scheme(SignatureScheme::kEcdsaSha256)
+                             .build();
+  EXPECT_EQ(ec.signature().size(), 72u);
+}
+
+TEST(Builder, SeparateIssuerSupported) {
+  const Certificate c = CertificateBuilder()
+                            .subject(subject("Leafish"))
+                            .issuer(subject("Parent CA"))
+                            .build();
+  EXPECT_FALSE(c.is_self_issued());
+  EXPECT_EQ(c.issuer().common_name(), "Parent CA");
+}
+
+TEST(Builder, Version1OmitsExtensionsAndVersionField) {
+  const Certificate v1 = CertificateBuilder()
+                             .subject(subject("Old Root"))
+                             .version1(true)
+                             .build();
+  EXPECT_EQ(v1.version(), 1);
+  EXPECT_TRUE(v1.extensions().empty());
+}
+
+TEST(Builder, V3GetsDefaultCaExtensions) {
+  const Certificate v3 = CertificateBuilder().subject(subject("New Root")).build();
+  EXPECT_EQ(v3.version(), 3);
+  const Extension* bc =
+      find_extension(v3.extensions(), oids::basic_constraints());
+  ASSERT_NE(bc, nullptr);
+  EXPECT_TRUE(bc->critical);
+  const Extension* ku = find_extension(v3.extensions(), oids::key_usage());
+  ASSERT_NE(ku, nullptr);
+  auto parsed_ku = KeyUsage::parse(ku->value);
+  ASSERT_TRUE(parsed_ku.ok());
+  EXPECT_TRUE(parsed_ku.value().key_cert_sign);
+}
+
+TEST(Builder, CustomExtensionPreserved) {
+  SubjectKeyIdentifier ski{{0xAA, 0xBB, 0xCC}};
+  const Certificate c =
+      CertificateBuilder()
+          .subject(subject("With SKI"))
+          .add_extension({oids::subject_key_id(), false, ski.encode()})
+          .build();
+  const Extension* found =
+      find_extension(c.extensions(), oids::subject_key_id());
+  ASSERT_NE(found, nullptr);
+  auto parsed = SubjectKeyIdentifier::parse(found->value);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().key_id, ski.key_id);
+}
+
+TEST(Builder, PoliciesExtensionRoundTrips) {
+  const auto ev = *rs::asn1::Oid::from_dotted("2.23.140.1.1");
+  const Certificate c = CertificateBuilder()
+                            .subject(subject("EV Root"))
+                            .add_policies({ev})
+                            .build();
+  const auto policies = c.certificate_policies();
+  ASSERT_TRUE(policies.has_value());
+  EXPECT_TRUE(policies->asserts(ev));
+  const Certificate plain = CertificateBuilder().subject(subject("P")).build();
+  EXPECT_FALSE(plain.certificate_policies().has_value());
+}
+
+TEST(Builder, ValidityDatesAcrossUtcPivot) {
+  const Certificate c = CertificateBuilder()
+                            .subject(subject("Long Root"))
+                            .not_before(Date::ymd(1998, 5, 1))
+                            .not_after(Date::ymd(2052, 5, 1))
+                            .build();
+  EXPECT_EQ(c.validity().not_before.date, Date::ymd(1998, 5, 1));
+  EXPECT_EQ(c.validity().not_after.date, Date::ymd(2052, 5, 1));
+}
+
+}  // namespace
+}  // namespace rs::x509

@@ -1,0 +1,195 @@
+#include "src/x509/certificate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/asn1/time.h"
+#include "src/asn1/writer.h"
+#include "src/x509/builder.h"
+
+namespace rs::x509 {
+namespace {
+
+namespace oids = rs::asn1::oids;
+using rs::util::Date;
+
+CertificateBuilder base_builder() {
+  CertificateBuilder b;
+  Name subject;
+  subject.add_common_name("Test Root CA").add_organization("Test Org");
+  b.subject(subject)
+      .serial_number(12345)
+      .not_before(Date::ymd(2010, 1, 1))
+      .not_after(Date::ymd(2030, 1, 1))
+      .key_seed(7);
+  return b;
+}
+
+TEST(Certificate, ParseRecoversTbsFields) {
+  const Certificate c = base_builder().build();
+  EXPECT_EQ(c.version(), 3);
+  EXPECT_EQ(c.subject().common_name(), "Test Root CA");
+  EXPECT_TRUE(c.is_self_issued());
+  EXPECT_EQ(c.validity().not_before.date, Date::ymd(2010, 1, 1));
+  EXPECT_EQ(c.validity().not_after.date, Date::ymd(2030, 1, 1));
+  EXPECT_EQ(c.signature_algorithm(), oids::sha256_with_rsa());
+  EXPECT_EQ(c.public_key().bits(), 2048u);
+  ASSERT_FALSE(c.serial().empty());
+}
+
+TEST(Certificate, FingerprintsAreStableAndDistinct) {
+  const Certificate a = base_builder().build();
+  const Certificate b = base_builder().build();
+  EXPECT_EQ(a.sha256(), b.sha256());  // deterministic build
+  const Certificate c = base_builder().serial_number(99).build();
+  EXPECT_NE(a.sha256(), c.sha256());
+  EXPECT_NE(a.sha1(), c.sha1());
+  EXPECT_NE(a.md5(), c.md5());
+  EXPECT_EQ(a.short_id().size(), 8u);
+}
+
+TEST(Certificate, ExpiryPredicates) {
+  const Certificate c = base_builder().build();
+  EXPECT_FALSE(c.is_expired_at(Date::ymd(2020, 6, 1)));
+  EXPECT_TRUE(c.is_expired_at(Date::ymd(2030, 1, 2)));
+  EXPECT_TRUE(c.is_valid_at(Date::ymd(2010, 1, 1)));
+  EXPECT_TRUE(c.is_valid_at(Date::ymd(2030, 1, 1)));
+  EXPECT_FALSE(c.is_valid_at(Date::ymd(2009, 12, 31)));
+  EXPECT_FALSE(c.is_valid_at(Date::ymd(2031, 1, 1)));
+}
+
+TEST(Certificate, HygienePredicates) {
+  const Certificate md5_cert =
+      base_builder().signature_scheme(SignatureScheme::kMd5Rsa).build();
+  EXPECT_TRUE(md5_cert.has_md5_signature());
+  EXPECT_EQ(md5_cert.signature_algorithm(), oids::md5_with_rsa());
+
+  const Certificate weak = base_builder().rsa_bits(1024).build();
+  EXPECT_TRUE(weak.has_weak_rsa_key());
+  EXPECT_FALSE(weak.has_md5_signature());
+
+  const Certificate strong = base_builder().build();
+  EXPECT_FALSE(strong.has_weak_rsa_key());
+
+  const Certificate ec =
+      base_builder().signature_scheme(SignatureScheme::kEcdsaSha256).build();
+  EXPECT_FALSE(ec.has_weak_rsa_key());  // EC is not "weak RSA"
+  EXPECT_EQ(ec.public_key().algorithm(), KeyAlgorithm::kEcP256);
+}
+
+TEST(Certificate, CaBitFromBasicConstraints) {
+  const Certificate v3 = base_builder().build();
+  EXPECT_TRUE(v3.is_ca());  // builder injects CA:TRUE for v3 roots
+  const Certificate v1 = base_builder().version1(true).build();
+  EXPECT_EQ(v1.version(), 1);
+  EXPECT_TRUE(v1.is_ca());  // legacy v1 roots treated as CAs
+  EXPECT_TRUE(v1.extensions().empty());
+}
+
+TEST(Certificate, EkuExtraction) {
+  const Certificate with_eku =
+      base_builder()
+          .add_eku({oids::eku_server_auth(), oids::eku_email_protection()})
+          .build();
+  const auto eku = with_eku.extended_key_usage();
+  ASSERT_TRUE(eku.has_value());
+  EXPECT_TRUE(eku->permits(oids::eku_server_auth()));
+  EXPECT_TRUE(eku->permits(oids::eku_email_protection()));
+  EXPECT_FALSE(eku->permits(oids::eku_code_signing()));
+
+  const Certificate without = base_builder().build();
+  EXPECT_FALSE(without.extended_key_usage().has_value());
+}
+
+TEST(Certificate, ParseRejectsTrailingGarbage) {
+  auto der = base_builder().build_der();
+  der.push_back(0x00);
+  EXPECT_FALSE(Certificate::parse(der).ok());
+}
+
+TEST(Certificate, ParseRejectsTruncation) {
+  auto der = base_builder().build_der();
+  for (std::size_t cut : {der.size() - 1, der.size() / 2, std::size_t{5}}) {
+    std::vector<std::uint8_t> trunc(der.begin(),
+                                    der.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(Certificate::parse(trunc).ok()) << cut;
+  }
+}
+
+TEST(Certificate, ParseRejectsBitFlipsInStructure) {
+  // Flipping the outer tag or TBS tag must fail; content flips may legally
+  // still parse (e.g., inside key material), so only structural bytes here.
+  auto der = base_builder().build_der();
+  auto flipped = der;
+  flipped[0] = 0x31;  // SET instead of SEQUENCE
+  EXPECT_FALSE(Certificate::parse(flipped).ok());
+}
+
+TEST(Certificate, SkipsIssuerAndSubjectUniqueIds) {
+  // Hand-assemble a v2-style TBS with [1]/[2] IMPLICIT unique identifiers,
+  // which RFC 5280 permits and real legacy roots occasionally carry.
+  const Certificate base = base_builder().build();
+  // Rebuild the certificate DER by splicing unique-ID elements after the
+  // SPKI.  Easier: construct from scratch with the writer.
+  rs::asn1::Writer tbs;
+  {
+    rs::asn1::Writer v;
+    v.add_small_integer(1);  // v2
+    tbs.add_context(0, v);
+  }
+  tbs.add_small_integer(7);
+  {
+    rs::asn1::Writer alg;
+    alg.add_oid(oids::sha256_with_rsa());
+    alg.add_null();
+    tbs.add_sequence(alg);
+  }
+  Name name;
+  name.add_common_name("UniqueId Root");
+  name.encode(tbs);
+  {
+    rs::asn1::Writer validity;
+    rs::asn1::write_time(validity,
+                         rs::asn1::at_midnight(Date::ymd(2010, 1, 1)));
+    rs::asn1::write_time(validity,
+                         rs::asn1::at_midnight(Date::ymd(2030, 1, 1)));
+    tbs.add_sequence(validity);
+  }
+  name.encode(tbs);
+  base.public_key().encode(tbs);
+  // issuerUniqueID [1] IMPLICIT BIT STRING, subjectUniqueID [2].
+  const std::vector<std::uint8_t> uid = {0x00, 0xAB, 0xCD};
+  tbs.add_context_primitive(1, uid);
+  tbs.add_context_primitive(2, uid);
+
+  rs::asn1::Writer cert;
+  {
+    rs::asn1::Writer wrapped;
+    wrapped.add_sequence(tbs);
+    cert.add_raw(wrapped.bytes());
+  }
+  {
+    rs::asn1::Writer alg;
+    alg.add_oid(oids::sha256_with_rsa());
+    alg.add_null();
+    cert.add_sequence(alg);
+  }
+  cert.add_bit_string(std::vector<std::uint8_t>(64, 0x42));
+  rs::asn1::Writer top;
+  top.add_sequence(cert);
+
+  auto parsed = Certificate::parse(top.bytes());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().version(), 2);
+  EXPECT_EQ(parsed.value().subject().common_name(), "UniqueId Root");
+}
+
+TEST(Certificate, EqualityIsByDer) {
+  const Certificate a = base_builder().build();
+  const Certificate b = base_builder().build();
+  EXPECT_EQ(a, b);
+  const Certificate c = base_builder().key_seed(8).build();
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace rs::x509

@@ -1,0 +1,150 @@
+#include "src/x509/extensions.h"
+
+#include <gtest/gtest.h>
+
+namespace rs::x509 {
+namespace {
+
+namespace oids = rs::asn1::oids;
+
+TEST(BasicConstraints, RoundTripCa) {
+  const BasicConstraints bc{true, std::nullopt};
+  auto parsed = BasicConstraints::parse(bc.encode());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().ca);
+  EXPECT_FALSE(parsed.value().path_len.has_value());
+}
+
+TEST(BasicConstraints, RoundTripWithPathLen) {
+  const BasicConstraints bc{true, 3};
+  auto parsed = BasicConstraints::parse(bc.encode());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().ca);
+  EXPECT_EQ(parsed.value().path_len, 3);
+}
+
+TEST(BasicConstraints, DefaultFalseOmittedInDer) {
+  const BasicConstraints bc{false, std::nullopt};
+  const auto der = bc.encode();
+  // SEQUENCE {} => 30 00
+  const std::vector<std::uint8_t> expected = {0x30, 0x00};
+  EXPECT_EQ(der, expected);
+  auto parsed = BasicConstraints::parse(der);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().ca);
+}
+
+TEST(BasicConstraints, RejectsTrailingData) {
+  auto der = BasicConstraints{true, 1}.encode();
+  // Manually extend the sequence with junk: rebuild with an extra INTEGER.
+  der[1] = static_cast<std::uint8_t>(der[1] + 3);
+  der.push_back(0x02);
+  der.push_back(0x01);
+  der.push_back(0x07);
+  EXPECT_FALSE(BasicConstraints::parse(der).ok());
+}
+
+TEST(KeyUsage, RoundTripAllCombinations) {
+  for (int bits = 0; bits < 8; ++bits) {
+    KeyUsage ku;
+    ku.digital_signature = bits & 1;
+    ku.key_cert_sign = bits & 2;
+    ku.crl_sign = bits & 4;
+    auto parsed = KeyUsage::parse(ku.encode());
+    ASSERT_TRUE(parsed.ok()) << bits;
+    EXPECT_EQ(parsed.value(), ku) << bits;
+  }
+}
+
+TEST(KeyUsage, NamedBitListTruncatesTrailingZeros) {
+  KeyUsage ku;
+  ku.digital_signature = true;  // bit 0 only
+  const auto der = ku.encode();
+  // BIT STRING 03 02 07 80: one payload byte, 7 unused bits.
+  const std::vector<std::uint8_t> expected = {0x03, 0x02, 0x07, 0x80};
+  EXPECT_EQ(der, expected);
+}
+
+TEST(ExtendedKeyUsage, RoundTripAndPermits) {
+  ExtendedKeyUsage eku{{oids::eku_server_auth(), oids::eku_client_auth()}};
+  auto parsed = ExtendedKeyUsage::parse(eku.encode());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().purposes.size(), 2u);
+  EXPECT_TRUE(parsed.value().permits(oids::eku_server_auth()));
+  EXPECT_FALSE(parsed.value().permits(oids::eku_code_signing()));
+}
+
+TEST(ExtendedKeyUsage, AnyEkuPermitsEverything) {
+  ExtendedKeyUsage eku{{oids::eku_any()}};
+  EXPECT_TRUE(eku.permits(oids::eku_server_auth()));
+  EXPECT_TRUE(eku.permits(oids::eku_time_stamping()));
+}
+
+TEST(ExtendedKeyUsage, EmptyListRejected) {
+  ExtendedKeyUsage empty{{}};
+  EXPECT_FALSE(ExtendedKeyUsage::parse(empty.encode()).ok());
+}
+
+TEST(CertificatePolicies, RoundTripAndAsserts) {
+  const auto ev = *rs::asn1::Oid::from_dotted("2.23.140.1.1");
+  const auto dv = *rs::asn1::Oid::from_dotted("2.23.140.1.2.1");
+  CertificatePolicies cp{{ev, dv}};
+  auto parsed = CertificatePolicies::parse(cp.encode());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().policy_ids.size(), 2u);
+  EXPECT_TRUE(parsed.value().asserts(ev));
+  EXPECT_FALSE(parsed.value().asserts(*rs::asn1::Oid::from_dotted("1.2.3")));
+}
+
+TEST(CertificatePolicies, AnyPolicyAssertsEverything) {
+  CertificatePolicies cp{{any_policy()}};
+  EXPECT_TRUE(cp.asserts(*rs::asn1::Oid::from_dotted("2.23.140.1.1")));
+}
+
+TEST(CertificatePolicies, EmptyListRejected) {
+  CertificatePolicies empty{{}};
+  EXPECT_FALSE(CertificatePolicies::parse(empty.encode()).ok());
+}
+
+TEST(CertificatePolicies, QualifiersSkippedOpaquely) {
+  // PolicyInformation with a qualifier sequence after the OID.
+  rs::asn1::Writer info;
+  info.add_oid(*rs::asn1::Oid::from_dotted("2.23.140.1.1"));
+  rs::asn1::Writer qualifiers;
+  qualifiers.add_ia5_string("https://example.com/cps");
+  info.add_sequence(qualifiers);
+  rs::asn1::Writer body;
+  body.add_sequence(info);
+  rs::asn1::Writer seq;
+  seq.add_sequence(body);
+  auto parsed = CertificatePolicies::parse(seq.bytes());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().policy_ids.size(), 1u);
+}
+
+TEST(SubjectKeyIdentifier, RoundTrip) {
+  SubjectKeyIdentifier ski{{1, 2, 3, 4, 5}};
+  auto parsed = SubjectKeyIdentifier::parse(ski.encode());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().key_id, ski.key_id);
+}
+
+TEST(AuthorityKeyIdentifier, RoundTrip) {
+  AuthorityKeyIdentifier aki{{9, 8, 7}};
+  auto parsed = AuthorityKeyIdentifier::parse(aki.encode());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().key_id, aki.key_id);
+}
+
+TEST(FindExtension, LocatesByOid) {
+  std::vector<Extension> exts = {
+      {oids::basic_constraints(), true, {0x30, 0x00}},
+      {oids::key_usage(), true, {0x03, 0x02, 0x07, 0x80}},
+  };
+  EXPECT_NE(find_extension(exts, oids::key_usage()), nullptr);
+  EXPECT_EQ(find_extension(exts, oids::ext_key_usage()), nullptr);
+  EXPECT_EQ(find_extension({}, oids::key_usage()), nullptr);
+}
+
+}  // namespace
+}  // namespace rs::x509

@@ -1,0 +1,175 @@
+#include "src/x509/lint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/x509/builder.h"
+
+namespace rs::x509 {
+namespace {
+
+using rs::util::Date;
+
+bool has_check(const std::vector<LintFinding>& findings,
+               std::string_view check) {
+  for (const auto& f : findings) {
+    if (f.check == check) return true;
+  }
+  return false;
+}
+
+CertificateBuilder clean_builder() {
+  Name n;
+  n.add_common_name("Clean Root CA").add_organization("Clean Org");
+  CertificateBuilder b;
+  b.subject(n)
+      .serial_number(42)
+      .not_before(Date::ymd(2015, 1, 1))
+      .not_after(Date::ymd(2040, 1, 1))
+      .key_seed(1);
+  return b;
+}
+
+TEST(Lint, CleanModernRootOnlyGetsInfoAtWorst) {
+  const auto findings = lint_root(clean_builder().build());
+  for (const auto& f : findings) {
+    EXPECT_NE(f.severity, LintSeverity::kError) << f.check << ": " << f.message;
+  }
+  // RSA-2048 info is expected.
+  EXPECT_TRUE(has_check(findings, "root.rsa_2048"));
+}
+
+TEST(Lint, Md5SignatureIsError) {
+  const auto findings = lint_root(
+      clean_builder().signature_scheme(SignatureScheme::kMd5Rsa).build());
+  EXPECT_TRUE(has_check(findings, "root.md5_signature"));
+  EXPECT_GE(lint_score(findings), 10);
+}
+
+TEST(Lint, Sha1SignatureIsWarning) {
+  const auto findings = lint_root(
+      clean_builder().signature_scheme(SignatureScheme::kSha1Rsa).build());
+  EXPECT_TRUE(has_check(findings, "root.sha1_signature"));
+  for (const auto& f : findings) {
+    if (f.check == "root.sha1_signature") {
+      EXPECT_EQ(f.severity, LintSeverity::kWarning);
+    }
+  }
+}
+
+TEST(Lint, WeakRsaKeyIsError) {
+  const auto findings = lint_root(clean_builder().rsa_bits(1024).build());
+  EXPECT_TRUE(has_check(findings, "root.rsa_key_too_small"));
+}
+
+TEST(Lint, EcKeyHasNoRsaFindings) {
+  const auto findings = lint_root(
+      clean_builder().signature_scheme(SignatureScheme::kEcdsaSha256).build());
+  EXPECT_FALSE(has_check(findings, "root.rsa_key_too_small"));
+  EXPECT_FALSE(has_check(findings, "root.rsa_2048"));
+}
+
+TEST(Lint, ExpiredRootFlagged) {
+  const auto cert = clean_builder()
+                        .not_before(Date::ymd(2000, 1, 1))
+                        .not_after(Date::ymd(2018, 1, 1))
+                        .build();
+  LintOptions opts;
+  opts.now = Date::ymd(2021, 5, 1);
+  EXPECT_TRUE(has_check(lint_root(cert, opts), "root.expired"));
+  opts.now = Date::ymd(2017, 1, 1);
+  EXPECT_FALSE(has_check(lint_root(cert, opts), "root.expired"));
+}
+
+TEST(Lint, ExcessiveValidityWarned) {
+  const auto cert = clean_builder()
+                        .not_before(Date::ymd(2000, 1, 1))
+                        .not_after(Date::ymd(2045, 1, 1))
+                        .build();
+  EXPECT_TRUE(has_check(lint_root(cert), "root.validity_excessive"));
+  LintOptions opts;
+  opts.max_validity_years = 50;
+  EXPECT_FALSE(has_check(lint_root(cert, opts), "root.validity_excessive"));
+}
+
+TEST(Lint, V1CertificateWarned) {
+  const auto findings = lint_root(clean_builder().version1(true).build());
+  EXPECT_TRUE(has_check(findings, "root.v1_certificate"));
+  // v1 has no extensions, so no missing-BasicConstraints *error*.
+  EXPECT_FALSE(has_check(findings, "root.missing_basic_constraints"));
+}
+
+TEST(Lint, CrossCertificateWarned) {
+  Name issuer;
+  issuer.add_common_name("Different Parent");
+  const auto findings =
+      lint_root(clean_builder().issuer(issuer).build());
+  EXPECT_TRUE(has_check(findings, "root.not_self_issued"));
+}
+
+TEST(Lint, EkuOnRootIsInfo) {
+  const auto findings = lint_root(
+      clean_builder()
+          .add_eku({rs::asn1::oids::eku_server_auth()})
+          .build());
+  EXPECT_TRUE(has_check(findings, "root.eku_present"));
+}
+
+TEST(Lint, AnonymousSubjectWarned) {
+  Name n;
+  n.add_country("US");  // neither CN nor O
+  const auto findings =
+      lint_root(CertificateBuilder().subject(n).key_seed(9).build());
+  EXPECT_TRUE(has_check(findings, "root.anonymous_subject"));
+}
+
+TEST(Lint, DuplicateExtensionIsError) {
+  SubjectKeyIdentifier ski{{1, 2, 3}};
+  const auto cert =
+      clean_builder()
+          .add_extension({rs::asn1::oids::subject_key_id(), false, ski.encode()})
+          .add_extension({rs::asn1::oids::subject_key_id(), false, ski.encode()})
+          .build();
+  EXPECT_TRUE(has_check(lint_root(cert), "root.duplicate_extension"));
+}
+
+TEST(Lint, MissingSkiIsInfo) {
+  const auto findings = lint_root(clean_builder().build());
+  EXPECT_TRUE(has_check(findings, "root.missing_ski"));
+  SubjectKeyIdentifier ski{{1, 2, 3}};
+  const auto with_ski =
+      clean_builder()
+          .add_extension({rs::asn1::oids::subject_key_id(), false, ski.encode()})
+          .build();
+  EXPECT_FALSE(has_check(lint_root(with_ski), "root.missing_ski"));
+}
+
+TEST(Lint, FindingsOrderedBySeverity) {
+  const auto findings = lint_root(clean_builder()
+                                      .signature_scheme(SignatureScheme::kMd5Rsa)
+                                      .rsa_bits(1024)
+                                      .version1(true)
+                                      .build());
+  for (std::size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_GE(static_cast<int>(findings[i - 1].severity),
+              static_cast<int>(findings[i].severity));
+  }
+}
+
+TEST(Lint, ScoreWeights) {
+  std::vector<LintFinding> findings = {
+      {"a", LintSeverity::kError, ""},
+      {"b", LintSeverity::kWarning, ""},
+      {"c", LintSeverity::kInfo, ""},
+  };
+  EXPECT_EQ(lint_score(findings), 14);
+  EXPECT_EQ(lint_score({}), 0);
+}
+
+TEST(Lint, SeverityNames) {
+  EXPECT_STREQ(to_string(LintSeverity::kInfo), "info");
+  EXPECT_STREQ(to_string(LintSeverity::kWarning), "warning");
+  EXPECT_STREQ(to_string(LintSeverity::kError), "error");
+}
+
+}  // namespace
+}  // namespace rs::x509

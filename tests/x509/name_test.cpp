@@ -1,0 +1,87 @@
+#include "src/x509/name.h"
+
+#include <gtest/gtest.h>
+
+#include "src/asn1/reader.h"
+#include "src/asn1/writer.h"
+
+namespace rs::x509 {
+namespace {
+
+Name roundtrip(const Name& n) {
+  rs::asn1::Writer w;
+  n.encode(w);
+  rs::asn1::Reader r(w.bytes());
+  auto parsed = Name::parse(r);
+  EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error());
+  return parsed.ok() ? std::move(parsed).take() : Name{};
+}
+
+TEST(Name, BuildAndAccessors) {
+  Name n;
+  n.add_common_name("Example Root CA").add_organization("Example").add_country(
+      "US");
+  EXPECT_EQ(n.common_name(), "Example Root CA");
+  EXPECT_EQ(n.organization(), "Example");
+  EXPECT_EQ(n.country(), "US");
+  EXPECT_FALSE(n.empty());
+  EXPECT_EQ(n.attributes().size(), 3u);
+}
+
+TEST(Name, FindMissingReturnsNullopt) {
+  Name n;
+  n.add_common_name("X");
+  EXPECT_FALSE(n.organization().has_value());
+  EXPECT_FALSE(n.country().has_value());
+}
+
+TEST(Name, ToStringRfc4514Style) {
+  Name n;
+  n.add_common_name("Root").add_organization("Org").add_country("DE");
+  EXPECT_EQ(n.to_string(), "CN=Root, O=Org, C=DE");
+}
+
+TEST(Name, ToStringFallsBackToDottedOid) {
+  Name n;
+  n.add(*rs::asn1::Oid::from_dotted("2.5.4.7"), "Berlin");
+  EXPECT_EQ(n.to_string(), "2.5.4.7=Berlin");
+}
+
+TEST(Name, DerRoundTripPreservesOrderAndKinds) {
+  Name n;
+  n.add_country("JP")
+      .add_organization("日本のCA")
+      .add_common_name("Root CA G2");
+  const Name back = roundtrip(n);
+  EXPECT_EQ(back, n);
+  EXPECT_EQ(back.attributes()[0].kind, StringKind::kPrintable);
+  EXPECT_EQ(back.attributes()[1].kind, StringKind::kUtf8);
+}
+
+TEST(Name, EmptyNameRoundTrips) {
+  const Name n;
+  EXPECT_EQ(roundtrip(n), n);
+}
+
+TEST(Name, EqualityIsStructural) {
+  Name a, b;
+  a.add_common_name("X");
+  b.add_common_name("X");
+  EXPECT_EQ(a, b);
+  b.add_country("US");
+  EXPECT_NE(a, b);
+  // Same attributes in different order differ (DNs are ordered).
+  Name c, d;
+  c.add_common_name("X").add_country("US");
+  d.add_country("US").add_common_name("X");
+  EXPECT_NE(c, d);
+}
+
+TEST(Name, ParseRejectsGarbage) {
+  const std::vector<std::uint8_t> junk = {0x30, 0x03, 0x02, 0x01, 0x05};
+  rs::asn1::Reader r(junk);
+  EXPECT_FALSE(Name::parse(r).ok());
+}
+
+}  // namespace
+}  // namespace rs::x509

@@ -1,0 +1,109 @@
+#include "src/x509/public_key.h"
+
+#include <gtest/gtest.h>
+
+#include "src/asn1/reader.h"
+#include "src/asn1/writer.h"
+#include "src/crypto/prng.h"
+
+namespace rs::x509 {
+namespace {
+
+PublicKey roundtrip(const PublicKey& k) {
+  rs::asn1::Writer w;
+  k.encode(w);
+  rs::asn1::Reader r(w.bytes());
+  auto parsed = PublicKey::parse(r);
+  EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error());
+  return parsed.ok() ? std::move(parsed).take() : PublicKey{};
+}
+
+class RsaBitsTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RsaBitsTest, SynthesizedModulusHasExactBitLength) {
+  rs::crypto::Prng rng(GetParam());
+  const PublicKey k = PublicKey::synth_rsa(rng, GetParam());
+  EXPECT_EQ(k.algorithm(), KeyAlgorithm::kRsa);
+  EXPECT_EQ(k.bits(), GetParam());
+  const PublicKey back = roundtrip(k);
+  EXPECT_EQ(back.bits(), GetParam());
+  EXPECT_EQ(back, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, RsaBitsTest,
+                         ::testing::Values(512u, 1024u, 2048u, 4096u));
+
+TEST(PublicKey, EcCurves) {
+  rs::crypto::Prng rng(1);
+  const PublicKey p256 = PublicKey::synth_ec(rng, KeyAlgorithm::kEcP256);
+  EXPECT_EQ(p256.bits(), 256u);
+  EXPECT_EQ(p256.key_material().size(), 65u);
+  EXPECT_EQ(p256.key_material()[0], 0x04);
+  EXPECT_EQ(roundtrip(p256), p256);
+
+  const PublicKey p384 = PublicKey::synth_ec(rng, KeyAlgorithm::kEcP384);
+  EXPECT_EQ(p384.bits(), 384u);
+  EXPECT_EQ(p384.key_material().size(), 97u);
+  EXPECT_EQ(roundtrip(p384), p384);
+}
+
+TEST(PublicKey, DeterministicFromSeed) {
+  rs::crypto::Prng a(99), b(99);
+  EXPECT_EQ(PublicKey::synth_rsa(a, 2048), PublicKey::synth_rsa(b, 2048));
+  rs::crypto::Prng c(100);
+  EXPECT_NE(PublicKey::synth_rsa(c, 2048).key_material(),
+            PublicKey::synth_rsa(b, 2048).key_material());
+}
+
+TEST(PublicKey, ParseRejectsUnknownAlgorithm) {
+  rs::asn1::Writer alg;
+  alg.add_oid(*rs::asn1::Oid::from_dotted("1.2.3.4"));
+  alg.add_null();
+  rs::asn1::Writer spki;
+  spki.add_sequence(alg);
+  spki.add_bit_string(std::vector<std::uint8_t>{1, 2, 3});
+  rs::asn1::Writer top;
+  top.add_sequence(spki);
+  rs::asn1::Reader r(top.bytes());
+  auto parsed = PublicKey::parse(r);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("unsupported key algorithm"),
+            std::string::npos);
+}
+
+TEST(PublicKey, ParseRejectsUnknownCurve) {
+  rs::asn1::Writer alg;
+  alg.add_oid(rs::asn1::oids::ec_public_key());
+  alg.add_oid(*rs::asn1::Oid::from_dotted("1.3.132.0.10"));  // secp256k1
+  rs::asn1::Writer spki;
+  spki.add_sequence(alg);
+  spki.add_bit_string(std::vector<std::uint8_t>{0x04, 1, 2});
+  rs::asn1::Writer top;
+  top.add_sequence(spki);
+  rs::asn1::Reader r(top.bytes());
+  EXPECT_FALSE(PublicKey::parse(r).ok());
+}
+
+TEST(PublicKey, ParseRejectsMisalignedBitString) {
+  rs::crypto::Prng rng(5);
+  const PublicKey k = PublicKey::synth_rsa(rng, 1024);
+  rs::asn1::Writer alg;
+  alg.add_oid(rs::asn1::oids::rsa_encryption());
+  alg.add_null();
+  rs::asn1::Writer spki;
+  spki.add_sequence(alg);
+  spki.add_bit_string(k.key_material(), 4);  // 4 unused bits: invalid for SPKI
+  rs::asn1::Writer top;
+  top.add_sequence(spki);
+  rs::asn1::Reader r(top.bytes());
+  EXPECT_FALSE(PublicKey::parse(r).ok());
+}
+
+TEST(PublicKey, AlgorithmNames) {
+  EXPECT_STREQ(to_string(KeyAlgorithm::kRsa), "RSA");
+  EXPECT_STREQ(to_string(KeyAlgorithm::kEcP256), "EC P-256");
+  EXPECT_STREQ(to_string(KeyAlgorithm::kEcP384), "EC P-384");
+}
+
+}  // namespace
+}  // namespace rs::x509

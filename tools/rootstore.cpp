@@ -1,0 +1,266 @@
+// rootstore — the library's command-line front end.
+//
+//   rootstore audit <file>                hygiene + BR lint of a store file
+//   rootstore lint <file>                 per-root lint findings
+//   rootstore convert <in> <out>          translate formats (reports loss)
+//   rootstore diff <a> <b>                compare two stores
+//   rootstore dataset export <dir>        write the scenario dataset
+//   rootstore dataset verify <dir>        reload + verify a dataset
+//   rootstore report <name>               table1..table7, fig1..fig4
+//   rootstore formats                     list supported formats
+//
+// Every subcommand works on any supported serialization (sniffed from the
+// content): certdata.txt, PEM bundle, JKS, RSTS.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/hygiene.h"
+#include "src/core/export.h"
+#include "src/core/study.h"
+#include "src/formats/cert_dir.h"
+#include "src/formats/dataset_io.h"
+#include "src/formats/jks.h"
+#include "src/formats/pem_bundle.h"
+#include "src/formats/portable.h"
+#include "src/formats/sniff.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+#include "src/x509/lint.h"
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage: rootstore <command> [args]\n"
+      "  audit <file>              hygiene audit + lint summary\n"
+      "  lint <file>               per-root BR-style lint findings\n"
+      "  convert <in> <out>        translate between store formats\n"
+      "                            (out: .certdata/.rsts/.pem/.crt/.jks/.dir)\n"
+      "  diff <a> <b>              compare two stores\n"
+      "  dataset export <dir>      write the scenario's 670-snapshot dataset\n"
+      "  dataset verify <dir>      reload and verify a dataset directory\n"
+      "  report <name> [--csv]     table1..table7, fig1..fig4\n"
+      "  formats                   list supported serializations\n",
+      stderr);
+  return 2;
+}
+
+int die(const std::string& message) {
+  std::fprintf(stderr, "rootstore: %s\n", message.c_str());
+  return 1;
+}
+
+int cmd_formats() {
+  std::puts("certdata.txt  NSS PKCS#11 object grammar (full trust fidelity)");
+  std::puts("RSTS          portable trust serialization (full trust fidelity)");
+  std::puts("PEM bundle    bare certificates (trust metadata LOST)");
+  std::puts("JKS v2        Java keystore (trust metadata LOST)");
+  std::puts("cert dir      one PEM/DER file per root (trust metadata LOST)");
+  std::puts("authroot.stl  Microsoft CTL, via the library API "
+            "(rs::formats::parse_authroot)");
+  return 0;
+}
+
+int cmd_audit(const std::string& path) {
+  auto store = rs::formats::load_any_store(path);
+  if (!store.ok()) return die(store.error());
+  const auto& entries = store.value().entries;
+  const auto now = rs::util::Date::ymd(2021, 5, 1);
+
+  std::size_t tls = 0, expired = 0, weak = 0, md5 = 0;
+  int lint_total = 0;
+  rs::x509::LintOptions opts;
+  opts.now = now;
+  for (const auto& e : entries) {
+    if (e.is_tls_anchor()) ++tls;
+    if (e.certificate->is_expired_at(now)) ++expired;
+    if (e.certificate->has_weak_rsa_key()) ++weak;
+    if (e.certificate->has_md5_signature()) ++md5;
+    lint_total += rs::x509::lint_score(rs::x509::lint_root(*e.certificate, opts));
+  }
+  rs::util::TextTable t({"Metric", "Value"});
+  t.set_align(1, rs::util::Align::kRight);
+  t.add_row({"roots", std::to_string(entries.size())});
+  t.add_row({"TLS anchors", std::to_string(tls)});
+  t.add_row({"expired (at 2021-05-01)", std::to_string(expired)});
+  t.add_row({"RSA < 2048", std::to_string(weak)});
+  t.add_row({"MD5 signatures", std::to_string(md5)});
+  t.add_row({"aggregate lint score", std::to_string(lint_total)});
+  t.add_row({"parse warnings", std::to_string(store.value().warnings.size())});
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_lint(const std::string& path) {
+  auto store = rs::formats::load_any_store(path);
+  if (!store.ok()) return die(store.error());
+  int findings_total = 0;
+  for (const auto& e : store.value().entries) {
+    const auto findings = rs::x509::lint_root(*e.certificate);
+    if (findings.empty()) continue;
+    findings_total += static_cast<int>(findings.size());
+    std::printf("%s (%s...)\n",
+                std::string(
+                    e.certificate->subject().common_name().value_or("?"))
+                    .c_str(),
+                e.certificate->short_id().c_str());
+    for (const auto& f : findings) {
+      std::printf("  [%s] %s: %s\n", rs::x509::to_string(f.severity),
+                  f.check.c_str(), f.message.c_str());
+    }
+  }
+  std::printf("%d finding(s) across %zu root(s)\n", findings_total,
+              store.value().entries.size());
+  return 0;
+}
+
+int cmd_convert(const std::string& in, const std::string& out) {
+  auto store = rs::formats::load_any_store(in);
+  if (!store.ok()) return die(store.error());
+  const auto& entries = store.value().entries;
+
+  std::size_t cutoffs = 0;
+  for (const auto& e : entries) {
+    if (e.is_partially_distrusted_tls()) ++cutoffs;
+  }
+
+  namespace fs = std::filesystem;
+  bool lossy = false;
+  bool ok = false;
+  if (rs::util::ends_with(out, ".certdata")) {
+    std::ofstream f(out, std::ios::binary);
+    f << rs::formats::write_certdata(entries);
+    ok = static_cast<bool>(f);
+  } else if (rs::util::ends_with(out, ".rsts")) {
+    std::ofstream f(out, std::ios::binary);
+    f << rs::formats::write_rsts(entries);
+    ok = static_cast<bool>(f);
+  } else if (rs::util::ends_with(out, ".pem") ||
+             rs::util::ends_with(out, ".crt")) {
+    lossy = true;
+    std::ofstream f(out, std::ios::binary);
+    f << rs::formats::write_pem_bundle(entries);
+    ok = static_cast<bool>(f);
+  } else if (rs::util::ends_with(out, ".jks")) {
+    lossy = true;
+    const auto blob =
+        rs::formats::write_jks(entries, rs::util::Date::ymd(2021, 5, 1));
+    std::ofstream f(out, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+    ok = static_cast<bool>(f);
+  } else if (rs::util::ends_with(out, ".dir")) {
+    lossy = true;
+    fs::create_directories(out);
+    ok = true;
+    for (const auto& file : rs::formats::write_cert_dir(entries)) {
+      std::ofstream f(fs::path(out) / file.name, std::ios::binary);
+      f << file.content;
+      ok = ok && static_cast<bool>(f);
+    }
+  } else {
+    return die("unknown target format: " + out);
+  }
+  if (!ok) return die("write failed: " + out);
+  std::printf("%zu roots -> %s\n", entries.size(), out.c_str());
+  if (lossy && cutoffs > 0) {
+    std::printf("WARNING: %zu partial-distrust cutoff(s) lost in this "
+                "format (see formats/portable.h for one that keeps them)\n",
+                cutoffs);
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& a_path, const std::string& b_path) {
+  auto a = rs::formats::load_any_store(a_path);
+  auto b = rs::formats::load_any_store(b_path);
+  if (!a.ok()) return die(a.error());
+  if (!b.ok()) return die(b.error());
+  rs::store::FingerprintSet a_set, b_set;
+  for (const auto& e : a.value().entries) a_set.insert(e.certificate->sha256());
+  for (const auto& e : b.value().entries) b_set.insert(e.certificate->sha256());
+  std::printf("%s: %zu roots\n%s: %zu roots\n", a_path.c_str(), a_set.size(),
+              b_path.c_str(), b_set.size());
+  std::printf("only in A: %zu   only in B: %zu   shared: %zu   jaccard "
+              "distance: %.3f\n",
+              a_set.difference(b_set).size(), b_set.difference(a_set).size(),
+              a_set.intersection_size(b_set),
+              a_set.jaccard_distance(b_set));
+  return 0;
+}
+
+int cmd_dataset(const std::string& verb, const std::string& dir) {
+  if (verb == "export") {
+    auto scenario = rs::synth::build_paper_scenario();
+    auto written = rs::formats::write_dataset(scenario.database(), dir);
+    if (!written.ok()) return die(written.error());
+    std::printf("wrote %zu snapshots to %s\n",
+                scenario.database().total_snapshots(), dir.c_str());
+    return 0;
+  }
+  if (verb == "verify") {
+    auto loaded = rs::formats::load_dataset(dir);
+    if (!loaded.ok()) return die(loaded.error());
+    std::printf("ok: %zu providers, %zu snapshots\n",
+                loaded.value().provider_count(),
+                loaded.value().total_snapshots());
+    return 0;
+  }
+  return usage();
+}
+
+int cmd_report(const std::string& name, bool csv) {
+  auto study = rs::core::EcosystemStudy::from_paper_scenario();
+  if (csv) {
+    if (name == "fig1") {
+      std::fputs(rs::core::figure1_csv(study.scenario()).c_str(), stdout);
+    } else if (name == "fig3") {
+      std::fputs(rs::core::figure3_csv(study.scenario()).c_str(), stdout);
+    } else if (name == "fig4") {
+      std::fputs(rs::core::figure4_csv(study.scenario()).c_str(), stdout);
+    } else if (name == "churn") {
+      std::fputs(rs::core::churn_csv(study.scenario()).c_str(), stdout);
+    } else {
+      return die("no CSV export for '" + name + "'");
+    }
+    return 0;
+  }
+  std::string out;
+  if (name == "table1") out = study.report_table1();
+  else if (name == "table2") out = study.report_table2();
+  else if (name == "table3") out = study.report_table3();
+  else if (name == "table4") out = study.report_table4();
+  else if (name == "table5") out = study.report_table5();
+  else if (name == "table6") out = study.report_table6();
+  else if (name == "table7") out = study.report_table7();
+  else if (name == "fig1") out = study.report_figure1();
+  else if (name == "fig2") out = study.report_figure2();
+  else if (name == "fig3") out = study.report_figure3();
+  else if (name == "fig4") out = study.report_figure4();
+  else return die("unknown report '" + name + "'");
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string& cmd = args[0];
+  if (cmd == "formats") return cmd_formats();
+  if (cmd == "audit" && args.size() == 2) return cmd_audit(args[1]);
+  if (cmd == "lint" && args.size() == 2) return cmd_lint(args[1]);
+  if (cmd == "convert" && args.size() == 3) return cmd_convert(args[1], args[2]);
+  if (cmd == "diff" && args.size() == 3) return cmd_diff(args[1], args[2]);
+  if (cmd == "dataset" && args.size() == 3) return cmd_dataset(args[1], args[2]);
+  if (cmd == "report" && args.size() >= 2) {
+    const bool csv = args.size() >= 3 && args[2] == "--csv";
+    return cmd_report(args[1], csv);
+  }
+  return usage();
+}
