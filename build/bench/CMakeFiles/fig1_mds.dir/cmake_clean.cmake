@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mds.dir/fig1_mds.cpp.o"
+  "CMakeFiles/fig1_mds.dir/fig1_mds.cpp.o.d"
+  "fig1_mds"
+  "fig1_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

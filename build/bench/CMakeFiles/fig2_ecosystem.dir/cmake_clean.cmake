@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ecosystem.dir/fig2_ecosystem.cpp.o"
+  "CMakeFiles/fig2_ecosystem.dir/fig2_ecosystem.cpp.o.d"
+  "fig2_ecosystem"
+  "fig2_ecosystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ecosystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

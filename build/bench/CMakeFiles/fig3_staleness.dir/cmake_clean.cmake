@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_staleness.dir/fig3_staleness.cpp.o"
+  "CMakeFiles/fig3_staleness.dir/fig3_staleness.cpp.o.d"
+  "fig3_staleness"
+  "fig3_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_derivative_diffs.dir/fig4_derivative_diffs.cpp.o"
+  "CMakeFiles/fig4_derivative_diffs.dir/fig4_derivative_diffs.cpp.o.d"
+  "fig4_derivative_diffs"
+  "fig4_derivative_diffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_derivative_diffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

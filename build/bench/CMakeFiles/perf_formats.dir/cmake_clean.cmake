@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_formats.dir/perf_formats.cpp.o"
+  "CMakeFiles/perf_formats.dir/perf_formats.cpp.o.d"
+  "perf_formats"
+  "perf_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_user_agents.dir/table1_user_agents.cpp.o"
+  "CMakeFiles/table1_user_agents.dir/table1_user_agents.cpp.o.d"
+  "table1_user_agents"
+  "table1_user_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_user_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_hygiene.dir/table3_hygiene.cpp.o"
+  "CMakeFiles/table3_hygiene.dir/table3_hygiene.cpp.o.d"
+  "table3_hygiene"
+  "table3_hygiene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hygiene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

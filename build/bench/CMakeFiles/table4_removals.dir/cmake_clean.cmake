@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_removals.dir/table4_removals.cpp.o"
+  "CMakeFiles/table4_removals.dir/table4_removals.cpp.o.d"
+  "table4_removals"
+  "table4_removals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_removals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_software_survey.dir/table5_software_survey.cpp.o"
+  "CMakeFiles/table5_software_survey.dir/table5_software_survey.cpp.o.d"
+  "table5_software_survey"
+  "table5_software_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_software_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

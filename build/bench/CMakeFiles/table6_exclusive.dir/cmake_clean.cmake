@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_exclusive.dir/table6_exclusive.cpp.o"
+  "CMakeFiles/table6_exclusive.dir/table6_exclusive.cpp.o.d"
+  "table6_exclusive"
+  "table6_exclusive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_exclusive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_nss_removals.dir/table7_nss_removals.cpp.o"
+  "CMakeFiles/table7_nss_removals.dir/table7_nss_removals.cpp.o.d"
+  "table7_nss_removals"
+  "table7_nss_removals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_nss_removals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

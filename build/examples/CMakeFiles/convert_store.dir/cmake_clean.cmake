@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convert_store.dir/convert_store.cpp.o"
+  "CMakeFiles/convert_store.dir/convert_store.cpp.o.d"
+  "convert_store"
+  "convert_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convert_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

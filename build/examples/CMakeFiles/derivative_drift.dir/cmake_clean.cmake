@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derivative_drift.dir/derivative_drift.cpp.o"
+  "CMakeFiles/derivative_drift.dir/derivative_drift.cpp.o.d"
+  "derivative_drift"
+  "derivative_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derivative_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incident_timeline.dir/incident_timeline.cpp.o"
+  "CMakeFiles/incident_timeline.dir/incident_timeline.cpp.o.d"
+  "incident_timeline"
+  "incident_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incident_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_audit.dir/store_audit.cpp.o"
+  "CMakeFiles/store_audit.dir/store_audit.cpp.o.d"
+  "store_audit"
+  "store_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_diff.dir/store_diff.cpp.o"
+  "CMakeFiles/store_diff.dir/store_diff.cpp.o.d"
+  "store_diff"
+  "store_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

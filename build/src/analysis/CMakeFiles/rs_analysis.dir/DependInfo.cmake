@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/attribution.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/attribution.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/attribution.cpp.o.d"
+  "/root/repo/src/analysis/cadence.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/cadence.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/cadence.cpp.o.d"
+  "/root/repo/src/analysis/churn.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/churn.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/churn.cpp.o.d"
+  "/root/repo/src/analysis/cluster.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/cluster.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/cluster.cpp.o.d"
+  "/root/repo/src/analysis/diffs.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/diffs.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/diffs.cpp.o.d"
+  "/root/repo/src/analysis/exclusive.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/exclusive.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/exclusive.cpp.o.d"
+  "/root/repo/src/analysis/hygiene.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/hygiene.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/hygiene.cpp.o.d"
+  "/root/repo/src/analysis/incident_response.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/incident_response.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/incident_response.cpp.o.d"
+  "/root/repo/src/analysis/jaccard.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/jaccard.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/jaccard.cpp.o.d"
+  "/root/repo/src/analysis/mds.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/mds.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/mds.cpp.o.d"
+  "/root/repo/src/analysis/operators.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/operators.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/operators.cpp.o.d"
+  "/root/repo/src/analysis/removals.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/removals.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/removals.cpp.o.d"
+  "/root/repo/src/analysis/staleness.cpp" "src/analysis/CMakeFiles/rs_analysis.dir/staleness.cpp.o" "gcc" "src/analysis/CMakeFiles/rs_analysis.dir/staleness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/rs_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/rs_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/rs_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/rs_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/rs_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/rs_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rs_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_analysis.dir/attribution.cpp.o"
+  "CMakeFiles/rs_analysis.dir/attribution.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/cadence.cpp.o"
+  "CMakeFiles/rs_analysis.dir/cadence.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/churn.cpp.o"
+  "CMakeFiles/rs_analysis.dir/churn.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/cluster.cpp.o"
+  "CMakeFiles/rs_analysis.dir/cluster.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/diffs.cpp.o"
+  "CMakeFiles/rs_analysis.dir/diffs.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/exclusive.cpp.o"
+  "CMakeFiles/rs_analysis.dir/exclusive.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/hygiene.cpp.o"
+  "CMakeFiles/rs_analysis.dir/hygiene.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/incident_response.cpp.o"
+  "CMakeFiles/rs_analysis.dir/incident_response.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/jaccard.cpp.o"
+  "CMakeFiles/rs_analysis.dir/jaccard.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/mds.cpp.o"
+  "CMakeFiles/rs_analysis.dir/mds.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/operators.cpp.o"
+  "CMakeFiles/rs_analysis.dir/operators.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/removals.cpp.o"
+  "CMakeFiles/rs_analysis.dir/removals.cpp.o.d"
+  "CMakeFiles/rs_analysis.dir/staleness.cpp.o"
+  "CMakeFiles/rs_analysis.dir/staleness.cpp.o.d"
+  "librs_analysis.a"
+  "librs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_asn1.dir/oid.cpp.o"
+  "CMakeFiles/rs_asn1.dir/oid.cpp.o.d"
+  "CMakeFiles/rs_asn1.dir/reader.cpp.o"
+  "CMakeFiles/rs_asn1.dir/reader.cpp.o.d"
+  "CMakeFiles/rs_asn1.dir/time.cpp.o"
+  "CMakeFiles/rs_asn1.dir/time.cpp.o.d"
+  "CMakeFiles/rs_asn1.dir/writer.cpp.o"
+  "CMakeFiles/rs_asn1.dir/writer.cpp.o.d"
+  "librs_asn1.a"
+  "librs_asn1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_core.dir/export.cpp.o"
+  "CMakeFiles/rs_core.dir/export.cpp.o.d"
+  "CMakeFiles/rs_core.dir/study.cpp.o"
+  "CMakeFiles/rs_core.dir/study.cpp.o.d"
+  "librs_core.a"
+  "librs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

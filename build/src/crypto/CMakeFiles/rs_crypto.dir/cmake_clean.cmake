@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/rs_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/rs_crypto.dir/md5.cpp.o"
+  "CMakeFiles/rs_crypto.dir/md5.cpp.o.d"
+  "CMakeFiles/rs_crypto.dir/prng.cpp.o"
+  "CMakeFiles/rs_crypto.dir/prng.cpp.o.d"
+  "CMakeFiles/rs_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/rs_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/rs_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/rs_crypto.dir/sha256.cpp.o.d"
+  "librs_crypto.a"
+  "librs_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

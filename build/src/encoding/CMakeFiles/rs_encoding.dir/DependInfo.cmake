@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/base64.cpp" "src/encoding/CMakeFiles/rs_encoding.dir/base64.cpp.o" "gcc" "src/encoding/CMakeFiles/rs_encoding.dir/base64.cpp.o.d"
+  "/root/repo/src/encoding/pem.cpp" "src/encoding/CMakeFiles/rs_encoding.dir/pem.cpp.o" "gcc" "src/encoding/CMakeFiles/rs_encoding.dir/pem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_encoding.dir/base64.cpp.o"
+  "CMakeFiles/rs_encoding.dir/base64.cpp.o.d"
+  "CMakeFiles/rs_encoding.dir/pem.cpp.o"
+  "CMakeFiles/rs_encoding.dir/pem.cpp.o.d"
+  "librs_encoding.a"
+  "librs_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

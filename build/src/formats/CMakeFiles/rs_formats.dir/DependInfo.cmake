@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formats/authroot_stl.cpp" "src/formats/CMakeFiles/rs_formats.dir/authroot_stl.cpp.o" "gcc" "src/formats/CMakeFiles/rs_formats.dir/authroot_stl.cpp.o.d"
+  "/root/repo/src/formats/cert_dir.cpp" "src/formats/CMakeFiles/rs_formats.dir/cert_dir.cpp.o" "gcc" "src/formats/CMakeFiles/rs_formats.dir/cert_dir.cpp.o.d"
+  "/root/repo/src/formats/certdata.cpp" "src/formats/CMakeFiles/rs_formats.dir/certdata.cpp.o" "gcc" "src/formats/CMakeFiles/rs_formats.dir/certdata.cpp.o.d"
+  "/root/repo/src/formats/dataset_io.cpp" "src/formats/CMakeFiles/rs_formats.dir/dataset_io.cpp.o" "gcc" "src/formats/CMakeFiles/rs_formats.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/formats/jks.cpp" "src/formats/CMakeFiles/rs_formats.dir/jks.cpp.o" "gcc" "src/formats/CMakeFiles/rs_formats.dir/jks.cpp.o.d"
+  "/root/repo/src/formats/pem_bundle.cpp" "src/formats/CMakeFiles/rs_formats.dir/pem_bundle.cpp.o" "gcc" "src/formats/CMakeFiles/rs_formats.dir/pem_bundle.cpp.o.d"
+  "/root/repo/src/formats/portable.cpp" "src/formats/CMakeFiles/rs_formats.dir/portable.cpp.o" "gcc" "src/formats/CMakeFiles/rs_formats.dir/portable.cpp.o.d"
+  "/root/repo/src/formats/signed_envelope.cpp" "src/formats/CMakeFiles/rs_formats.dir/signed_envelope.cpp.o" "gcc" "src/formats/CMakeFiles/rs_formats.dir/signed_envelope.cpp.o.d"
+  "/root/repo/src/formats/sniff.cpp" "src/formats/CMakeFiles/rs_formats.dir/sniff.cpp.o" "gcc" "src/formats/CMakeFiles/rs_formats.dir/sniff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/rs_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/rs_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/rs_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/rs_asn1.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

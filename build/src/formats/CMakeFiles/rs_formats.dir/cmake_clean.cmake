@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_formats.dir/authroot_stl.cpp.o"
+  "CMakeFiles/rs_formats.dir/authroot_stl.cpp.o.d"
+  "CMakeFiles/rs_formats.dir/cert_dir.cpp.o"
+  "CMakeFiles/rs_formats.dir/cert_dir.cpp.o.d"
+  "CMakeFiles/rs_formats.dir/certdata.cpp.o"
+  "CMakeFiles/rs_formats.dir/certdata.cpp.o.d"
+  "CMakeFiles/rs_formats.dir/dataset_io.cpp.o"
+  "CMakeFiles/rs_formats.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/rs_formats.dir/jks.cpp.o"
+  "CMakeFiles/rs_formats.dir/jks.cpp.o.d"
+  "CMakeFiles/rs_formats.dir/pem_bundle.cpp.o"
+  "CMakeFiles/rs_formats.dir/pem_bundle.cpp.o.d"
+  "CMakeFiles/rs_formats.dir/portable.cpp.o"
+  "CMakeFiles/rs_formats.dir/portable.cpp.o.d"
+  "CMakeFiles/rs_formats.dir/signed_envelope.cpp.o"
+  "CMakeFiles/rs_formats.dir/signed_envelope.cpp.o.d"
+  "CMakeFiles/rs_formats.dir/sniff.cpp.o"
+  "CMakeFiles/rs_formats.dir/sniff.cpp.o.d"
+  "librs_formats.a"
+  "librs_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/database.cpp" "src/store/CMakeFiles/rs_store.dir/database.cpp.o" "gcc" "src/store/CMakeFiles/rs_store.dir/database.cpp.o.d"
+  "/root/repo/src/store/fingerprint_set.cpp" "src/store/CMakeFiles/rs_store.dir/fingerprint_set.cpp.o" "gcc" "src/store/CMakeFiles/rs_store.dir/fingerprint_set.cpp.o.d"
+  "/root/repo/src/store/overlay.cpp" "src/store/CMakeFiles/rs_store.dir/overlay.cpp.o" "gcc" "src/store/CMakeFiles/rs_store.dir/overlay.cpp.o.d"
+  "/root/repo/src/store/snapshot.cpp" "src/store/CMakeFiles/rs_store.dir/snapshot.cpp.o" "gcc" "src/store/CMakeFiles/rs_store.dir/snapshot.cpp.o.d"
+  "/root/repo/src/store/trust.cpp" "src/store/CMakeFiles/rs_store.dir/trust.cpp.o" "gcc" "src/store/CMakeFiles/rs_store.dir/trust.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/x509/CMakeFiles/rs_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/rs_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rs_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

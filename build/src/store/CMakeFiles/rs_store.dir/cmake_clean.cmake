@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_store.dir/database.cpp.o"
+  "CMakeFiles/rs_store.dir/database.cpp.o.d"
+  "CMakeFiles/rs_store.dir/fingerprint_set.cpp.o"
+  "CMakeFiles/rs_store.dir/fingerprint_set.cpp.o.d"
+  "CMakeFiles/rs_store.dir/overlay.cpp.o"
+  "CMakeFiles/rs_store.dir/overlay.cpp.o.d"
+  "CMakeFiles/rs_store.dir/snapshot.cpp.o"
+  "CMakeFiles/rs_store.dir/snapshot.cpp.o.d"
+  "CMakeFiles/rs_store.dir/trust.cpp.o"
+  "CMakeFiles/rs_store.dir/trust.cpp.o.d"
+  "librs_store.a"
+  "librs_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

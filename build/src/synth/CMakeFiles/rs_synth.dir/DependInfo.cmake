@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/derivatives.cpp" "src/synth/CMakeFiles/rs_synth.dir/derivatives.cpp.o" "gcc" "src/synth/CMakeFiles/rs_synth.dir/derivatives.cpp.o.d"
+  "/root/repo/src/synth/incidents.cpp" "src/synth/CMakeFiles/rs_synth.dir/incidents.cpp.o" "gcc" "src/synth/CMakeFiles/rs_synth.dir/incidents.cpp.o.d"
+  "/root/repo/src/synth/paper_reference.cpp" "src/synth/CMakeFiles/rs_synth.dir/paper_reference.cpp.o" "gcc" "src/synth/CMakeFiles/rs_synth.dir/paper_reference.cpp.o.d"
+  "/root/repo/src/synth/paper_scenario.cpp" "src/synth/CMakeFiles/rs_synth.dir/paper_scenario.cpp.o" "gcc" "src/synth/CMakeFiles/rs_synth.dir/paper_scenario.cpp.o.d"
+  "/root/repo/src/synth/program_model.cpp" "src/synth/CMakeFiles/rs_synth.dir/program_model.cpp.o" "gcc" "src/synth/CMakeFiles/rs_synth.dir/program_model.cpp.o.d"
+  "/root/repo/src/synth/root_spec.cpp" "src/synth/CMakeFiles/rs_synth.dir/root_spec.cpp.o" "gcc" "src/synth/CMakeFiles/rs_synth.dir/root_spec.cpp.o.d"
+  "/root/repo/src/synth/simulator.cpp" "src/synth/CMakeFiles/rs_synth.dir/simulator.cpp.o" "gcc" "src/synth/CMakeFiles/rs_synth.dir/simulator.cpp.o.d"
+  "/root/repo/src/synth/software_survey.cpp" "src/synth/CMakeFiles/rs_synth.dir/software_survey.cpp.o" "gcc" "src/synth/CMakeFiles/rs_synth.dir/software_survey.cpp.o.d"
+  "/root/repo/src/synth/user_agents.cpp" "src/synth/CMakeFiles/rs_synth.dir/user_agents.cpp.o" "gcc" "src/synth/CMakeFiles/rs_synth.dir/user_agents.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/rs_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/rs_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/rs_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/rs_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/rs_encoding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_synth.dir/derivatives.cpp.o"
+  "CMakeFiles/rs_synth.dir/derivatives.cpp.o.d"
+  "CMakeFiles/rs_synth.dir/incidents.cpp.o"
+  "CMakeFiles/rs_synth.dir/incidents.cpp.o.d"
+  "CMakeFiles/rs_synth.dir/paper_reference.cpp.o"
+  "CMakeFiles/rs_synth.dir/paper_reference.cpp.o.d"
+  "CMakeFiles/rs_synth.dir/paper_scenario.cpp.o"
+  "CMakeFiles/rs_synth.dir/paper_scenario.cpp.o.d"
+  "CMakeFiles/rs_synth.dir/program_model.cpp.o"
+  "CMakeFiles/rs_synth.dir/program_model.cpp.o.d"
+  "CMakeFiles/rs_synth.dir/root_spec.cpp.o"
+  "CMakeFiles/rs_synth.dir/root_spec.cpp.o.d"
+  "CMakeFiles/rs_synth.dir/simulator.cpp.o"
+  "CMakeFiles/rs_synth.dir/simulator.cpp.o.d"
+  "CMakeFiles/rs_synth.dir/software_survey.cpp.o"
+  "CMakeFiles/rs_synth.dir/software_survey.cpp.o.d"
+  "CMakeFiles/rs_synth.dir/user_agents.cpp.o"
+  "CMakeFiles/rs_synth.dir/user_agents.cpp.o.d"
+  "librs_synth.a"
+  "librs_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_util.dir/date.cpp.o"
+  "CMakeFiles/rs_util.dir/date.cpp.o.d"
+  "CMakeFiles/rs_util.dir/hex.cpp.o"
+  "CMakeFiles/rs_util.dir/hex.cpp.o.d"
+  "CMakeFiles/rs_util.dir/stats.cpp.o"
+  "CMakeFiles/rs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rs_util.dir/strings.cpp.o"
+  "CMakeFiles/rs_util.dir/strings.cpp.o.d"
+  "CMakeFiles/rs_util.dir/table.cpp.o"
+  "CMakeFiles/rs_util.dir/table.cpp.o.d"
+  "librs_util.a"
+  "librs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

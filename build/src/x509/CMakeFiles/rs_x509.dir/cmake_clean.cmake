@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_x509.dir/builder.cpp.o"
+  "CMakeFiles/rs_x509.dir/builder.cpp.o.d"
+  "CMakeFiles/rs_x509.dir/certificate.cpp.o"
+  "CMakeFiles/rs_x509.dir/certificate.cpp.o.d"
+  "CMakeFiles/rs_x509.dir/extensions.cpp.o"
+  "CMakeFiles/rs_x509.dir/extensions.cpp.o.d"
+  "CMakeFiles/rs_x509.dir/lint.cpp.o"
+  "CMakeFiles/rs_x509.dir/lint.cpp.o.d"
+  "CMakeFiles/rs_x509.dir/name.cpp.o"
+  "CMakeFiles/rs_x509.dir/name.cpp.o.d"
+  "CMakeFiles/rs_x509.dir/public_key.cpp.o"
+  "CMakeFiles/rs_x509.dir/public_key.cpp.o.d"
+  "librs_x509.a"
+  "librs_x509.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

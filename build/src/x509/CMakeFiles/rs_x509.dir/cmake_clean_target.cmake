@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librs_x509.a"
+)

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/attribution_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/attribution_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/attribution_test.cpp.o.d"
+  "/root/repo/tests/analysis/cadence_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/cadence_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/cadence_test.cpp.o.d"
+  "/root/repo/tests/analysis/churn_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/churn_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/churn_test.cpp.o.d"
+  "/root/repo/tests/analysis/cluster_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/cluster_test.cpp.o.d"
+  "/root/repo/tests/analysis/diffs_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/diffs_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/diffs_test.cpp.o.d"
+  "/root/repo/tests/analysis/exclusive_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/exclusive_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/exclusive_test.cpp.o.d"
+  "/root/repo/tests/analysis/hygiene_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/hygiene_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/hygiene_test.cpp.o.d"
+  "/root/repo/tests/analysis/incident_response_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/incident_response_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/incident_response_test.cpp.o.d"
+  "/root/repo/tests/analysis/jaccard_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/jaccard_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/jaccard_test.cpp.o.d"
+  "/root/repo/tests/analysis/mds_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/mds_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/mds_test.cpp.o.d"
+  "/root/repo/tests/analysis/operators_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/operators_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/operators_test.cpp.o.d"
+  "/root/repo/tests/analysis/overlay_incident_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/overlay_incident_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/overlay_incident_test.cpp.o.d"
+  "/root/repo/tests/analysis/removals_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/removals_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/removals_test.cpp.o.d"
+  "/root/repo/tests/analysis/staleness_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/staleness_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/staleness_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/rs_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/rs_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/rs_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/rs_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/rs_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/rs_x509.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/attribution_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/attribution_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/cadence_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/cadence_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/churn_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/churn_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/cluster_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/cluster_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/diffs_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/diffs_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/exclusive_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/exclusive_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/hygiene_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/hygiene_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/incident_response_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/incident_response_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/jaccard_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/jaccard_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/mds_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/mds_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/operators_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/operators_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/overlay_incident_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/overlay_incident_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/removals_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/removals_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/staleness_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/staleness_test.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

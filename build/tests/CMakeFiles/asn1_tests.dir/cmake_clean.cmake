@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asn1_tests.dir/asn1/der_roundtrip_test.cpp.o"
+  "CMakeFiles/asn1_tests.dir/asn1/der_roundtrip_test.cpp.o.d"
+  "CMakeFiles/asn1_tests.dir/asn1/oid_test.cpp.o"
+  "CMakeFiles/asn1_tests.dir/asn1/oid_test.cpp.o.d"
+  "CMakeFiles/asn1_tests.dir/asn1/reader_test.cpp.o"
+  "CMakeFiles/asn1_tests.dir/asn1/reader_test.cpp.o.d"
+  "CMakeFiles/asn1_tests.dir/asn1/time_test.cpp.o"
+  "CMakeFiles/asn1_tests.dir/asn1/time_test.cpp.o.d"
+  "asn1_tests"
+  "asn1_tests.pdb"
+  "asn1_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asn1_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

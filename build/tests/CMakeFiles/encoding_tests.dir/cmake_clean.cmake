@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_tests.dir/encoding/base64_test.cpp.o"
+  "CMakeFiles/encoding_tests.dir/encoding/base64_test.cpp.o.d"
+  "CMakeFiles/encoding_tests.dir/encoding/pem_test.cpp.o"
+  "CMakeFiles/encoding_tests.dir/encoding/pem_test.cpp.o.d"
+  "encoding_tests"
+  "encoding_tests.pdb"
+  "encoding_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

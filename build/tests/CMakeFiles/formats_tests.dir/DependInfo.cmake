@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/formats/authroot_test.cpp" "tests/CMakeFiles/formats_tests.dir/formats/authroot_test.cpp.o" "gcc" "tests/CMakeFiles/formats_tests.dir/formats/authroot_test.cpp.o.d"
+  "/root/repo/tests/formats/cert_dir_test.cpp" "tests/CMakeFiles/formats_tests.dir/formats/cert_dir_test.cpp.o" "gcc" "tests/CMakeFiles/formats_tests.dir/formats/cert_dir_test.cpp.o.d"
+  "/root/repo/tests/formats/certdata_test.cpp" "tests/CMakeFiles/formats_tests.dir/formats/certdata_test.cpp.o" "gcc" "tests/CMakeFiles/formats_tests.dir/formats/certdata_test.cpp.o.d"
+  "/root/repo/tests/formats/cross_format_test.cpp" "tests/CMakeFiles/formats_tests.dir/formats/cross_format_test.cpp.o" "gcc" "tests/CMakeFiles/formats_tests.dir/formats/cross_format_test.cpp.o.d"
+  "/root/repo/tests/formats/dataset_io_test.cpp" "tests/CMakeFiles/formats_tests.dir/formats/dataset_io_test.cpp.o" "gcc" "tests/CMakeFiles/formats_tests.dir/formats/dataset_io_test.cpp.o.d"
+  "/root/repo/tests/formats/jks_test.cpp" "tests/CMakeFiles/formats_tests.dir/formats/jks_test.cpp.o" "gcc" "tests/CMakeFiles/formats_tests.dir/formats/jks_test.cpp.o.d"
+  "/root/repo/tests/formats/parser_robustness_test.cpp" "tests/CMakeFiles/formats_tests.dir/formats/parser_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/formats_tests.dir/formats/parser_robustness_test.cpp.o.d"
+  "/root/repo/tests/formats/pem_bundle_test.cpp" "tests/CMakeFiles/formats_tests.dir/formats/pem_bundle_test.cpp.o" "gcc" "tests/CMakeFiles/formats_tests.dir/formats/pem_bundle_test.cpp.o.d"
+  "/root/repo/tests/formats/portable_test.cpp" "tests/CMakeFiles/formats_tests.dir/formats/portable_test.cpp.o" "gcc" "tests/CMakeFiles/formats_tests.dir/formats/portable_test.cpp.o.d"
+  "/root/repo/tests/formats/signed_envelope_test.cpp" "tests/CMakeFiles/formats_tests.dir/formats/signed_envelope_test.cpp.o" "gcc" "tests/CMakeFiles/formats_tests.dir/formats/signed_envelope_test.cpp.o.d"
+  "/root/repo/tests/formats/sniff_test.cpp" "tests/CMakeFiles/formats_tests.dir/formats/sniff_test.cpp.o" "gcc" "tests/CMakeFiles/formats_tests.dir/formats/sniff_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/rs_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/rs_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/rs_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/rs_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/rs_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/rs_x509.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formats_tests.dir/formats/authroot_test.cpp.o"
+  "CMakeFiles/formats_tests.dir/formats/authroot_test.cpp.o.d"
+  "CMakeFiles/formats_tests.dir/formats/cert_dir_test.cpp.o"
+  "CMakeFiles/formats_tests.dir/formats/cert_dir_test.cpp.o.d"
+  "CMakeFiles/formats_tests.dir/formats/certdata_test.cpp.o"
+  "CMakeFiles/formats_tests.dir/formats/certdata_test.cpp.o.d"
+  "CMakeFiles/formats_tests.dir/formats/cross_format_test.cpp.o"
+  "CMakeFiles/formats_tests.dir/formats/cross_format_test.cpp.o.d"
+  "CMakeFiles/formats_tests.dir/formats/dataset_io_test.cpp.o"
+  "CMakeFiles/formats_tests.dir/formats/dataset_io_test.cpp.o.d"
+  "CMakeFiles/formats_tests.dir/formats/jks_test.cpp.o"
+  "CMakeFiles/formats_tests.dir/formats/jks_test.cpp.o.d"
+  "CMakeFiles/formats_tests.dir/formats/parser_robustness_test.cpp.o"
+  "CMakeFiles/formats_tests.dir/formats/parser_robustness_test.cpp.o.d"
+  "CMakeFiles/formats_tests.dir/formats/pem_bundle_test.cpp.o"
+  "CMakeFiles/formats_tests.dir/formats/pem_bundle_test.cpp.o.d"
+  "CMakeFiles/formats_tests.dir/formats/portable_test.cpp.o"
+  "CMakeFiles/formats_tests.dir/formats/portable_test.cpp.o.d"
+  "CMakeFiles/formats_tests.dir/formats/signed_envelope_test.cpp.o"
+  "CMakeFiles/formats_tests.dir/formats/signed_envelope_test.cpp.o.d"
+  "CMakeFiles/formats_tests.dir/formats/sniff_test.cpp.o"
+  "CMakeFiles/formats_tests.dir/formats/sniff_test.cpp.o.d"
+  "formats_tests"
+  "formats_tests.pdb"
+  "formats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

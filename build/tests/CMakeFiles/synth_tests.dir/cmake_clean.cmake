@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_tests.dir/synth/derivatives_test.cpp.o"
+  "CMakeFiles/synth_tests.dir/synth/derivatives_test.cpp.o.d"
+  "CMakeFiles/synth_tests.dir/synth/program_model_test.cpp.o"
+  "CMakeFiles/synth_tests.dir/synth/program_model_test.cpp.o.d"
+  "CMakeFiles/synth_tests.dir/synth/scenario_fidelity_test.cpp.o"
+  "CMakeFiles/synth_tests.dir/synth/scenario_fidelity_test.cpp.o.d"
+  "CMakeFiles/synth_tests.dir/synth/scenario_test.cpp.o"
+  "CMakeFiles/synth_tests.dir/synth/scenario_test.cpp.o.d"
+  "CMakeFiles/synth_tests.dir/synth/simulator_test.cpp.o"
+  "CMakeFiles/synth_tests.dir/synth/simulator_test.cpp.o.d"
+  "synth_tests"
+  "synth_tests.pdb"
+  "synth_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

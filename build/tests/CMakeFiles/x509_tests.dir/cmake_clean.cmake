@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x509_tests.dir/x509/builder_test.cpp.o"
+  "CMakeFiles/x509_tests.dir/x509/builder_test.cpp.o.d"
+  "CMakeFiles/x509_tests.dir/x509/certificate_test.cpp.o"
+  "CMakeFiles/x509_tests.dir/x509/certificate_test.cpp.o.d"
+  "CMakeFiles/x509_tests.dir/x509/extensions_test.cpp.o"
+  "CMakeFiles/x509_tests.dir/x509/extensions_test.cpp.o.d"
+  "CMakeFiles/x509_tests.dir/x509/lint_test.cpp.o"
+  "CMakeFiles/x509_tests.dir/x509/lint_test.cpp.o.d"
+  "CMakeFiles/x509_tests.dir/x509/name_test.cpp.o"
+  "CMakeFiles/x509_tests.dir/x509/name_test.cpp.o.d"
+  "CMakeFiles/x509_tests.dir/x509/public_key_test.cpp.o"
+  "CMakeFiles/x509_tests.dir/x509/public_key_test.cpp.o.d"
+  "x509_tests"
+  "x509_tests.pdb"
+  "x509_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x509_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for x509_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootstore.dir/rootstore.cpp.o"
+  "CMakeFiles/rootstore.dir/rootstore.cpp.o.d"
+  "rootstore"
+  "rootstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

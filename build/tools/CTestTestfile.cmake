@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_formats "/root/repo/build/tools/rootstore" "formats")
+set_tests_properties(cli_formats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_report_table3 "/root/repo/build/tools/rootstore" "report" "table3")
+set_tests_properties(cli_report_table3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_report_fig3_csv "/root/repo/build/tools/rootstore" "report" "fig3" "--csv")
+set_tests_properties(cli_report_fig3_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dataset_roundtrip "sh" "-c" "/root/repo/build/tools/rootstore dataset export /root/repo/build/cli-dataset && /root/repo/build/tools/rootstore dataset verify /root/repo/build/cli-dataset")
+set_tests_properties(cli_dataset_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
