@@ -1,0 +1,55 @@
+# Correctness-tooling wiring shared by every target in the tree.
+#
+#   ROOTSTORE_SANITIZE   "" (off) or a comma/semicolon list drawn from
+#                        address | undefined | thread, e.g.
+#                        -DROOTSTORE_SANITIZE=address,undefined
+#   ROOTSTORE_WERROR     ON by default: the strict warning set below is
+#                        enforced as errors.  Gate for exotic toolchains.
+#   ROOTSTORE_FUZZ       ON by default: builds fuzz/ harnesses and registers
+#                        the deterministic corpus-replay ctest cases.
+#
+# Every CMakeLists.txt calls rs_harden(<target>) on the targets it defines;
+# the pre-merge gate (tools/ci_check.sh) builds once with the defaults and
+# once with ROOTSTORE_SANITIZE=address,undefined.
+
+set(ROOTSTORE_SANITIZE "" CACHE STRING
+    "Sanitizers to enable: address, undefined, thread (comma-separated)")
+option(ROOTSTORE_WERROR "Treat warnings as errors" ON)
+option(ROOTSTORE_FUZZ "Build fuzz harnesses and corpus replay tests" ON)
+
+# Warning set required by the acceptance gate; -Wconversion and -Wshadow
+# are deliberate choices for parser code, where silent narrowing of length
+# fields and shadowed cursors are classic bug sources.
+set(RS_WARNING_FLAGS -Wall -Wextra -Wconversion -Wshadow)
+if(ROOTSTORE_WERROR)
+  list(APPEND RS_WARNING_FLAGS -Werror)
+endif()
+
+set(RS_SANITIZE_FLAGS "")
+if(ROOTSTORE_SANITIZE)
+  string(REPLACE "," ";" _rs_san_list "${ROOTSTORE_SANITIZE}")
+  foreach(_rs_san IN LISTS _rs_san_list)
+    if(NOT _rs_san MATCHES "^(address|undefined|thread)$")
+      message(FATAL_ERROR
+              "ROOTSTORE_SANITIZE: unknown sanitizer '${_rs_san}' "
+              "(expected address, undefined, or thread)")
+    endif()
+    if(_rs_san STREQUAL "thread" AND "address" IN_LIST _rs_san_list)
+      message(FATAL_ERROR
+              "ROOTSTORE_SANITIZE: thread and address are mutually exclusive")
+    endif()
+    list(APPEND RS_SANITIZE_FLAGS -fsanitize=${_rs_san})
+  endforeach()
+  # Crash on the first UB report instead of recovering: deterministic CI.
+  list(APPEND RS_SANITIZE_FLAGS -fno-omit-frame-pointer
+       -fno-sanitize-recover=all)
+endif()
+
+# Applies the strict warning set and any configured sanitizers to a target.
+function(rs_harden target)
+  target_compile_options(${target} PRIVATE ${RS_WARNING_FLAGS})
+  if(RS_SANITIZE_FLAGS)
+    target_compile_options(${target} PRIVATE ${RS_SANITIZE_FLAGS})
+    target_link_options(${target} PRIVATE ${RS_SANITIZE_FLAGS})
+  endif()
+endfunction()

@@ -1,0 +1,23 @@
+// Fuzz target: rs::formats::parse_authroot, the Microsoft authroot.stl
+// certificate-trust-list reader.
+//
+// The input is treated as the raw STL blob; the certificate cache is empty,
+// so structurally valid lists degrade to per-entry warnings.  Every entry
+// that does come back must carry a certificate and only purposes the format
+// can express.
+#include <span>
+
+#include "fuzz/fuzz_harness.h"
+#include "src/formats/authroot_stl.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  auto parsed =
+      rs::formats::parse_authroot(std::span(data, size), {});
+  if (!parsed.ok()) return 0;
+  // With an empty cert cache nothing can be resolved to an entry; anything
+  // else means the parser fabricated a certificate out of hostile bytes.
+  RS_FUZZ_ASSERT(parsed.value().entries.empty(),
+                 "parse_authroot invented entries without a cert cache");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fuzz target: rs::encoding::base64_decode, which sits under every PEM body
+// the pipeline ingests.
+//
+// Decodes in both strict and whitespace-tolerant modes; when a decode
+// succeeds, re-encoding must reproduce the compacted input exactly (the
+// decoder rejects non-canonical encodings, so decode ∘ encode is identity).
+#include <cctype>
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_harness.h"
+#include "src/encoding/base64.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  (void)rs::encoding::base64_decode(text, {.allow_whitespace = false});
+  const auto tolerant =
+      rs::encoding::base64_decode(text, {.allow_whitespace = true});
+  if (!tolerant) return 0;
+
+  std::string compact;
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) compact.push_back(c);
+  }
+  const std::string reencoded = rs::encoding::base64_encode(*tolerant);
+  RS_FUZZ_ASSERT(reencoded == compact,
+                 "decode/encode roundtrip changed the text");
+  return 0;
+}

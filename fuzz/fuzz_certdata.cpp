@@ -1,0 +1,30 @@
+// Fuzz target: rs::formats::parse_certdata, the NSS certdata.txt reader
+// (the upstream source of Mozilla-derived root stores, Table 2).
+//
+// Parses arbitrary text.  A successful parse must yield entries that all
+// carry a certificate, and re-serializing them must produce text the parser
+// accepts again with the same entry count (writer/reader agreement).
+#include <string_view>
+
+#include "fuzz/fuzz_harness.h"
+#include "src/formats/certdata.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = rs::formats::parse_certdata(text);
+  if (!parsed.ok()) return 0;
+
+  for (const auto& e : parsed.value().entries) {
+    RS_FUZZ_ASSERT(e.certificate != nullptr,
+                   "parse_certdata produced an entry without a certificate");
+  }
+  const std::string round =
+      rs::formats::write_certdata(parsed.value().entries);
+  auto again = rs::formats::parse_certdata(round);
+  RS_FUZZ_ASSERT(again.ok(), "write_certdata output rejected by parser");
+  RS_FUZZ_ASSERT(
+      again.value().entries.size() == parsed.value().entries.size(),
+      "certdata roundtrip changed the entry count");
+  return 0;
+}

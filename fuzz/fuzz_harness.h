@@ -1,0 +1,29 @@
+// Shared declarations for the libFuzzer-style harnesses.
+//
+// Each harness defines LLVMFuzzerTestOneInput (the fixed libFuzzer entry
+// ABI).  Under clang with -fsanitize=fuzzer the symbol is driven by
+// libFuzzer's mutation loop; otherwise fuzz/standalone_driver.cpp supplies a
+// main() that replays corpus files through it, which is how the ctest
+// regression runs on any toolchain.
+//
+// Harness contract: never crash, never leak, never read out of bounds for
+// ANY byte string.  Logic errors are promoted to aborts with RS_FUZZ_ASSERT
+// so sanitizers and the replay driver both fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstddef>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#define RS_FUZZ_ASSERT(cond, what)                                       \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "fuzz invariant violated: %s (%s:%d)\n", what, \
+                   __FILE__, __LINE__);                                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)

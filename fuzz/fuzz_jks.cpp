@@ -1,0 +1,52 @@
+// Fuzz target: rs::formats::parse_jks, the Java KeyStore v2 reader.
+//
+// Two passes per input:
+//   1. raw: the bytes as-is — exercises the size floor and the integrity
+//      digest comparison (virtually all mutated inputs stop here);
+//   2. re-signed: the bytes are treated as a store BODY and a valid SHA-1
+//      integrity digest is appended, so the length-prefixed framing parser
+//      runs on arbitrary data.  This is the path that finds real bugs.
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/fuzz_harness.h"
+#include "src/crypto/sha1.h"
+#include "src/formats/jks.h"
+
+namespace {
+
+// Mirrors the JKS integrity scheme: SHA1(password-UTF-16BE || whitener ||
+// body).  Kept in sync with src/formats/jks.cpp by the jks corpus replay.
+std::vector<std::uint8_t> sign_body(std::span<const std::uint8_t> body) {
+  rs::crypto::Sha1 h;
+  for (char c : rs::formats::kDefaultJksPassword) {
+    const std::uint8_t pair[2] = {0, static_cast<std::uint8_t>(c)};
+    h.update(pair);
+  }
+  constexpr std::string_view kWhitener = "Mighty Aphrodite";
+  h.update({reinterpret_cast<const std::uint8_t*>(kWhitener.data()),
+            kWhitener.size()});
+  h.update(body);
+  std::vector<std::uint8_t> out(body.begin(), body.end());
+  const auto digest = h.finish();
+  out.insert(out.end(), digest.begin(), digest.end());
+  return out;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)rs::formats::parse_jks(std::span(data, size));
+
+  const auto signed_blob = sign_body(std::span(data, size));
+  auto parsed = rs::formats::parse_jks(signed_blob);
+  if (!parsed.ok()) return 0;
+  for (const auto& e : parsed.value().entries) {
+    RS_FUZZ_ASSERT(e.certificate != nullptr,
+                   "parse_jks produced an entry without a certificate");
+  }
+  return 0;
+}

@@ -1,0 +1,232 @@
+// Regenerates the checked-in fuzz corpus under fuzz/corpus/.
+//
+//   make_corpus <output-dir>
+//
+// Seeds are deterministic (fixed key seeds, fixed dates) so regeneration is
+// reproducible; each format gets well-formed stores produced by the
+// project's own writers plus hand-crafted malformed inputs covering the
+// error paths the harnesses must survive: truncation, oversized length
+// prefixes, bad magic/version, non-canonical encodings, deep nesting.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/crypto/sha1.h"
+#include "src/formats/authroot_stl.h"
+#include "src/formats/certdata.h"
+#include "src/formats/jks.h"
+#include "src/formats/pem_bundle.h"
+#include "src/store/trust.h"
+#include "src/x509/builder.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Bytes = std::vector<std::uint8_t>;
+
+std::vector<rs::store::TrustEntry> sample_entries(int n) {
+  std::vector<rs::store::TrustEntry> out;
+  for (int i = 0; i < n; ++i) {
+    rs::x509::Name name;
+    name.add_common_name("Corpus Root " + std::to_string(i));
+    out.push_back(rs::store::make_tls_anchor(
+        std::make_shared<const rs::x509::Certificate>(
+            rs::x509::CertificateBuilder()
+                .subject(name)
+                .key_seed(static_cast<std::uint64_t>(7000 + i))
+                .build())));
+  }
+  return out;
+}
+
+void write_seed(const fs::path& dir, const std::string& name,
+                std::span<const std::uint8_t> bytes) {
+  fs::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void write_seed(const fs::path& dir, const std::string& name,
+                std::string_view text) {
+  write_seed(dir, name,
+             std::span(reinterpret_cast<const std::uint8_t*>(text.data()),
+                       text.size()));
+}
+
+Bytes nested_sequences(std::size_t levels) {
+  Bytes der;
+  for (std::size_t i = 0; i < levels; ++i) {
+    Bytes wrapped = {0x30};
+    if (der.size() < 0x80) {
+      wrapped.push_back(static_cast<std::uint8_t>(der.size()));
+    } else if (der.size() <= 0xFF) {
+      wrapped.push_back(0x81);
+      wrapped.push_back(static_cast<std::uint8_t>(der.size()));
+    } else {
+      wrapped.push_back(0x82);
+      wrapped.push_back(static_cast<std::uint8_t>(der.size() >> 8));
+      wrapped.push_back(static_cast<std::uint8_t>(der.size() & 0xFF));
+    }
+    wrapped.insert(wrapped.end(), der.begin(), der.end());
+    der = std::move(wrapped);
+  }
+  return der;
+}
+
+// Appends a valid JKS integrity digest so the seed reaches the framing
+// parser (same scheme as fuzz_jks.cpp's re-sign pass).
+Bytes sign_jks(Bytes body) {
+  rs::crypto::Sha1 h;
+  for (char c : rs::formats::kDefaultJksPassword) {
+    const std::uint8_t pair[2] = {0, static_cast<std::uint8_t>(c)};
+    h.update(pair);
+  }
+  constexpr std::string_view kWhitener = "Mighty Aphrodite";
+  h.update({reinterpret_cast<const std::uint8_t*>(kWhitener.data()),
+            kWhitener.size()});
+  h.update(body);
+  const auto digest = h.finish();
+  body.insert(body.end(), digest.begin(), digest.end());
+  return body;
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int s = 24; s >= 0; s -= 8) out.push_back(static_cast<std::uint8_t>(v >> s));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root = argv[1];
+  const auto entries = sample_entries(3);
+  const auto one = sample_entries(1);
+
+  // --- asn1: raw DER through the generic reader walk ---------------------
+  {
+    const fs::path dir = root / "asn1";
+    write_seed(dir, "cert.der", one[0].certificate->der());
+    write_seed(dir, "nested-8.der", nested_sequences(8));
+    write_seed(dir, "nested-300.der", nested_sequences(300));
+    const Bytes prims = {0x01, 0x01, 0xFF,              // BOOLEAN true
+                         0x02, 0x01, 0x2A,              // INTEGER 42
+                         0x06, 0x03, 0x55, 0x04, 0x03,  // OID 2.5.4.3
+                         0x0C, 0x02, 'h', 'i',          // UTF8String
+                         0x05, 0x00};                   // NULL
+    write_seed(dir, "primitives.der", prims);
+    write_seed(dir, "truncated-length.der", Bytes{0x30, 0x82, 0x01});
+    write_seed(dir, "indefinite-length.der", Bytes{0x30, 0x80, 0x00, 0x00});
+    write_seed(dir, "overlong-content.der", Bytes{0x04, 0x7F, 0x00});
+  }
+
+  // --- base64 ------------------------------------------------------------
+  {
+    const fs::path dir = root / "base64";
+    write_seed(dir, "hello.txt", std::string_view("SGVsbG8gd29ybGQ="));
+    write_seed(dir, "wrapped.txt",
+               std::string_view("SGVs\nbG8g\nd29y\nbGQh\n"));
+    write_seed(dir, "empty.txt", std::string_view(""));
+    write_seed(dir, "bad-char.txt", std::string_view("SGVs*G8="));
+    write_seed(dir, "bad-length.txt", std::string_view("SGVsbG8"));
+    write_seed(dir, "misplaced-pad.txt", std::string_view("SG=sbG8="));
+    write_seed(dir, "noncanonical.txt", std::string_view("SGVsbG9="));
+  }
+
+  // --- pem ---------------------------------------------------------------
+  {
+    const fs::path dir = root / "pem";
+    write_seed(dir, "bundle.pem", rs::formats::write_pem_bundle(entries));
+    write_seed(dir, "prose-between-blocks.pem",
+               "subject=CN=Example\n" +
+                   rs::formats::write_pem_bundle(one) + "trailing prose\n");
+    write_seed(dir, "unterminated.pem",
+               std::string_view("-----BEGIN CERTIFICATE-----\nAAAA\n"));
+    write_seed(dir, "mismatched-end.pem",
+               std::string_view("-----BEGIN CERTIFICATE-----\nAAAA\n"
+                                "-----END TRUST-----\n"));
+    write_seed(dir, "bad-base64.pem",
+               std::string_view("-----BEGIN CERTIFICATE-----\n!!!!\n"
+                                "-----END CERTIFICATE-----\n"));
+    write_seed(dir, "empty-label.pem",
+               std::string_view("-----BEGIN -----\n-----END -----\n"));
+  }
+
+  // --- certdata ----------------------------------------------------------
+  {
+    const fs::path dir = root / "certdata";
+    const std::string full = rs::formats::write_certdata(entries);
+    write_seed(dir, "store.txt", full);
+    write_seed(dir, "truncated.txt",
+               std::string_view(full).substr(0, full.size() / 2));
+    write_seed(dir, "missing-begindata.txt",
+               std::string_view("CKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\n"));
+    write_seed(dir, "bad-octal.txt",
+               std::string_view("BEGINDATA\n"
+                                "CKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\n"
+                                "CKA_VALUE MULTILINE_OCTAL\n\\999\nEND\n"));
+    write_seed(dir, "unterminated-octal.txt",
+               std::string_view("BEGINDATA\n"
+                                "CKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\n"
+                                "CKA_VALUE MULTILINE_OCTAL\n\\101\\102"));
+    write_seed(dir, "unknown-trust-level.txt",
+               std::string_view("BEGINDATA\n"
+                                "CKA_CLASS CK_OBJECT_CLASS CKO_NSS_TRUST\n"
+                                "CKA_TRUST_SERVER_AUTH CK_TRUST CKT_BOGUS\n"));
+  }
+
+  // --- authroot ----------------------------------------------------------
+  {
+    const fs::path dir = root / "authroot";
+    const auto blob = rs::formats::write_authroot(entries);
+    write_seed(dir, "store.stl", blob.stl);
+    write_seed(dir, "truncated.stl",
+               std::span(blob.stl).first(blob.stl.size() / 2));
+    write_seed(dir, "wrong-version.stl",
+               Bytes{0x30, 0x03, 0x02, 0x01, 0x07});
+    const Bytes short_sha1 = {0x30, 0x0D, 0x02, 0x01, 0x01, 0x30, 0x08,
+                              0x30, 0x06, 0x04, 0x02, 0xAB, 0xCD, 0x30,
+                              0x00};
+    write_seed(dir, "short-subject-id.stl", short_sha1);
+    write_seed(dir, "nested-300.stl", nested_sequences(300));
+  }
+
+  // --- jks ---------------------------------------------------------------
+  {
+    const fs::path dir = root / "jks";
+    const auto store = rs::formats::write_jks(
+        entries, rs::util::Date::ymd(2021, 1, 1));
+    write_seed(dir, "store.jks", store);
+    write_seed(dir, "truncated.jks", std::span(store).first(store.size() / 3));
+    Bytes bad_magic;
+    put_u32(bad_magic, 0xDEADBEEFu);
+    put_u32(bad_magic, 2);
+    put_u32(bad_magic, 0);
+    write_seed(dir, "bad-magic.jks", sign_jks(std::move(bad_magic)));
+    Bytes overflow_count;
+    put_u32(overflow_count, 0xFEEDFEEDu);
+    put_u32(overflow_count, 2);
+    put_u32(overflow_count, 0xFFFFFFFFu);
+    write_seed(dir, "count-overflow.jks", sign_jks(std::move(overflow_count)));
+    Bytes alias_overflow;
+    put_u32(alias_overflow, 0xFEEDFEEDu);
+    put_u32(alias_overflow, 2);
+    put_u32(alias_overflow, 1);
+    put_u32(alias_overflow, 2);          // trusted-cert tag
+    alias_overflow.push_back(0xFF);      // alias length 0xFFFF...
+    alias_overflow.push_back(0xFF);      // ...with 1 byte remaining
+    alias_overflow.push_back('a');
+    write_seed(dir, "alias-overflow.jks", sign_jks(std::move(alias_overflow)));
+    write_seed(dir, "empty.jks", Bytes{});
+  }
+
+  std::printf("corpus written to %s\n", root.string().c_str());
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fallback driver for toolchains without libFuzzer (gcc, or clang without
+// -fsanitize=fuzzer): replays every file named on the command line through
+// LLVMFuzzerTestOneInput.  This is the binary ctest runs for the
+// deterministic corpus regression; under clang the same harness sources
+// link against libFuzzer instead and this file is omitted.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "fuzz/fuzz_harness.h"
+
+namespace {
+
+bool read_file(const char* path, std::vector<std::uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s corpus-file...\n", argv[0]);
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::vector<std::uint8_t> bytes;
+    if (!read_file(argv[i], bytes)) {
+      std::fprintf(stderr, "cannot read %s\n", argv[i]);
+      return 2;
+    }
+    // A crash/sanitizer report aborts the process here, failing the test.
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++replayed;
+  }
+  std::printf("replayed %d input(s) cleanly\n", replayed);
+  return 0;
+}

@@ -83,28 +83,28 @@ Result<Element> Reader::read(std::uint8_t tag) {
   return el;
 }
 
-Result<Reader> Reader::read_sequence() {
-  auto el = read(constructed(UniversalTag::kSequence));
+Result<Reader> Reader::descend(std::uint8_t tag) {
+  if (depth_ >= kMaxDepth) {
+    return Result<Reader>::err(errmsg("nesting deeper than " +
+                                      std::to_string(kMaxDepth) + " levels"));
+  }
+  auto el = read(tag);
   if (!el) return el.propagate<Reader>();
   const std::size_t content_base =
       base_ + static_cast<std::size_t>(el.value().content.data() - data_.data());
-  return Reader(el.value().content, content_base);
+  return Reader(el.value().content, content_base, depth_ + 1);
+}
+
+Result<Reader> Reader::read_sequence() {
+  return descend(constructed(UniversalTag::kSequence));
 }
 
 Result<Reader> Reader::read_set() {
-  auto el = read(constructed(UniversalTag::kSet));
-  if (!el) return el.propagate<Reader>();
-  const std::size_t content_base =
-      base_ + static_cast<std::size_t>(el.value().content.data() - data_.data());
-  return Reader(el.value().content, content_base);
+  return descend(constructed(UniversalTag::kSet));
 }
 
 Result<Reader> Reader::read_context(std::uint8_t n) {
-  auto el = read(context(n));
-  if (!el) return el.propagate<Reader>();
-  const std::size_t content_base =
-      base_ + static_cast<std::size_t>(el.value().content.data() - data_.data());
-  return Reader(el.value().content, content_base);
+  return descend(context(n));
 }
 
 Result<bool> Reader::read_boolean() {

@@ -28,8 +28,19 @@ struct Element {
 /// Sequential DER decoder over a borrowed buffer.
 ///
 /// The underlying bytes must outlive the Reader and any Element it returns.
+///
+/// Sub-readers returned by read_sequence()/read_set()/read_context() carry a
+/// nesting depth one greater than their parent; descending past kMaxDepth
+/// yields an error.  This bounds the recursion of any decoder walking nested
+/// structures, so hostile DER (e.g. thousands of nested SEQUENCEs) returns a
+/// diagnostic instead of exhausting the stack.
 class Reader {
  public:
+  /// Deepest constructed nesting a decoder may descend into.  Real-world
+  /// X.509 stays in single digits; 64 leaves generous headroom while keeping
+  /// worst-case recursion far below any sane stack limit.
+  static constexpr std::size_t kMaxDepth = 64;
+
   explicit Reader(std::span<const std::uint8_t> data, std::size_t base_offset = 0)
       : data_(data), base_(base_offset) {}
 
@@ -38,6 +49,9 @@ class Reader {
 
   /// Absolute offset of the cursor within the original top-level buffer.
   std::size_t offset() const noexcept { return base_ + pos_; }
+
+  /// Constructed-nesting depth of this reader (0 at top level).
+  std::size_t depth() const noexcept { return depth_; }
 
   /// Peeks at the next identifier octet without consuming (error at end).
   rs::util::Result<std::uint8_t> peek_tag() const;
@@ -93,12 +107,18 @@ class Reader {
   rs::util::Result<std::monostate> read_null();
 
  private:
+  Reader(std::span<const std::uint8_t> data, std::size_t base_offset,
+         std::size_t depth)
+      : data_(data), base_(base_offset), depth_(depth) {}
+
   rs::util::Result<Element> read_tlv();
+  rs::util::Result<Reader> descend(std::uint8_t tag);
   std::string errmsg(const std::string& what) const;
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
   std::size_t base_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace rs::asn1

@@ -67,6 +67,10 @@ void Sha1::compress(const std::uint8_t* block) noexcept {
 }
 
 void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+  // An empty span may carry data() == nullptr, and passing that to memcpy
+  // is undefined behaviour even with a zero count (found by UBSan via the
+  // JKS fuzz harness hashing an empty store body).
+  if (data.empty()) return;
   length_ += data.size();
   std::size_t off = 0;
   if (buffered_ > 0) {

@@ -86,6 +86,9 @@ void Sha256::compress(const std::uint8_t* block) noexcept {
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) noexcept {
+  // Empty spans may carry data() == nullptr; memcpy from nullptr is UB
+  // even with a zero count (same fix as Sha1::update).
+  if (data.empty()) return;
   length_ += data.size();
   std::size_t off = 0;
   if (buffered_ > 0) {

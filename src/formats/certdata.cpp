@@ -235,6 +235,20 @@ std::string encode_distrust_after(rs::util::Date d) {
   return buf;
 }
 
+// Labels come from certificate subjects, i.e. attacker-influenced bytes.
+// Keep only printable ASCII and drop '"' so the emitted CKA_LABEL line can
+// always be re-read by the quoted-string lexer above.
+std::string sanitize_label(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u >= 0x20 && u < 0x7F && c != '"') out.push_back(c);
+  }
+  if (out.empty()) out = "Unnamed Root";
+  return out;
+}
+
 std::string octal_encode(std::span<const std::uint8_t> bytes) {
   std::string out;
   for (std::size_t i = 0; i < bytes.size(); ++i) {
@@ -376,8 +390,8 @@ std::string write_certdata(const std::vector<TrustEntry>& entries) {
       "BEGINDATA\n\n";
   for (const auto& e : entries) {
     const auto& cert = *e.certificate;
-    const std::string label =
-        std::string(cert.subject().common_name().value_or(
+    const std::string label = sanitize_label(
+        cert.subject().common_name().value_or(
             cert.subject().organization().value_or("Unnamed Root")));
 
     out += "# Certificate \"" + label + "\"\n";

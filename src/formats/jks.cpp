@@ -60,39 +60,48 @@ rs::crypto::Sha1Digest integrity_digest(std::string_view password,
   return h.finish();
 }
 
+// Bounds-checked big-endian cursor.  Every read verifies the remaining byte
+// count itself (overflow-proof: compares n against remaining(), never
+// pos_ + n); a short read returns zero / an empty span and latches failed().
+// Callers still call need() first for precise diagnostics, but a missed
+// check can no longer read out of bounds.
 class ByteCursor {
  public:
   explicit ByteCursor(std::span<const std::uint8_t> data) : data_(data) {}
 
-  bool need(std::size_t n) const { return pos_ + n <= data_.size(); }
+  bool need(std::size_t n) const { return n <= remaining(); }
+  bool failed() const { return failed_; }
   std::size_t pos() const { return pos_; }
   std::size_t remaining() const { return data_.size() - pos_; }
 
-  std::uint16_t u16() {
-    const std::uint16_t v =
-        static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
-    pos_ += 2;
-    return v;
-  }
-  std::uint32_t u32() {
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_++];
-    return v;
-  }
-  std::uint64_t u64() {
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_++];
-    return v;
-  }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(be(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(be(4)); }
+  std::uint64_t u64() { return be(8); }
+
   std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (!need(n)) {
+      failed_ = true;
+      return {};
+    }
     auto s = data_.subspan(pos_, n);
     pos_ += n;
     return s;
   }
 
  private:
+  std::uint64_t be(std::size_t n) {
+    if (!need(n)) {
+      failed_ = true;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) v = (v << 8) | data_[pos_++];
+    return v;
+  }
+
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
+  bool failed_ = false;
 };
 
 std::string sanitize_alias(std::string_view cn) {
@@ -209,6 +218,9 @@ Result<ParsedStore> parse_jks(std::span<const std::uint8_t> data,
       entry.trust_for(p).level = TrustLevel::kTrustedDelegator;
     }
     out.entries.push_back(std::move(entry));
+  }
+  if (cur.failed()) {
+    return Result<ParsedStore>::err("jks: truncated store body");
   }
   if (cur.remaining() != 0) {
     return Result<ParsedStore>::err("jks: trailing bytes after last entry");

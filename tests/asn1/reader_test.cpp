@@ -140,6 +140,83 @@ TEST(Reader, ErrorsCarryOffsets) {
   EXPECT_NE(bad.error().find("offset 3"), std::string::npos) << bad.error();
 }
 
+// Wraps `payload` in `levels` nested SEQUENCEs, innermost first.
+Bytes nested_sequences(std::size_t levels, Bytes payload) {
+  for (std::size_t i = 0; i < levels; ++i) {
+    Bytes wrapped;
+    wrapped.push_back(constructed(UniversalTag::kSequence));
+    if (payload.size() < 0x80) {
+      wrapped.push_back(static_cast<std::uint8_t>(payload.size()));
+    } else if (payload.size() <= 0xFF) {
+      wrapped.push_back(0x81);
+      wrapped.push_back(static_cast<std::uint8_t>(payload.size()));
+    } else {
+      wrapped.push_back(0x82);
+      wrapped.push_back(static_cast<std::uint8_t>(payload.size() >> 8));
+      wrapped.push_back(static_cast<std::uint8_t>(payload.size() & 0xFF));
+    }
+    wrapped.insert(wrapped.end(), payload.begin(), payload.end());
+    payload = std::move(wrapped);
+  }
+  return payload;
+}
+
+// Descends through nested SEQUENCEs without C++ recursion; returns how many
+// levels opened before an error (if any).
+std::size_t descend_all(const Bytes& der, bool* errored) {
+  std::vector<Reader> stack;
+  stack.emplace_back(der);
+  *errored = false;
+  while (true) {
+    auto sub = stack.back().read_sequence();
+    if (!sub.ok()) {
+      *errored = true;
+      return stack.size() - 1;
+    }
+    stack.push_back(sub.value());
+    if (stack.back().at_end()) return stack.size() - 1;
+  }
+}
+
+TEST(Reader, NestingAtTheCapSucceeds) {
+  const Bytes der = nested_sequences(Reader::kMaxDepth, {});
+  bool errored = false;
+  EXPECT_EQ(descend_all(der, &errored), Reader::kMaxDepth);
+  EXPECT_FALSE(errored);
+}
+
+TEST(Reader, NestingBeyondTheCapIsAnErrorNotACrash) {
+  const Bytes der = nested_sequences(4096, {});
+  bool errored = false;
+  EXPECT_EQ(descend_all(der, &errored), Reader::kMaxDepth);
+  EXPECT_TRUE(errored);
+
+  // The error is a diagnostic naming the depth limit.
+  std::vector<Reader> stack;
+  stack.emplace_back(der);
+  for (std::size_t i = 0; i < Reader::kMaxDepth; ++i) {
+    auto sub = stack.back().read_sequence();
+    ASSERT_TRUE(sub.ok());
+    stack.push_back(sub.value());
+  }
+  auto over = stack.back().read_sequence();
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.error().find("nesting deeper"), std::string::npos)
+      << over.error();
+}
+
+TEST(Reader, DepthIsInheritedBySubReaders) {
+  const Bytes der = nested_sequences(3, {});
+  Reader top(der);
+  EXPECT_EQ(top.depth(), 0u);
+  auto one = top.read_sequence();
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value().depth(), 1u);
+  auto two = one.value().read_sequence();
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two.value().depth(), 2u);
+}
+
 TEST(Reader, SubReaderOffsetsAreAbsolute) {
   Writer inner;
   inner.add_small_integer(1);

@@ -69,6 +69,36 @@ TEST_P(DigestSweepTest, LengthExtensionChangesDigest) {
   EXPECT_NE(Sha256::hash(data), Sha256::hash(longer));
 }
 
+// Empty update() calls must be no-ops (an empty span can carry a null
+// data() pointer, which once reached memcpy — UB caught by UBSan through
+// the JKS fuzz harness).
+TEST(DigestEmptyUpdate, InterleavedEmptyUpdatesAreNoOps) {
+  const auto data = pattern_bytes(100);
+  Md5 md5;
+  Sha1 sha1;
+  Sha256 sha256;
+  md5.update({});
+  sha1.update({});
+  sha256.update({});
+  md5.update(data);
+  sha1.update(data);
+  sha256.update(data);
+  md5.update({});
+  sha1.update({});
+  sha256.update({});
+  EXPECT_EQ(md5.finish(), Md5::hash(data));
+  EXPECT_EQ(sha1.finish(), Sha1::hash(data));
+  EXPECT_EQ(sha256.finish(), Sha256::hash(data));
+}
+
+TEST(DigestEmptyUpdate, EmptyInputHashesMatchKnownVectors) {
+  // RFC 1321 / FIPS 180 test vectors for the empty message.
+  EXPECT_EQ(Md5::hash({}), Md5::hash(pattern_bytes(0)));
+  Sha1 h;
+  h.update({});
+  EXPECT_EQ(h.finish(), Sha1::hash({}));
+}
+
 INSTANTIATE_TEST_SUITE_P(BlockBoundaries, DigestSweepTest,
                          ::testing::Values(0u, 1u, 54u, 55u, 56u, 57u, 63u,
                                            64u, 65u, 118u, 119u, 120u, 127u,

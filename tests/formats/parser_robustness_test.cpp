@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/crypto/prng.h"
+#include "src/crypto/sha1.h"
 #include "src/formats/authroot_stl.h"
 #include "src/formats/certdata.h"
 #include "src/formats/jks.h"
@@ -146,6 +147,159 @@ TEST_P(MutationTest, TruncationsNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(FlipCounts, MutationTest,
                          ::testing::Values(1, 4, 16, 64));
+
+// ---------------------------------------------------------------------------
+// Targeted malformed-input cases for the binary length-prefixed formats.
+// The mutation sweeps above almost always die at the JKS integrity digest;
+// these re-sign corrupted bodies so the framing parser itself is exercised.
+// ---------------------------------------------------------------------------
+
+using Bytes = std::vector<std::uint8_t>;
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int s = 24; s >= 0; s -= 8) out.push_back(static_cast<std::uint8_t>(v >> s));
+}
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int s = 56; s >= 0; s -= 8) out.push_back(static_cast<std::uint8_t>(v >> s));
+}
+
+// Appends the JKS integrity digest (SHA1 of password-UTF-16BE || whitener ||
+// body) so a hand-built body reaches the framing parser.
+Bytes sign_jks(Bytes body) {
+  rs::crypto::Sha1 h;
+  for (char c : std::string_view(kDefaultJksPassword)) {
+    const std::uint8_t pair[2] = {0, static_cast<std::uint8_t>(c)};
+    h.update(pair);
+  }
+  constexpr std::string_view kWhitener = "Mighty Aphrodite";
+  h.update({reinterpret_cast<const std::uint8_t*>(kWhitener.data()),
+            kWhitener.size()});
+  h.update(body);
+  const auto digest = h.finish();
+  body.insert(body.end(), digest.begin(), digest.end());
+  return body;
+}
+
+Bytes jks_header(std::uint32_t count) {
+  Bytes body;
+  put_u32(body, 0xFEEDFEEDu);
+  put_u32(body, 2);
+  put_u32(body, count);
+  return body;
+}
+
+TEST(JksMalformed, CountExceedsAvailableEntries) {
+  auto parsed = parse_jks(sign_jks(jks_header(0xFFFFFFFFu)));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("truncated"), std::string::npos);
+}
+
+TEST(JksMalformed, AliasLengthPastEndOfInput) {
+  Bytes body = jks_header(1);
+  put_u32(body, 2);        // trusted-cert tag
+  put_u16(body, 0xFFFF);   // alias length far beyond remaining bytes
+  body.push_back('a');     // 1 byte where 65535 are promised
+  auto parsed = parse_jks(sign_jks(std::move(body)));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("alias"), std::string::npos);
+}
+
+TEST(JksMalformed, CertLengthPastEndOfInput) {
+  Bytes body = jks_header(1);
+  put_u32(body, 2);
+  put_u16(body, 1);
+  body.push_back('a');
+  put_u64(body, 0);        // creation date
+  put_u16(body, 5);
+  const std::string_view type = "X.509";
+  body.insert(body.end(), type.begin(), type.end());
+  put_u32(body, 0xFFFFFFFFu);  // certificate length > remaining
+  body.push_back(0x30);
+  auto parsed = parse_jks(sign_jks(std::move(body)));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("truncated certificate"), std::string::npos);
+}
+
+TEST(JksMalformed, TrailingBytesAfterLastEntry) {
+  Bytes body = jks_header(0);
+  body.push_back(0x00);
+  auto parsed = parse_jks(sign_jks(std::move(body)));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("trailing"), std::string::npos);
+}
+
+TEST(JksMalformed, EveryResignedTruncationFailsCleanly) {
+  const auto full =
+      write_jks(sample_entries(), rs::util::Date::ymd(2021, 1, 1));
+  const Bytes body(full.begin(), full.end() - 20);
+  for (std::size_t cut = 0; cut < body.size(); ++cut) {
+    // Re-sign each truncated body: digest valid, framing truncated.
+    auto parsed = parse_jks(sign_jks(Bytes(body.begin(),
+                                           body.begin() +
+                                               static_cast<std::ptrdiff_t>(cut))));
+    EXPECT_FALSE(parsed.ok()) << "truncation at " << cut << " was accepted";
+  }
+}
+
+TEST(AuthrootMalformed, WrongVersionIsRejected) {
+  const Bytes stl = {0x30, 0x03, 0x02, 0x01, 0x07};  // version 7
+  auto parsed = parse_authroot(stl, {});
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("version"), std::string::npos);
+}
+
+TEST(AuthrootMalformed, SubjectIdMustBeSha1Sized) {
+  // SEQUENCE { SEQUENCE { INTEGER 1, SEQUENCE { SEQUENCE { OCTET STRING
+  // (2 bytes), SEQUENCE {} } } } }
+  const Bytes stl = {0x30, 0x0D, 0x02, 0x01, 0x01, 0x30, 0x08,
+                     0x30, 0x06, 0x04, 0x02, 0xAB, 0xCD, 0x30, 0x00};
+  auto parsed = parse_authroot(stl, {});
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("SHA-1"), std::string::npos);
+}
+
+TEST(AuthrootMalformed, DeeplyNestedDerIsAnErrorNotAStackOverflow) {
+  // 4096 nested SEQUENCEs; the reader's depth cap must stop the descent.
+  Bytes stl;
+  for (int i = 0; i < 4096; ++i) {
+    Bytes wrapped = {0x30};
+    if (stl.size() < 0x80) {
+      wrapped.push_back(static_cast<std::uint8_t>(stl.size()));
+    } else if (stl.size() <= 0xFF) {
+      wrapped.push_back(0x81);
+      wrapped.push_back(static_cast<std::uint8_t>(stl.size()));
+    } else {
+      wrapped.push_back(0x82);
+      wrapped.push_back(static_cast<std::uint8_t>(stl.size() >> 8));
+      wrapped.push_back(static_cast<std::uint8_t>(stl.size() & 0xFF));
+    }
+    wrapped.insert(wrapped.end(), stl.begin(), stl.end());
+    stl = std::move(wrapped);
+  }
+  auto parsed = parse_authroot(stl, {});
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(AuthrootMalformed, EkuListWithNonOidElement) {
+  // Entry whose EKU SEQUENCE contains an INTEGER instead of an OID.
+  Bytes subject = {0x04, 0x14};
+  subject.insert(subject.end(), 20, 0xAA);       // 20-byte subject id
+  subject.insert(subject.end(), {0x30, 0x03, 0x02, 0x01, 0x05});  // bad EKU
+  Bytes entry = {0x30, static_cast<std::uint8_t>(subject.size())};
+  entry.insert(entry.end(), subject.begin(), subject.end());
+  Bytes list = {0x30, static_cast<std::uint8_t>(entry.size())};
+  list.insert(list.end(), entry.begin(), entry.end());
+  Bytes body = {0x02, 0x01, 0x01};
+  body.insert(body.end(), list.begin(), list.end());
+  Bytes stl = {0x30, static_cast<std::uint8_t>(body.size())};
+  stl.insert(stl.end(), body.begin(), body.end());
+  auto parsed = parse_authroot(stl, {});
+  EXPECT_FALSE(parsed.ok());
+}
 
 }  // namespace
 }  // namespace rs::formats

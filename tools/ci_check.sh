@@ -1,0 +1,32 @@
+#!/bin/sh
+# Pre-merge gate: one command that runs everything reviewers rely on.
+#
+#   1. strict build      -Wall -Wextra -Wconversion -Wshadow -Werror (the
+#                        project default) plus the full test suite
+#   2. sanitizer build   ASan+UBSan, replaying the fuzz corpus and the whole
+#                        test suite so memory bugs fail CI deterministically
+#   3. lint              clang-tidy via tools/run_lint.sh (skipped with a
+#                        notice when clang-tidy is not installed)
+#
+# Usage: tools/ci_check.sh [jobs]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
+
+echo "=== [1/3] strict -Werror build + tests ==="
+cmake -B "$repo_root/build" -S "$repo_root" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+cmake --build "$repo_root/build" -j "$jobs"
+ctest --test-dir "$repo_root/build" --output-on-failure -j "$jobs"
+
+echo "=== [2/3] ASan/UBSan build + corpus regression ==="
+cmake -B "$repo_root/build-asan" -S "$repo_root" \
+      -DROOTSTORE_SANITIZE=address,undefined >/dev/null
+cmake --build "$repo_root/build-asan" -j "$jobs"
+ctest --test-dir "$repo_root/build-asan" --output-on-failure -j "$jobs"
+
+echo "=== [3/3] clang-tidy ==="
+"$repo_root/tools/run_lint.sh" "$repo_root/build"
+
+echo "ci_check: all gates passed"

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the production
+# sources in src/ and the fuzz harnesses, using the compile database of an
+# existing CMake build tree.
+#
+# Usage: tools/run_lint.sh [build-dir] [extra clang-tidy args...]
+#
+# Exits 0 when clang-tidy is not installed (the lint gate is advisory on
+# machines without LLVM; tools/ci_check.sh reports it as SKIPPED), exits
+# non-zero on any finding because .clang-tidy sets WarningsAsErrors.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${1:-"$repo_root/build"}"
+if [ $# -gt 0 ]; then shift; fi
+
+tidy_bin="${CLANG_TIDY:-}"
+if [ -z "$tidy_bin" ]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy_bin="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$tidy_bin" ]; then
+  echo "run_lint: clang-tidy not found; skipping lint (install LLVM or set CLANG_TIDY)" >&2
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_lint: $build_dir/compile_commands.json missing; configure with" >&2
+  echo "  cmake -B $build_dir -S $repo_root -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+# Every translation unit in src/ plus the fuzz harnesses; tests and bench
+# are intentionally out of scope (gtest/benchmark macros trip style checks).
+find "$repo_root/src" "$repo_root/fuzz" -name '*.cpp' 2>/dev/null | sort | \
+  xargs "$tidy_bin" -p "$build_dir" --quiet "$@"
+echo "run_lint: clean"
