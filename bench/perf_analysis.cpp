@@ -4,6 +4,8 @@
 // all-certificates Jaccard ablation.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "src/analysis/cadence.h"
 #include "src/analysis/churn.h"
 #include "src/analysis/cluster.h"
@@ -11,6 +13,7 @@
 #include "src/analysis/mds.h"
 #include "src/analysis/operators.h"
 #include "src/analysis/staleness.h"
+#include "src/exec/thread_pool.h"
 #include "src/synth/paper_scenario.h"
 #include "src/synth/simulator.h"
 
@@ -55,6 +58,52 @@ void BM_JaccardMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_JaccardMatrix)->Arg(10)->Arg(25)->Arg(50)
     ->Unit(benchmark::kMillisecond);
+
+// Thread-pool scaling on the Figure-1-sized matrix (the paper's 2011-2021
+// window, 40 snapshots/provider — the report_figure1 default).  Arg is the
+// worker count; 0 is the inline serial baseline.  Results are
+// bitwise-identical across args (see docs/PARALLELISM.md); only the wall
+// clock moves.  tools/record_parallel_bench.sh captures this sweep into
+// BENCH_parallel.json.
+void BM_JaccardMatrixParallel(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  rs::analysis::JaccardOptions opts;
+  opts.min_date = rs::util::Date::ymd(2011, 1, 1);
+  opts.max_per_provider = 40;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::unique_ptr<rs::exec::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<rs::exec::ThreadPool>(threads);
+  for (auto _ : state) {
+    auto dist =
+        rs::analysis::jaccard_matrix(scenario.database(), opts, pool.get());
+    benchmark::DoNotOptimize(dist.values.data());
+    state.counters["snapshots"] = static_cast<double>(dist.size());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetLabel(threads == 0 ? "serial" : std::to_string(threads) + "-workers");
+}
+BENCHMARK(BM_JaccardMatrixParallel)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_MdsSmacofParallel(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  rs::analysis::JaccardOptions opts;
+  opts.min_date = rs::util::Date::ymd(2011, 1, 1);
+  opts.max_per_provider = 40;
+  const auto dist = rs::analysis::jaccard_matrix(scenario.database(), opts);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::unique_ptr<rs::exec::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<rs::exec::ThreadPool>(threads);
+  for (auto _ : state) {
+    auto mds = rs::analysis::smacof_mds(dist, {}, pool.get());
+    benchmark::DoNotOptimize(mds.points.data());
+    state.counters["iters"] = static_cast<double>(mds.iterations);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetLabel(threads == 0 ? "serial" : std::to_string(threads) + "-workers");
+}
+BENCHMARK(BM_MdsSmacofParallel)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 // Ablation: all-certificates (paper) vs TLS-anchors-only (trust-aware) sets.
 void BM_JaccardSetKind(benchmark::State& state) {

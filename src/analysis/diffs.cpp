@@ -1,6 +1,7 @@
 #include "src/analysis/diffs.h"
 
 #include <map>
+#include <optional>
 
 namespace rs::analysis {
 
@@ -44,11 +45,13 @@ std::size_t SnapshotDiff::removed_total() const noexcept {
 
 DerivativeDiffSeries derivative_diffs(const rs::store::ProviderHistory& deriv,
                                       const rs::store::ProviderHistory& nss,
-                                      const NssVersionIndex& index) {
+                                      const NssVersionIndex& index,
+                                      rs::exec::ThreadPool* pool) {
   DerivativeDiffSeries out;
   out.provider = deriv.provider();
 
-  // NSS-ever sets and first-TLS dates, for categorization.
+  // NSS-ever sets and first-TLS dates, for categorization (serial: each
+  // step folds into the previous union).  Everything below only reads them.
   FingerprintSet nss_ever_any;
   FingerprintSet nss_ever_tls;
   std::map<Sha256Digest, rs::util::Date> first_tls_date;
@@ -61,10 +64,16 @@ DerivativeDiffSeries derivative_diffs(const rs::store::ProviderHistory& deriv,
     }
   }
 
-  for (const auto& snap : deriv.snapshots()) {
+  // Each derivative snapshot diffs against the shared read-only index
+  // independently; results land in per-snapshot slots and are collected in
+  // snapshot order afterwards.
+  const auto& snaps = deriv.snapshots();
+  std::vector<std::optional<SnapshotDiff>> results(snaps.size());
+  rs::exec::parallel_for(pool, snaps.size(), [&](std::size_t k) {
+    const auto& snap = snaps[k];
     const auto deriv_tls = snap.tls_anchors();
     const auto* matched = index.closest_match(deriv_tls);
-    if (matched == nullptr) continue;
+    if (matched == nullptr) return;
 
     SnapshotDiff diff;
     diff.date = snap.date;
@@ -109,8 +118,15 @@ DerivativeDiffSeries derivative_diffs(const rs::store::ProviderHistory& deriv,
       ++diff.removes[static_cast<std::size_t>(cat)];
     }
 
-    if (diff.added_total() + diff.removed_total() > 0) out.ever_deviates = true;
-    out.points.push_back(diff);
+    results[k] = diff;
+  });
+
+  for (const auto& diff : results) {
+    if (!diff) continue;
+    if (diff->added_total() + diff->removed_total() > 0) {
+      out.ever_deviates = true;
+    }
+    out.points.push_back(*diff);
   }
   return out;
 }

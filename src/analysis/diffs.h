@@ -64,8 +64,12 @@ struct DerivativeDiffSeries {
 
 /// Computes the series.  `nss` supplies the ever-present / ever-TLS sets
 /// used for categorization; `index` the substantial versions to match.
+/// Snapshots diff independently, so `pool` parallelizes the per-snapshot
+/// matching and categorization; points stay in snapshot order and the
+/// result is identical for any worker count.
 DerivativeDiffSeries derivative_diffs(const rs::store::ProviderHistory& deriv,
                                       const rs::store::ProviderHistory& nss,
-                                      const NssVersionIndex& index);
+                                      const NssVersionIndex& index,
+                                      rs::exec::ThreadPool* pool = nullptr);
 
 }  // namespace rs::analysis

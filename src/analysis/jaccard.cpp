@@ -7,10 +7,11 @@
 namespace rs::analysis {
 
 DistanceMatrix jaccard_matrix(const rs::store::StoreDatabase& db,
-                              const JaccardOptions& options) {
+                              const JaccardOptions& options,
+                              rs::exec::ThreadPool* pool) {
   DistanceMatrix out;
-  std::vector<rs::store::FingerprintSet> sets;
-
+  // Phase 1 (serial): select snapshots and fix the matrix order.
+  std::vector<const rs::store::Snapshot*> chosen;
   for (const auto& [name, history] : db.histories()) {
     // Collect candidate indices honouring the date window.
     std::vector<std::size_t> idx;
@@ -36,21 +37,33 @@ DistanceMatrix jaccard_matrix(const rs::store::StoreDatabase& db,
     for (std::size_t i : idx) {
       const auto& s = history.snapshots()[i];
       out.labels.push_back(SnapshotRef{name, s.date, s.version, i});
-      sets.push_back(options.set_kind == SetKind::kAllCertificates
-                         ? s.all_fingerprints()
-                         : s.tls_anchors());
+      chosen.push_back(&s);
     }
   }
 
   const std::size_t n = out.labels.size();
+
+  // Phase 2 (parallel): materialize each snapshot's fingerprint set exactly
+  // once.  The pair loop below only reads this cache, so the O(n^2) phase
+  // never re-sorts or re-collects certificate fingerprints.
+  std::vector<rs::store::FingerprintSet> sets(n);
+  rs::exec::parallel_for(pool, n, [&](std::size_t i) {
+    sets[i] = options.set_kind == SetKind::kAllCertificates
+                  ? chosen[i]->all_fingerprints()
+                  : chosen[i]->tls_anchors();
+  });
+
+  // Phase 3 (parallel): upper-triangle row blocks.  Each pair (i, j > i) is
+  // computed by exactly one task and written to two distinct cells, so the
+  // result is independent of scheduling.
   out.values.assign(n * n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
+  rs::exec::parallel_for(pool, n, [&](std::size_t i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       const double d = sets[i].jaccard_distance(sets[j]);
       out.values[i * n + j] = d;
       out.values[j * n + i] = d;
     }
-  }
+  });
   return out;
 }
 

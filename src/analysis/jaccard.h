@@ -5,12 +5,20 @@
 // labelled snapshot list and computes the symmetric distance matrix, either
 // over all certificates present or over TLS anchors only (trust-aware
 // variant; see DESIGN.md ablations).
+//
+// Matrix construction runs in three phases: snapshot selection (serial),
+// per-snapshot fingerprint-set materialization (cached once per snapshot,
+// parallelizable), and the O(n^2) upper-triangle pair loop (parallel row
+// blocks).  Results are bitwise-identical for any worker count; see
+// docs/PARALLELISM.md.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "src/exec/thread_pool.h"
 #include "src/store/database.h"
 #include "src/util/date.h"
 
@@ -38,6 +46,8 @@ struct DistanceMatrix {
 
   std::size_t size() const noexcept { return labels.size(); }
   double at(std::size_t i, std::size_t j) const {
+    assert(i < labels.size() && j < labels.size() &&
+           "DistanceMatrix::at index out of range");
     return values[i * labels.size() + j];
   }
 };
@@ -55,7 +65,10 @@ struct JaccardOptions {
 };
 
 /// Builds the pairwise Jaccard distance matrix over `db`'s snapshots.
+/// `pool` parallelizes set materialization and the pair loop; null (or a
+/// zero-worker pool) computes inline serially with identical results.
 DistanceMatrix jaccard_matrix(const rs::store::StoreDatabase& db,
-                              const JaccardOptions& options = {});
+                              const JaccardOptions& options = {},
+                              rs::exec::ThreadPool* pool = nullptr);
 
 }  // namespace rs::analysis

@@ -14,6 +14,25 @@ double point_distance(const Point2& a, const Point2& b) {
   return std::sqrt(dx * dx + dy * dy);
 }
 
+// Sum of squared upper-triangle distances (the normalized-stress
+// denominator).  Per-row partials combined in row order: deterministic for
+// any worker count.
+double pairwise_squared_sum(const DistanceMatrix& dist,
+                            rs::exec::ThreadPool* pool) {
+  const std::size_t n = dist.size();
+  std::vector<double> row(n, 0.0);
+  rs::exec::parallel_for(pool, n, [&](std::size_t i) {
+    double acc = 0.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      acc += dist.at(i, j) * dist.at(i, j);
+    }
+    row[i] = acc;
+  });
+  double total = 0.0;
+  for (double v : row) total += v;
+  return total;
+}
+
 // Power iteration for the dominant eigenpair of a symmetric matrix `m`,
 // deflating `prior` eigenpairs (vectors stored column-wise in `evecs`).
 void power_iteration(const std::vector<double>& m, std::size_t n,
@@ -80,16 +99,23 @@ void power_iteration(const std::vector<double>& m, std::size_t n,
 }  // namespace
 
 double embedding_stress(const DistanceMatrix& dist,
-                        const std::vector<Point2>& points) {
+                        const std::vector<Point2>& points,
+                        rs::exec::ThreadPool* pool) {
   const std::size_t n = dist.size();
-  double stress = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
+  std::vector<double> row(n, 0.0);
+  rs::exec::parallel_for(pool, n, [&](std::size_t i) {
+    double acc = 0.0;
     for (std::size_t j = i + 1; j < n; ++j) {
       const double d = point_distance(points[i], points[j]);
       const double delta = dist.at(i, j);
-      stress += (d - delta) * (d - delta);
+      acc += (d - delta) * (d - delta);
     }
-  }
+    row[i] = acc;
+  });
+  // Combine per-row partials in row order so the floating-point result does
+  // not depend on scheduling or worker count.
+  double stress = 0.0;
+  for (double v : row) stress += v;
   return stress;
 }
 
@@ -134,18 +160,14 @@ MdsResult classical_mds(const DistanceMatrix& dist) {
     out.points[i].y = evals[1] > 0 ? evecs[1][i] * std::sqrt(evals[1]) : 0.0;
   }
   out.stress = embedding_stress(dist, out.points);
-  double denom = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      denom += dist.at(i, j) * dist.at(i, j);
-    }
-  }
+  const double denom = pairwise_squared_sum(dist, nullptr);
   out.normalized_stress = denom > 0 ? out.stress / denom : 0.0;
   out.iterations = 1;
   return out;
 }
 
-MdsResult smacof_mds(const DistanceMatrix& dist, const MdsOptions& options) {
+MdsResult smacof_mds(const DistanceMatrix& dist, const MdsOptions& options,
+                     rs::exec::ThreadPool* pool) {
   const std::size_t n = dist.size();
   MdsResult out;
   if (n < 2) {
@@ -164,15 +186,16 @@ MdsResult smacof_mds(const DistanceMatrix& dist, const MdsOptions& options) {
     out.points = classical_mds(dist).points;
   }
 
-  double prev_stress = embedding_stress(dist, out.points);
+  double prev_stress = embedding_stress(dist, out.points, pool);
   std::vector<Point2> next(n);
   std::size_t iter = 0;
   for (; iter < options.max_iterations; ++iter) {
     // Guttman transform with unit weights:
     //   x_i' = (1/n) * sum_{j != i} (delta_ij / d_ij) * (x_i - x_j)
     // (row i of n^-1 B(X) X, where B(X)_ij = -delta_ij/d_ij off-diagonal
-    // and the diagonal makes rows sum to zero).
-    for (std::size_t i = 0; i < n; ++i) {
+    // and the diagonal makes rows sum to zero).  Each row only reads the
+    // previous iterate and writes its own slot, so rows run in parallel.
+    rs::exec::parallel_for(pool, n, [&](std::size_t i) {
       double sx = 0.0, sy = 0.0;
       for (std::size_t j = 0; j < n; ++j) {
         if (j == i) continue;
@@ -183,9 +206,9 @@ MdsResult smacof_mds(const DistanceMatrix& dist, const MdsOptions& options) {
       }
       next[i].x = sx / static_cast<double>(n);
       next[i].y = sy / static_cast<double>(n);
-    }
+    });
     std::swap(out.points, next);
-    const double stress = embedding_stress(dist, out.points);
+    const double stress = embedding_stress(dist, out.points, pool);
     if (prev_stress - stress < options.tolerance * prev_stress) {
       prev_stress = std::min(stress, prev_stress);
       break;
@@ -194,12 +217,7 @@ MdsResult smacof_mds(const DistanceMatrix& dist, const MdsOptions& options) {
   }
   out.iterations = iter + 1;
   out.stress = prev_stress;
-  double denom = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      denom += dist.at(i, j) * dist.at(i, j);
-    }
-  }
+  const double denom = pairwise_squared_sum(dist, pool);
   out.normalized_stress = denom > 0 ? out.stress / denom : 0.0;
   return out;
 }

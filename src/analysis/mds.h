@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/analysis/jaccard.h"
+#include "src/exec/thread_pool.h"
 
 namespace rs::analysis {
 
@@ -44,10 +45,17 @@ struct MdsResult {
 MdsResult classical_mds(const DistanceMatrix& dist);
 
 /// Metric MDS via SMACOF, initialized from classical MDS (or random).
-MdsResult smacof_mds(const DistanceMatrix& dist, const MdsOptions& options = {});
+/// `pool` parallelizes the Guttman transform and stress evaluation per
+/// iteration; results are bitwise-identical for any worker count (fixed
+/// chunking, per-row partials combined in row order).
+MdsResult smacof_mds(const DistanceMatrix& dist, const MdsOptions& options = {},
+                     rs::exec::ThreadPool* pool = nullptr);
 
-/// Raw stress of an embedding against a distance matrix.
+/// Raw stress of an embedding against a distance matrix.  Accumulates
+/// per-row partial sums and combines them in row order, so the value is
+/// identical whether computed serially or on a pool.
 double embedding_stress(const DistanceMatrix& dist,
-                        const std::vector<Point2>& points);
+                        const std::vector<Point2>& points,
+                        rs::exec::ThreadPool* pool = nullptr);
 
 }  // namespace rs::analysis

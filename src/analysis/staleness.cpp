@@ -49,16 +49,21 @@ NssVersionIndex build_version_index(const rs::store::ProviderHistory& nss) {
 }
 
 StalenessResult derivative_staleness(const rs::store::ProviderHistory& deriv,
-                                     const NssVersionIndex& index) {
+                                     const NssVersionIndex& index,
+                                     rs::exec::ThreadPool* pool) {
   StalenessResult out;
   out.provider = deriv.provider();
   if (deriv.empty() || index.size() == 0) return out;
 
-  out.always_stale = true;
-  for (const auto& snap : deriv.snapshots()) {
+  // Each snapshot matches against the read-only index independently;
+  // per-snapshot slots keep the points in snapshot order.
+  const auto& snaps = deriv.snapshots();
+  std::vector<std::optional<StalenessPoint>> samples(snaps.size());
+  rs::exec::parallel_for(pool, snaps.size(), [&](std::size_t k) {
+    const auto& snap = snaps[k];
     const auto* matched = index.closest_match(snap.tls_anchors());
     const auto* current = index.current_at(snap.date);
-    if (matched == nullptr || current == nullptr) continue;
+    if (matched == nullptr || current == nullptr) return;
     StalenessPoint p;
     p.date = snap.date;
     p.matched_version = matched->index;
@@ -67,8 +72,14 @@ StalenessResult derivative_staleness(const rs::store::ProviderHistory& deriv,
         matched->index >= current->index
             ? 0.0
             : static_cast<double>(current->index - matched->index);
-    if (p.versions_behind == 0.0) out.always_stale = false;
-    out.points.push_back(p);
+    samples[k] = p;
+  });
+
+  out.always_stale = true;
+  for (const auto& p : samples) {
+    if (!p) continue;
+    if (p->versions_behind == 0.0) out.always_stale = false;
+    out.points.push_back(*p);
   }
 
   // Time-weighted integral (piecewise-constant between samples).

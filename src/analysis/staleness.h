@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/exec/thread_pool.h"
 #include "src/store/fingerprint_set.h"
 #include "src/store/snapshot.h"
 #include "src/util/date.h"
@@ -67,7 +68,11 @@ struct StalenessResult {
   bool always_stale = false;
 };
 
+/// Computes the staleness series.  Snapshots are independent, so `pool`
+/// parallelizes the per-snapshot version matching; points stay in snapshot
+/// order and the result is identical for any worker count.
 StalenessResult derivative_staleness(const rs::store::ProviderHistory& deriv,
-                                     const NssVersionIndex& index);
+                                     const NssVersionIndex& index,
+                                     rs::exec::ThreadPool* pool = nullptr);
 
 }  // namespace rs::analysis

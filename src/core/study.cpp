@@ -29,12 +29,18 @@ using rs::util::fmt_double;
 using rs::util::fmt_percent;
 using rs::util::TextTable;
 
-EcosystemStudy EcosystemStudy::from_paper_scenario(std::uint64_t seed) {
-  return EcosystemStudy(rs::synth::build_paper_scenario(seed));
+EcosystemStudy EcosystemStudy::from_paper_scenario(std::uint64_t seed,
+                                                   const StudyOptions& options) {
+  return EcosystemStudy(rs::synth::build_paper_scenario(seed), options);
 }
 
-EcosystemStudy::EcosystemStudy(rs::synth::PaperScenario scenario)
-    : scenario_(std::move(scenario)) {}
+EcosystemStudy::EcosystemStudy(rs::synth::PaperScenario scenario,
+                               const StudyOptions& options)
+    : scenario_(std::move(scenario)), options_(options) {
+  if (options_.num_threads > 0) {
+    pool_ = std::make_shared<rs::exec::ThreadPool>(options_.num_threads);
+  }
+}
 
 std::string EcosystemStudy::report_table1() const {
   const auto population = rs::synth::user_agent_population();
@@ -282,8 +288,8 @@ std::string EcosystemStudy::report_figure1(std::size_t max_per_provider) const {
   rs::analysis::JaccardOptions opts;
   opts.min_date = rs::util::Date::ymd(2011, 1, 1);  // paper's Figure 1 window
   opts.max_per_provider = max_per_provider;
-  const auto dist = rs::analysis::jaccard_matrix(database(), opts);
-  const auto mds = rs::analysis::smacof_mds(dist);
+  const auto dist = rs::analysis::jaccard_matrix(database(), opts, pool());
+  const auto mds = rs::analysis::smacof_mds(dist, {}, pool());
 
   // Cluster and label by root program family.
   const auto clustering = rs::analysis::cluster_snapshots(dist, 0.35);
@@ -436,7 +442,7 @@ std::string EcosystemStudy::report_figure3() const {
   for (const auto& ref : reference) {
     const auto* h = database().find(ref.provider);
     if (h == nullptr) continue;
-    auto res = rs::analysis::derivative_staleness(*h, index);
+    auto res = rs::analysis::derivative_staleness(*h, index, pool());
     order.emplace_back(res.avg_versions_behind, ref.provider);
     results.emplace(ref.provider, std::move(res));
   }
@@ -487,7 +493,7 @@ std::string EcosystemStudy::report_figure4() const {
        {"Alpine", "AmazonLinux", "Android", "NodeJS", "Debian", "Ubuntu"}) {
     const auto* h = database().find(name);
     if (h == nullptr) continue;
-    const auto series = rs::analysis::derivative_diffs(*h, *nss, index);
+    const auto series = rs::analysis::derivative_diffs(*h, *nss, index, pool());
 
     std::array<std::size_t, rs::analysis::kAddCategoryCount> add_totals{};
     std::array<std::size_t, rs::analysis::kRemoveCategoryCount> rm_totals{};

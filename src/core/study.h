@@ -8,25 +8,41 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "src/exec/thread_pool.h"
 #include "src/synth/paper_scenario.h"
 
 namespace rs::core {
+
+/// Execution knobs for a study instance.
+struct StudyOptions {
+  /// Worker threads for the analysis hot paths (Jaccard matrix, SMACOF,
+  /// staleness/diff series).  0 = inline serial execution.  Any value
+  /// produces bitwise-identical reports (see docs/PARALLELISM.md).
+  std::size_t num_threads = 0;
+};
 
 /// One study instance over a scenario database.
 class EcosystemStudy {
  public:
   /// Builds the curated paper scenario and wraps it.
   static EcosystemStudy from_paper_scenario(
-      std::uint64_t seed = rs::synth::kPaperSeed);
+      std::uint64_t seed = rs::synth::kPaperSeed,
+      const StudyOptions& options = {});
 
-  explicit EcosystemStudy(rs::synth::PaperScenario scenario);
+  explicit EcosystemStudy(rs::synth::PaperScenario scenario,
+                          const StudyOptions& options = {});
 
   const rs::store::StoreDatabase& database() const {
     return scenario_.database();
   }
   rs::synth::PaperScenario& scenario() { return scenario_; }
+  const StudyOptions& options() const noexcept { return options_; }
+  /// The study's pool (nullptr when num_threads == 0): analyses run
+  /// serially inline in that case.
+  rs::exec::ThreadPool* pool() const noexcept { return pool_.get(); }
 
   /// Table 1: top-200 user agents and root-store coverage.
   std::string report_table1() const;
@@ -54,6 +70,10 @@ class EcosystemStudy {
 
  private:
   rs::synth::PaperScenario scenario_;
+  StudyOptions options_;
+  // shared_ptr keeps the study copyable; the pool is stateless between
+  // calls, so sharing it across copies is safe.
+  std::shared_ptr<rs::exec::ThreadPool> pool_;
 };
 
 }  // namespace rs::core

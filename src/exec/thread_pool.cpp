@@ -1,0 +1,72 @@
+#include "src/exec/thread_pool.h"
+
+#include <stdexcept>
+
+namespace rs::exec {
+
+namespace {
+
+// Identifies the pool (if any) the current thread belongs to, for nested-use
+// detection.  Plain pointer comparison: pools are never reused after
+// destruction while their workers still run, because ~ThreadPool joins.
+thread_local const ThreadPool* tls_current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::in_worker() const noexcept {
+  return tls_current_pool == this;
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (in_worker()) {
+    throw std::logic_error(
+        "ThreadPool::submit: nested submission from a worker thread of the "
+        "same pool (would deadlock a bounded pool)");
+  }
+  if (workers_.empty()) {  // zero-thread pool: run inline
+    task();
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::logic_error("ThreadPool::submit: pool is shutting down");
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  tls_current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Shutdown drains the queue: exit only once no work is left.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace rs::exec

@@ -1,0 +1,165 @@
+// Deterministic fork-join execution for the analysis hot paths.
+//
+// The paper's expensive computations (the 619x619 Jaccard matrix, SMACOF
+// stress majorization, per-derivative diff series) are embarrassingly
+// parallel.  This module provides the one concurrency primitive the
+// pipeline needs: a fixed-size thread pool plus chunked parallel-for /
+// parallel-reduce helpers whose results are bitwise-identical for ANY
+// worker count, including zero workers (inline serial execution).
+//
+// Determinism contract (see docs/PARALLELISM.md):
+//   * Chunk boundaries depend only on the range length `n`, never on the
+//     worker count (plan_chunks).
+//   * parallel_for bodies write disjoint outputs, so scheduling order is
+//     irrelevant.
+//   * parallel_reduce combines per-chunk partials serially in chunk-index
+//     order, so floating-point association is fixed.
+//   * The serial fallback (`pool == nullptr` or zero workers) walks the
+//     same chunks in the same order through the same code path.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rs::exec {
+
+/// A fixed-size pool of worker threads consuming a shared FIFO queue.
+///
+/// Construction with zero threads is valid and makes `submit` run tasks
+/// inline on the calling thread.  Destruction drains every task already
+/// queued before joining (shutdown never drops work).  `submit` from inside
+/// a worker of the same pool throws std::logic_error: nested submission
+/// deadlocks a bounded pool, so the parallel helpers below detect it and
+/// degrade to inline serial execution instead.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// True when called from one of this pool's worker threads.
+  bool in_worker() const noexcept;
+
+  /// Enqueues a task.  Tasks must not throw (parallel_for wraps bodies with
+  /// its own exception capture); a throwing raw task terminates.  Throws
+  /// std::logic_error when called from a worker of this pool.
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Fixed chunking for an n-element range.  Depends only on `n` — never on
+/// the worker count — which is what makes parallel results reproducible
+/// across thread configurations.
+struct ChunkPlan {
+  std::size_t chunk_size = 0;
+  std::size_t chunk_count = 0;
+};
+
+inline ChunkPlan plan_chunks(std::size_t n) noexcept {
+  // Enough chunks that a handful of workers load-balance across uneven
+  // per-element cost (e.g. shrinking Jaccard row blocks), few enough that
+  // queue overhead stays negligible.
+  constexpr std::size_t kTargetChunks = 64;
+  ChunkPlan plan;
+  if (n == 0) return plan;
+  plan.chunk_size = (n + kTargetChunks - 1) / kTargetChunks;
+  plan.chunk_count = (n + plan.chunk_size - 1) / plan.chunk_size;
+  return plan;
+}
+
+/// Runs `body(chunk_index, begin, end)` over the fixed chunks of [0, n).
+/// Parallel when `pool` has workers and we are not already inside one of
+/// them; inline serial (same chunks, ascending order) otherwise.  The first
+/// exception thrown by a body is rethrown on the calling thread after all
+/// chunks finish.
+template <typename Body>
+void for_each_chunk(ThreadPool* pool, std::size_t n, const Body& body) {
+  const ChunkPlan plan = plan_chunks(n);
+  if (plan.chunk_count == 0) return;
+
+  const bool serial = pool == nullptr || pool->worker_count() == 0 ||
+                      pool->in_worker() || plan.chunk_count == 1;
+  if (serial) {
+    for (std::size_t c = 0; c < plan.chunk_count; ++c) {
+      const std::size_t begin = c * plan.chunk_size;
+      const std::size_t end = std::min(n, begin + plan.chunk_size);
+      body(c, begin, end);
+    }
+    return;
+  }
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining = plan.chunk_count;
+  std::exception_ptr error;
+  for (std::size_t c = 0; c < plan.chunk_count; ++c) {
+    const std::size_t begin = c * plan.chunk_size;
+    const std::size_t end = std::min(n, begin + plan.chunk_size);
+    pool->submit([&, c, begin, end] {
+      try {
+        body(c, begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (--remaining == 0) done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return remaining == 0; });
+  if (error) std::rethrow_exception(error);
+}
+
+/// Runs `body(i)` for every i in [0, n); see for_each_chunk for the
+/// scheduling and exception contract.  Bodies must write disjoint state.
+template <typename Body>
+void parallel_for(ThreadPool* pool, std::size_t n, const Body& body) {
+  for_each_chunk(pool, n,
+                 [&](std::size_t /*chunk*/, std::size_t begin,
+                     std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) body(i);
+                 });
+}
+
+/// Chunked reduction: `map_chunk(begin, end) -> T` runs per chunk (possibly
+/// in parallel), then partials are combined serially in chunk-index order
+/// with `combine(acc, partial) -> T`.  The fixed chunking plus ordered
+/// combine make the result bitwise-identical for any worker count even for
+/// non-associative-in-floating-point operations like double sums.
+template <typename T, typename MapChunk, typename Combine>
+T parallel_reduce(ThreadPool* pool, std::size_t n, T identity,
+                  const MapChunk& map_chunk, const Combine& combine) {
+  const ChunkPlan plan = plan_chunks(n);
+  if (plan.chunk_count == 0) return identity;
+  std::vector<T> partials(plan.chunk_count, identity);
+  for_each_chunk(pool, n,
+                 [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                   partials[chunk] = map_chunk(begin, end);
+                 });
+  T acc = std::move(identity);
+  for (T& partial : partials) acc = combine(std::move(acc), std::move(partial));
+  return acc;
+}
+
+}  // namespace rs::exec

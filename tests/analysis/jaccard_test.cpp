@@ -123,5 +123,21 @@ TEST(Jaccard, EmptyDatabase) {
   EXPECT_TRUE(dist.values.empty());
 }
 
+// Regression: DistanceMatrix::at used to index `values` unchecked, so an
+// out-of-range row/column silently read adjacent memory (or past the end).
+// It now carries a debug bounds assert; tests build with assertions enabled
+// (-UNDEBUG), so the violation must abort.
+TEST(JaccardDeathTest, AtOutOfRangeAssertsInDebug) {
+#ifndef NDEBUG
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto dist = jaccard_matrix(two_provider_db());  // 3x3
+  EXPECT_DEATH((void)dist.at(3, 0), "out of range");
+  EXPECT_DEATH((void)dist.at(0, 3), "out of range");
+  EXPECT_DEATH((void)dist.at(17, 17), "out of range");
+#else
+  GTEST_SKIP() << "assertions disabled (NDEBUG)";
+#endif
+}
+
 }  // namespace
 }  // namespace rs::analysis

@@ -8,6 +8,7 @@
 #include "src/analysis/jaccard.h"
 #include "src/analysis/mds.h"
 #include "src/analysis/staleness.h"
+#include "src/exec/thread_pool.h"
 #include "src/formats/certdata.h"
 #include "src/formats/jks.h"
 #include "src/synth/simulator.h"
@@ -89,6 +90,59 @@ TEST_P(SimulatedPipelineTest, DiffCountsAreConsistent) {
       std::size_t removes = 0;
       for (auto v : p.removes) removes += v;
       EXPECT_EQ(removes, p.removed_total());
+    }
+  }
+}
+
+TEST_P(SimulatedPipelineTest, ParallelAnalysesMatchSerialBitwise) {
+  // Randomized ecosystems hit snapshot counts and set sizes the curated
+  // scenario cannot, catching chunk-boundary bugs in the parallel paths.
+  const auto eco = make();
+  rs::analysis::JaccardOptions opts;
+  opts.max_per_provider = 13;  // odd count stresses uneven chunk edges
+
+  const auto dist_serial = rs::analysis::jaccard_matrix(eco.database, opts);
+  const auto mds_serial = rs::analysis::smacof_mds(dist_serial);
+  const auto* base = eco.database.find(eco.base_program);
+  ASSERT_NE(base, nullptr);
+  const auto index = rs::analysis::build_version_index(*base);
+
+  for (std::size_t workers : {std::size_t{2}, std::size_t{5}}) {
+    rs::exec::ThreadPool pool(workers);
+
+    const auto dist = rs::analysis::jaccard_matrix(eco.database, opts, &pool);
+    ASSERT_EQ(dist.size(), dist_serial.size());
+    EXPECT_TRUE(dist.values == dist_serial.values) << workers << " workers";
+
+    const auto mds = rs::analysis::smacof_mds(dist_serial, {}, &pool);
+    EXPECT_EQ(mds.iterations, mds_serial.iterations);
+    EXPECT_EQ(mds.stress, mds_serial.stress);
+    ASSERT_EQ(mds.points.size(), mds_serial.points.size());
+    for (std::size_t i = 0; i < mds.points.size(); ++i) {
+      EXPECT_EQ(mds.points[i].x, mds_serial.points[i].x);
+      EXPECT_EQ(mds.points[i].y, mds_serial.points[i].y);
+    }
+
+    for (const auto& name : eco.derivative_names) {
+      const auto* deriv = eco.database.find(name);
+      ASSERT_NE(deriv, nullptr);
+      const auto stale_serial = rs::analysis::derivative_staleness(*deriv,
+                                                                   index);
+      const auto stale = rs::analysis::derivative_staleness(*deriv, index,
+                                                            &pool);
+      EXPECT_EQ(stale.avg_versions_behind, stale_serial.avg_versions_behind)
+          << name;
+      ASSERT_EQ(stale.points.size(), stale_serial.points.size()) << name;
+
+      const auto diffs_serial =
+          rs::analysis::derivative_diffs(*deriv, *base, index);
+      const auto diffs =
+          rs::analysis::derivative_diffs(*deriv, *base, index, &pool);
+      ASSERT_EQ(diffs.points.size(), diffs_serial.points.size()) << name;
+      for (std::size_t k = 0; k < diffs.points.size(); ++k) {
+        EXPECT_EQ(diffs.points[k].adds, diffs_serial.points[k].adds);
+        EXPECT_EQ(diffs.points[k].removes, diffs_serial.points[k].removes);
+      }
     }
   }
 }

@@ -1,0 +1,120 @@
+// Determinism contract of the chunked parallel algorithms: fixed chunk
+// plans, chunk-ordered reduction, and bitwise-stable floating-point results
+// across worker counts.
+#include "src/exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace rs::exec {
+namespace {
+
+TEST(ChunkPlan, CoversRangeExactly) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                        std::size_t{63}, std::size_t{64}, std::size_t{65},
+                        std::size_t{1000}, std::size_t{4097}}) {
+    const ChunkPlan plan = plan_chunks(n);
+    if (n == 0) {
+      EXPECT_EQ(plan.chunk_count, 0u);
+      continue;
+    }
+    ASSERT_GT(plan.chunk_size, 0u);
+    // Chunks tile [0, n): the last chunk ends exactly at n.
+    EXPECT_GE(plan.chunk_size * plan.chunk_count, n);
+    EXPECT_LT(plan.chunk_size * (plan.chunk_count - 1), n);
+  }
+}
+
+TEST(ChunkPlan, SmallRangesGetOneElementChunks) {
+  const ChunkPlan plan = plan_chunks(10);
+  EXPECT_EQ(plan.chunk_size, 1u);
+  EXPECT_EQ(plan.chunk_count, 10u);
+}
+
+TEST(ForEachChunk, ChunkBoundariesMatchPlanRegardlessOfPool) {
+  const std::size_t n = 1234;
+  const ChunkPlan plan = plan_chunks(n);
+
+  auto collect = [&](ThreadPool* pool) {
+    std::vector<std::pair<std::size_t, std::size_t>> bounds(plan.chunk_count);
+    for_each_chunk(pool, n,
+                   [&](std::size_t c, std::size_t begin, std::size_t end) {
+                     bounds[c] = {begin, end};
+                   });
+    return bounds;
+  };
+
+  const auto serial = collect(nullptr);
+  ASSERT_EQ(serial.size(), plan.chunk_count);
+  EXPECT_EQ(serial.front().first, 0u);
+  EXPECT_EQ(serial.back().second, n);
+  for (std::size_t c = 0; c + 1 < serial.size(); ++c) {
+    EXPECT_EQ(serial[c].second, serial[c + 1].first);
+  }
+
+  for (std::size_t workers : {1u, 2u, 5u}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(collect(&pool), serial) << workers << " workers";
+  }
+}
+
+TEST(ParallelReduce, CombinesInChunkOrder) {
+  // A deliberately non-commutative combine (string concatenation): the
+  // result encodes the combine order, so it only matches the serial result
+  // if partials are folded in ascending chunk order.
+  const std::size_t n = 100;
+  auto run = [&](ThreadPool* pool) {
+    return parallel_reduce(
+        pool, n, std::string(),
+        [](std::size_t begin, std::size_t end) {
+          return "[" + std::to_string(begin) + "," + std::to_string(end) + ")";
+        },
+        [](std::string acc, std::string part) { return acc + part; });
+  };
+  const std::string serial = run(nullptr);
+  for (std::size_t workers : {1u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(run(&pool), serial) << workers << " workers";
+  }
+}
+
+TEST(ParallelReduce, DoubleSumBitwiseStableAcrossWorkerCounts) {
+  // Values spanning many magnitudes make the sum association-sensitive:
+  // any change in combine order shows up in the low bits.
+  const std::size_t n = 10007;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = std::sin(static_cast<double>(i)) *
+                std::pow(10.0, static_cast<double>(i % 17) - 8.0);
+  }
+  auto run = [&](ThreadPool* pool) {
+    return parallel_reduce(
+        pool, n, 0.0,
+        [&](std::size_t begin, std::size_t end) {
+          double acc = 0.0;
+          for (std::size_t i = begin; i < end; ++i) acc += values[i];
+          return acc;
+        },
+        [](double acc, double part) { return acc + part; });
+  };
+  const double serial = run(nullptr);
+  for (std::size_t workers : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    const double parallel = run(&pool);
+    EXPECT_EQ(parallel, serial) << workers << " workers";  // bitwise
+  }
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  ThreadPool pool(2);
+  const int result = parallel_reduce(
+      &pool, 0, 42, [](std::size_t, std::size_t) { return 7; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(result, 42);
+}
+
+}  // namespace
+}  // namespace rs::exec

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "src/synth/simulator.h"
 #include "src/x509/builder.h"
@@ -20,7 +21,11 @@ using rs::util::Date;
 class DatasetIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "rs_dataset_test";
+    // Unique per test: ctest schedules each discovered test as its own
+    // process, so a shared directory races under `ctest -j`.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("rs_dataset_test_") + info->name());
     fs::remove_all(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

@@ -5,8 +5,13 @@
 #                        project default) plus the full test suite
 #   2. sanitizer build   ASan+UBSan, replaying the fuzz corpus and the whole
 #                        test suite so memory bugs fail CI deterministically
-#   3. lint              clang-tidy via tools/run_lint.sh (skipped with a
+#   3. TSan build        ThreadSanitizer over the concurrency suite
+#                        (`ctest -L tsan`: thread-pool stress tests plus the
+#                        parallel analysis pipeline under contention)
+#   4. lint              clang-tidy via tools/run_lint.sh (skipped with a
 #                        notice when clang-tidy is not installed)
+#   5. parallel bench    records the 1-vs-N worker scaling sweep into
+#                        BENCH_parallel.json (skip with ROOTSTORE_SKIP_BENCH=1)
 #
 # Usage: tools/ci_check.sh [jobs]
 set -eu
@@ -14,19 +19,33 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
 
-echo "=== [1/3] strict -Werror build + tests ==="
+echo "=== [1/5] strict -Werror build + tests ==="
 cmake -B "$repo_root/build" -S "$repo_root" \
       -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$repo_root/build" -j "$jobs"
 ctest --test-dir "$repo_root/build" --output-on-failure -j "$jobs"
 
-echo "=== [2/3] ASan/UBSan build + corpus regression ==="
+echo "=== [2/5] ASan/UBSan build + corpus regression ==="
 cmake -B "$repo_root/build-asan" -S "$repo_root" \
       -DROOTSTORE_SANITIZE=address,undefined >/dev/null
 cmake --build "$repo_root/build-asan" -j "$jobs"
 ctest --test-dir "$repo_root/build-asan" --output-on-failure -j "$jobs"
 
-echo "=== [3/3] clang-tidy ==="
+echo "=== [3/5] TSan build + concurrency suite ==="
+cmake -B "$repo_root/build-tsan" -S "$repo_root" \
+      -DROOTSTORE_SANITIZE=thread >/dev/null
+cmake --build "$repo_root/build-tsan" -j "$jobs" --target exec_tests
+ctest --test-dir "$repo_root/build-tsan" --output-on-failure -L tsan
+
+echo "=== [4/5] clang-tidy ==="
 "$repo_root/tools/run_lint.sh" "$repo_root/build"
+
+if [ "${ROOTSTORE_SKIP_BENCH:-0}" = "1" ]; then
+  echo "=== [5/5] parallel bench: SKIPPED (ROOTSTORE_SKIP_BENCH=1) ==="
+else
+  echo "=== [5/5] parallel bench -> BENCH_parallel.json ==="
+  cmake --build "$repo_root/build" -j "$jobs" --target perf_analysis
+  "$repo_root/tools/record_parallel_bench.sh" "$repo_root/build"
+fi
 
 echo "ci_check: all gates passed"

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Records the thread-pool scaling sweep (BM_JaccardMatrixParallel and
+# BM_MdsSmacofParallel at 0/1/2/4/8 workers) into BENCH_parallel.json at
+# the repo root, then prints the 1-vs-N real-time speedup per benchmark.
+#
+# Usage: tools/record_parallel_bench.sh [build-dir] [out-file]
+#
+# The build tree must already contain the perf_analysis binary
+# (cmake --build <build-dir> --target perf_analysis).  Results depend on
+# the machine's core count: on a single-CPU host the parallel variants sit
+# at ~1x (the determinism contract, not the speedup, is what tests gate
+# on — see docs/PARALLELISM.md).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${1:-"$repo_root/build"}"
+out_file="${2:-"$repo_root/BENCH_parallel.json"}"
+
+bench_bin="$build_dir/bench/perf_analysis"
+if [ ! -x "$bench_bin" ]; then
+  echo "record_parallel_bench: $bench_bin missing; build it first:" >&2
+  echo "  cmake --build $build_dir --target perf_analysis" >&2
+  exit 2
+fi
+
+"$bench_bin" \
+  --benchmark_filter='BM_JaccardMatrixParallel|BM_MdsSmacofParallel' \
+  --benchmark_out="$out_file" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1
+
+# Summarize serial-vs-N speedups from the JSON (no jq dependency: the
+# google-benchmark JSON layout is stable enough for an awk pass).
+awk '
+  /"name":/      { gsub(/[",]/, ""); name = $2 }
+  /"real_time":/ {
+    gsub(/,/, "");
+    t = $2;
+    split(name, parts, "/");
+    base = parts[1]; arg = parts[2];
+    if (arg == "0" || arg ~ /^0\./) serial[base] = t;
+    times[base "/" arg] = t;
+  }
+  END {
+    for (key in times) {
+      split(key, parts, "/");
+      base = parts[1]; arg = parts[2] + 0;
+      if (arg > 0 && serial[base] > 0)
+        printf "%s: %d worker(s) -> %.2fx vs serial\n",
+               base, arg, serial[base] / times[key];
+    }
+  }
+' "$out_file" | sort
+
+echo "record_parallel_bench: wrote $out_file"

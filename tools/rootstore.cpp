@@ -12,6 +12,7 @@
 // Every subcommand works on any supported serialization (sniffed from the
 // content): certdata.txt, PEM bundle, JKS, RSTS.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -43,7 +44,11 @@ int usage() {
       "  diff <a> <b>              compare two stores\n"
       "  dataset export <dir>      write the scenario's 670-snapshot dataset\n"
       "  dataset verify <dir>      reload and verify a dataset directory\n"
-      "  report <name> [--csv]     table1..table7, fig1..fig4\n"
+      "  report <name> [--csv] [--threads N]\n"
+      "                            table1..table7, fig1..fig4; --threads N\n"
+      "                            (or env ROOTSTORE_THREADS) runs the\n"
+      "                            analysis hot paths on N worker threads\n"
+      "                            with bitwise-identical output (0 = serial)\n"
       "  formats                   list supported serializations\n",
       stderr);
   return 2;
@@ -213,8 +218,11 @@ int cmd_dataset(const std::string& verb, const std::string& dir) {
   return usage();
 }
 
-int cmd_report(const std::string& name, bool csv) {
-  auto study = rs::core::EcosystemStudy::from_paper_scenario();
+int cmd_report(const std::string& name, bool csv, std::size_t threads) {
+  rs::core::StudyOptions options;
+  options.num_threads = threads;
+  auto study = rs::core::EcosystemStudy::from_paper_scenario(
+      rs::synth::kPaperSeed, options);
   if (csv) {
     if (name == "fig1") {
       std::fputs(rs::core::figure1_csv(study.scenario()).c_str(), stdout);
@@ -259,8 +267,23 @@ int main(int argc, char** argv) {
   if (cmd == "diff" && args.size() == 3) return cmd_diff(args[1], args[2]);
   if (cmd == "dataset" && args.size() == 3) return cmd_dataset(args[1], args[2]);
   if (cmd == "report" && args.size() >= 2) {
-    const bool csv = args.size() >= 3 && args[2] == "--csv";
-    return cmd_report(args[1], csv);
+    // Default worker count from the environment; --threads overrides.
+    std::size_t threads = 0;
+    if (const char* env = std::getenv("ROOTSTORE_THREADS")) {
+      threads = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+    bool csv = false;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--csv") {
+        csv = true;
+      } else if (args[i] == "--threads" && i + 1 < args.size()) {
+        threads = static_cast<std::size_t>(
+            std::strtoul(args[++i].c_str(), nullptr, 10));
+      } else {
+        return usage();
+      }
+    }
+    return cmd_report(args[1], csv, threads);
   }
   return usage();
 }
