@@ -5,15 +5,19 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "src/analysis/cadence.h"
 #include "src/analysis/churn.h"
 #include "src/analysis/cluster.h"
+#include "src/analysis/diffs.h"
 #include "src/analysis/jaccard.h"
 #include "src/analysis/mds.h"
 #include "src/analysis/operators.h"
 #include "src/analysis/staleness.h"
 #include "src/exec/thread_pool.h"
+#include "src/store/fingerprint_set.h"
+#include "src/store/interner.h"
 #include "src/synth/paper_scenario.h"
 #include "src/synth/simulator.h"
 
@@ -104,6 +108,143 @@ void BM_MdsSmacofParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_MdsSmacofParallel)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+// --- Interning engine benchmarks (BENCH_intern.json) -----------------------
+//
+// The paper-scenario Figure 1 matrix (2011-2021 window, 40
+// snapshots/provider) pairwise-compared with the legacy sorted-merge
+// engine vs the dense-ID popcount engine.  Both produce bit-identical
+// matrices (intern_equivalence_tests); only the wall clock moves.
+// tools/record_intern_bench.sh captures this sweep.
+
+const rs::store::CertInterner& shared_interner() {
+  static const rs::store::CertInterner interner =
+      rs::store::CertInterner::from_database(shared_scenario().database());
+  return interner;
+}
+
+void BM_JaccardMatrixMerge(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  rs::analysis::JaccardOptions opts;
+  opts.min_date = rs::util::Date::ymd(2011, 1, 1);
+  opts.max_per_provider = static_cast<std::size_t>(state.range(0));
+  opts.algebra = rs::analysis::SetAlgebra::kSortedMerge;
+  for (auto _ : state) {
+    auto dist = rs::analysis::jaccard_matrix(scenario.database(), opts);
+    benchmark::DoNotOptimize(dist.values.data());
+    state.counters["snapshots"] = static_cast<double>(dist.size());
+  }
+  state.SetLabel("sorted-merge");
+}
+BENCHMARK(BM_JaccardMatrixMerge)->Arg(25)->Arg(40)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_JaccardMatrixInterned(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const auto& interner = shared_interner();  // built once, as in the study
+  rs::analysis::JaccardOptions opts;
+  opts.min_date = rs::util::Date::ymd(2011, 1, 1);
+  opts.max_per_provider = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto dist = rs::analysis::jaccard_matrix(scenario.database(), opts,
+                                             nullptr, &interner);
+    benchmark::DoNotOptimize(dist.values.data());
+    state.counters["snapshots"] = static_cast<double>(dist.size());
+  }
+  state.SetLabel("interned");
+}
+BENCHMARK(BM_JaccardMatrixInterned)->Arg(25)->Arg(40)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InternerBuild(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  for (auto _ : state) {
+    auto interner =
+        rs::store::CertInterner::from_database(scenario.database());
+    benchmark::DoNotOptimize(interner.size());
+    state.counters["universe"] = static_cast<double>(interner.size());
+  }
+}
+BENCHMARK(BM_InternerBuild)->Unit(benchmark::kMillisecond);
+
+// The isolated pair loop: one row of Jaccard distances between cached
+// sets, with no snapshot materialization in the timed region.  This is the
+// per-element cost the interning converts from a 32-byte merge to a
+// popcount.
+void BM_JaccardPairLoop(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  rs::analysis::JaccardOptions opts;
+  opts.min_date = rs::util::Date::ymd(2011, 1, 1);
+  opts.max_per_provider = 40;
+  // Reuse matrix selection to fetch the snapshot list deterministically.
+  const auto dist = rs::analysis::jaccard_matrix(scenario.database(), opts);
+  std::vector<rs::store::FingerprintSet> sets;
+  std::vector<rs::store::InternedSet> interned;
+  for (const auto& label : dist.labels) {
+    const auto& snap =
+        scenario.database().find(label.provider)->snapshots()[label.provider_index];
+    sets.push_back(snap.all_fingerprints());
+    interned.push_back(shared_interner().intern(sets.back()));
+  }
+  const bool use_interned = state.range(0) == 1;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      for (std::size_t j = i + 1; j < sets.size(); ++j) {
+        sum += use_interned
+                   ? rs::store::jaccard_distance(interned[i], interned[j])
+                   : sets[i].jaccard_distance(sets[j]);
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["pairs"] =
+      static_cast<double>(sets.size() * (sets.size() - 1) / 2);
+  state.SetLabel(use_interned ? "interned" : "sorted-merge");
+}
+BENCHMARK(BM_JaccardPairLoop)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_StalenessEngines(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const auto* nss = scenario.database().find("NSS");
+  const bool use_interned = state.range(0) == 1;
+  const auto index = use_interned
+                         ? rs::analysis::build_version_index(*nss)
+                         : rs::analysis::build_version_index_merge(*nss);
+  for (auto _ : state) {
+    double total = 0;
+    for (const char* name :
+         {"Alpine", "AmazonLinux", "Android", "NodeJS", "Debian", "Ubuntu"}) {
+      total += rs::analysis::derivative_staleness(
+                   *scenario.database().find(name), index)
+                   .avg_versions_behind;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetLabel(use_interned ? "interned" : "sorted-merge");
+}
+BENCHMARK(BM_StalenessEngines)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_DiffSeriesEngines(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const auto* nss = scenario.database().find("NSS");
+  const bool use_interned = state.range(0) == 1;
+  const auto index = use_interned
+                         ? rs::analysis::build_version_index(*nss)
+                         : rs::analysis::build_version_index_merge(*nss);
+  for (auto _ : state) {
+    std::size_t points = 0;
+    for (const char* name :
+         {"Alpine", "AmazonLinux", "Android", "NodeJS", "Debian", "Ubuntu"}) {
+      points += rs::analysis::derivative_diffs(
+                    *scenario.database().find(name), *nss, index)
+                    .points.size();
+    }
+    benchmark::DoNotOptimize(points);
+  }
+  state.SetLabel(use_interned ? "interned" : "sorted-merge");
+}
+BENCHMARK(BM_DiffSeriesEngines)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // Ablation: all-certificates (paper) vs TLS-anchors-only (trust-aware) sets.
 void BM_JaccardSetKind(benchmark::State& state) {

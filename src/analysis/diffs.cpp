@@ -3,6 +3,8 @@
 #include <map>
 #include <optional>
 
+#include "src/store/interner.h"
+
 namespace rs::analysis {
 
 using rs::crypto::Sha256Digest;
@@ -43,6 +45,44 @@ std::size_t SnapshotDiff::removed_total() const noexcept {
   return n;
 }
 
+namespace {
+
+// "Ever present in NSS" membership, accumulated either as an interned
+// bitset (OR per snapshot, O(words)) or as a legacy FingerprintSet union.
+// Digests outside the interner universe fall back to a sorted extras set,
+// so membership answers are exact for any interner.
+class EverSet {
+ public:
+  void accumulate(const FingerprintSet& fps,
+                  const rs::store::CertInterner* interner) {
+    if (interner == nullptr) {
+      merged_ = merged_.set_union(fps);
+      return;
+    }
+    auto interned = interner->intern(fps);
+    ids_ |= interned.ids;
+    extra_prints_.insert(extra_prints_.end(), interned.unmapped.begin(),
+                         interned.unmapped.end());
+  }
+
+  void seal() { extras_ = FingerprintSet(std::move(extra_prints_)); }
+
+  bool contains(const Sha256Digest& fp,
+                const rs::store::CertInterner* interner) const {
+    if (interner == nullptr) return merged_.contains(fp);
+    if (const auto id = interner->id_of(fp)) return ids_.contains(*id);
+    return extras_.contains(fp);
+  }
+
+ private:
+  rs::store::IdSet ids_;
+  std::vector<Sha256Digest> extra_prints_;
+  FingerprintSet extras_;
+  FingerprintSet merged_;
+};
+
+}  // namespace
+
 DerivativeDiffSeries derivative_diffs(const rs::store::ProviderHistory& deriv,
                                       const rs::store::ProviderHistory& nss,
                                       const NssVersionIndex& index,
@@ -52,17 +92,20 @@ DerivativeDiffSeries derivative_diffs(const rs::store::ProviderHistory& deriv,
 
   // NSS-ever sets and first-TLS dates, for categorization (serial: each
   // step folds into the previous union).  Everything below only reads them.
-  FingerprintSet nss_ever_any;
-  FingerprintSet nss_ever_tls;
+  const rs::store::CertInterner* interner = index.interner();
+  EverSet nss_ever_any;
+  EverSet nss_ever_tls;
   std::map<Sha256Digest, rs::util::Date> first_tls_date;
   for (const auto& snap : nss.snapshots()) {
-    nss_ever_any = nss_ever_any.set_union(snap.all_fingerprints());
+    nss_ever_any.accumulate(snap.all_fingerprints(), interner);
     const auto tls = snap.tls_anchors();
-    nss_ever_tls = nss_ever_tls.set_union(tls);
+    nss_ever_tls.accumulate(tls, interner);
     for (const auto& fp : tls.items()) {
       first_tls_date.emplace(fp, snap.date);
     }
   }
+  nss_ever_any.seal();
+  nss_ever_tls.seal();
 
   // Each derivative snapshot diffs against the shared read-only index
   // independently; results land in per-snapshot slots and are collected in
@@ -79,14 +122,26 @@ DerivativeDiffSeries derivative_diffs(const rs::store::ProviderHistory& deriv,
     diff.date = snap.date;
     diff.matched_version = matched->index;
 
-    const FingerprintSet added = deriv_tls.difference(matched->tls_anchors);
-    const FingerprintSet removed = matched->tls_anchors.difference(deriv_tls);
+    FingerprintSet added;
+    FingerprintSet removed;
+    if (interner != nullptr) {
+      // Bitwise ANDNOT on dense IDs; materializes the same sorted digests
+      // as the merge-based difference below.
+      const auto interned_tls = interner->intern(deriv_tls);
+      added = rs::store::set_difference(interned_tls, matched->tls_interned,
+                                        *interner);
+      removed = rs::store::set_difference(matched->tls_interned, interned_tls,
+                                          *interner);
+    } else {
+      added = deriv_tls.difference(matched->tls_anchors);
+      removed = matched->tls_anchors.difference(deriv_tls);
+    }
 
     for (const auto& fp : added.items()) {
       AddCategory cat;
-      if (!nss_ever_any.contains(fp)) {
+      if (!nss_ever_any.contains(fp, interner)) {
         cat = AddCategory::kNonNssRoot;
-      } else if (!nss_ever_tls.contains(fp)) {
+      } else if (!nss_ever_tls.contains(fp, interner)) {
         cat = AddCategory::kEmailOnlyRoot;
       } else {
         const auto it = first_tls_date.find(fp);

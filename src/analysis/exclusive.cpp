@@ -1,16 +1,23 @@
 #include "src/analysis/exclusive.h"
 
+#include <optional>
+
 #include "src/store/fingerprint_set.h"
+#include "src/store/id_set.h"
 
 namespace rs::analysis {
 
 std::vector<ExclusiveSet> exclusive_roots(
     const rs::store::StoreDatabase& db,
-    const std::vector<std::string>& programs) {
-  // Ever-TLS-trusted set per program.
+    const std::vector<std::string>& programs,
+    const rs::store::CertInterner* interner) {
+  // Ever-TLS-trusted set per program.  With an interner the "ever" sets
+  // are bitsets accumulated by OR (membership below is a bit probe);
+  // otherwise they stay merge-based FingerprintSets.
   struct ProgramSets {
     std::string name;
     rs::store::FingerprintSet ever;
+    rs::store::IdSet ever_ids;
     rs::store::FingerprintSet latest;
   };
   std::vector<ProgramSets> sets;
@@ -20,6 +27,7 @@ std::vector<ExclusiveSet> exclusive_roots(
     ProgramSets ps;
     ps.name = name;
     ps.ever = db.tls_roots_ever(name);
+    if (interner != nullptr) ps.ever_ids = interner->intern(ps.ever).ids;
     ps.latest = history->back().tls_anchors();
     sets.push_back(std::move(ps));
   }
@@ -29,10 +37,17 @@ std::vector<ExclusiveSet> exclusive_roots(
     ExclusiveSet ex;
     ex.program = ps.name;
     for (const auto& fp : ps.latest.items()) {
+      // Resolve the digest to its dense ID once per root, not per program.
+      std::optional<std::uint32_t> id;
+      if (interner != nullptr) id = interner->id_of(fp);
       bool elsewhere = false;
       for (const auto& other : sets) {
         if (other.name == ps.name) continue;
-        if (other.ever.contains(fp)) {
+        // An unmapped digest (partial interner) falls back to the exact
+        // merge-based membership check.
+        const bool held = id ? other.ever_ids.contains(*id)
+                             : other.ever.contains(fp);
+        if (held) {
           elsewhere = true;
           break;
         }

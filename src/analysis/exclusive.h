@@ -9,6 +9,7 @@
 
 #include "src/crypto/digest.h"
 #include "src/store/database.h"
+#include "src/store/interner.h"
 
 namespace rs::analysis {
 
@@ -20,8 +21,12 @@ struct ExclusiveSet {
 
 /// Computes exclusive roots among `programs` (typically the four
 /// independent programs).  Providers absent from the database are skipped.
+/// With an `interner` (EcosystemStudy passes its database-wide one), the
+/// per-program "ever trusted" sets accumulate as bitsets and membership
+/// checks are bit probes; results are identical either way.
 std::vector<ExclusiveSet> exclusive_roots(
     const rs::store::StoreDatabase& db,
-    const std::vector<std::string>& programs);
+    const std::vector<std::string>& programs,
+    const rs::store::CertInterner* interner = nullptr);
 
 }  // namespace rs::analysis

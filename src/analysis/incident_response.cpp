@@ -27,14 +27,14 @@ IncidentMeasurement measure_incident(
     MeasuredResponse r;
     r.provider = name;
 
-    rs::store::FingerprintSet carried;
+    std::vector<rs::crypto::Sha256Digest> carried_prints;
     for (const auto& snap : history.snapshots()) {
       bool any_shipped = false;
       bool any_effective = false;
       for (const auto& fp : prints) {
         const auto* entry = snap.find(fp);
         if (entry == nullptr || !entry->is_tls_anchor()) continue;
-        carried.insert(fp);
+        carried_prints.push_back(fp);
         any_shipped = true;
         if (overlay == nullptr || !overlay->is_revoked(fp, snap.date)) {
           any_effective = true;
@@ -43,6 +43,7 @@ IncidentMeasurement measure_incident(
       if (any_shipped) r.shipped_until = snap.date;
       if (any_effective) r.trusted_until = snap.date;
     }
+    const rs::store::FingerprintSet carried(std::move(carried_prints));
     r.certs_carried = static_cast<int>(carried.size());
     if (r.certs_carried == 0) continue;  // provider never included the roots
 

@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "src/store/fingerprint_set.h"
+#include "src/store/interner.h"
 
 namespace rs::analysis {
 
 DistanceMatrix jaccard_matrix(const rs::store::StoreDatabase& db,
                               const JaccardOptions& options,
-                              rs::exec::ThreadPool* pool) {
+                              rs::exec::ThreadPool* pool,
+                              const rs::store::CertInterner* interner) {
   DistanceMatrix out;
   // Phase 1 (serial): select snapshots and fix the matrix order.
   std::vector<const rs::store::Snapshot*> chosen;
@@ -24,13 +26,19 @@ DistanceMatrix jaccard_matrix(const rs::store::StoreDatabase& db,
     // Uniform subsample if requested (keep ends, stride the middle).
     if (options.max_per_provider > 0 && idx.size() > options.max_per_provider) {
       std::vector<std::size_t> kept;
-      const double stride = static_cast<double>(idx.size() - 1) /
-                            static_cast<double>(options.max_per_provider - 1);
-      for (std::size_t k = 0; k < options.max_per_provider; ++k) {
-        kept.push_back(idx[static_cast<std::size_t>(
-            static_cast<double>(k) * stride + 0.5)]);
+      if (options.max_per_provider == 1) {
+        // A single slot leaves no stride to compute (the formula below
+        // would divide by zero); keep the most recent in-window snapshot.
+        kept.push_back(idx.back());
+      } else {
+        const double stride = static_cast<double>(idx.size() - 1) /
+                              static_cast<double>(options.max_per_provider - 1);
+        for (std::size_t k = 0; k < options.max_per_provider; ++k) {
+          kept.push_back(idx[static_cast<std::size_t>(
+              static_cast<double>(k) * stride + 0.5)]);
+        }
+        kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
       }
-      kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
       idx = std::move(kept);
     }
 
@@ -42,24 +50,60 @@ DistanceMatrix jaccard_matrix(const rs::store::StoreDatabase& db,
   }
 
   const std::size_t n = out.labels.size();
+  out.values.assign(n * n, 0.0);
 
-  // Phase 2 (parallel): materialize each snapshot's fingerprint set exactly
-  // once.  The pair loop below only reads this cache, so the O(n^2) phase
-  // never re-sorts or re-collects certificate fingerprints.
-  std::vector<rs::store::FingerprintSet> sets(n);
+  if (options.algebra == SetAlgebra::kSortedMerge) {
+    // Legacy engine: linear merges over sorted 32-byte digests.  Kept for
+    // the merge-vs-interned equivalence suite and BENCH_intern.json.
+    //
+    // Phase 2 (parallel): materialize each snapshot's fingerprint set
+    // exactly once; the pair loop only reads this cache.
+    std::vector<rs::store::FingerprintSet> sets(n);
+    rs::exec::parallel_for(pool, n, [&](std::size_t i) {
+      sets[i] = options.set_kind == SetKind::kAllCertificates
+                    ? chosen[i]->all_fingerprints()
+                    : chosen[i]->tls_anchors();
+    });
+
+    // Phase 3 (parallel): upper-triangle row blocks.  Each pair (i, j > i)
+    // is computed by exactly one task and written to two distinct cells, so
+    // the result is independent of scheduling.
+    rs::exec::parallel_for(pool, n, [&](std::size_t i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double d = sets[i].jaccard_distance(sets[j]);
+        out.values[i * n + j] = d;
+        out.values[j * n + i] = d;
+      }
+    });
+    return out;
+  }
+
+  // Interned engine: dense IDs + packed bitsets, so each pair costs a few
+  // popcounts per cache line instead of a 32-bytes-per-element merge.
+  // A caller-provided interner (built once per database) is reused; else
+  // intern the database here.  Digests outside the universe are carried in
+  // InternedSet::unmapped and corrected exactly, so any interner yields the
+  // same matrix.
+  rs::store::CertInterner local;
+  if (interner == nullptr) {
+    local = rs::store::CertInterner::from_database(db);
+    interner = &local;
+  }
+
+  // Phase 2 (parallel): intern each snapshot's fingerprint set exactly once
+  // (read-only on the shared interner).
+  std::vector<rs::store::InternedSet> sets(n);
   rs::exec::parallel_for(pool, n, [&](std::size_t i) {
-    sets[i] = options.set_kind == SetKind::kAllCertificates
-                  ? chosen[i]->all_fingerprints()
-                  : chosen[i]->tls_anchors();
+    sets[i] = interner->intern(options.set_kind == SetKind::kAllCertificates
+                                   ? chosen[i]->all_fingerprints()
+                                   : chosen[i]->tls_anchors());
   });
 
-  // Phase 3 (parallel): upper-triangle row blocks.  Each pair (i, j > i) is
-  // computed by exactly one task and written to two distinct cells, so the
-  // result is independent of scheduling.
-  out.values.assign(n * n, 0.0);
+  // Phase 3 (parallel): popcount pair loop over the same upper-triangle row
+  // blocks; identical chunking and write pattern as the merge engine.
   rs::exec::parallel_for(pool, n, [&](std::size_t i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      const double d = sets[i].jaccard_distance(sets[j]);
+      const double d = rs::store::jaccard_distance(sets[i], sets[j]);
       out.values[i * n + j] = d;
       out.values[j * n + i] = d;
     }

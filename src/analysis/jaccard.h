@@ -20,6 +20,7 @@
 
 #include "src/exec/thread_pool.h"
 #include "src/store/database.h"
+#include "src/store/interner.h"
 #include "src/util/date.h"
 
 namespace rs::analysis {
@@ -36,6 +37,15 @@ struct SnapshotRef {
 enum class SetKind {
   kAllCertificates,  // paper's choice: every root present
   kTlsAnchors,       // trust-aware ablation
+};
+
+/// How the pairwise set algebra is executed.  Both produce bit-identical
+/// matrices (the interned engine computes the same exact integer
+/// cardinalities via popcount); kSortedMerge remains for equivalence tests
+/// and the BENCH_intern.json comparison.
+enum class SetAlgebra {
+  kInterned,     // dense-ID bitsets, popcount pair loop (default)
+  kSortedMerge,  // legacy linear merge over sorted 32-byte digests
 };
 
 /// A symmetric distance matrix with its row labels.
@@ -62,13 +72,20 @@ struct JaccardOptions {
   /// Keep at most this many snapshots per provider (uniform subsample, most
   /// recent kept); 0 = no limit.  Controls MDS cost.
   std::size_t max_per_provider = 0;
+  /// Pair-loop engine; see SetAlgebra.
+  SetAlgebra algebra = SetAlgebra::kInterned;
 };
 
 /// Builds the pairwise Jaccard distance matrix over `db`'s snapshots.
 /// `pool` parallelizes set materialization and the pair loop; null (or a
 /// zero-worker pool) computes inline serially with identical results.
+/// `interner` supplies a prebuilt certificate universe for the interned
+/// engine (EcosystemStudy builds one per database); when null the engine
+/// interns `db` itself.  Matrices are bit-identical across engines,
+/// interners, and worker counts.
 DistanceMatrix jaccard_matrix(const rs::store::StoreDatabase& db,
                               const JaccardOptions& options = {},
-                              rs::exec::ThreadPool* pool = nullptr);
+                              rs::exec::ThreadPool* pool = nullptr,
+                              const rs::store::CertInterner* interner = nullptr);
 
 }  // namespace rs::analysis

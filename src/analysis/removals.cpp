@@ -48,9 +48,11 @@ ReportAudit audit_removal_report(
 
   rs::store::FingerprintSet report_set(
       std::vector<rs::crypto::Sha256Digest>(reported.begin(), reported.end()));
-  rs::store::FingerprintSet measured_set;
+  std::vector<rs::crypto::Sha256Digest> measured_roots;
+  measured_roots.reserve(measured.size());
+  for (const auto& r : measured) measured_roots.push_back(r.root);
+  const rs::store::FingerprintSet measured_set(std::move(measured_roots));
   for (const auto& r : measured) {
-    measured_set.insert(r.root);
     if (report_set.contains(r.root)) {
       ++audit.covered;
     } else {

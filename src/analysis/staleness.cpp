@@ -2,8 +2,18 @@
 
 namespace rs::analysis {
 
+using rs::store::CertInterner;
 using rs::store::FingerprintSet;
 using rs::util::Date;
+
+NssVersionIndex::NssVersionIndex(
+    std::vector<Version> versions,
+    std::shared_ptr<const rs::store::CertInterner> interner)
+    : versions_(std::move(versions)), interner_(std::move(interner)) {
+  if (interner_ != nullptr) {
+    for (auto& v : versions_) v.tls_interned = interner_->intern(v.tls_anchors);
+  }
+}
 
 const NssVersionIndex::Version* NssVersionIndex::current_at(Date when) const {
   const Version* best = nullptr;
@@ -15,6 +25,25 @@ const NssVersionIndex::Version* NssVersionIndex::current_at(Date when) const {
 }
 
 const NssVersionIndex::Version* NssVersionIndex::closest_match(
+    const FingerprintSet& anchors) const {
+  if (interner_ == nullptr) return closest_match_merge(anchors);
+  // Intern the query once, then every version comparison is a popcount
+  // scan.  The cardinalities (and hence the distances and the argmin) are
+  // exactly those of the merge scan below.
+  const auto query = interner_->intern(anchors);
+  const Version* best = nullptr;
+  double best_dist = 2.0;
+  for (const auto& v : versions_) {
+    const double d = rs::store::jaccard_distance(query, v.tls_interned);
+    if (d < best_dist) {  // strict: ties keep the earlier version
+      best_dist = d;
+      best = &v;
+    }
+  }
+  return best;
+}
+
+const NssVersionIndex::Version* NssVersionIndex::closest_match_merge(
     const FingerprintSet& anchors) const {
   const Version* best = nullptr;
   double best_dist = 2.0;
@@ -28,7 +57,10 @@ const NssVersionIndex::Version* NssVersionIndex::closest_match(
   return best;
 }
 
-NssVersionIndex build_version_index(const rs::store::ProviderHistory& nss) {
+namespace {
+
+std::vector<NssVersionIndex::Version> substantial_versions(
+    const rs::store::ProviderHistory& nss) {
   std::vector<NssVersionIndex::Version> versions;
   FingerprintSet previous;
   bool first = true;
@@ -45,7 +77,24 @@ NssVersionIndex build_version_index(const rs::store::ProviderHistory& nss) {
       first = false;
     }
   }
-  return NssVersionIndex(std::move(versions));
+  return versions;
+}
+
+}  // namespace
+
+NssVersionIndex build_version_index(
+    const rs::store::ProviderHistory& nss,
+    std::shared_ptr<const rs::store::CertInterner> interner) {
+  if (interner == nullptr) {
+    interner =
+        std::make_shared<const CertInterner>(CertInterner::from_history(nss));
+  }
+  return NssVersionIndex(substantial_versions(nss), std::move(interner));
+}
+
+NssVersionIndex build_version_index_merge(
+    const rs::store::ProviderHistory& nss) {
+  return NssVersionIndex(substantial_versions(nss));
 }
 
 StalenessResult derivative_staleness(const rs::store::ProviderHistory& deriv,

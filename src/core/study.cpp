@@ -40,6 +40,11 @@ EcosystemStudy::EcosystemStudy(rs::synth::PaperScenario scenario,
   if (options_.num_threads > 0) {
     pool_ = std::make_shared<rs::exec::ThreadPool>(options_.num_threads);
   }
+  // Dense IDs over the whole database, built once: every report's set
+  // algebra (Jaccard pairs, version matching, diffs, exclusives) runs on
+  // bitsets against this universe.
+  interner_ = std::make_shared<const rs::store::CertInterner>(
+      rs::store::CertInterner::from_database(scenario_.database()));
 }
 
 std::string EcosystemStudy::report_table1() const {
@@ -190,7 +195,8 @@ std::string EcosystemStudy::report_table5() const {
 std::string EcosystemStudy::report_table6() {
   const std::vector<std::string> programs = {"NSS", "Java", "Apple",
                                              "Microsoft"};
-  const auto measured = rs::analysis::exclusive_roots(database(), programs);
+  const auto measured =
+      rs::analysis::exclusive_roots(database(), programs, interner_.get());
   const auto reference = rs::synth::paper::table6_counts();
 
   std::string out =
@@ -288,7 +294,8 @@ std::string EcosystemStudy::report_figure1(std::size_t max_per_provider) const {
   rs::analysis::JaccardOptions opts;
   opts.min_date = rs::util::Date::ymd(2011, 1, 1);  // paper's Figure 1 window
   opts.max_per_provider = max_per_provider;
-  const auto dist = rs::analysis::jaccard_matrix(database(), opts, pool());
+  const auto dist =
+      rs::analysis::jaccard_matrix(database(), opts, pool(), interner_.get());
   const auto mds = rs::analysis::smacof_mds(dist, {}, pool());
 
   // Cluster and label by root program family.
@@ -429,7 +436,7 @@ std::string EcosystemStudy::report_figure3() const {
   const auto* nss = database().find("NSS");
   std::string out = "Figure 3: NSS derivative staleness\n";
   if (nss == nullptr) return out + "(no NSS history)\n";
-  const auto index = rs::analysis::build_version_index(*nss);
+  const auto index = rs::analysis::build_version_index(*nss, interner_);
   out += "NSS substantial versions: " + std::to_string(index.size()) + "\n";
 
   const auto reference = rs::synth::paper::figure3_staleness();
@@ -487,7 +494,7 @@ std::string EcosystemStudy::report_figure4() const {
   std::string out = "Figure 4: NSS derivative diffs (added/removed vs matched "
                     "NSS version)\n";
   if (nss == nullptr) return out + "(no NSS history)\n";
-  const auto index = rs::analysis::build_version_index(*nss);
+  const auto index = rs::analysis::build_version_index(*nss, interner_);
 
   for (const auto& name :
        {"Alpine", "AmazonLinux", "Android", "NodeJS", "Debian", "Ubuntu"}) {

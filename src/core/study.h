@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/exec/thread_pool.h"
+#include "src/store/interner.h"
 #include "src/synth/paper_scenario.h"
 
 namespace rs::core {
@@ -43,6 +44,12 @@ class EcosystemStudy {
   /// The study's pool (nullptr when num_threads == 0): analyses run
   /// serially inline in that case.
   rs::exec::ThreadPool* pool() const noexcept { return pool_.get(); }
+  /// The database-wide certificate interner, built once at construction
+  /// and threaded through every set-algebra hot path (Jaccard matrix,
+  /// NSS version index, exclusive roots).  See docs/INTERNING.md.
+  const rs::store::CertInterner& interner() const noexcept {
+    return *interner_;
+  }
 
   /// Table 1: top-200 user agents and root-store coverage.
   std::string report_table1() const;
@@ -72,8 +79,10 @@ class EcosystemStudy {
   rs::synth::PaperScenario scenario_;
   StudyOptions options_;
   // shared_ptr keeps the study copyable; the pool is stateless between
-  // calls, so sharing it across copies is safe.
+  // calls, so sharing it across copies is safe.  The interner is immutable
+  // after construction, so copies can share it too.
   std::shared_ptr<rs::exec::ThreadPool> pool_;
+  std::shared_ptr<const rs::store::CertInterner> interner_;
 };
 
 }  // namespace rs::core

@@ -61,23 +61,29 @@ std::vector<PresenceInterval> StoreDatabase::tls_presence(
 }
 
 FingerprintSet StoreDatabase::all_tls_roots_ever() const {
-  FingerprintSet all;
+  // Bulk build: collect every anchor then sort/dedupe once, instead of a
+  // re-allocating merge per snapshot.
+  std::vector<rs::crypto::Sha256Digest> prints;
   for (const auto& [_, h] : histories_) {
     for (const auto& s : h.snapshots()) {
-      all = all.set_union(s.tls_anchors());
+      for (const auto& e : s.entries) {
+        if (e.is_tls_anchor()) prints.push_back(e.certificate->sha256());
+      }
     }
   }
-  return all;
+  return FingerprintSet(std::move(prints));
 }
 
 FingerprintSet StoreDatabase::tls_roots_ever(const std::string& provider) const {
-  FingerprintSet all;
+  std::vector<rs::crypto::Sha256Digest> prints;
   if (const ProviderHistory* h = find(provider)) {
     for (const auto& s : h->snapshots()) {
-      all = all.set_union(s.tls_anchors());
+      for (const auto& e : s.entries) {
+        if (e.is_tls_anchor()) prints.push_back(e.certificate->sha256());
+      }
     }
   }
-  return all;
+  return FingerprintSet(std::move(prints));
 }
 
 }  // namespace rs::store

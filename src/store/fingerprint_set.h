@@ -24,6 +24,11 @@ class FingerprintSet {
   void insert(const rs::crypto::Sha256Digest& fp);
   bool contains(const rs::crypto::Sha256Digest& fp) const;
 
+  /// Pre-allocates for `n` elements.  Call sites that accumulate in a loop
+  /// should prefer collecting into a vector and using the bulk constructor
+  /// (one sort) over repeated sorted inserts (each O(n)).
+  void reserve(std::size_t n) { prints_.reserve(n); }
+
   std::size_t size() const noexcept { return prints_.size(); }
   bool empty() const noexcept { return prints_.empty(); }
   const std::vector<rs::crypto::Sha256Digest>& items() const noexcept {

@@ -1,0 +1,89 @@
+// Certificate interning: SHA-256 fingerprints to dense uint32 IDs.
+//
+// The analysis hot paths (pairwise Jaccard over 619 snapshots, closest-
+// NSS-version matching, per-snapshot diffs, exclusive roots) are all set
+// algebra over certificate fingerprints.  Interning the universe of
+// certificates once turns every 32-byte digest into a dense ID, and every
+// set into an IdSet bitmap where the algebra is popcount over packed words.
+//
+// Determinism contract: IDs are assigned in sorted-digest order, so the
+// mapping is a pure function of the certificate universe — independent of
+// snapshot iteration order, build order, or thread count.  Materialized
+// results (IdSet::ids() walked through digest_of) therefore come out in
+// the same sorted order FingerprintSet maintains.  See docs/INTERNING.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/crypto/digest.h"
+#include "src/store/fingerprint_set.h"
+#include "src/store/id_set.h"
+
+namespace rs::store {
+
+class StoreDatabase;
+class ProviderHistory;
+
+/// A FingerprintSet split into the interned universe and the remainder.
+///
+/// Digests outside the interner's universe cannot be represented as bits;
+/// they are returned sorted in `unmapped` so callers can correct exact
+/// cardinalities (an unmapped element can never intersect an in-universe
+/// set) or classify them directly.
+struct InternedSet {
+  IdSet ids;
+  std::vector<rs::crypto::Sha256Digest> unmapped;  // sorted, unique
+
+  std::size_t size() const noexcept { return ids.size() + unmapped.size(); }
+};
+
+/// Exact Jaccard distance between two interned sets, correcting for
+/// unmapped digests on either side (merged by sorted intersection, so the
+/// value equals FingerprintSet::jaccard_distance on the original sets
+/// bit-for-bit).
+double jaccard_distance(const InternedSet& a, const InternedSet& b) noexcept;
+
+class CertInterner;
+
+/// Materialized `a \ b` as sorted digests: bitwise ANDNOT on the mapped
+/// IDs plus a sorted-merge difference of the unmapped remainders.  Equals
+/// FingerprintSet::difference on the original sets.
+FingerprintSet set_difference(const InternedSet& a, const InternedSet& b,
+                              const CertInterner& interner);
+
+/// The dense-ID mapping over a fixed certificate universe.
+class CertInterner {
+ public:
+  CertInterner() = default;
+  /// Builds from any order; sorts and deduplicates, then IDs = sorted index.
+  explicit CertInterner(std::vector<rs::crypto::Sha256Digest> digests);
+
+  /// Universe = every certificate in every snapshot of every history
+  /// (all trust purposes), so any set drawn from `db` interns fully.
+  static CertInterner from_database(const StoreDatabase& db);
+  /// Universe = every certificate in one provider's history.
+  static CertInterner from_history(const ProviderHistory& history);
+
+  std::size_t size() const noexcept { return digests_.size(); }
+  bool empty() const noexcept { return digests_.empty(); }
+
+  /// Dense ID for a digest, if it is in the universe.
+  std::optional<std::uint32_t> id_of(
+      const rs::crypto::Sha256Digest& fp) const noexcept;
+  const rs::crypto::Sha256Digest& digest_of(std::uint32_t id) const {
+    return digests_[id];
+  }
+
+  /// Interns a fingerprint set; out-of-universe digests land in `unmapped`.
+  InternedSet intern(const FingerprintSet& fps) const;
+
+  /// Round-trips an IdSet back to digests (sorted, by the ID order contract).
+  FingerprintSet materialize(const IdSet& ids) const;
+
+ private:
+  std::vector<rs::crypto::Sha256Digest> digests_;  // sorted, unique
+};
+
+}  // namespace rs::store

@@ -1,0 +1,177 @@
+// Merge-vs-interned equivalence on the curated paper scenario: the dense-ID
+// bitset engine must reproduce the legacy sorted-merge engine bit-for-bit —
+// Jaccard matrices, closest-version matches, staleness series, diff series,
+// and exclusive roots — for every interner universe (NSS-local or
+// database-wide) and any worker count.  This is the contract that lets the
+// hot paths switch representation without a caller-visible change; see
+// docs/INTERNING.md.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/analysis/diffs.h"
+#include "src/analysis/exclusive.h"
+#include "src/analysis/jaccard.h"
+#include "src/analysis/staleness.h"
+#include "src/exec/thread_pool.h"
+#include "src/store/interner.h"
+#include "src/synth/paper_scenario.h"
+
+namespace rs::analysis {
+namespace {
+
+const rs::synth::PaperScenario& scenario() {
+  static const rs::synth::PaperScenario s = rs::synth::build_paper_scenario();
+  return s;
+}
+
+std::shared_ptr<const rs::store::CertInterner> db_interner() {
+  static const auto interner =
+      std::make_shared<const rs::store::CertInterner>(
+          rs::store::CertInterner::from_database(scenario().database()));
+  return interner;
+}
+
+JaccardOptions figure1_options(SetAlgebra algebra) {
+  JaccardOptions opts;
+  opts.min_date = rs::util::Date::ymd(2011, 1, 1);
+  opts.max_per_provider = 20;
+  opts.algebra = algebra;
+  return opts;
+}
+
+TEST(InternEquivalence, JaccardMatrixBitwiseIdentical) {
+  const auto merge = jaccard_matrix(scenario().database(),
+                                    figure1_options(SetAlgebra::kSortedMerge));
+  ASSERT_GT(merge.size(), 0u);
+
+  // Interned with its own locally built universe.
+  const auto interned = jaccard_matrix(
+      scenario().database(), figure1_options(SetAlgebra::kInterned));
+  ASSERT_EQ(interned.size(), merge.size());
+  EXPECT_TRUE(interned.values == merge.values);
+
+  // Interned against the shared database-wide interner, serial and pooled.
+  const auto shared = jaccard_matrix(scenario().database(),
+                                     figure1_options(SetAlgebra::kInterned),
+                                     nullptr, db_interner().get());
+  EXPECT_TRUE(shared.values == merge.values);
+  rs::exec::ThreadPool pool(3);
+  const auto pooled = jaccard_matrix(scenario().database(),
+                                     figure1_options(SetAlgebra::kInterned),
+                                     &pool, db_interner().get());
+  EXPECT_TRUE(pooled.values == merge.values);
+}
+
+TEST(InternEquivalence, JaccardTlsAnchorsKind) {
+  auto merge_opts = figure1_options(SetAlgebra::kSortedMerge);
+  merge_opts.set_kind = SetKind::kTlsAnchors;
+  auto interned_opts = figure1_options(SetAlgebra::kInterned);
+  interned_opts.set_kind = SetKind::kTlsAnchors;
+  const auto merge = jaccard_matrix(scenario().database(), merge_opts);
+  const auto interned = jaccard_matrix(scenario().database(), interned_opts,
+                                       nullptr, db_interner().get());
+  ASSERT_EQ(interned.size(), merge.size());
+  EXPECT_TRUE(interned.values == merge.values);
+}
+
+TEST(InternEquivalence, ClosestMatchAgreesForEveryDerivativeSnapshot) {
+  const auto* nss = scenario().database().find("NSS");
+  ASSERT_NE(nss, nullptr);
+  const auto interned_index = build_version_index(*nss);
+  const auto shared_index = build_version_index(*nss, db_interner());
+  const auto merge_index = build_version_index_merge(*nss);
+  ASSERT_EQ(interned_index.size(), merge_index.size());
+  ASSERT_NE(interned_index.interner(), nullptr);
+  EXPECT_EQ(merge_index.interner(), nullptr);
+
+  for (const char* name :
+       {"Alpine", "AmazonLinux", "Android", "NodeJS", "Debian", "Ubuntu"}) {
+    const auto* h = scenario().database().find(name);
+    ASSERT_NE(h, nullptr) << name;
+    for (const auto& snap : h->snapshots()) {
+      const auto anchors = snap.tls_anchors();
+      const auto* merge_match = merge_index.closest_match(anchors);
+      const auto* interned_match = interned_index.closest_match(anchors);
+      const auto* shared_match = shared_index.closest_match(anchors);
+      const auto* cross_check = interned_index.closest_match_merge(anchors);
+      ASSERT_NE(merge_match, nullptr);
+      ASSERT_NE(interned_match, nullptr);
+      EXPECT_EQ(interned_match->index, merge_match->index)
+          << name << " @ " << snap.date.to_string();
+      EXPECT_EQ(shared_match->index, merge_match->index)
+          << name << " @ " << snap.date.to_string();
+      EXPECT_EQ(cross_check->index, merge_match->index);
+    }
+  }
+}
+
+TEST(InternEquivalence, StalenessSeriesIdentical) {
+  const auto* nss = scenario().database().find("NSS");
+  ASSERT_NE(nss, nullptr);
+  const auto interned_index = build_version_index(*nss, db_interner());
+  const auto merge_index = build_version_index_merge(*nss);
+
+  for (const char* name :
+       {"Alpine", "AmazonLinux", "Android", "NodeJS", "Debian", "Ubuntu"}) {
+    const auto* h = scenario().database().find(name);
+    ASSERT_NE(h, nullptr) << name;
+    const auto merge = derivative_staleness(*h, merge_index);
+    const auto interned = derivative_staleness(*h, interned_index);
+    ASSERT_EQ(interned.points.size(), merge.points.size()) << name;
+    EXPECT_EQ(interned.avg_versions_behind, merge.avg_versions_behind) << name;
+    EXPECT_EQ(interned.always_stale, merge.always_stale) << name;
+    for (std::size_t i = 0; i < merge.points.size(); ++i) {
+      EXPECT_EQ(interned.points[i].matched_version,
+                merge.points[i].matched_version)
+          << name << " point " << i;
+      EXPECT_EQ(interned.points[i].versions_behind,
+                merge.points[i].versions_behind)
+          << name << " point " << i;
+    }
+  }
+}
+
+TEST(InternEquivalence, DiffSeriesIdentical) {
+  const auto* nss = scenario().database().find("NSS");
+  ASSERT_NE(nss, nullptr);
+  const auto interned_index = build_version_index(*nss, db_interner());
+  const auto merge_index = build_version_index_merge(*nss);
+
+  rs::exec::ThreadPool pool(3);
+  for (const char* name :
+       {"Alpine", "AmazonLinux", "Android", "NodeJS", "Debian", "Ubuntu"}) {
+    const auto* h = scenario().database().find(name);
+    ASSERT_NE(h, nullptr) << name;
+    const auto merge = derivative_diffs(*h, *nss, merge_index);
+    const auto interned = derivative_diffs(*h, *nss, interned_index, &pool);
+    ASSERT_EQ(interned.points.size(), merge.points.size()) << name;
+    EXPECT_EQ(interned.ever_deviates, merge.ever_deviates) << name;
+    for (std::size_t i = 0; i < merge.points.size(); ++i) {
+      EXPECT_EQ(interned.points[i].matched_version,
+                merge.points[i].matched_version)
+          << name << " point " << i;
+      EXPECT_EQ(interned.points[i].adds, merge.points[i].adds)
+          << name << " point " << i;
+      EXPECT_EQ(interned.points[i].removes, merge.points[i].removes)
+          << name << " point " << i;
+    }
+  }
+}
+
+TEST(InternEquivalence, ExclusiveRootsIdentical) {
+  const std::vector<std::string> programs = {"NSS", "Java", "Apple",
+                                             "Microsoft"};
+  const auto merge = exclusive_roots(scenario().database(), programs);
+  const auto interned =
+      exclusive_roots(scenario().database(), programs, db_interner().get());
+  ASSERT_EQ(interned.size(), merge.size());
+  for (std::size_t i = 0; i < merge.size(); ++i) {
+    EXPECT_EQ(interned[i].program, merge[i].program);
+    EXPECT_EQ(interned[i].roots, merge[i].roots) << merge[i].program;
+  }
+}
+
+}  // namespace
+}  // namespace rs::analysis

@@ -117,6 +117,46 @@ TEST(Jaccard, SubsamplingCapsPerProvider) {
   EXPECT_EQ(dist.labels.back().provider_index, 23u);
 }
 
+// Regression: max_per_provider == 1 used to compute stride =
+// (idx.size()-1) / (max_per_provider-1), dividing by zero; the inf stride
+// then hit UB on the float->size_t cast.  A single slot now keeps the most
+// recent in-window snapshot per provider.
+TEST(Jaccard, SubsampleToSingleSnapshotKeepsNewest) {
+  StoreDatabase db;
+  ProviderHistory a("A");
+  for (int m = 0; m < 12; ++m) {
+    a.add(snap("A", Date::ymd(2018, 1, 1) + m * 30, {1, 2}));
+  }
+  db.add(std::move(a));
+  ProviderHistory b("B");
+  b.add(snap("B", Date::ymd(2019, 1, 1), {2, 3}));
+  b.add(snap("B", Date::ymd(2019, 6, 1), {3, 4}));
+  db.add(std::move(b));
+
+  JaccardOptions opts;
+  opts.max_per_provider = 1;
+  for (const auto algebra : {SetAlgebra::kInterned, SetAlgebra::kSortedMerge}) {
+    opts.algebra = algebra;
+    const auto dist = jaccard_matrix(db, opts);
+    ASSERT_EQ(dist.size(), 2u);  // one snapshot per provider
+    EXPECT_EQ(dist.labels[0].provider, "A");
+    EXPECT_EQ(dist.labels[0].provider_index, 11u);  // newest of A's 12
+    EXPECT_EQ(dist.labels[1].provider, "B");
+    EXPECT_EQ(dist.labels[1].provider_index, 1u);   // newest of B's 2
+  }
+}
+
+// Both engines agree on a handcrafted matrix (the scenario-scale version
+// lives in intern_equivalence_test.cpp).
+TEST(Jaccard, MergeAndInternedEnginesMatch) {
+  JaccardOptions merge_opts;
+  merge_opts.algebra = SetAlgebra::kSortedMerge;
+  const auto merge = jaccard_matrix(two_provider_db(), merge_opts);
+  const auto interned = jaccard_matrix(two_provider_db());  // default engine
+  ASSERT_EQ(interned.size(), merge.size());
+  EXPECT_TRUE(interned.values == merge.values);
+}
+
 TEST(Jaccard, EmptyDatabase) {
   const auto dist = jaccard_matrix(StoreDatabase{});
   EXPECT_EQ(dist.size(), 0u);

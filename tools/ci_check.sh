@@ -6,12 +6,15 @@
 #   2. sanitizer build   ASan+UBSan, replaying the fuzz corpus and the whole
 #                        test suite so memory bugs fail CI deterministically
 #   3. TSan build        ThreadSanitizer over the concurrency suite
-#                        (`ctest -L tsan`: thread-pool stress tests plus the
-#                        parallel analysis pipeline under contention)
+#                        (`ctest -L tsan`: thread-pool stress tests, the
+#                        parallel analysis pipeline under contention, and
+#                        the merge-vs-interned equivalence suite on the pool)
 #   4. lint              clang-tidy via tools/run_lint.sh (skipped with a
 #                        notice when clang-tidy is not installed)
-#   5. parallel bench    records the 1-vs-N worker scaling sweep into
-#                        BENCH_parallel.json (skip with ROOTSTORE_SKIP_BENCH=1)
+#   5. benches           records the 1-vs-N worker scaling sweep into
+#                        BENCH_parallel.json and the merge-vs-interned
+#                        set-algebra sweep into BENCH_intern.json (skip
+#                        with ROOTSTORE_SKIP_BENCH=1)
 #
 # Usage: tools/ci_check.sh [jobs]
 set -eu
@@ -34,18 +37,20 @@ ctest --test-dir "$repo_root/build-asan" --output-on-failure -j "$jobs"
 echo "=== [3/5] TSan build + concurrency suite ==="
 cmake -B "$repo_root/build-tsan" -S "$repo_root" \
       -DROOTSTORE_SANITIZE=thread >/dev/null
-cmake --build "$repo_root/build-tsan" -j "$jobs" --target exec_tests
+cmake --build "$repo_root/build-tsan" -j "$jobs" \
+      --target exec_tests --target intern_equivalence_tests
 ctest --test-dir "$repo_root/build-tsan" --output-on-failure -L tsan
 
 echo "=== [4/5] clang-tidy ==="
 "$repo_root/tools/run_lint.sh" "$repo_root/build"
 
 if [ "${ROOTSTORE_SKIP_BENCH:-0}" = "1" ]; then
-  echo "=== [5/5] parallel bench: SKIPPED (ROOTSTORE_SKIP_BENCH=1) ==="
+  echo "=== [5/5] benches: SKIPPED (ROOTSTORE_SKIP_BENCH=1) ==="
 else
-  echo "=== [5/5] parallel bench -> BENCH_parallel.json ==="
+  echo "=== [5/5] benches -> BENCH_parallel.json + BENCH_intern.json ==="
   cmake --build "$repo_root/build" -j "$jobs" --target perf_analysis
   "$repo_root/tools/record_parallel_bench.sh" "$repo_root/build"
+  "$repo_root/tools/record_intern_bench.sh" "$repo_root/build"
 fi
 
 echo "ci_check: all gates passed"

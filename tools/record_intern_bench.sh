@@ -1,0 +1,64 @@
+#!/bin/sh
+# Records the merge-vs-interned set-algebra sweep (BM_JaccardMatrixMerge /
+# BM_JaccardMatrixInterned matrices, the isolated BM_JaccardPairLoop, the
+# BM_Staleness/DiffSeries engine pairs, and BM_InternerBuild) into
+# BENCH_intern.json at the repo root, then prints the merge-vs-interned
+# real-time speedup per benchmark.
+#
+# Usage: tools/record_intern_bench.sh [build-dir] [out-file]
+#
+# The build tree must already contain the perf_analysis binary
+# (cmake --build <build-dir> --target perf_analysis).  Unlike the
+# thread-scaling sweep, this comparison does not depend on core count: the
+# interned engine wins on single-CPU hosts too, because it replaces
+# per-element 32-byte digest merges with 64-bit popcounts.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${1:-"$repo_root/build"}"
+out_file="${2:-"$repo_root/BENCH_intern.json"}"
+
+bench_bin="$build_dir/bench/perf_analysis"
+if [ ! -x "$bench_bin" ]; then
+  echo "record_intern_bench: $bench_bin missing; build it first:" >&2
+  echo "  cmake --build $build_dir --target perf_analysis" >&2
+  exit 2
+fi
+
+"$bench_bin" \
+  --benchmark_filter='BM_JaccardMatrixMerge|BM_JaccardMatrixInterned|BM_JaccardPairLoop|BM_StalenessEngines|BM_DiffSeriesEngines|BM_InternerBuild' \
+  --benchmark_out="$out_file" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1
+
+# Summarize merge-vs-interned speedups from the JSON (no jq dependency:
+# the google-benchmark JSON layout is stable enough for an awk pass).
+# Engine pairs are matched by benchmark arg: the matrix benchmarks pair
+# Merge/Interned by per-provider cap; the */0 vs */1 benchmarks pair
+# sorted-merge (0) against interned (1).
+awk '
+  /"name":/      { gsub(/[",]/, ""); name = $2 }
+  /"real_time":/ {
+    gsub(/,/, "");
+    times[name] = $2;
+  }
+  END {
+    for (key in times) {
+      if (split(key, parts, "/") != 2) continue;
+      base = parts[1]; arg = parts[2];
+      if (base == "BM_JaccardMatrixMerge") {
+        interned = "BM_JaccardMatrixInterned/" arg;
+        if (interned in times && times[interned] > 0)
+          printf "JaccardMatrix cap=%s: interned %.2fx vs merge\n",
+                 arg, times[key] / times[interned];
+      } else if (arg == "0") {
+        interned = base "/1";
+        if (interned in times && times[interned] > 0)
+          printf "%s: interned %.2fx vs merge\n",
+                 substr(base, 4), times[key] / times[interned];
+      }
+    }
+  }
+' "$out_file" | sort
+
+echo "record_intern_bench: wrote $out_file"
