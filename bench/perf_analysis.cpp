@@ -16,6 +16,7 @@
 #include "src/analysis/operators.h"
 #include "src/analysis/staleness.h"
 #include "src/exec/thread_pool.h"
+#include "src/obs/registry.h"
 #include "src/store/fingerprint_set.h"
 #include "src/store/interner.h"
 #include "src/synth/paper_scenario.h"
@@ -362,6 +363,69 @@ void BM_OperatorFootprints(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OperatorFootprints)->Unit(benchmark::kMillisecond);
+
+// --- Observability overhead (BENCH_obs.json) -------------------------------
+//
+// The same Figure-1-sized work items with the rs_obs registry disabled
+// (the default) vs enabled with the production steady clock.  The
+// acceptance gate compares the untraced arm against the uninstrumented
+// baseline benchmarks (tools/record_obs_bench.sh): the disabled cost of
+// every probe on the hot path is one relaxed atomic load, so the delta
+// must stay within noise (≤2%).
+
+void BM_JaccardMatrixObs(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const auto& interner = shared_interner();
+  rs::analysis::JaccardOptions opts;
+  opts.min_date = rs::util::Date::ymd(2011, 1, 1);
+  opts.max_per_provider = 40;
+  auto& reg = rs::obs::Registry::global();
+  const bool traced = state.range(0) == 1;
+  if (traced) reg.enable();
+  for (auto _ : state) {
+    // Per-iteration reset keeps span storage bounded; its cost is part of
+    // the enabled arm by design (a traced run pays for its bookkeeping).
+    if (traced) reg.reset();
+    auto dist = rs::analysis::jaccard_matrix(scenario.database(), opts,
+                                             nullptr, &interner);
+    benchmark::DoNotOptimize(dist.values.data());
+    state.counters["snapshots"] = static_cast<double>(dist.size());
+  }
+  if (traced) {
+    state.counters["spans"] = static_cast<double>(reg.spans().size());
+    reg.disable();
+    reg.reset();
+  }
+  state.SetLabel(traced ? "traced" : "untraced");
+}
+BENCHMARK(BM_JaccardMatrixObs)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_StalenessObs(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const auto index =
+      rs::analysis::build_version_index(*scenario.database().find("NSS"));
+  auto& reg = rs::obs::Registry::global();
+  const bool traced = state.range(0) == 1;
+  if (traced) reg.enable();
+  for (auto _ : state) {
+    if (traced) reg.reset();
+    double total = 0;
+    for (const char* name :
+         {"Alpine", "AmazonLinux", "Android", "NodeJS", "Debian", "Ubuntu"}) {
+      total += rs::analysis::derivative_staleness(
+                   *scenario.database().find(name), index)
+                   .avg_versions_behind;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  if (traced) {
+    state.counters["spans"] = static_cast<double>(reg.spans().size());
+    reg.disable();
+    reg.reset();
+  }
+  state.SetLabel(traced ? "traced" : "untraced");
+}
+BENCHMARK(BM_StalenessObs)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_StalenessAllDerivatives(benchmark::State& state) {
   const auto& scenario = shared_scenario();

@@ -16,6 +16,9 @@ set(ROOTSTORE_SANITIZE "" CACHE STRING
     "Sanitizers to enable: address, undefined, thread (comma-separated)")
 option(ROOTSTORE_WERROR "Treat warnings as errors" ON)
 option(ROOTSTORE_FUZZ "Build fuzz harnesses and corpus replay tests" ON)
+option(ROOTSTORE_COVERAGE
+       "Instrument for line coverage (gcov/llvm-cov); see tools/check_coverage.sh"
+       OFF)
 
 # Warning set required by the acceptance gate; -Wconversion and -Wshadow
 # are deliberate choices for parser code, where silent narrowing of length
@@ -45,11 +48,23 @@ if(ROOTSTORE_SANITIZE)
        -fno-sanitize-recover=all)
 endif()
 
+# --coverage drives gcc's gcov instrumentation (and clang's gcov-compatible
+# mode), producing .gcno/.gcda next to the objects; tools/check_coverage.sh
+# aggregates them and enforces the tools/coverage_baseline.txt floor.
+set(RS_COVERAGE_FLAGS "")
+if(ROOTSTORE_COVERAGE)
+  set(RS_COVERAGE_FLAGS --coverage)
+endif()
+
 # Applies the strict warning set and any configured sanitizers to a target.
 function(rs_harden target)
   target_compile_options(${target} PRIVATE ${RS_WARNING_FLAGS})
   if(RS_SANITIZE_FLAGS)
     target_compile_options(${target} PRIVATE ${RS_SANITIZE_FLAGS})
     target_link_options(${target} PRIVATE ${RS_SANITIZE_FLAGS})
+  endif()
+  if(RS_COVERAGE_FLAGS)
+    target_compile_options(${target} PRIVATE ${RS_COVERAGE_FLAGS})
+    target_link_options(${target} PRIVATE ${RS_COVERAGE_FLAGS})
   endif()
 endfunction()

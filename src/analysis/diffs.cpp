@@ -3,6 +3,8 @@
 #include <map>
 #include <optional>
 
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/store/interner.h"
 
 namespace rs::analysis {
@@ -87,6 +89,7 @@ DerivativeDiffSeries derivative_diffs(const rs::store::ProviderHistory& deriv,
                                       const rs::store::ProviderHistory& nss,
                                       const NssVersionIndex& index,
                                       rs::exec::ThreadPool* pool) {
+  rs::obs::Span span("diffs/derivative");
   DerivativeDiffSeries out;
   out.provider = deriv.provider();
 
@@ -183,6 +186,10 @@ DerivativeDiffSeries derivative_diffs(const rs::store::ProviderHistory& deriv,
     }
     out.points.push_back(*diff);
   }
+  span.set_items(out.points.size());
+  rs::obs::Registry::global()
+      .counter("analysis.diff_points")
+      .add(out.points.size());
   return out;
 }
 

@@ -2,15 +2,35 @@
 
 #include <algorithm>
 
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/store/fingerprint_set.h"
 #include "src/store/interner.h"
 
 namespace rs::analysis {
 
+namespace {
+
+// Stage-granular accounting: the pair loop itself stays untouched (the
+// disabled-overhead gate in BENCH_obs.json protects it); counts are
+// derived arithmetically after the loops complete.
+void note_matrix(rs::obs::Span& span, std::size_t n) {
+  auto& reg = rs::obs::Registry::global();
+  if (!reg.enabled()) return;
+  const std::uint64_t pairs = n < 2 ? 0 : n * (n - 1) / 2;
+  span.set_items(pairs);
+  reg.counter("analysis.jaccard_pairs").add(pairs);
+  // Each pair reads two cached (interned or materialized) sets.
+  reg.counter("analysis.set_cache_hits").add(2 * pairs);
+}
+
+}  // namespace
+
 DistanceMatrix jaccard_matrix(const rs::store::StoreDatabase& db,
                               const JaccardOptions& options,
                               rs::exec::ThreadPool* pool,
                               const rs::store::CertInterner* interner) {
+  rs::obs::Span matrix_span("jaccard/matrix");
   DistanceMatrix out;
   // Phase 1 (serial): select snapshots and fix the matrix order.
   std::vector<const rs::store::Snapshot*> chosen;
@@ -59,22 +79,30 @@ DistanceMatrix jaccard_matrix(const rs::store::StoreDatabase& db,
     // Phase 2 (parallel): materialize each snapshot's fingerprint set
     // exactly once; the pair loop only reads this cache.
     std::vector<rs::store::FingerprintSet> sets(n);
-    rs::exec::parallel_for(pool, n, [&](std::size_t i) {
-      sets[i] = options.set_kind == SetKind::kAllCertificates
-                    ? chosen[i]->all_fingerprints()
-                    : chosen[i]->tls_anchors();
-    });
+    {
+      rs::obs::Span span("jaccard/sets");
+      span.set_items(n);
+      rs::exec::parallel_for(pool, n, [&](std::size_t i) {
+        sets[i] = options.set_kind == SetKind::kAllCertificates
+                      ? chosen[i]->all_fingerprints()
+                      : chosen[i]->tls_anchors();
+      });
+    }
 
     // Phase 3 (parallel): upper-triangle row blocks.  Each pair (i, j > i)
     // is computed by exactly one task and written to two distinct cells, so
     // the result is independent of scheduling.
-    rs::exec::parallel_for(pool, n, [&](std::size_t i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double d = sets[i].jaccard_distance(sets[j]);
-        out.values[i * n + j] = d;
-        out.values[j * n + i] = d;
-      }
-    });
+    {
+      rs::obs::Span span("jaccard/pairs");
+      rs::exec::parallel_for(pool, n, [&](std::size_t i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          const double d = sets[i].jaccard_distance(sets[j]);
+          out.values[i * n + j] = d;
+          out.values[j * n + i] = d;
+        }
+      });
+    }
+    note_matrix(matrix_span, n);
     return out;
   }
 
@@ -93,21 +121,29 @@ DistanceMatrix jaccard_matrix(const rs::store::StoreDatabase& db,
   // Phase 2 (parallel): intern each snapshot's fingerprint set exactly once
   // (read-only on the shared interner).
   std::vector<rs::store::InternedSet> sets(n);
-  rs::exec::parallel_for(pool, n, [&](std::size_t i) {
-    sets[i] = interner->intern(options.set_kind == SetKind::kAllCertificates
-                                   ? chosen[i]->all_fingerprints()
-                                   : chosen[i]->tls_anchors());
-  });
+  {
+    rs::obs::Span span("jaccard/sets");
+    span.set_items(n);
+    rs::exec::parallel_for(pool, n, [&](std::size_t i) {
+      sets[i] = interner->intern(options.set_kind == SetKind::kAllCertificates
+                                     ? chosen[i]->all_fingerprints()
+                                     : chosen[i]->tls_anchors());
+    });
+  }
 
   // Phase 3 (parallel): popcount pair loop over the same upper-triangle row
   // blocks; identical chunking and write pattern as the merge engine.
-  rs::exec::parallel_for(pool, n, [&](std::size_t i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double d = rs::store::jaccard_distance(sets[i], sets[j]);
-      out.values[i * n + j] = d;
-      out.values[j * n + i] = d;
-    }
-  });
+  {
+    rs::obs::Span span("jaccard/pairs");
+    rs::exec::parallel_for(pool, n, [&](std::size_t i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double d = rs::store::jaccard_distance(sets[i], sets[j]);
+        out.values[i * n + j] = d;
+        out.values[j * n + i] = d;
+      }
+    });
+  }
+  note_matrix(matrix_span, n);
   return out;
 }
 

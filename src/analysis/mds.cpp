@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "src/crypto/prng.h"
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
 
 namespace rs::analysis {
 
@@ -168,6 +170,7 @@ MdsResult classical_mds(const DistanceMatrix& dist) {
 
 MdsResult smacof_mds(const DistanceMatrix& dist, const MdsOptions& options,
                      rs::exec::ThreadPool* pool) {
+  rs::obs::Span span("mds/smacof");
   const std::size_t n = dist.size();
   MdsResult out;
   if (n < 2) {
@@ -219,6 +222,10 @@ MdsResult smacof_mds(const DistanceMatrix& dist, const MdsOptions& options,
   out.stress = prev_stress;
   const double denom = pairwise_squared_sum(dist, pool);
   out.normalized_stress = denom > 0 ? out.stress / denom : 0.0;
+  span.set_items(out.iterations);
+  rs::obs::Registry::global()
+      .counter("analysis.smacof_iterations")
+      .add(out.iterations);
   return out;
 }
 

@@ -1,5 +1,8 @@
 #include "src/analysis/staleness.h"
 
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
+
 namespace rs::analysis {
 
 using rs::store::CertInterner;
@@ -85,6 +88,7 @@ std::vector<NssVersionIndex::Version> substantial_versions(
 NssVersionIndex build_version_index(
     const rs::store::ProviderHistory& nss,
     std::shared_ptr<const rs::store::CertInterner> interner) {
+  rs::obs::Span span("staleness/version_index");
   if (interner == nullptr) {
     interner =
         std::make_shared<const CertInterner>(CertInterner::from_history(nss));
@@ -100,9 +104,14 @@ NssVersionIndex build_version_index_merge(
 StalenessResult derivative_staleness(const rs::store::ProviderHistory& deriv,
                                      const NssVersionIndex& index,
                                      rs::exec::ThreadPool* pool) {
+  rs::obs::Span stage_span("staleness/derivative");
   StalenessResult out;
   out.provider = deriv.provider();
   if (deriv.empty() || index.size() == 0) return out;
+  stage_span.set_items(deriv.size());
+  rs::obs::Registry::global()
+      .counter("analysis.staleness_matches")
+      .add(deriv.size());
 
   // Each snapshot matches against the read-only index independently;
   // per-snapshot slots keep the points in snapshot order.

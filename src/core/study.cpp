@@ -17,6 +17,7 @@
 #include "src/analysis/operators.h"
 #include "src/analysis/removals.h"
 #include "src/analysis/staleness.h"
+#include "src/obs/span.h"
 #include "src/synth/paper_reference.h"
 #include "src/synth/software_survey.h"
 #include "src/synth/user_agents.h"
@@ -37,6 +38,7 @@ EcosystemStudy EcosystemStudy::from_paper_scenario(std::uint64_t seed,
 EcosystemStudy::EcosystemStudy(rs::synth::PaperScenario scenario,
                                const StudyOptions& options)
     : scenario_(std::move(scenario)), options_(options) {
+  rs::obs::Span span("study/build");
   if (options_.num_threads > 0) {
     pool_ = std::make_shared<rs::exec::ThreadPool>(options_.num_threads);
   }
@@ -48,6 +50,7 @@ EcosystemStudy::EcosystemStudy(rs::synth::PaperScenario scenario,
 }
 
 std::string EcosystemStudy::report_table1() const {
+  rs::obs::Span span("report/table1");
   const auto population = rs::synth::user_agent_population();
   const auto summary = rs::analysis::coverage_summary(population);
 
@@ -70,6 +73,7 @@ std::string EcosystemStudy::report_table1() const {
 }
 
 std::string EcosystemStudy::report_table2() const {
+  rs::obs::Span span("report/table2");
   const auto reference = rs::synth::paper::table2_dataset();
   TextTable t({"Root store", "From", "To", "# SS", "# SS (paper)", "# Uniq",
                "# Uniq (paper)", "Details"});
@@ -104,6 +108,7 @@ std::string EcosystemStudy::report_table2() const {
 }
 
 std::string EcosystemStudy::report_table3() const {
+  rs::obs::Span span("report/table3");
   const auto reference = rs::synth::paper::table3_hygiene();
   TextTable t({"Root store", "Avg. Size", "(paper)", "Avg. Expired", "(paper)",
                "MD5 purge", "(paper)", "1024-bit purge", "(paper)"});
@@ -127,6 +132,7 @@ std::string EcosystemStudy::report_table3() const {
 }
 
 std::string EcosystemStudy::report_table4() {
+  rs::obs::Span span("report/table4");
   std::string out = "Table 4: Responses to high-severity NSS removals\n";
   for (const auto& incident : rs::synth::high_severity_incidents()) {
     const auto measured = rs::analysis::measure_incident(
@@ -180,6 +186,7 @@ std::string EcosystemStudy::report_table4() {
 }
 
 std::string EcosystemStudy::report_table5() const {
+  rs::obs::Span span("report/table5");
   TextTable t({"Category", "Name", "Root store?", "Details"});
   std::string last;
   for (const auto& s : rs::synth::software_survey()) {
@@ -193,6 +200,7 @@ std::string EcosystemStudy::report_table5() const {
 }
 
 std::string EcosystemStudy::report_table6() {
+  rs::obs::Span span("report/table6");
   const std::vector<std::string> programs = {"NSS", "Java", "Apple",
                                              "Microsoft"};
   const auto measured =
@@ -244,6 +252,7 @@ std::string EcosystemStudy::report_table6() {
 }
 
 std::string EcosystemStudy::report_table7() {
+  rs::obs::Span span("report/table7");
   TextTable t({"Bugzilla ID", "Severity", "Removed on", "# Certs", "Details"});
   t.set_align(3, Align::kRight);
   auto catalog = scenario_.incidents();
@@ -291,6 +300,7 @@ std::string EcosystemStudy::report_table7() {
 }
 
 std::string EcosystemStudy::report_figure1(std::size_t max_per_provider) const {
+  rs::obs::Span span("report/fig1");
   rs::analysis::JaccardOptions opts;
   opts.min_date = rs::util::Date::ymd(2011, 1, 1);  // paper's Figure 1 window
   opts.max_per_provider = max_per_provider;
@@ -381,6 +391,7 @@ std::string EcosystemStudy::report_figure1(std::size_t max_per_provider) const {
 }
 
 std::string EcosystemStudy::report_figure2() const {
+  rs::obs::Span span("report/fig2");
   const auto population = rs::synth::user_agent_population();
   const auto attribution = rs::analysis::attribute_programs(population);
   const auto reference = rs::synth::paper::figure2_shares();
@@ -433,6 +444,7 @@ std::string EcosystemStudy::report_figure2() const {
 }
 
 std::string EcosystemStudy::report_figure3() const {
+  rs::obs::Span span("report/fig3");
   const auto* nss = database().find("NSS");
   std::string out = "Figure 3: NSS derivative staleness\n";
   if (nss == nullptr) return out + "(no NSS history)\n";
@@ -490,6 +502,7 @@ std::string EcosystemStudy::report_figure3() const {
 }
 
 std::string EcosystemStudy::report_figure4() const {
+  rs::obs::Span span("report/fig4");
   const auto* nss = database().find("NSS");
   std::string out = "Figure 4: NSS derivative diffs (added/removed vs matched "
                     "NSS version)\n";

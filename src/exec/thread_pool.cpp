@@ -2,9 +2,32 @@
 
 #include <stdexcept>
 
+#include "src/obs/registry.h"
+
 namespace rs::exec {
 
 namespace {
+
+// Per-task execution metrics (docs/OBSERVABILITY.md): how long tasks sat in
+// the queue and how long they ran, summed across all pools.  Instrumented
+// at submit time so the disabled path (the default) adds exactly one
+// relaxed atomic load per submit — never per element.
+void instrument_task(std::function<void()>& task) {
+  auto& reg = rs::obs::Registry::global();
+  if (!reg.enabled()) return;
+  static rs::obs::Counter& tasks = reg.counter("exec.pool_tasks");
+  static rs::obs::Counter& queue_wait = reg.counter("exec.pool_queue_wait_ns");
+  static rs::obs::Counter& run_time = reg.counter("exec.pool_run_ns");
+  const rs::obs::TimeNs enqueued = reg.clock().now_ns();
+  task = [&reg, enqueued, inner = std::move(task)] {
+    const rs::obs::TimeNs started = reg.clock().now_ns();
+    inner();
+    const rs::obs::TimeNs finished = reg.clock().now_ns();
+    tasks.increment();
+    queue_wait.add(started - enqueued);
+    run_time.add(finished - started);
+  };
+}
 
 // Identifies the pool (if any) the current thread belongs to, for nested-use
 // detection.  Plain pointer comparison: pools are never reused after
@@ -39,6 +62,7 @@ void ThreadPool::submit(std::function<void()> task) {
         "ThreadPool::submit: nested submission from a worker thread of the "
         "same pool (would deadlock a bounded pool)");
   }
+  instrument_task(task);
   if (workers_.empty()) {  // zero-thread pool: run inline
     task();
     return;

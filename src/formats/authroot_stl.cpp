@@ -4,6 +4,7 @@
 #include "src/asn1/reader.h"
 #include "src/asn1/time.h"
 #include "src/asn1/writer.h"
+#include "src/formats/instrument.h"
 #include "src/util/hex.h"
 
 namespace rs::formats {
@@ -96,8 +97,10 @@ AuthRootBlob write_authroot(const std::vector<TrustEntry>& entries) {
   return blob;
 }
 
-Result<ParsedStore> parse_authroot(std::span<const std::uint8_t> stl,
-                                   const CertByHash& certs) {
+namespace {
+
+Result<ParsedStore> parse_authroot_impl(std::span<const std::uint8_t> stl,
+                                        const CertByHash& certs) {
   Reader top(stl);
   auto body = top.read_sequence();
   if (!body) return body.propagate<ParsedStore>();
@@ -186,6 +189,16 @@ Result<ParsedStore> parse_authroot(std::span<const std::uint8_t> stl,
     out.entries.push_back(std::move(entry));
   }
   return out;
+}
+
+}  // namespace
+
+Result<ParsedStore> parse_authroot(std::span<const std::uint8_t> stl,
+                                   const CertByHash& certs) {
+  rs::obs::Span span("formats/authroot");
+  auto result = parse_authroot_impl(stl, certs);
+  detail::note_parse(span, stl.size(), result);
+  return result;
 }
 
 }  // namespace rs::formats

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "src/encoding/pem.h"
+#include "src/formats/instrument.h"
 #include "src/util/hex.h"
 
 namespace rs::formats {
@@ -12,8 +13,10 @@ namespace rs::formats {
 using rs::store::TrustEntry;
 using rs::util::Result;
 
-Result<ParsedStore> parse_cert_dir(const std::vector<CertDirFile>& files,
-                                   const BundleTrustPolicy& policy) {
+namespace {
+
+Result<ParsedStore> parse_cert_dir_impl(const std::vector<CertDirFile>& files,
+                                        const BundleTrustPolicy& policy) {
   ParsedStore out;
   for (const auto& file : files) {
     // Heuristic matching real tooling: PEM if the marker appears, else DER.
@@ -48,6 +51,18 @@ Result<ParsedStore> parse_cert_dir(const std::vector<CertDirFile>& files,
     }
   }
   return out;
+}
+
+}  // namespace
+
+Result<ParsedStore> parse_cert_dir(const std::vector<CertDirFile>& files,
+                                   const BundleTrustPolicy& policy) {
+  rs::obs::Span span("formats/cert_dir");
+  std::size_t bytes = 0;
+  for (const auto& file : files) bytes += file.content.size();
+  auto result = parse_cert_dir_impl(files, policy);
+  detail::note_parse(span, bytes, result);
+  return result;
 }
 
 namespace {

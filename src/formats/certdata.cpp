@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "src/crypto/sha1.h"
+#include "src/formats/instrument.h"
 #include "src/util/hex.h"
 #include "src/util/strings.h"
 
@@ -261,9 +262,7 @@ std::string octal_encode(std::span<const std::uint8_t> bytes) {
   return out;
 }
 
-}  // namespace
-
-Result<ParsedStore> parse_certdata(std::string_view text) {
+Result<ParsedStore> parse_certdata_impl(std::string_view text) {
   auto objects = lex_objects(text);
   if (!objects) return objects.propagate<ParsedStore>();
 
@@ -380,6 +379,15 @@ Result<ParsedStore> parse_certdata(std::string_view text) {
     }
   }
   return out;
+}
+
+}  // namespace
+
+Result<ParsedStore> parse_certdata(std::string_view text) {
+  rs::obs::Span span("formats/certdata");
+  auto result = parse_certdata_impl(text);
+  detail::note_parse(span, text.size(), result);
+  return result;
 }
 
 std::string write_certdata(const std::vector<TrustEntry>& entries) {

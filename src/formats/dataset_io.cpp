@@ -4,6 +4,7 @@
 #include <fstream>
 #include <map>
 
+#include "src/formats/instrument.h"
 #include "src/formats/portable.h"
 #include "src/util/strings.h"
 
@@ -65,6 +66,7 @@ Result<std::monostate> write_dataset(const rs::store::StoreDatabase& db,
 }
 
 Result<rs::store::StoreDatabase> load_dataset(const std::string& dir) {
+  rs::obs::Span span("formats/dataset");
   using Out = Result<rs::store::StoreDatabase>;
   std::ifstream manifest_in(fs::path(dir) / "MANIFEST", std::ios::binary);
   if (!manifest_in) {
@@ -123,6 +125,10 @@ Result<rs::store::StoreDatabase> load_dataset(const std::string& dir) {
     (void)name;
     db.add(std::move(history));
   }
+  span.set_items(db.total_snapshots());
+  rs::obs::Registry::global()
+      .counter("formats.snapshots_parsed")
+      .add(db.total_snapshots());
   return db;
 }
 

@@ -1,0 +1,32 @@
+// Internal helper wiring the format decoders into rs_obs.
+//
+// Every public parse entry point opens a "formats/<name>" span and, on
+// success, feeds the shared decoder counters (bytes decoded, certificates
+// decoded, parse warnings).  All of it is a single atomic load when
+// instrumentation is disabled.  Not part of the public formats API.
+#pragma once
+
+#include <cstddef>
+
+#include "src/formats/certdata.h"
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
+#include "src/util/result.h"
+
+namespace rs::formats::detail {
+
+inline void note_parse(rs::obs::Span& span, std::size_t bytes,
+                       const rs::util::Result<ParsedStore>& result) {
+  auto& reg = rs::obs::Registry::global();
+  if (!reg.enabled()) return;
+  reg.counter("formats.bytes_decoded").add(bytes);
+  if (!result.ok()) {
+    reg.counter("formats.parse_failures").increment();
+    return;
+  }
+  span.set_items(result.value().entries.size());
+  reg.counter("formats.certs_decoded").add(result.value().entries.size());
+  reg.counter("formats.parse_warnings").add(result.value().warnings.size());
+}
+
+}  // namespace rs::formats::detail

@@ -1,6 +1,7 @@
 #include "src/formats/jks.h"
 
 #include "src/crypto/sha1.h"
+#include "src/formats/instrument.h"
 #include "src/util/hex.h"
 
 namespace rs::formats {
@@ -146,8 +147,10 @@ std::vector<std::uint8_t> write_jks(const std::vector<TrustEntry>& entries,
   return out;
 }
 
-Result<ParsedStore> parse_jks(std::span<const std::uint8_t> data,
-                              std::string_view password) {
+namespace {
+
+Result<ParsedStore> parse_jks_impl(std::span<const std::uint8_t> data,
+                                   std::string_view password) {
   if (data.size() < 12 + 20) {
     return Result<ParsedStore>::err("jks: file too short");
   }
@@ -226,6 +229,16 @@ Result<ParsedStore> parse_jks(std::span<const std::uint8_t> data,
     return Result<ParsedStore>::err("jks: trailing bytes after last entry");
   }
   return out;
+}
+
+}  // namespace
+
+Result<ParsedStore> parse_jks(std::span<const std::uint8_t> data,
+                              std::string_view password) {
+  rs::obs::Span span("formats/jks");
+  auto result = parse_jks_impl(data, password);
+  detail::note_parse(span, data.size(), result);
+  return result;
 }
 
 }  // namespace rs::formats

@@ -1,6 +1,7 @@
 #include "src/formats/pem_bundle.h"
 
 #include "src/encoding/pem.h"
+#include "src/formats/instrument.h"
 
 namespace rs::formats {
 
@@ -18,8 +19,10 @@ BundleTrustPolicy BundleTrustPolicy::tls_only() {
   return BundleTrustPolicy{{TrustPurpose::kServerAuth}};
 }
 
-Result<ParsedStore> parse_pem_bundle(std::string_view text,
-                                     const BundleTrustPolicy& policy) {
+namespace {
+
+Result<ParsedStore> parse_pem_bundle_impl(std::string_view text,
+                                          const BundleTrustPolicy& policy) {
   const auto pem = rs::encoding::pem_parse_all(text);
   ParsedStore out;
   out.warnings = pem.errors;
@@ -44,6 +47,16 @@ Result<ParsedStore> parse_pem_bundle(std::string_view text,
     out.entries.push_back(std::move(entry));
   }
   return out;
+}
+
+}  // namespace
+
+Result<ParsedStore> parse_pem_bundle(std::string_view text,
+                                     const BundleTrustPolicy& policy) {
+  rs::obs::Span span("formats/pem_bundle");
+  auto result = parse_pem_bundle_impl(text, policy);
+  detail::note_parse(span, text.size(), result);
+  return result;
 }
 
 std::string write_pem_bundle(const std::vector<TrustEntry>& entries) {

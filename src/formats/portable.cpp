@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "src/encoding/base64.h"
+#include "src/formats/instrument.h"
 #include "src/util/hex.h"
 #include "src/util/strings.h"
 
@@ -68,7 +69,9 @@ std::string write_rsts(const std::vector<TrustEntry>& entries) {
   return out;
 }
 
-Result<ParsedStore> parse_rsts(std::string_view text) {
+namespace {
+
+Result<ParsedStore> parse_rsts_impl(std::string_view text) {
   const auto lines = rs::util::split_lines(text);
   std::size_t i = 0;
 
@@ -207,6 +210,15 @@ Result<ParsedStore> parse_rsts(std::string_view text) {
     out.entries.push_back(std::move(entry));
   }
   return out;
+}
+
+}  // namespace
+
+Result<ParsedStore> parse_rsts(std::string_view text) {
+  rs::obs::Span span("formats/rsts");
+  auto result = parse_rsts_impl(text);
+  detail::note_parse(span, text.size(), result);
+  return result;
 }
 
 }  // namespace rs::formats

@@ -6,6 +6,7 @@
 #include "src/asn1/writer.h"
 #include "src/crypto/hmac.h"
 #include "src/crypto/sha256.h"
+#include "src/formats/instrument.h"
 
 namespace rs::formats {
 
@@ -93,6 +94,7 @@ SignedAuthRootBlob write_authroot_signed(
 Result<ParsedStore> parse_authroot_signed(
     std::span<const std::uint8_t> sealed_stl, const CertByHash& certs,
     std::uint64_t key_seed) {
+  rs::obs::Span span("formats/authroot_signed");
   auto envelope = open_envelope(sealed_stl, key_seed);
   if (!envelope) return envelope.propagate<ParsedStore>();
   return parse_authroot(envelope.value().payload, certs);

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "src/formats/instrument.h"
 #include "src/formats/jks.h"
 #include "src/formats/pem_bundle.h"
 #include "src/formats/portable.h"
@@ -44,6 +45,7 @@ StoreFormat detect_store_format(std::string_view content) {
 
 rs::util::Result<ParsedStore> parse_any_store(std::string_view content,
                                               bool multi_purpose) {
+  rs::obs::Span span("formats/sniff");
   const auto policy = multi_purpose ? BundleTrustPolicy::multi_purpose()
                                     : BundleTrustPolicy::tls_only();
   switch (detect_store_format(content)) {

@@ -1,0 +1,64 @@
+// Pluggable clocks for the observability layer.
+//
+// Production instrumentation reads a monotonic steady clock; tests inject a
+// FakeClock whose readings are fully scripted, so span trees and serialized
+// trace output are exactly reproducible (see docs/OBSERVABILITY.md).  The
+// registry never owns its clock: clocks outlive the registry they are
+// installed into (the default SteadyClock is a process-lifetime static).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace rs::obs {
+
+using TimeNs = std::uint64_t;
+
+/// Abstract monotonic time source.  Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeNs now_ns() const = 0;
+};
+
+/// Production clock: std::chrono::steady_clock, nanosecond ticks.
+class SteadyClock final : public Clock {
+ public:
+  TimeNs now_ns() const override {
+    return static_cast<TimeNs>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Deterministic test clock: every now_ns() call returns the current value
+/// and then advances it by a fixed step, so the k-th query is
+/// start + k*step regardless of wall time.  The query counter doubles as
+/// the disabled-mode probe: instrumentation that is off must never read
+/// the clock.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(TimeNs start = 0, TimeNs step_ns = 0)
+      : now_(start), step_(step_ns) {}
+
+  TimeNs now_ns() const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    return now_.fetch_add(step_, std::memory_order_relaxed);
+  }
+
+  void advance(TimeNs ns) { now_.fetch_add(ns, std::memory_order_relaxed); }
+  void set(TimeNs ns) { now_.store(ns, std::memory_order_relaxed); }
+  /// Total now_ns() queries observed (0 while instrumentation is disabled).
+  std::uint64_t calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<TimeNs> now_;
+  TimeNs step_;
+  mutable std::atomic<std::uint64_t> calls_{0};
+};
+
+}  // namespace rs::obs

@@ -1,8 +1,15 @@
 #include "src/store/database.h"
 
+#include "src/obs/registry.h"
+
 namespace rs::store {
 
 void StoreDatabase::add(ProviderHistory history) {
+  auto& reg = rs::obs::Registry::global();
+  if (reg.enabled()) {
+    reg.counter("store.histories_added").increment();
+    reg.counter("store.snapshots_added").add(history.size());
+  }
   histories_.insert_or_assign(history.provider(), std::move(history));
 }
 

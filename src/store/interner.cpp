@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/store/database.h"
 
 namespace rs::store {
@@ -51,6 +53,7 @@ CertInterner::CertInterner(std::vector<rs::crypto::Sha256Digest> digests)
 }
 
 CertInterner CertInterner::from_database(const StoreDatabase& db) {
+  rs::obs::Span span("store/intern_build");
   std::vector<rs::crypto::Sha256Digest> digests;
   for (const auto& [name, history] : db.histories()) {
     (void)name;
@@ -60,17 +63,28 @@ CertInterner CertInterner::from_database(const StoreDatabase& db) {
       }
     }
   }
-  return CertInterner(std::move(digests));
+  auto interner = CertInterner(std::move(digests));
+  span.set_items(interner.size());
+  rs::obs::Registry::global()
+      .counter("store.certs_interned")
+      .add(interner.size());
+  return interner;
 }
 
 CertInterner CertInterner::from_history(const ProviderHistory& history) {
+  rs::obs::Span span("store/intern_build");
   std::vector<rs::crypto::Sha256Digest> digests;
   for (const auto& snap : history.snapshots()) {
     for (const auto& entry : snap.entries) {
       digests.push_back(entry.certificate->sha256());
     }
   }
-  return CertInterner(std::move(digests));
+  auto interner = CertInterner(std::move(digests));
+  span.set_items(interner.size());
+  rs::obs::Registry::global()
+      .counter("store.certs_interned")
+      .add(interner.size());
+  return interner;
 }
 
 std::optional<std::uint32_t> CertInterner::id_of(
@@ -93,6 +107,13 @@ InternedSet CertInterner::intern(const FingerprintSet& fps) const {
     } else {
       out.unmapped.push_back(fp);
     }
+  }
+  auto& reg = rs::obs::Registry::global();
+  if (reg.enabled()) {
+    // "unmapped" digests fall off the dense-ID fast path and are corrected
+    // by sorted merges — a growing count flags a stale interner universe.
+    reg.counter("store.sets_interned").increment();
+    reg.counter("store.intern_unmapped").add(out.unmapped.size());
   }
   return out;
 }

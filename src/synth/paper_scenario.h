@@ -55,6 +55,12 @@ class PaperScenario {
   const rs::store::StoreDatabase& database() const noexcept { return db_; }
   CertFactory& factory() noexcept { return *factory_; }
 
+  /// Swaps in a database materialized elsewhere — e.g. one reloaded from a
+  /// write_dataset() directory through the real format decoders, which is
+  /// full-fidelity (RSTS), so analyses over the replacement produce the
+  /// same bytes.  The caller owns that equivalence claim.
+  void replace_database(rs::store::StoreDatabase db) { db_ = std::move(db); }
+
   /// Timelines for the four independent programs ("NSS", "Apple",
   /// "Microsoft", "Java").
   const Timeline& timeline(const std::string& program) const {

@@ -3,9 +3,12 @@
 // the original.  Mutations are deterministic (seeded PRNG).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/crypto/prng.h"
 #include "src/crypto/sha1.h"
 #include "src/formats/authroot_stl.h"
+#include "src/formats/cert_dir.h"
 #include "src/formats/certdata.h"
 #include "src/formats/jks.h"
 #include "src/formats/pem_bundle.h"
@@ -282,6 +285,139 @@ TEST(AuthrootMalformed, DeeplyNestedDerIsAnErrorNotAStackOverflow) {
   }
   auto parsed = parse_authroot(stl, {});
   EXPECT_FALSE(parsed.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Targeted malformed-input cases for the text formats (PEM bundle and
+// certificate directories): truncation, junk between blocks, duplicated
+// certificates, and empty input.  These degrade to warnings by design —
+// the assertions pin that degradation (never a crash, never invented
+// trust, never a silent drop of the valid remainder).
+// ---------------------------------------------------------------------------
+
+TEST(PemBundleMalformed, EmptyInputIsAValidEmptyStore) {
+  const auto policy = BundleTrustPolicy::tls_only();
+  for (std::string_view text : {std::string_view{},
+                                std::string_view{"\n\n\n"},
+                                std::string_view{"# just a comment\n"}}) {
+    auto parsed = parse_pem_bundle(text, policy);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed.value().entries.empty());
+  }
+}
+
+TEST(PemBundleMalformed, EveryTruncationKeepsOnlyWholeBlocks) {
+  const std::string full = write_pem_bundle(sample_entries());
+  const auto policy = BundleTrustPolicy::tls_only();
+  std::size_t max_entries = 0;
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    auto parsed =
+        parse_pem_bundle(std::string_view(full).substr(0, cut), policy);
+    ASSERT_TRUE(parsed.ok()) << "truncation at " << cut;
+    // A prefix can only contain whole blocks from the original bundle.
+    EXPECT_LE(parsed.value().entries.size(), sample_entries().size());
+    max_entries = std::max(max_entries, parsed.value().entries.size());
+  }
+  // The final cut is the full bundle: everything parses.
+  EXPECT_EQ(max_entries, sample_entries().size());
+}
+
+TEST(PemBundleMalformed, JunkBetweenBlocksIsSkippedWithoutLosingRoots) {
+  const auto entries = sample_entries();
+  const auto policy = BundleTrustPolicy::tls_only();
+  std::string bundle;
+  for (const auto& e : entries) {
+    bundle += "random prose the tools drop between blocks\n";
+    bundle += "-----BEGIN GARBAGE-----\nnot base64!!\n-----END GARBAGE-----\n";
+    bundle += write_pem_bundle({e});
+  }
+  bundle += "trailing junk with no newline";
+  auto parsed = parse_pem_bundle(bundle, policy);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().entries.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(parsed.value().entries[i].certificate->sha256(),
+              entries[i].certificate->sha256());
+  }
+}
+
+TEST(PemBundleMalformed, CorruptBlockBecomesWarningNotError) {
+  const auto entries = sample_entries();
+  const auto policy = BundleTrustPolicy::tls_only();
+  std::string bundle = write_pem_bundle({entries[0]});
+  bundle += "-----BEGIN CERTIFICATE-----\n!!!not base64!!!\n"
+            "-----END CERTIFICATE-----\n";
+  bundle += write_pem_bundle({entries[1]});
+  auto parsed = parse_pem_bundle(bundle, policy);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().entries.size(), 2u);  // both good roots kept
+  EXPECT_FALSE(parsed.value().warnings.empty());
+}
+
+TEST(PemBundleMalformed, DuplicateCertificateIsPreservedVerbatim) {
+  // The bundle format has no identity notion; deduplication is the
+  // store layer's job.  The parser must hand back what the file says.
+  const auto entries = sample_entries();
+  const auto policy = BundleTrustPolicy::tls_only();
+  const std::string once = write_pem_bundle({entries[0]});
+  auto parsed = parse_pem_bundle(once + once + once, policy);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().entries.size(), 3u);
+  for (const auto& e : parsed.value().entries) {
+    EXPECT_EQ(e.certificate->sha256(), entries[0].certificate->sha256());
+  }
+}
+
+TEST(CertDirMalformed, EmptyDirectoryAndEmptyFilesAreValid) {
+  const auto policy = BundleTrustPolicy::tls_only();
+  auto parsed = parse_cert_dir({}, policy);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().entries.empty());
+
+  parsed = parse_cert_dir({{"empty.pem", ""}, {"blank.pem", "\n\n"}}, policy);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().entries.empty());
+}
+
+TEST(CertDirMalformed, TruncatedFilesNeverCrashAndNeverGainRoots) {
+  const auto files = write_cert_dir(sample_entries());
+  const auto policy = BundleTrustPolicy::tls_only();
+  for (const auto& file : files) {
+    for (std::size_t cut = 0; cut < file.content.size(); cut += 7) {
+      auto parsed = parse_cert_dir(
+          {{file.name, file.content.substr(0, cut)}}, policy);
+      ASSERT_TRUE(parsed.ok()) << file.name << " cut at " << cut;
+      EXPECT_LE(parsed.value().entries.size(), 1u);
+    }
+  }
+}
+
+TEST(CertDirMalformed, JunkFilesAreWarningsGoodFilesStillLoad) {
+  auto files = write_cert_dir(sample_entries());
+  const auto n_good = files.size();
+  files.push_back({"README", "this directory holds the system roots\n"});
+  files.push_back({"junk.der", std::string(64, '\xC3')});
+  files.push_back({"broken.pem",
+                   "-----BEGIN CERTIFICATE-----\nnope\n"
+                   "-----END CERTIFICATE-----\n"});
+  const auto policy = BundleTrustPolicy::tls_only();
+  auto parsed = parse_cert_dir(files, policy);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().entries.size(), n_good);
+  EXPECT_FALSE(parsed.value().warnings.empty());
+}
+
+TEST(CertDirMalformed, DuplicateFileContentsAreBothReturned) {
+  const auto files = write_cert_dir(sample_entries());
+  const auto policy = BundleTrustPolicy::tls_only();
+  std::vector<CertDirFile> doubled = {files[0],
+                                      {"copy_" + files[0].name,
+                                       files[0].content}};
+  auto parsed = parse_cert_dir(doubled, policy);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().entries.size(), 2u);
+  EXPECT_EQ(parsed.value().entries[0].certificate->sha256(),
+            parsed.value().entries[1].certificate->sha256());
 }
 
 TEST(AuthrootMalformed, EkuListWithNonOidElement) {

@@ -1,0 +1,180 @@
+// Registry counters, gauges, stage aggregation, and the two serialized
+// formats.  Serialization tests pin exact bytes: with a FakeClock every
+// field of the output is deterministic, and the golden strings double as
+// format documentation.
+#include "src/obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/obs/clock.h"
+#include "src/obs/span.h"
+
+namespace {
+
+using rs::obs::FakeClock;
+using rs::obs::Registry;
+using rs::obs::Span;
+
+TEST(ObsRegistry, CountersAggregateAndSurviveReset) {
+  FakeClock clock;
+  Registry reg;
+  reg.enable(&clock);
+
+  rs::obs::Counter& c = reg.counter("pipeline.widgets");
+  c.add(3);
+  c.increment();
+  EXPECT_EQ(c.value(), 4u);
+  EXPECT_EQ(reg.counter_value("pipeline.widgets"), 4u);
+  // Same name -> same counter object.
+  EXPECT_EQ(&reg.counter("pipeline.widgets"), &c);
+
+  reg.reset();
+  // reset() zeroes but never destroys: the cached reference stays usable.
+  EXPECT_EQ(c.value(), 0u);
+  c.add(7);
+  EXPECT_EQ(reg.counter_value("pipeline.widgets"), 7u);
+}
+
+TEST(ObsRegistry, GaugesAreLastWriteWins) {
+  FakeClock clock;
+  Registry reg;
+  reg.enable(&clock);
+  reg.set_gauge("pool.workers", 3);
+  reg.set_gauge("pool.workers", 8);
+  const auto gauges = reg.gauges();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges.at("pool.workers"), 8u);
+}
+
+TEST(ObsRegistry, StageStatsAggregateByName) {
+  FakeClock clock(0, 100);  // every span lasts exactly 100ns
+  Registry reg;
+  reg.enable(&clock);
+
+  {
+    Span a(reg, "stage/x");
+    a.set_items(4);
+  }
+  {
+    Span b(reg, "stage/x");
+    b.set_items(6);
+  }
+  { Span c(reg, "stage/y"); }
+
+  const auto stats = reg.stage_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats.at("stage/x").count, 2u);
+  EXPECT_EQ(stats.at("stage/x").total_ns, 200u);
+  EXPECT_EQ(stats.at("stage/x").min_ns, 100u);
+  EXPECT_EQ(stats.at("stage/x").max_ns, 100u);
+  EXPECT_EQ(stats.at("stage/x").items, 10u);
+  EXPECT_EQ(stats.at("stage/y").count, 1u);
+}
+
+// The exact metrics document for a small scripted scenario.  Keys are
+// sorted maps, so the byte layout below is stable by construction.
+TEST(ObsRegistry, JsonSerializationGolden) {
+  FakeClock clock(1000, 500);  // readings: 1000, 1500, 2000, 2500
+  Registry reg;
+  reg.enable(&clock);
+
+  {
+    Span outer(reg, "stage/outer");
+    outer.set_items(2);
+    { Span inner(reg, "stage/inner"); }
+  }
+  reg.counter("c.x").add(7);
+  reg.counter("a.b").add(1);
+  reg.set_gauge("g.y", 9);
+
+  const char* expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"a.b\": 1,\n"
+      "    \"c.x\": 7\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"g.y\": 9\n"
+      "  },\n"
+      "  \"stages\": {\n"
+      "    \"stage/inner\": {\"count\": 1, \"total_ns\": 500, \"min_ns\": 500,"
+      " \"max_ns\": 500, \"items\": 0},\n"
+      "    \"stage/outer\": {\"count\": 1, \"total_ns\": 1500, \"min_ns\": "
+      "1500, \"max_ns\": 1500, \"items\": 2}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(reg.to_json(), expected);
+}
+
+TEST(ObsRegistry, EmptyJsonSerializationGolden) {
+  Registry reg;
+  EXPECT_EQ(reg.to_json(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"stages\": {}\n}\n");
+}
+
+// Chrome trace_event golden: "X" complete events with microsecond
+// timestamps, in span-finish order.
+TEST(ObsRegistry, ChromeTraceSerializationGolden) {
+  FakeClock clock(1000, 500);
+  Registry reg;
+  reg.enable(&clock);
+
+  {
+    Span outer(reg, "stage/outer");
+    outer.set_items(2);
+    { Span inner(reg, "stage/inner"); }
+  }
+
+  const char* expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"stage/inner\",\"cat\":\"rootstore\",\"ph\":\"X\","
+      "\"ts\":1.500,\"dur\":0.500,\"pid\":1,\"tid\":0,"
+      "\"args\":{\"id\":2,\"parent\":1,\"items\":0}},\n"
+      "{\"name\":\"stage/outer\",\"cat\":\"rootstore\",\"ph\":\"X\","
+      "\"ts\":1.000,\"dur\":1.500,\"pid\":1,\"tid\":0,"
+      "\"args\":{\"id\":1,\"parent\":0,\"items\":2}}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(reg.to_chrome_trace(), expected);
+}
+
+TEST(ObsRegistry, EmptyChromeTraceGolden) {
+  Registry reg;
+  EXPECT_EQ(reg.to_chrome_trace(),
+            "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(ObsRegistry, JsonStringEscaping) {
+  Registry reg;
+  FakeClock clock;
+  reg.enable(&clock);
+  reg.counter("weird\"name\\with\ncontrol\x01").increment();
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"weird\\\"name\\\\with\\ncontrol\\u0001\": 1"),
+            std::string::npos)
+      << json;
+}
+
+TEST(ObsRegistry, DisableKeepsCollectedDataUntilReset) {
+  FakeClock clock(0, 10);
+  Registry reg;
+  reg.enable(&clock);
+  { Span span(reg, "stage/kept"); }
+  reg.counter("kept.counter").add(5);
+
+  reg.disable();
+  EXPECT_EQ(reg.spans().size(), 1u);
+  EXPECT_EQ(reg.counter_value("kept.counter"), 5u);
+  // New activity while disabled records nothing.
+  { Span span(reg, "stage/dropped"); }
+  reg.counter("kept.counter").add(5);
+  EXPECT_EQ(reg.spans().size(), 1u);
+  EXPECT_EQ(reg.counter_value("kept.counter"), 5u);
+
+  reg.reset();
+  EXPECT_TRUE(reg.spans().empty());
+  EXPECT_EQ(reg.counter_value("kept.counter"), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+#!/bin/sh
+# Line-coverage gate for src/.
+#
+# Builds the tree with ROOTSTORE_COVERAGE=ON (gcov instrumentation), runs
+# the full test suite, aggregates line coverage over every file under
+# src/, and fails if the percentage drops below the floor recorded in
+# tools/coverage_baseline.txt.  Raise the floor when coverage improves;
+# never lower it to make a failing change pass.
+#
+# Usage: tools/check_coverage.sh [build-dir] [jobs]
+#   build-dir defaults to build-cov (a dedicated tree: coverage objects
+#   must not pollute the normal build).
+#
+# Exits 0 with a notice when gcov is unavailable, so environments without
+# the toolchain's coverage tool skip rather than fail.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${1:-"$repo_root/build-cov"}"
+jobs="${2:-$(nproc 2>/dev/null || echo 4)}"
+# The gcov aggregation below runs from a scratch directory, so the .gcda
+# list must hold absolute paths.
+mkdir -p "$build_dir"
+build_dir=$(CDPATH= cd -- "$build_dir" && pwd)
+baseline_file="$repo_root/tools/coverage_baseline.txt"
+
+if command -v gcov >/dev/null 2>&1; then
+  gcov_tool="gcov"
+elif command -v llvm-cov >/dev/null 2>&1; then
+  gcov_tool="llvm-cov gcov"
+else
+  echo "check_coverage: SKIPPED (no gcov or llvm-cov on PATH)"
+  exit 0
+fi
+
+echo "check_coverage: building with ROOTSTORE_COVERAGE=ON in $build_dir"
+cmake -B "$build_dir" -S "$repo_root" -DROOTSTORE_COVERAGE=ON >/dev/null
+cmake --build "$build_dir" -j "$jobs"
+
+# Stale .gcda from a previous run would blend two test-suite executions.
+find "$build_dir" -name '*.gcda' -exec rm -f {} +
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+# Aggregate with gcov's per-file text summary.  Every .gcda under the
+# library object trees is fed through gcov; per-file results are folded
+# keeping the best-covered instantiation of each source (headers appear
+# once per including TU).
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+find "$build_dir/src" -name '*.gcda' > "$scratch/gcda.list"
+if [ ! -s "$scratch/gcda.list" ]; then
+  echo "check_coverage: FAILED (no .gcda produced under $build_dir/src)" >&2
+  exit 1
+fi
+
+(
+  cd "$scratch"
+  xargs $gcov_tool < gcda.list > gcov.out 2>/dev/null || true
+)
+
+percent=$(awk -v prefix="$repo_root/src/" '
+  /^File / {
+    file = $0
+    sub(/^File ./, "", file)   # strip leading File + quote
+    sub(/.$/, "", file)        # strip trailing quote
+    relevant = index(file, prefix) == 1
+  }
+  /^Lines executed:/ && relevant {
+    line = $0
+    sub(/^Lines executed:/, "", line)
+    split(line, parts, "% of ")
+    pct = parts[1] + 0
+    n = parts[2] + 0
+    hit = pct * n / 100.0
+    if (n > lines[file]) lines[file] = n
+    if (hit > covered[file]) covered[file] = hit
+    relevant = 0
+  }
+  END {
+    total = 0; hit = 0
+    for (f in lines) { total += lines[f]; hit += covered[f] }
+    if (total == 0) { print "0.00"; exit }
+    printf "%.2f", 100.0 * hit / total
+  }
+' "$scratch/gcov.out")
+
+if [ ! -f "$baseline_file" ]; then
+  echo "check_coverage: measured ${percent}% but $baseline_file is missing" >&2
+  echo "check_coverage: record a floor there (see the file format comment)" >&2
+  exit 1
+fi
+baseline=$(grep -v '^#' "$baseline_file" | head -1 | tr -d ' \t')
+
+echo "check_coverage: src/ line coverage ${percent}% (floor ${baseline}%)"
+awk -v got="$percent" -v floor="$baseline" 'BEGIN {
+  if (got + 0 < floor + 0) {
+    printf "check_coverage: FAILED — %.2f%% is below the %.2f%% floor\n",
+           got, floor
+    exit 1
+  }
+}' || {
+  echo "check_coverage: coverage regressed; add tests or (only with a" >&2
+  echo "reviewed justification) adjust tools/coverage_baseline.txt" >&2
+  exit 1
+}
+echo "check_coverage: OK"

@@ -12,9 +12,13 @@
 #   4. lint              clang-tidy via tools/run_lint.sh (skipped with a
 #                        notice when clang-tidy is not installed)
 #   5. benches           records the 1-vs-N worker scaling sweep into
-#                        BENCH_parallel.json and the merge-vs-interned
-#                        set-algebra sweep into BENCH_intern.json (skip
-#                        with ROOTSTORE_SKIP_BENCH=1)
+#                        BENCH_parallel.json, the merge-vs-interned
+#                        set-algebra sweep into BENCH_intern.json, and the
+#                        observability-overhead sweep into BENCH_obs.json
+#                        (skip with ROOTSTORE_SKIP_BENCH=1)
+#   6. coverage          gcov build + full suite, enforcing the src/ line
+#                        coverage floor in tools/coverage_baseline.txt
+#                        (skip with ROOTSTORE_SKIP_COVERAGE=1)
 #
 # Usage: tools/ci_check.sh [jobs]
 set -eu
@@ -22,35 +26,44 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
 
-echo "=== [1/5] strict -Werror build + tests ==="
+echo "=== [1/6] strict -Werror build + tests ==="
 cmake -B "$repo_root/build" -S "$repo_root" \
       -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$repo_root/build" -j "$jobs"
 ctest --test-dir "$repo_root/build" --output-on-failure -j "$jobs"
 
-echo "=== [2/5] ASan/UBSan build + corpus regression ==="
+echo "=== [2/6] ASan/UBSan build + corpus regression ==="
 cmake -B "$repo_root/build-asan" -S "$repo_root" \
       -DROOTSTORE_SANITIZE=address,undefined >/dev/null
 cmake --build "$repo_root/build-asan" -j "$jobs"
 ctest --test-dir "$repo_root/build-asan" --output-on-failure -j "$jobs"
 
-echo "=== [3/5] TSan build + concurrency suite ==="
+echo "=== [3/6] TSan build + concurrency suite ==="
 cmake -B "$repo_root/build-tsan" -S "$repo_root" \
       -DROOTSTORE_SANITIZE=thread >/dev/null
 cmake --build "$repo_root/build-tsan" -j "$jobs" \
-      --target exec_tests --target intern_equivalence_tests
+      --target exec_tests --target intern_equivalence_tests \
+      --target obs_tests
 ctest --test-dir "$repo_root/build-tsan" --output-on-failure -L tsan
 
-echo "=== [4/5] clang-tidy ==="
+echo "=== [4/6] clang-tidy ==="
 "$repo_root/tools/run_lint.sh" "$repo_root/build"
 
 if [ "${ROOTSTORE_SKIP_BENCH:-0}" = "1" ]; then
-  echo "=== [5/5] benches: SKIPPED (ROOTSTORE_SKIP_BENCH=1) ==="
+  echo "=== [5/6] benches: SKIPPED (ROOTSTORE_SKIP_BENCH=1) ==="
 else
-  echo "=== [5/5] benches -> BENCH_parallel.json + BENCH_intern.json ==="
+  echo "=== [5/6] benches -> BENCH_parallel/intern/obs.json ==="
   cmake --build "$repo_root/build" -j "$jobs" --target perf_analysis
   "$repo_root/tools/record_parallel_bench.sh" "$repo_root/build"
   "$repo_root/tools/record_intern_bench.sh" "$repo_root/build"
+  "$repo_root/tools/record_obs_bench.sh" "$repo_root/build"
+fi
+
+if [ "${ROOTSTORE_SKIP_COVERAGE:-0}" = "1" ]; then
+  echo "=== [6/6] coverage: SKIPPED (ROOTSTORE_SKIP_COVERAGE=1) ==="
+else
+  echo "=== [6/6] coverage gate (tools/coverage_baseline.txt) ==="
+  "$repo_root/tools/check_coverage.sh" "$repo_root/build-cov" "$jobs"
 fi
 
 echo "ci_check: all gates passed"

@@ -1,0 +1,70 @@
+#!/bin/sh
+# Records the observability-overhead sweep into BENCH_obs.json and prints
+# the two numbers the rs_obs cost contract promises (src/obs/registry.h):
+#
+#   * disabled overhead — BM_JaccardMatrixObs/0 (instrumented build,
+#     registry disabled) vs BM_JaccardMatrixInterned/40, the identical
+#     workload benchmarked without any obs calls in its own body.  The
+#     acceptance gate is <=2%: every probe on this path costs one relaxed
+#     atomic load while disabled.
+#   * enabled overhead — BM_JaccardMatrixObs/1 (tracing on, steady clock)
+#     vs the disabled arm, i.e. what switching tracing on actually costs.
+#
+# Usage: tools/record_obs_bench.sh [build-dir] [out-file]
+#
+# The build tree must already contain the perf_analysis binary
+# (cmake --build <build-dir> --target perf_analysis).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${1:-"$repo_root/build"}"
+out_file="${2:-"$repo_root/BENCH_obs.json"}"
+
+bench_bin="$build_dir/bench/perf_analysis"
+if [ ! -x "$bench_bin" ]; then
+  echo "record_obs_bench: $bench_bin missing; build it first:" >&2
+  echo "  cmake --build $build_dir --target perf_analysis" >&2
+  exit 2
+fi
+
+# Three repetitions; the summary below reads the medians, which ride out
+# scheduler noise on small shared runners.
+"$bench_bin" \
+  --benchmark_filter='BM_JaccardMatrixObs|BM_StalenessObs|BM_JaccardMatrixInterned/40|BM_StalenessAllDerivatives' \
+  --benchmark_out="$out_file" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+
+awk '
+  /"name":/      { gsub(/[",]/, ""); name = $2 }
+  /"real_time":/ {
+    gsub(/,/, "");
+    if (name ~ /_median$/) {
+      short = name; sub(/_median$/, "", short);
+      times[short] = $2;
+    }
+  }
+  END {
+    base = times["BM_JaccardMatrixInterned/40"];
+    off  = times["BM_JaccardMatrixObs/0"];
+    on   = times["BM_JaccardMatrixObs/1"];
+    if (base > 0 && off > 0)
+      printf "jaccard disabled-instrumentation overhead: %+.2f%%\n",
+             100.0 * (off / base - 1.0);
+    if (off > 0 && on > 0)
+      printf "jaccard tracing-enabled overhead:          %+.2f%%\n",
+             100.0 * (on / off - 1.0);
+    sbase = times["BM_StalenessAllDerivatives"];
+    soff  = times["BM_StalenessObs/0"];
+    son   = times["BM_StalenessObs/1"];
+    if (sbase > 0 && soff > 0)
+      printf "staleness disabled-instrumentation overhead: %+.2f%%\n",
+             100.0 * (soff / sbase - 1.0);
+    if (soff > 0 && son > 0)
+      printf "staleness tracing-enabled overhead:          %+.2f%%\n",
+             100.0 * (son / soff - 1.0);
+  }
+' "$out_file"
+
+echo "record_obs_bench: wrote $out_file"

@@ -28,6 +28,8 @@
 #include "src/formats/pem_bundle.h"
 #include "src/formats/portable.h"
 #include "src/formats/sniff.h"
+#include "src/obs/registry.h"
+#include "src/synth/paper_scenario.h"
 #include "src/util/strings.h"
 #include "src/util/table.h"
 #include "src/x509/lint.h"
@@ -44,11 +46,18 @@ int usage() {
       "  diff <a> <b>              compare two stores\n"
       "  dataset export <dir>      write the scenario's 670-snapshot dataset\n"
       "  dataset verify <dir>      reload and verify a dataset directory\n"
-      "  report <name> [--csv] [--threads N]\n"
+      "  report <name> [--csv] [--threads N] [--from DIR]\n"
+      "         [--trace-out FILE] [--metrics-out FILE]\n"
       "                            table1..table7, fig1..fig4; --threads N\n"
       "                            (or env ROOTSTORE_THREADS) runs the\n"
       "                            analysis hot paths on N worker threads\n"
-      "                            with bitwise-identical output (0 = serial)\n"
+      "                            with bitwise-identical output (0 = serial);\n"
+      "                            --from DIR decodes the database from a\n"
+      "                            `dataset export` directory through the\n"
+      "                            real format parsers (same report bytes);\n"
+      "                            --trace-out writes a Chrome trace_event\n"
+      "                            JSON (env ROOTSTORE_TRACE works too) and\n"
+      "                            --metrics-out a counters/stages JSON\n"
       "  formats                   list supported serializations\n",
       stderr);
   return 2;
@@ -218,11 +227,38 @@ int cmd_dataset(const std::string& verb, const std::string& dir) {
   return usage();
 }
 
-int cmd_report(const std::string& name, bool csv, std::size_t threads) {
+// Serialize the observability registry to `path` using `serialize`
+// (to_chrome_trace or to_json).  Returns false on I/O failure.
+bool write_observability(const std::string& path,
+                         std::string (rs::obs::Registry::*serialize)() const) {
+  std::ofstream f(path, std::ios::binary);
+  f << (rs::obs::Registry::global().*serialize)();
+  return static_cast<bool>(f);
+}
+
+int cmd_report(const std::string& name, bool csv, std::size_t threads,
+               const std::string& from_dir, const std::string& trace_out,
+               const std::string& metrics_out) {
+  // Tracing must be live before the study is built so decoder, interner,
+  // and pool spans land in the output.  (ROOTSTORE_TRACE already enabled
+  // the registry at first access; this covers the explicit flags.)
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    rs::obs::Registry::global().enable();
+  }
   rs::core::StudyOptions options;
   options.num_threads = threads;
-  auto study = rs::core::EcosystemStudy::from_paper_scenario(
-      rs::synth::kPaperSeed, options);
+  auto scenario = rs::synth::build_paper_scenario(rs::synth::kPaperSeed);
+  if (!from_dir.empty()) {
+    // Run the paper's actual pipeline shape: decode stored snapshots
+    // (rootstore dataset export <dir>) through the real parsers, then
+    // analyze the decoded database.  RSTS round-trips the full trust
+    // model, so the reports are byte-identical either way — pinned by
+    // tests/analysis/golden_report_test.cpp.
+    auto loaded = rs::formats::load_dataset(from_dir);
+    if (!loaded.ok()) return die(loaded.error());
+    scenario.replace_database(std::move(loaded.value()));
+  }
+  rs::core::EcosystemStudy study(std::move(scenario), options);
   if (csv) {
     if (name == "fig1") {
       std::fputs(rs::core::figure1_csv(study.scenario()).c_str(), stdout);
@@ -235,10 +271,12 @@ int cmd_report(const std::string& name, bool csv, std::size_t threads) {
     } else {
       return die("no CSV export for '" + name + "'");
     }
-    return 0;
   }
   std::string out;
-  if (name == "table1") out = study.report_table1();
+  if (csv) {
+    // CSV output already went to stdout above; fall through to the
+    // observability flush below.
+  } else if (name == "table1") out = study.report_table1();
   else if (name == "table2") out = study.report_table2();
   else if (name == "table3") out = study.report_table3();
   else if (name == "table4") out = study.report_table4();
@@ -251,6 +289,15 @@ int cmd_report(const std::string& name, bool csv, std::size_t threads) {
   else if (name == "fig4") out = study.report_figure4();
   else return die("unknown report '" + name + "'");
   std::fputs(out.c_str(), stdout);
+
+  if (!trace_out.empty() &&
+      !write_observability(trace_out, &rs::obs::Registry::to_chrome_trace)) {
+    return die("cannot write trace file: " + trace_out);
+  }
+  if (!metrics_out.empty() &&
+      !write_observability(metrics_out, &rs::obs::Registry::to_json)) {
+    return die("cannot write metrics file: " + metrics_out);
+  }
   return 0;
 }
 
@@ -273,17 +320,31 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
     }
     bool csv = false;
+    // ROOTSTORE_TRACE doubles as a default trace destination; the registry
+    // itself also honours it for enablement at first access.
+    std::string from_dir;
+    std::string trace_out;
+    std::string metrics_out;
+    if (const char* env = std::getenv("ROOTSTORE_TRACE")) {
+      if (env[0] != '\0') trace_out = env;
+    }
     for (std::size_t i = 2; i < args.size(); ++i) {
       if (args[i] == "--csv") {
         csv = true;
       } else if (args[i] == "--threads" && i + 1 < args.size()) {
         threads = static_cast<std::size_t>(
             std::strtoul(args[++i].c_str(), nullptr, 10));
+      } else if (args[i] == "--from" && i + 1 < args.size()) {
+        from_dir = args[++i];
+      } else if (args[i] == "--trace-out" && i + 1 < args.size()) {
+        trace_out = args[++i];
+      } else if (args[i] == "--metrics-out" && i + 1 < args.size()) {
+        metrics_out = args[++i];
       } else {
         return usage();
       }
     }
-    return cmd_report(args[1], csv, threads);
+    return cmd_report(args[1], csv, threads, from_dir, trace_out, metrics_out);
   }
   return usage();
 }
