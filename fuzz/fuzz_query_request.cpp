@@ -1,0 +1,28 @@
+// Fuzz target: rs::query::parse_request, the strict bounded NDJSON request
+// parser behind `rootstore serve` and `rootstore query` (the only code that
+// ever touches untrusted bytes on the serving path).
+//
+// Invariants checked on every accepted input:
+//   * canonical_request() of a parsed request reparses successfully
+//     (canonicalization never produces a line the parser rejects), and
+//   * canonicalizing the reparse is a fixed point (cache keys are stable).
+#include <string_view>
+
+#include "fuzz/fuzz_harness.h"
+#include "src/query/request.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view line(reinterpret_cast<const char*>(data), size);
+  auto parsed = rs::query::parse_request(line);
+  if (!parsed.ok()) return 0;
+
+  const std::string canonical = rs::query::canonical_request(parsed.value());
+  RS_FUZZ_ASSERT(canonical.size() <= rs::query::kMaxRequestBytes,
+                 "canonical form exceeds the request size cap");
+  auto again = rs::query::parse_request(canonical);
+  RS_FUZZ_ASSERT(again.ok(), "canonical form rejected by the parser");
+  RS_FUZZ_ASSERT(rs::query::canonical_request(again.value()) == canonical,
+                 "canonicalization is not a fixed point");
+  return 0;
+}

@@ -1,0 +1,351 @@
+#include "src/query/engine.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "src/store/database.h"
+#include "src/store/interner.h"
+#include "src/util/hex.h"
+
+namespace rs::query {
+namespace {
+
+/// Incremental writer for the flat response objects.  Field order is the
+/// call order, so every response shape is fixed at its call site.
+class ResponseWriter {
+ public:
+  ResponseWriter() { out_.push_back('{'); }
+
+  void field(std::string_view key, std::string_view value) {
+    key_only(key);
+    append_json_string(out_, value);
+  }
+  void field_uint(std::string_view key, std::uint64_t value) {
+    key_only(key);
+    out_ += std::to_string(value);
+  }
+  void field_bool(std::string_view key, bool value) {
+    key_only(key);
+    out_ += value ? "true" : "false";
+  }
+  void field_null(std::string_view key) {
+    key_only(key);
+    out_ += "null";
+  }
+  void field_strings(std::string_view key,
+                     const std::vector<std::string>& values) {
+    key_only(key);
+    out_.push_back('[');
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out_.push_back(',');
+      append_json_string(out_, values[i]);
+    }
+    out_.push_back(']');
+  }
+  /// Opens a raw value position; the caller appends JSON via raw().
+  void key_only(std::string_view key) {
+    if (out_.size() > 1) out_.push_back(',');
+    append_json_string(out_, key);
+    out_.push_back(':');
+  }
+  std::string& raw() { return out_; }
+
+  std::string finish() {
+    out_.push_back('}');
+    return std::move(out_);
+  }
+
+ private:
+  std::string out_;
+};
+
+std::string fp_hex(const rs::crypto::Sha256Digest& fp) {
+  return rs::util::hex_encode(fp);
+}
+
+/// Serializes an IdSet as a sorted array of hex fingerprints.
+void append_roots(ResponseWriter& w, std::string_view key,
+                  const rs::store::IdSet& ids,
+                  const rs::store::CertInterner& interner) {
+  w.key_only(key);
+  std::string& out = w.raw();
+  out.push_back('[');
+  bool first = true;
+  for (const std::uint32_t id : ids.ids()) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, fp_hex(interner.digest_of(id)));
+  }
+  out.push_back(']');
+}
+
+/// Common echo prefix: op + status.
+ResponseWriter begin(const Request& r, std::string_view status) {
+  ResponseWriter w;
+  w.field("op", to_string(r.op));
+  w.field("status", status);
+  return w;
+}
+
+std::string not_covered(const Request& r, std::string_view provider,
+                        const std::optional<ProviderCoverage>& coverage,
+                        const std::function<void(ResponseWriter&)>& echo) {
+  ResponseWriter w = begin(r, "not_covered");
+  echo(w);
+  w.field("provider", provider);
+  if (coverage) {
+    w.field("coverage_begin", coverage->first.to_string());
+    w.field("coverage_end", coverage->last.to_string());
+  }
+  return w.finish();
+}
+
+}  // namespace
+
+std::string error_response(std::string_view code, std::string_view message) {
+  ResponseWriter w;
+  w.field("status", "error");
+  w.field("code", code);
+  w.field("message", message);
+  return w.finish();
+}
+
+bool QueryEngine::is_error_response(std::string_view response) noexcept {
+  constexpr std::string_view kPrefix = "{\"status\":\"error\"";
+  return response.substr(0, kPrefix.size()) == kPrefix;
+}
+
+QueryEngine::QueryEngine(const rs::store::StoreDatabase& db,
+                         std::vector<rs::synth::UserAgentGroup> agents,
+                         rs::exec::ThreadPool* build_pool)
+    : index_(TrustIndex::build(db, rs::store::CertInterner::from_database(db),
+                               build_pool)),
+      agents_(std::move(agents)) {}
+
+std::string QueryEngine::handle_json(std::string_view line) const {
+  auto parsed = parse_request(line);
+  if (!parsed.ok()) return error_response("bad_request", parsed.error());
+  return handle(parsed.value());
+}
+
+std::string QueryEngine::handle(const Request& request) const {
+  switch (request.op) {
+    case Op::kIsTrusted: return handle_is_trusted(request);
+    case Op::kProvidersTrusting: return handle_providers_trusting(request);
+    case Op::kStoreAt: return handle_store_at(request);
+    case Op::kDiff: return handle_diff(request);
+    case Op::kAgentStore: return handle_agent_store(request);
+    case Op::kLineage: return handle_lineage(request);
+    case Op::kStats: return handle_stats();
+    case Op::kServerStats:
+      return error_response(
+          "not_serving",
+          "server_stats is answered by `rootstore serve`, not the engine");
+  }
+  return error_response("bad_request", "unhandled op");
+}
+
+std::string QueryEngine::handle_is_trusted(const Request& r) const {
+  if (!index_.has_provider(*r.provider)) {
+    return error_response("unknown_provider",
+                          "no history for provider '" + *r.provider + "'");
+  }
+  const auto echo = [&](ResponseWriter& w) {
+    w.field("fp", fp_hex(*r.fp));
+    w.field("date", r.date->to_string());
+    w.field("scope", to_string(r.scope));
+  };
+  const TrustAnswer answer =
+      index_.is_trusted(*r.fp, *r.provider, *r.date, r.scope);
+  if (answer == TrustAnswer::kNotCovered) {
+    return not_covered(r, *r.provider, index_.coverage(*r.provider), echo);
+  }
+  ResponseWriter w = begin(r, "ok");
+  echo(w);
+  w.field("provider", *r.provider);
+  w.field_bool("trusted", answer == TrustAnswer::kTrusted);
+  return w.finish();
+}
+
+std::string QueryEngine::handle_providers_trusting(const Request& r) const {
+  std::vector<std::string> skipped;
+  const auto trusting =
+      index_.providers_trusting(*r.fp, *r.date, r.scope, &skipped);
+  ResponseWriter w = begin(r, "ok");
+  w.field("fp", fp_hex(*r.fp));
+  w.field("date", r.date->to_string());
+  w.field("scope", to_string(r.scope));
+  w.field_strings("providers", trusting);
+  w.field_strings("not_covered", skipped);
+  return w.finish();
+}
+
+std::string QueryEngine::handle_store_at(const Request& r) const {
+  if (!index_.has_provider(*r.provider)) {
+    return error_response("unknown_provider",
+                          "no history for provider '" + *r.provider + "'");
+  }
+  const auto echo = [&](ResponseWriter& w) {
+    w.field("date", r.date->to_string());
+    w.field("scope", to_string(r.scope));
+  };
+  const auto view = index_.store_at(*r.provider, *r.date, r.scope);
+  if (!view) {
+    return not_covered(r, *r.provider, index_.coverage(*r.provider), echo);
+  }
+  ResponseWriter w = begin(r, "ok");
+  echo(w);
+  w.field("provider", view->provider);
+  w.field("snapshot_date", view->snapshot_date.to_string());
+  w.field("version", view->version);
+  w.field_uint("count", view->roots->size());
+  append_roots(w, "roots", *view->roots, index_.interner());
+  return w.finish();
+}
+
+std::string QueryEngine::handle_diff(const Request& r) const {
+  if (!index_.has_provider(*r.provider)) {
+    return error_response("unknown_provider",
+                          "no history for provider '" + *r.provider + "'");
+  }
+  const auto echo = [&](ResponseWriter& w) {
+    w.field("date_a", r.date_a->to_string());
+    w.field("date_b", r.date_b->to_string());
+    w.field("scope", to_string(r.scope));
+  };
+  const auto delta = index_.diff(*r.provider, *r.date_a, *r.date_b, r.scope);
+  if (!delta) {
+    return not_covered(r, *r.provider, index_.coverage(*r.provider), echo);
+  }
+  ResponseWriter w = begin(r, "ok");
+  echo(w);
+  w.field("provider", delta->from.provider);
+  w.field("snapshot_a", delta->from.snapshot_date.to_string());
+  w.field("snapshot_b", delta->to.snapshot_date.to_string());
+  append_roots(w, "added", delta->added, index_.interner());
+  append_roots(w, "removed", delta->removed, index_.interner());
+  return w.finish();
+}
+
+std::string QueryEngine::handle_agent_store(const Request& r) const {
+  // Attribution (Table 1): match rows by agent name, narrowed by OS when
+  // given; the answer must resolve to exactly one collected provider.
+  std::vector<const rs::synth::UserAgentGroup*> matches;
+  for (const auto& row : agents_) {
+    if (row.agent != *r.user_agent) continue;
+    if (r.os && row.os != *r.os) continue;
+    matches.push_back(&row);
+  }
+  if (matches.empty()) {
+    return error_response("unknown_agent",
+                          "no Table 1 row for user agent '" + *r.user_agent +
+                              (r.os ? "' on OS '" + *r.os + "'" : "'"));
+  }
+  std::vector<std::string> providers;
+  for (const auto* row : matches) {
+    if (!row->included || row->provider.empty()) continue;
+    if (std::find(providers.begin(), providers.end(), row->provider) ==
+        providers.end()) {
+      providers.push_back(row->provider);
+    }
+  }
+  if (providers.empty()) {
+    return error_response("agent_not_covered",
+                          "no root store history collected for user agent '" +
+                              *r.user_agent + "'");
+  }
+  if (providers.size() > 1) {
+    std::sort(providers.begin(), providers.end());
+    std::string list;
+    for (const auto& p : providers) {
+      if (!list.empty()) list += ", ";
+      list += p;
+    }
+    return error_response("ambiguous_agent",
+                          "user agent '" + *r.user_agent +
+                              "' maps to several providers (" + list +
+                              "); disambiguate with the 'os' field");
+  }
+  const std::string& provider = providers.front();
+
+  const auto echo = [&](ResponseWriter& w) {
+    w.field("user_agent", *r.user_agent);
+    if (r.os) w.field("os", *r.os);
+    w.field("date", r.date->to_string());
+    w.field("scope", to_string(r.scope));
+  };
+  if (!index_.has_provider(provider)) {
+    return error_response("unknown_provider",
+                          "attributed provider '" + provider +
+                              "' has no history in the dataset");
+  }
+  const auto view = index_.store_at(provider, *r.date, r.scope);
+  if (!view) {
+    return not_covered(r, provider, index_.coverage(provider), echo);
+  }
+  ResponseWriter w = begin(r, "ok");
+  echo(w);
+  w.field("provider", view->provider);
+  w.field("snapshot_date", view->snapshot_date.to_string());
+  w.field("version", view->version);
+  w.field_uint("count", view->roots->size());
+  append_roots(w, "roots", *view->roots, index_.interner());
+  return w.finish();
+}
+
+std::string QueryEngine::handle_lineage(const Request& r) const {
+  const auto spans = index_.lineage(*r.fp, r.scope);
+  ResponseWriter w = begin(r, "ok");
+  w.field("fp", fp_hex(*r.fp));
+  w.field("scope", to_string(r.scope));
+  w.key_only("spans");
+  std::string& out = w.raw();
+  out.push_back('[');
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += "{\"provider\":";
+    append_json_string(out, spans[i].provider);
+    out += ",\"added\":";
+    append_json_string(out, spans[i].interval.added.to_string());
+    out += ",\"removed\":";
+    if (spans[i].interval.removed) {
+      append_json_string(out, spans[i].interval.removed->to_string());
+    } else {
+      out += "null";
+    }
+    out.push_back('}');
+  }
+  out.push_back(']');
+  return w.finish();
+}
+
+std::string QueryEngine::handle_stats() const {
+  ResponseWriter w;
+  w.field("op", "stats");
+  w.field("status", "ok");
+  w.field_uint("providers", index_.provider_count());
+  w.field_uint("resolution_points", index_.resolution_point_count());
+  w.field_uint("certificates", index_.interner().size());
+  w.key_only("coverage");
+  std::string& out = w.raw();
+  out.push_back('{');
+  bool first = true;
+  for (const auto& name : index_.providers()) {
+    const auto cov = index_.coverage(name);
+    if (!cov) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out += ":[";
+    append_json_string(out, cov->first.to_string());
+    out.push_back(',');
+    append_json_string(out, cov->last.to_string());
+    out.push_back(']');
+  }
+  out.push_back('}');
+  return w.finish();
+}
+
+}  // namespace rs::query

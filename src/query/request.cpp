@@ -1,0 +1,373 @@
+#include "src/query/request.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace rs::query {
+namespace {
+
+using rs::util::Result;
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+bool is_ws(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// Cursor over the request bytes.  All reads are bounds-checked; the
+/// parser never indexes past `size`.
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool done() const noexcept { return pos >= text.size(); }
+  char peek() const noexcept { return text[pos]; }
+  void skip_ws() noexcept {
+    while (!done() && is_ws(text[pos])) ++pos;
+  }
+  bool consume(char c) noexcept {
+    if (done() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+/// Parses a JSON string literal into `out`.  Accepts the simple escapes
+/// (\" \\ \/ \b \f \n \r \t); rejects \uXXXX (the request vocabulary is
+/// ASCII) and raw control bytes.  `what` names the thing being parsed for
+/// error messages; `cap` bounds the decoded length.
+Result<std::string> parse_string(Cursor& in, const char* what,
+                                 std::size_t cap) {
+  if (!in.consume('"')) {
+    return Result<std::string>::err(std::string("expected '\"' to open ") +
+                                    what);
+  }
+  std::string out;
+  while (true) {
+    if (in.done()) {
+      return Result<std::string>::err(std::string("unterminated ") + what);
+    }
+    const char c = in.text[in.pos++];
+    if (c == '"') break;
+    if (static_cast<unsigned char>(c) < 0x20) {
+      return Result<std::string>::err(
+          std::string("raw control byte in ") + what);
+    }
+    if (c == '\\') {
+      if (in.done()) {
+        return Result<std::string>::err(std::string("unterminated ") + what);
+      }
+      const char esc = in.text[in.pos++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        default:
+          return Result<std::string>::err(
+              std::string("unsupported escape in ") + what);
+      }
+    } else {
+      out.push_back(c);
+    }
+    if (out.size() > cap) {
+      return Result<std::string>::err(std::string(what) + " exceeds " +
+                                      std::to_string(cap) + " bytes");
+    }
+  }
+  return out;
+}
+
+/// One raw key/value pair before per-op validation.
+struct RawField {
+  std::string key;
+  std::string value;
+};
+
+Result<std::vector<RawField>> parse_object(std::string_view text) {
+  using R = Result<std::vector<RawField>>;
+  if (text.size() > kMaxRequestBytes) {
+    return R::err("request exceeds " + std::to_string(kMaxRequestBytes) +
+                  " bytes");
+  }
+  Cursor in{text};
+  in.skip_ws();
+  if (!in.consume('{')) return R::err("expected '{'");
+  std::vector<RawField> fields;
+  in.skip_ws();
+  if (in.consume('}')) {
+    in.skip_ws();
+    if (!in.done()) return R::err("trailing bytes after request object");
+    return fields;
+  }
+  while (true) {
+    in.skip_ws();
+    auto key = parse_string(in, "field name", kMaxKeyBytes);
+    if (!key.ok()) return key.propagate<std::vector<RawField>>();
+    in.skip_ws();
+    if (!in.consume(':')) return R::err("expected ':' after field name");
+    in.skip_ws();
+    if (in.done()) return R::err("missing value");
+    if (in.peek() != '"') {
+      // The whole request vocabulary is strings; numbers, booleans, and
+      // nested containers are rejected outright to keep the attack
+      // surface flat.
+      return R::err("field '" + key.value() + "' must be a JSON string");
+    }
+    auto value = parse_string(in, "field value", kMaxValueBytes);
+    if (!value.ok()) return value.propagate<std::vector<RawField>>();
+    for (const auto& f : fields) {
+      if (f.key == key.value()) {
+        return R::err("duplicate field '" + key.value() + "'");
+      }
+    }
+    fields.push_back({std::move(key).take(), std::move(value).take()});
+    if (fields.size() > kMaxFields) {
+      return R::err("more than " + std::to_string(kMaxFields) + " fields");
+    }
+    in.skip_ws();
+    if (in.consume(',')) continue;
+    if (in.consume('}')) break;
+    return R::err("expected ',' or '}' after field");
+  }
+  in.skip_ws();
+  if (!in.done()) return R::err("trailing bytes after request object");
+  return fields;
+}
+
+Result<rs::crypto::Sha256Digest> parse_fp(const std::string& value) {
+  using R = Result<rs::crypto::Sha256Digest>;
+  if (value.size() != 64) {
+    return R::err("fp must be 64 hex digits (SHA-256)");
+  }
+  rs::crypto::Sha256Digest out{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    const char c = value[i];
+    unsigned nibble = 0;
+    if (c >= '0' && c <= '9') nibble = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') nibble = static_cast<unsigned>(c - 'a') + 10;
+    else if (c >= 'A' && c <= 'F') nibble = static_cast<unsigned>(c - 'A') + 10;
+    else return R::err("fp must be 64 hex digits (SHA-256)");
+    out[i / 2] = static_cast<std::uint8_t>(
+        (out[i / 2] << 4) | static_cast<std::uint8_t>(nibble));
+  }
+  return out;
+}
+
+Result<rs::util::Date> parse_date_field(const std::string& key,
+                                        const std::string& value) {
+  auto date = rs::util::Date::parse(value);
+  if (!date) {
+    return Result<rs::util::Date>::err("field '" + key +
+                                       "' is not a YYYY-MM-DD date");
+  }
+  return *date;
+}
+
+struct OpSpec {
+  Op op;
+  const char* name;
+  // Field admissibility, beyond "op" itself.
+  bool fp, provider, date, date_a, date_b, user_agent, os, scope;
+};
+
+// `os` is the only optional-when-admissible field (agent names are only
+// ambiguous across OSes); everything else admissible is required.
+constexpr std::array<OpSpec, 8> kOpSpecs = {{
+    {Op::kIsTrusted, "is_trusted",
+     true, true, true, false, false, false, false, true},
+    {Op::kProvidersTrusting, "providers_trusting",
+     true, false, true, false, false, false, false, true},
+    {Op::kStoreAt, "store_at",
+     false, true, true, false, false, false, false, true},
+    {Op::kDiff, "diff",
+     false, true, false, true, true, false, false, true},
+    {Op::kAgentStore, "agent_store",
+     false, false, true, false, false, true, true, true},
+    {Op::kLineage, "lineage",
+     true, false, false, false, false, false, false, true},
+    {Op::kStats, "stats",
+     false, false, false, false, false, false, false, false},
+    {Op::kServerStats, "server_stats",
+     false, false, false, false, false, false, false, false},
+}};
+
+const OpSpec* spec_for(std::string_view name) noexcept {
+  for (const auto& s : kOpSpecs) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+const OpSpec& spec_of(Op op) noexcept {
+  for (const auto& s : kOpSpecs) {
+    if (s.op == op) return s;
+  }
+  return kOpSpecs[0];  // unreachable: every Op has a spec
+}
+
+}  // namespace
+
+const char* to_string(Op op) noexcept { return spec_of(op).name; }
+
+const char* to_string(Scope scope) noexcept {
+  switch (scope) {
+    case Scope::kTls: return "tls";
+    case Scope::kEmail: return "email";
+    case Scope::kCode: return "code";
+    case Scope::kPresent: return "present";
+  }
+  return "?";
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out.push_back(kHexDigits[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+          out.push_back(kHexDigits[static_cast<unsigned char>(c) & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+rs::util::Result<Request> parse_request(std::string_view text) {
+  using R = Result<Request>;
+  auto fields = parse_object(text);
+  if (!fields.ok()) return fields.propagate<Request>();
+
+  const OpSpec* spec = nullptr;
+  for (const auto& f : fields.value()) {
+    if (f.key != "op") continue;
+    spec = spec_for(f.value);
+    if (spec == nullptr) return R::err("unknown op '" + f.value + "'");
+  }
+  if (spec == nullptr) return R::err("missing required field 'op'");
+
+  Request request;
+  request.op = spec->op;
+  for (const auto& f : fields.value()) {
+    if (f.key == "op") continue;
+    const bool admissible =
+        (f.key == "fp" && spec->fp) || (f.key == "provider" && spec->provider) ||
+        (f.key == "date" && spec->date) ||
+        (f.key == "date_a" && spec->date_a) ||
+        (f.key == "date_b" && spec->date_b) ||
+        (f.key == "user_agent" && spec->user_agent) ||
+        (f.key == "os" && spec->os) || (f.key == "scope" && spec->scope);
+    if (!admissible) {
+      return R::err("unknown field '" + f.key + "' for op '" +
+                    std::string(spec->name) + "'");
+    }
+    if (f.key == "fp") {
+      auto fp = parse_fp(f.value);
+      if (!fp.ok()) return fp.propagate<Request>();
+      request.fp = fp.value();
+    } else if (f.key == "provider") {
+      if (f.value.empty()) return R::err("field 'provider' is empty");
+      request.provider = f.value;
+    } else if (f.key == "date" || f.key == "date_a" || f.key == "date_b") {
+      auto date = parse_date_field(f.key, f.value);
+      if (!date.ok()) return date.propagate<Request>();
+      if (f.key == "date") request.date = date.value();
+      else if (f.key == "date_a") request.date_a = date.value();
+      else request.date_b = date.value();
+    } else if (f.key == "user_agent") {
+      if (f.value.empty()) return R::err("field 'user_agent' is empty");
+      request.user_agent = f.value;
+    } else if (f.key == "os") {
+      if (f.value.empty()) return R::err("field 'os' is empty");
+      request.os = f.value;
+    } else {  // scope
+      if (f.value == "tls") request.scope = Scope::kTls;
+      else if (f.value == "email") request.scope = Scope::kEmail;
+      else if (f.value == "code") request.scope = Scope::kCode;
+      else if (f.value == "present") request.scope = Scope::kPresent;
+      else {
+        return R::err("field 'scope' must be tls, email, code, or present");
+      }
+    }
+  }
+
+  // Required-field checks (everything admissible except `os` and `scope`).
+  const auto require = [&](bool has, const char* name) -> const char* {
+    return has ? nullptr : name;
+  };
+  const char* missing = nullptr;
+  if (spec->fp && !missing) missing = require(request.fp.has_value(), "fp");
+  if (spec->provider && !missing) {
+    missing = require(request.provider.has_value(), "provider");
+  }
+  if (spec->date && !missing) {
+    missing = require(request.date.has_value(), "date");
+  }
+  if (spec->date_a && !missing) {
+    missing = require(request.date_a.has_value(), "date_a");
+  }
+  if (spec->date_b && !missing) {
+    missing = require(request.date_b.has_value(), "date_b");
+  }
+  if (spec->user_agent && !missing) {
+    missing = require(request.user_agent.has_value(), "user_agent");
+  }
+  if (missing != nullptr) {
+    return R::err("op '" + std::string(spec->name) +
+                  "' requires field '" + missing + "'");
+  }
+  return request;
+}
+
+std::string canonical_request(const Request& request) {
+  const OpSpec& spec = spec_of(request.op);
+  std::string out = "{\"op\":";
+  append_json_string(out, spec.name);
+  const auto field = [&out](const char* key, std::string_view value) {
+    out.push_back(',');
+    out.push_back('"');
+    out += key;
+    out += "\":";
+    append_json_string(out, value);
+  };
+  if (spec.date && request.date) field("date", request.date->to_string());
+  if (spec.date_a && request.date_a) {
+    field("date_a", request.date_a->to_string());
+  }
+  if (spec.date_b && request.date_b) {
+    field("date_b", request.date_b->to_string());
+  }
+  if (spec.fp && request.fp) {
+    std::string hex;
+    hex.reserve(64);
+    for (const std::uint8_t b : *request.fp) {
+      hex.push_back(kHexDigits[(b >> 4) & 0xF]);
+      hex.push_back(kHexDigits[b & 0xF]);
+    }
+    field("fp", hex);
+  }
+  if (spec.os && request.os) field("os", *request.os);
+  if (spec.provider && request.provider) field("provider", *request.provider);
+  if (spec.scope) field("scope", to_string(request.scope));
+  if (spec.user_agent && request.user_agent) {
+    field("user_agent", *request.user_agent);
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace rs::query

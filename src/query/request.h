@@ -1,0 +1,85 @@
+// The trust-query request model and its strict wire parser.
+//
+// Requests arrive as one JSON object per line — from `rootstore query`
+// argv, from a `rootstore serve` socket, or from a fuzzer.  The parser is
+// deliberately narrow: a single flat object of string-valued fields, hard
+// byte/field/length caps, no duplicate keys, and unknown-field rejection
+// per operation.  Anything outside that envelope is a typed parse error,
+// never a crash (fuzz/fuzz_query_request.cpp holds that line).
+//
+// canonical_request() re-serializes a parsed request into one canonical
+// byte string (fixed field order, defaults materialized, lowercase hex,
+// ISO dates).  Two requests that mean the same thing canonicalize to the
+// same bytes, which is what the serve-layer response cache keys on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/crypto/digest.h"
+#include "src/util/date.h"
+#include "src/util/result.h"
+
+namespace rs::query {
+
+/// Hard caps enforced before any allocation scales with input.
+inline constexpr std::size_t kMaxRequestBytes = 4096;
+inline constexpr std::size_t kMaxFields = 12;
+inline constexpr std::size_t kMaxKeyBytes = 32;
+inline constexpr std::size_t kMaxValueBytes = 512;
+
+/// The query operations the engine answers (docs/SERVING.md).
+enum class Op : std::uint8_t {
+  kIsTrusted,          // is fp a trust anchor for provider at date?
+  kProvidersTrusting,  // which providers trust fp at date?
+  kStoreAt,            // provider's resolved store at date
+  kDiff,               // added/removed between two resolved dates
+  kAgentStore,         // store a user agent consults at date (Table 1)
+  kLineage,            // full add/remove timeline of fp across providers
+  kStats,              // engine-level dataset summary
+  kServerStats,        // serve-layer counters; answered by the server only
+};
+
+/// Trust scope of a query: one purpose's anchors, or bare presence.
+enum class Scope : std::uint8_t {
+  kTls = 0,      // server-auth anchors (the paper's headline sets)
+  kEmail = 1,    // email-protection anchors
+  kCode = 2,     // code-signing anchors
+  kPresent = 3,  // in the store at all, regardless of trust bits
+};
+inline constexpr std::size_t kScopeCount = 4;
+
+const char* to_string(Op op) noexcept;
+const char* to_string(Scope scope) noexcept;
+
+/// One parsed, validated request.  Optional fields are populated exactly
+/// when the operation uses them (parse_request enforces the per-op shape).
+struct Request {
+  Op op = Op::kStats;
+  std::optional<rs::crypto::Sha256Digest> fp;
+  std::optional<std::string> provider;
+  std::optional<rs::util::Date> date;
+  std::optional<rs::util::Date> date_a;
+  std::optional<rs::util::Date> date_b;
+  std::optional<std::string> user_agent;
+  std::optional<std::string> os;
+  Scope scope = Scope::kTls;
+};
+
+/// Parses one request line.  Errors are human-readable and safe to echo
+/// back to the (untrusted) client.
+rs::util::Result<Request> parse_request(std::string_view text);
+
+/// Canonical single-line serialization: `op` first, remaining fields in a
+/// fixed order, `scope` always explicit for ops that take one.  Parsing
+/// the result yields an equal Request (pinned by the fuzz harness).
+std::string canonical_request(const Request& request);
+
+/// Appends `s` as a JSON string literal (quotes + escapes) to `out`.
+/// Shared by the canonicalizer and the response writers in engine.cpp.
+void append_json_string(std::string& out, std::string_view s);
+
+}  // namespace rs::query

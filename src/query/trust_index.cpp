@@ -1,0 +1,250 @@
+#include "src/query/trust_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/exec/thread_pool.h"
+#include "src/obs/span.h"
+#include "src/store/trust.h"
+
+namespace rs::query {
+namespace {
+
+bool in_scope(const rs::store::TrustEntry& entry, Scope scope) noexcept {
+  switch (scope) {
+    case Scope::kTls:
+      return entry.is_anchor_for(rs::store::TrustPurpose::kServerAuth);
+    case Scope::kEmail:
+      return entry.is_anchor_for(rs::store::TrustPurpose::kEmailProtection);
+    case Scope::kCode:
+      return entry.is_anchor_for(rs::store::TrustPurpose::kCodeSigning);
+    case Scope::kPresent:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(TrustAnswer a) noexcept {
+  switch (a) {
+    case TrustAnswer::kTrusted: return "trusted";
+    case TrustAnswer::kUntrusted: return "untrusted";
+    case TrustAnswer::kNotCovered: return "not_covered";
+  }
+  return "?";
+}
+
+void TrustIndex::build_provider(const rs::store::ProviderHistory& history,
+                                const rs::store::CertInterner& interner,
+                                ProviderData& out) {
+  const std::size_t universe = interner.size();
+  // Collapse to distinct dates: for equal dates the later snapshot wins,
+  // mirroring ProviderHistory::at (upper_bound resolution).
+  std::vector<const rs::store::Snapshot*> resolved;
+  for (const auto& snapshot : history.snapshots()) {
+    if (!resolved.empty() && resolved.back()->date == snapshot.date) {
+      resolved.back() = &snapshot;
+    } else {
+      resolved.push_back(&snapshot);
+    }
+  }
+
+  out.dates.reserve(resolved.size());
+  out.versions.reserve(resolved.size());
+  for (const auto* snapshot : resolved) {
+    out.dates.push_back(snapshot->date);
+    out.versions.push_back(snapshot->version);
+  }
+
+  for (std::size_t s = 0; s < kScopeCount; ++s) {
+    const auto scope = static_cast<Scope>(s);
+    auto& sets = out.sets[s];
+    auto& intervals = out.intervals[s];
+    sets.reserve(resolved.size());
+    intervals.assign(universe, {});
+
+    // `open[id]` holds the start of the run the certificate is currently
+    // in, if any; closing a run appends one interval.
+    std::vector<std::optional<rs::util::Date>> open(universe);
+    for (std::size_t k = 0; k < resolved.size(); ++k) {
+      rs::store::IdSet members(universe);
+      for (const auto& entry : resolved[k]->entries) {
+        if (!in_scope(entry, scope)) continue;
+        const auto id = interner.id_of(entry.certificate->sha256());
+        if (id) members.insert(*id);
+      }
+      if (k == 0) {
+        for (const std::uint32_t id : members.ids()) {
+          open[id] = out.dates[k];
+        }
+      } else {
+        const auto& prev = sets[k - 1];
+        for (const std::uint32_t id : members.difference(prev).ids()) {
+          open[id] = out.dates[k];
+        }
+        for (const std::uint32_t id : prev.difference(members).ids()) {
+          intervals[id].push_back({*open[id], out.dates[k]});
+          open[id].reset();
+        }
+      }
+      sets.push_back(std::move(members));
+    }
+    for (std::uint32_t id = 0; id < universe; ++id) {
+      if (open[id]) intervals[id].push_back({*open[id], std::nullopt});
+    }
+  }
+}
+
+TrustIndex TrustIndex::build(const rs::store::StoreDatabase& db,
+                             const rs::store::CertInterner& interner,
+                             rs::exec::ThreadPool* pool) {
+  rs::obs::Span span("query/build_index");
+  TrustIndex index;
+  index.interner_ = interner;
+
+  // Lay out providers in name order (the histories() map order), then
+  // fill each lane independently — disjoint writes, so the parallel and
+  // serial builds are identical.
+  for (const auto& [name, history] : db.histories()) {
+    if (history.empty()) continue;
+    index.by_name_.emplace(name, index.providers_.size());
+    index.providers_.emplace_back();
+    index.providers_.back().name = name;
+  }
+  std::vector<const rs::store::ProviderHistory*> histories;
+  histories.reserve(index.providers_.size());
+  for (const auto& p : index.providers_) {
+    histories.push_back(db.find(p.name));
+  }
+  rs::exec::parallel_for(pool, index.providers_.size(), [&](std::size_t i) {
+    build_provider(*histories[i], index.interner_, index.providers_[i]);
+  });
+
+  std::size_t intervals = 0;
+  for (const auto& p : index.providers_) {
+    index.resolutions_ += p.dates.size();
+    for (const auto& per_scope : p.intervals) {
+      for (const auto& runs : per_scope) intervals += runs.size();
+    }
+  }
+  span.set_items(intervals);
+  return index;
+}
+
+const TrustIndex::ProviderData* TrustIndex::find(
+    std::string_view provider) const {
+  const auto it = by_name_.find(provider);
+  if (it == by_name_.end()) return nullptr;
+  return &providers_[it->second];
+}
+
+std::optional<std::size_t> TrustIndex::resolve(const ProviderData& p,
+                                               rs::util::Date date) {
+  if (p.dates.empty() || date < p.dates.front() || date > p.dates.back()) {
+    return std::nullopt;
+  }
+  const auto it = std::upper_bound(p.dates.begin(), p.dates.end(), date);
+  return static_cast<std::size_t>(it - p.dates.begin()) - 1;
+}
+
+std::vector<std::string> TrustIndex::providers() const {
+  std::vector<std::string> names;
+  names.reserve(providers_.size());
+  for (const auto& p : providers_) names.push_back(p.name);
+  return names;
+}
+
+bool TrustIndex::has_provider(std::string_view provider) const {
+  return find(provider) != nullptr;
+}
+
+std::optional<ProviderCoverage> TrustIndex::coverage(
+    std::string_view provider) const {
+  const ProviderData* p = find(provider);
+  if (p == nullptr || p->dates.empty()) return std::nullopt;
+  return ProviderCoverage{p->dates.front(), p->dates.back()};
+}
+
+TrustAnswer TrustIndex::is_trusted(const rs::crypto::Sha256Digest& fp,
+                                   std::string_view provider,
+                                   rs::util::Date date, Scope scope) const {
+  const ProviderData* p = find(provider);
+  if (p == nullptr) return TrustAnswer::kNotCovered;
+  if (!resolve(*p, date)) return TrustAnswer::kNotCovered;
+  const auto id = interner_.id_of(fp);
+  if (!id) return TrustAnswer::kUntrusted;
+  const auto& runs = p->intervals[static_cast<std::size_t>(scope)][*id];
+  // Last interval starting on or before `date`.
+  const auto it = std::upper_bound(
+      runs.begin(), runs.end(), date,
+      [](rs::util::Date d, const TrustInterval& iv) { return d < iv.added; });
+  if (it == runs.begin()) return TrustAnswer::kUntrusted;
+  const TrustInterval& run = *(it - 1);
+  const bool inside = !run.removed.has_value() || date < *run.removed;
+  return inside ? TrustAnswer::kTrusted : TrustAnswer::kUntrusted;
+}
+
+std::vector<std::string> TrustIndex::providers_trusting(
+    const rs::crypto::Sha256Digest& fp, rs::util::Date date, Scope scope,
+    std::vector<std::string>* not_covered) const {
+  std::vector<std::string> trusting;
+  for (const auto& p : providers_) {
+    switch (is_trusted(fp, p.name, date, scope)) {
+      case TrustAnswer::kTrusted:
+        trusting.push_back(p.name);
+        break;
+      case TrustAnswer::kNotCovered:
+        if (not_covered != nullptr) not_covered->push_back(p.name);
+        break;
+      case TrustAnswer::kUntrusted:
+        break;
+    }
+  }
+  return trusting;
+}
+
+std::optional<StoreView> TrustIndex::store_at(std::string_view provider,
+                                              rs::util::Date date,
+                                              Scope scope) const {
+  const ProviderData* p = find(provider);
+  if (p == nullptr) return std::nullopt;
+  const auto k = resolve(*p, date);
+  if (!k) return std::nullopt;
+  StoreView view;
+  view.provider = p->name;
+  view.version = p->versions[*k];
+  view.snapshot_date = p->dates[*k];
+  view.roots = &p->sets[static_cast<std::size_t>(scope)][*k];
+  return view;
+}
+
+std::optional<StoreDiff> TrustIndex::diff(std::string_view provider,
+                                          rs::util::Date date_a,
+                                          rs::util::Date date_b,
+                                          Scope scope) const {
+  const auto from = store_at(provider, date_a, scope);
+  const auto to = store_at(provider, date_b, scope);
+  if (!from || !to) return std::nullopt;
+  StoreDiff d;
+  d.from = *from;
+  d.to = *to;
+  d.added = to->roots->difference(*from->roots);
+  d.removed = from->roots->difference(*to->roots);
+  return d;
+}
+
+std::vector<LineageSpan> TrustIndex::lineage(
+    const rs::crypto::Sha256Digest& fp, Scope scope) const {
+  std::vector<LineageSpan> spans;
+  const auto id = interner_.id_of(fp);
+  if (!id) return spans;
+  for (const auto& p : providers_) {
+    for (const auto& run : p.intervals[static_cast<std::size_t>(scope)][*id]) {
+      spans.push_back({p.name, run});
+    }
+  }
+  return spans;
+}
+
+}  // namespace rs::query

@@ -1,0 +1,45 @@
+#include "src/serve/lru_cache.h"
+
+namespace rs::serve {
+
+std::optional<std::string> LruCache::get(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  order_.splice(order_.begin(), order_, it->second);
+  return it->second->second;
+}
+
+void LruCache::put(const std::string& key, std::string value) {
+  if (capacity_ == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    it->second->second = std::move(value);
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.emplace_front(key, std::move(value));
+  by_key_.emplace(key, order_.begin());
+  if (by_key_.size() > capacity_) {
+    by_key_.erase(order_.back().first);
+    order_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+std::size_t LruCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return by_key_.size();
+}
+
+LruCache::Counters LruCache::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace rs::serve

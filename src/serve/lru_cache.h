@@ -1,0 +1,60 @@
+// A thread-safe LRU cache for canonicalized-request -> response strings.
+//
+// The serving layer keys on canonical_request() output, so two requests
+// that mean the same thing (field order, default scope, hex case) share
+// one entry.  Capacity is a fixed entry count; inserting beyond it evicts
+// the least-recently-used entry.  get() counts hits and misses — the
+// numbers `server_stats` and BENCH_serve.json report.
+//
+// Concurrency: one mutex around the map+list.  Entries are immutable
+// response strings, so a hit copies the value out under the lock and the
+// caller works lock-free from there.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace rs::serve {
+
+class LruCache {
+ public:
+  /// `capacity` = max entries; 0 disables caching entirely (get always
+  /// misses, put is a no-op) without branching at call sites.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Returns the cached response and marks the entry most-recently-used.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Inserts or refreshes; evicts the LRU entry when over capacity.
+  void put(const std::string& key, std::string value);
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  Counters counters() const;
+
+ private:
+  using Entry = std::pair<std::string, std::string>;  // key, response
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> order_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;
+  Counters counters_;
+};
+
+}  // namespace rs::serve

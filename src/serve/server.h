@@ -1,0 +1,122 @@
+// `rootstore serve`: a concurrent loopback TCP server over the QueryEngine.
+//
+// Protocol (docs/SERVING.md): newline-delimited JSON.  Each client sends
+// one request object per line and receives exactly one response line, in
+// order, over a persistent connection.  Responses are byte-identical to
+// QueryEngine::handle_json() on the same line — the engine is the single
+// handler, the server only adds transport, caching, and counters.
+//
+// Architecture:
+//   * One accept thread owns the listening socket (bound to 127.0.0.1
+//     only; this is an analysis-dataset service, not an Internet daemon).
+//   * Each accepted connection becomes one task on an exec::ThreadPool of
+//     `num_threads` workers, so at most `num_threads` connections are
+//     served concurrently; further connections queue at the pool.  With
+//     zero workers the accept thread serves connections inline, one at a
+//     time (the degenerate single-threaded mode).
+//   * An LruCache keyed on canonical_request() fronts the engine.
+//
+// Robustness: request lines are capped at query::kMaxRequestBytes; an
+// oversized or malformed line gets a structured error response (the
+// connection closes after an oversized one, since framing is lost).  A
+// crashed client mid-line just closes the connection.
+//
+// Graceful drain: stop() stops accepting, half-closes every active
+// connection's read side, and waits until each in-flight request has been
+// answered and its connection torn down.  SIGINT handling lives in the
+// CLI (tools/rootstore.cpp), which calls stop() from the main thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "src/exec/thread_pool.h"
+#include "src/query/engine.h"
+#include "src/serve/lru_cache.h"
+#include "src/util/result.h"
+
+namespace rs::serve {
+
+struct ServerOptions {
+  std::uint16_t port = 0;          // 0 = kernel-assigned ephemeral port
+  std::size_t num_threads = 4;     // pool workers (0 = inline serial)
+  std::size_t cache_capacity = 1024;  // LRU entries; 0 disables the cache
+  int backlog = 64;                // listen(2) backlog
+};
+
+/// Point-in-time serve-layer counters (also mirrored to rs_obs as
+/// serve.requests / serve.errors / serve.cache_hits / serve.cache_misses /
+/// serve.connections / serve.queue_wait_ns when tracing is enabled).
+struct ServerStats {
+  std::uint64_t connections = 0;   // accepted since start
+  std::uint64_t requests = 0;      // request lines answered
+  std::uint64_t errors = 0;        // error responses (parse or engine)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+class Server {
+ public:
+  /// `engine` must outlive the server.
+  Server(const rs::query::QueryEngine& engine, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept thread.  Returns the bound
+  /// port (useful with port 0) or a diagnostic.
+  rs::util::Result<std::uint16_t> start();
+
+  /// The bound port; 0 before a successful start().
+  std::uint16_t port() const noexcept { return port_; }
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Graceful drain, idempotent: stop accepting, let every in-flight
+  /// request finish and its response flush, then return.
+  void stop();
+
+  ServerStats stats() const;
+
+  /// Answers one request line exactly as a connection would (cache +
+  /// server_stats included).  Exposed for the serve-layer tests.
+  std::string respond_line(std::string_view line);
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  std::string server_stats_response() const;
+  void register_connection(int fd);
+  void unregister_connection(int fd);
+
+  const rs::query::QueryEngine& engine_;
+  const ServerOptions options_;
+  LruCache cache_;
+  std::unique_ptr<rs::exec::ThreadPool> pool_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;  // signalled when active_ empties
+  std::set<int> active_;             // fds of registered connections
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace rs::serve

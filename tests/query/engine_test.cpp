@@ -1,0 +1,199 @@
+#include "src/query/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/store/database.h"
+#include "src/util/hex.h"
+#include "src/x509/builder.h"
+
+namespace rs::query {
+namespace {
+
+using rs::store::ProviderHistory;
+using rs::store::Snapshot;
+using rs::store::StoreDatabase;
+using rs::synth::UserAgentGroup;
+using rs::util::Date;
+
+std::shared_ptr<const rs::x509::Certificate> make_cert(std::uint64_t seed) {
+  rs::x509::Name n;
+  n.add_common_name("Engine Root " + std::to_string(seed));
+  return std::make_shared<const rs::x509::Certificate>(
+      rs::x509::CertificateBuilder().subject(n).key_seed(seed).build());
+}
+
+Snapshot snap(std::string provider, Date date,
+              std::vector<rs::store::TrustEntry> entries) {
+  Snapshot s;
+  s.provider = std::move(provider);
+  s.date = date;
+  s.version = "v-" + date.to_string();
+  s.entries = std::move(entries);
+  return s;
+}
+
+UserAgentGroup agent_row(std::string os, std::string agent, bool included,
+                         std::string provider) {
+  UserAgentGroup g;
+  g.os = std::move(os);
+  g.agent = std::move(agent);
+  g.versions = 1;
+  g.included = included;
+  g.provider = std::move(provider);
+  return g;
+}
+
+struct Fixture {
+  std::shared_ptr<const rs::x509::Certificate> root = make_cert(1);
+  std::string fp_hex;
+  QueryEngine engine;
+
+  static StoreDatabase make_db(
+      const std::shared_ptr<const rs::x509::Certificate>& root) {
+    StoreDatabase db;
+    ProviderHistory h("P");
+    h.add(snap("P", Date::ymd(2019, 1, 1), {rs::store::make_tls_anchor(root)}));
+    h.add(snap("P", Date::ymd(2020, 1, 1), {rs::store::make_tls_anchor(root)}));
+    db.add(std::move(h));
+    return db;
+  }
+
+  static std::vector<UserAgentGroup> agents() {
+    return {
+        agent_row("Linux", "Curl", true, "P"),
+        agent_row("Android", "Chrome Mobile", true, "P"),
+        agent_row("Windows", "Chrome Mobile", true, "Q"),
+        agent_row("Haiku", "Netscape", false, ""),
+    };
+  }
+
+  Fixture()
+      : fp_hex(rs::util::hex_encode(root->sha256())),
+        engine(make_db(root), agents()) {}
+};
+
+TEST(QueryEngine, IsTrustedOkShape) {
+  Fixture f;
+  const std::string response = f.engine.handle_json(
+      R"({"op":"is_trusted","provider":"P","fp":")" + f.fp_hex +
+      R"(","date":"2019-06-01"})");
+  EXPECT_EQ(response, R"({"op":"is_trusted","status":"ok","fp":")" + f.fp_hex +
+                          R"(","date":"2019-06-01","scope":"tls",)"
+                          R"("provider":"P","trusted":true})");
+  EXPECT_FALSE(QueryEngine::is_error_response(response));
+}
+
+TEST(QueryEngine, NotCoveredIsTypedWithCoverageWindow) {
+  Fixture f;
+  const std::string response = f.engine.handle_json(
+      R"({"op":"is_trusted","provider":"P","fp":")" + f.fp_hex +
+      R"(","date":"2030-01-01"})");
+  EXPECT_EQ(response,
+            R"({"op":"is_trusted","status":"not_covered","fp":")" + f.fp_hex +
+                R"(","date":"2030-01-01","scope":"tls","provider":"P",)"
+                R"("coverage_begin":"2019-01-01","coverage_end":"2020-01-01"})");
+  // Typed outcome, not an error: the request was well-formed.
+  EXPECT_FALSE(QueryEngine::is_error_response(response));
+}
+
+TEST(QueryEngine, UnknownProviderIsError) {
+  Fixture f;
+  const std::string response = f.engine.handle_json(
+      R"({"op":"store_at","provider":"Nope","date":"2019-06-01"})");
+  EXPECT_TRUE(QueryEngine::is_error_response(response));
+  EXPECT_NE(response.find("\"code\":\"unknown_provider\""), std::string::npos);
+}
+
+TEST(QueryEngine, MalformedLineIsBadRequest) {
+  Fixture f;
+  const std::string response = f.engine.handle_json("not json at all");
+  EXPECT_TRUE(QueryEngine::is_error_response(response));
+  EXPECT_NE(response.find("\"code\":\"bad_request\""), std::string::npos);
+}
+
+TEST(QueryEngine, StoreAtListsSortedRoots) {
+  Fixture f;
+  const std::string response = f.engine.handle_json(
+      R"({"op":"store_at","provider":"P","date":"2019-06-01"})");
+  EXPECT_EQ(response,
+            R"({"op":"store_at","status":"ok","date":"2019-06-01",)"
+                R"("scope":"tls","provider":"P","snapshot_date":"2019-01-01",)"
+                R"("version":"v-2019-01-01","count":1,"roots":[")" +
+                f.fp_hex + R"("]})");
+}
+
+TEST(QueryEngine, AgentStoreResolvesUnambiguousAgent) {
+  Fixture f;
+  const std::string response = f.engine.handle_json(
+      R"({"op":"agent_store","user_agent":"Curl","date":"2019-06-01"})");
+  EXPECT_FALSE(QueryEngine::is_error_response(response)) << response;
+  EXPECT_NE(response.find("\"user_agent\":\"Curl\""), std::string::npos);
+  EXPECT_NE(response.find("\"provider\":\"P\""), std::string::npos);
+}
+
+TEST(QueryEngine, AgentStoreAmbiguityNeedsOs) {
+  Fixture f;
+  const std::string ambiguous = f.engine.handle_json(
+      R"({"op":"agent_store","user_agent":"Chrome Mobile","date":"2019-06-01"})");
+  EXPECT_TRUE(QueryEngine::is_error_response(ambiguous));
+  EXPECT_NE(ambiguous.find("\"code\":\"ambiguous_agent\""), std::string::npos);
+  // Narrowing by OS resolves it.
+  const std::string narrowed = f.engine.handle_json(
+      R"({"op":"agent_store","user_agent":"Chrome Mobile","os":"Android",)"
+      R"("date":"2019-06-01"})");
+  EXPECT_FALSE(QueryEngine::is_error_response(narrowed)) << narrowed;
+  EXPECT_NE(narrowed.find("\"os\":\"Android\""), std::string::npos);
+}
+
+TEST(QueryEngine, AgentStoreErrors) {
+  Fixture f;
+  const std::string unknown = f.engine.handle_json(
+      R"({"op":"agent_store","user_agent":"Gopher","date":"2019-06-01"})");
+  EXPECT_NE(unknown.find("\"code\":\"unknown_agent\""), std::string::npos);
+  const std::string excluded = f.engine.handle_json(
+      R"({"op":"agent_store","user_agent":"Netscape","date":"2019-06-01"})");
+  EXPECT_NE(excluded.find("\"code\":\"agent_not_covered\""),
+            std::string::npos);
+}
+
+TEST(QueryEngine, ServerStatsIsNotServedByTheEngine) {
+  Fixture f;
+  const std::string response = f.engine.handle_json(R"({"op":"server_stats"})");
+  EXPECT_TRUE(QueryEngine::is_error_response(response));
+  EXPECT_NE(response.find("\"code\":\"not_serving\""), std::string::npos);
+}
+
+TEST(QueryEngine, StatsSummarizesTheDataset) {
+  Fixture f;
+  const std::string response = f.engine.handle_json(R"({"op":"stats"})");
+  EXPECT_EQ(response,
+            R"({"op":"stats","status":"ok","providers":1,)"
+            R"("resolution_points":2,"certificates":1,)"
+            R"("coverage":{"P":["2019-01-01","2020-01-01"]}})");
+}
+
+TEST(QueryEngine, LineageShape) {
+  Fixture f;
+  const std::string response = f.engine.handle_json(
+      R"({"op":"lineage","fp":")" + f.fp_hex + R"("})");
+  EXPECT_EQ(response, R"({"op":"lineage","status":"ok","fp":")" + f.fp_hex +
+                          R"(","scope":"tls","spans":[{"provider":"P",)"
+                          R"("added":"2019-01-01","removed":null}]})");
+}
+
+TEST(QueryEngine, HandleAndHandleJsonAgree) {
+  Fixture f;
+  const std::string line =
+      R"({"op":"providers_trusting","fp":")" + f.fp_hex +
+      R"(","date":"2019-06-01"})";
+  auto parsed = parse_request(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(f.engine.handle(parsed.value()), f.engine.handle_json(line));
+}
+
+}  // namespace
+}  // namespace rs::query

@@ -1,0 +1,194 @@
+#include "src/query/request.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/hex.h"
+
+namespace rs::query {
+namespace {
+
+using rs::util::Date;
+
+const std::string kFp(64, 'a');
+
+TEST(ParseRequest, StatsMinimal) {
+  auto r = parse_request(R"({"op":"stats"})");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().op, Op::kStats);
+  EXPECT_FALSE(r.value().fp.has_value());
+  EXPECT_FALSE(r.value().provider.has_value());
+}
+
+TEST(ParseRequest, IsTrustedAllFields) {
+  auto r = parse_request(R"({"op":"is_trusted","provider":"NSS","fp":")" +
+                         kFp + R"(","date":"2020-06-01","scope":"email"})");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().op, Op::kIsTrusted);
+  EXPECT_EQ(*r.value().provider, "NSS");
+  ASSERT_TRUE(r.value().fp.has_value());
+  EXPECT_EQ(rs::util::hex_encode(*r.value().fp), kFp);
+  EXPECT_EQ(*r.value().date, Date::ymd(2020, 6, 1));
+  EXPECT_EQ(r.value().scope, Scope::kEmail);
+}
+
+TEST(ParseRequest, ScopeDefaultsToTls) {
+  auto r = parse_request(
+      R"({"op":"store_at","provider":"NSS","date":"2020-06-01"})");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().scope, Scope::kTls);
+}
+
+TEST(ParseRequest, UppercaseHexFingerprintNormalized) {
+  std::string upper(64, 'A');
+  auto r = parse_request(R"({"op":"lineage","fp":")" + upper + R"("})");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(rs::util::hex_encode(*r.value().fp), kFp);
+}
+
+TEST(ParseRequest, WhitespaceTolerated) {
+  auto r = parse_request(" { \"op\" : \"stats\" } ");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().op, Op::kStats);
+}
+
+TEST(ParseRequest, AgentStoreOsOptional) {
+  auto with_os = parse_request(
+      R"({"op":"agent_store","user_agent":"Chrome Mobile","os":"Android",)"
+      R"("date":"2020-06-01"})");
+  ASSERT_TRUE(with_os.ok()) << with_os.error();
+  EXPECT_EQ(*with_os.value().os, "Android");
+  auto without = parse_request(
+      R"({"op":"agent_store","user_agent":"Firefox","date":"2020-06-01"})");
+  ASSERT_TRUE(without.ok()) << without.error();
+  EXPECT_FALSE(without.value().os.has_value());
+}
+
+// --- Rejections -----------------------------------------------------------
+
+TEST(ParseRequest, RejectsEmptyAndNonObject) {
+  EXPECT_FALSE(parse_request("").ok());
+  EXPECT_FALSE(parse_request("null").ok());
+  EXPECT_FALSE(parse_request("[]").ok());
+  EXPECT_FALSE(parse_request("{}").ok());  // no "op"
+}
+
+TEST(ParseRequest, RejectsUnknownOpAndUnknownField) {
+  EXPECT_FALSE(parse_request(R"({"op":"drop_tables"})").ok());
+  EXPECT_FALSE(parse_request(R"({"op":"stats","extra":"x"})").ok());
+  // A field another op uses is still unknown for this op.
+  EXPECT_FALSE(parse_request(R"({"op":"stats","provider":"NSS"})").ok());
+}
+
+TEST(ParseRequest, RejectsMissingRequiredField) {
+  EXPECT_FALSE(parse_request(R"({"op":"is_trusted","provider":"NSS"})").ok());
+  EXPECT_FALSE(
+      parse_request(R"({"op":"diff","provider":"NSS","date_a":"2020-01-01"})")
+          .ok());
+}
+
+TEST(ParseRequest, RejectsDuplicateKey) {
+  EXPECT_FALSE(parse_request(R"({"op":"stats","op":"stats"})").ok());
+}
+
+TEST(ParseRequest, RejectsTrailingBytes) {
+  EXPECT_FALSE(parse_request(R"({"op":"stats"}x)").ok());
+  EXPECT_FALSE(parse_request(R"({"op":"stats"}{"op":"stats"})").ok());
+}
+
+TEST(ParseRequest, RejectsBadFingerprint) {
+  EXPECT_FALSE(parse_request(R"({"op":"lineage","fp":"abc"})").ok());
+  std::string bad(63, 'a');
+  bad.push_back('g');
+  EXPECT_FALSE(parse_request(R"({"op":"lineage","fp":")" + bad + R"("})").ok());
+}
+
+TEST(ParseRequest, RejectsBadDate) {
+  EXPECT_FALSE(parse_request(
+                   R"({"op":"store_at","provider":"NSS","date":"junk"})")
+                   .ok());
+  EXPECT_FALSE(parse_request(
+                   R"({"op":"store_at","provider":"NSS","date":"2020-13-01"})")
+                   .ok());
+}
+
+TEST(ParseRequest, RejectsBadScope) {
+  EXPECT_FALSE(
+      parse_request(
+          R"({"op":"store_at","provider":"NSS","date":"2020-01-01","scope":"ssh"})")
+          .ok());
+}
+
+TEST(ParseRequest, RejectsUnicodeEscapesAndControlBytes) {
+  // \uXXXX escapes are outside the accepted grammar (the raw string below
+  // really carries a backslash-u sequence on the wire).
+  EXPECT_FALSE(
+      parse_request(
+          R"({"op":"store_at","provider":"N\u0053S","date":"2020-01-01"})")
+          .ok());
+  std::string raw = "{\"op\":\"store_at\",\"provider\":\"a\x01b\","
+                    "\"date\":\"2020-01-01\"}";
+  EXPECT_FALSE(parse_request(raw).ok());
+}
+
+TEST(ParseRequest, EnforcesByteAndFieldCaps) {
+  // Oversized total request.
+  std::string big = R"({"op":"stats","x":")" + std::string(5000, 'a') + "\"}";
+  EXPECT_FALSE(parse_request(big).ok());
+  // Oversized single value within the total cap.
+  std::string long_value =
+      R"({"op":"store_at","provider":")" + std::string(kMaxValueBytes + 1, 'p') +
+      R"(","date":"2020-01-01"})";
+  ASSERT_LE(long_value.size(), kMaxRequestBytes);
+  EXPECT_FALSE(parse_request(long_value).ok());
+  // Oversized key.
+  std::string long_key =
+      "{\"" + std::string(kMaxKeyBytes + 1, 'k') + "\":\"v\"}";
+  EXPECT_FALSE(parse_request(long_key).ok());
+}
+
+// --- Canonicalization -----------------------------------------------------
+
+TEST(CanonicalRequest, MaterializesDefaultsAndFixesOrder) {
+  // scope omitted and fields deliberately out of order.
+  auto r = parse_request(R"({"date":"2020-06-01","provider":"NSS",)"
+                         R"("fp":")" + kFp + R"(","op":"is_trusted"})");
+  ASSERT_TRUE(r.ok()) << r.error();
+  const std::string canonical = canonical_request(r.value());
+  EXPECT_EQ(canonical,
+            R"({"op":"is_trusted","date":"2020-06-01","fp":")" + kFp +
+                R"(","provider":"NSS","scope":"tls"})");
+  // Semantically equal spellings share one canonical form (the cache key).
+  auto explicit_scope =
+      parse_request(R"({"op":"is_trusted","provider":"NSS","fp":")" + kFp +
+                    R"(","date":"2020-06-01","scope":"tls"})");
+  ASSERT_TRUE(explicit_scope.ok());
+  EXPECT_EQ(canonical_request(explicit_scope.value()), canonical);
+}
+
+TEST(CanonicalRequest, IsAFixedPoint) {
+  const char* lines[] = {
+      R"({"op":"stats"})",
+      R"({"op":"server_stats"})",
+      R"({"op":"diff","provider":"Debian","date_a":"2015-01-01","date_b":"2020-01-01","scope":"present"})",
+      R"({"op":"agent_store","user_agent":"Chrome Mobile","os":"Android","date":"2020-06-01"})",
+  };
+  for (const char* line : lines) {
+    auto first = parse_request(line);
+    ASSERT_TRUE(first.ok()) << line << ": " << first.error();
+    const std::string c1 = canonical_request(first.value());
+    auto second = parse_request(c1);
+    ASSERT_TRUE(second.ok()) << c1 << ": " << second.error();
+    EXPECT_EQ(canonical_request(second.value()), c1);
+  }
+}
+
+TEST(AppendJsonString, EscapesControlBytesAndQuotes) {
+  std::string out;
+  append_json_string(out, "a\"b\\c\nd\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+}
+
+}  // namespace
+}  // namespace rs::query

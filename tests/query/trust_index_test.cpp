@@ -1,0 +1,268 @@
+#include "src/query/trust_index.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/store/database.h"
+#include "src/store/interner.h"
+#include "src/store/trust.h"
+#include "src/x509/builder.h"
+
+namespace rs::query {
+namespace {
+
+using rs::store::CertInterner;
+using rs::store::make_tls_anchor;
+using rs::store::ProviderHistory;
+using rs::store::Snapshot;
+using rs::store::StoreDatabase;
+using rs::store::TrustEntry;
+using rs::util::Date;
+
+std::shared_ptr<const rs::x509::Certificate> make_cert(std::uint64_t seed) {
+  rs::x509::Name n;
+  n.add_common_name("Query Root " + std::to_string(seed));
+  return std::make_shared<const rs::x509::Certificate>(
+      rs::x509::CertificateBuilder().subject(n).key_seed(seed).build());
+}
+
+Snapshot snap(std::string provider, Date date,
+              std::vector<TrustEntry> entries) {
+  Snapshot s;
+  s.provider = std::move(provider);
+  s.date = date;
+  s.version = date.to_string();
+  s.entries = std::move(entries);
+  return s;
+}
+
+// One provider, four snapshots.  `flapper` is present in snapshots 1 and 3
+// only — the removed-then-re-added shape that must yield two intervals.
+struct Fixture {
+  std::shared_ptr<const rs::x509::Certificate> stable = make_cert(1);
+  std::shared_ptr<const rs::x509::Certificate> flapper = make_cert(2);
+  std::shared_ptr<const rs::x509::Certificate> outsider = make_cert(3);
+  StoreDatabase db;
+  CertInterner interner;
+  TrustIndex index;
+
+  Fixture() {
+    ProviderHistory h("P");
+    h.add(snap("P", Date::ymd(2019, 1, 1),
+               {make_tls_anchor(stable), make_tls_anchor(flapper)}));
+    h.add(snap("P", Date::ymd(2019, 7, 1), {make_tls_anchor(stable)}));
+    h.add(snap("P", Date::ymd(2020, 1, 1),
+               {make_tls_anchor(stable), make_tls_anchor(flapper)}));
+    h.add(snap("P", Date::ymd(2020, 7, 1), {make_tls_anchor(stable)}));
+    db.add(std::move(h));
+    // A second provider so `outsider` is a known certificate that P never
+    // carried (must answer kUntrusted inside P's coverage, not kNotCovered).
+    ProviderHistory other("Q");
+    other.add(snap("Q", Date::ymd(2019, 6, 1), {make_tls_anchor(outsider)}));
+    db.add(std::move(other));
+    interner = CertInterner::from_database(db);
+    index = TrustIndex::build(db, interner);
+  }
+};
+
+TEST(TrustIndex, ReAddedRootHasTwoDisjointIntervals) {
+  Fixture f;
+  const auto spans = f.index.lineage(f.flapper->sha256(), Scope::kTls);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].provider, "P");
+  EXPECT_EQ(spans[0].interval.added, Date::ymd(2019, 1, 1));
+  ASSERT_TRUE(spans[0].interval.removed.has_value());
+  EXPECT_EQ(*spans[0].interval.removed, Date::ymd(2019, 7, 1));
+  EXPECT_EQ(spans[1].provider, "P");
+  EXPECT_EQ(spans[1].interval.added, Date::ymd(2020, 1, 1));
+  ASSERT_TRUE(spans[1].interval.removed.has_value());
+  EXPECT_EQ(*spans[1].interval.removed, Date::ymd(2020, 7, 1));
+
+  // The gap between the intervals answers untrusted, both runs trusted.
+  EXPECT_EQ(f.index.is_trusted(f.flapper->sha256(), "P", Date::ymd(2019, 3, 1),
+                               Scope::kTls),
+            TrustAnswer::kTrusted);
+  EXPECT_EQ(f.index.is_trusted(f.flapper->sha256(), "P",
+                               Date::ymd(2019, 10, 1), Scope::kTls),
+            TrustAnswer::kUntrusted);
+  EXPECT_EQ(f.index.is_trusted(f.flapper->sha256(), "P", Date::ymd(2020, 3, 1),
+                               Scope::kTls),
+            TrustAnswer::kTrusted);
+  EXPECT_EQ(f.index.is_trusted(f.flapper->sha256(), "P", Date::ymd(2020, 7, 1),
+                               Scope::kTls),
+            TrustAnswer::kUntrusted);
+}
+
+TEST(TrustIndex, OutsideCoverageIsNotCoveredNotFalse) {
+  Fixture f;
+  // Day before the first snapshot and day after the last.
+  EXPECT_EQ(f.index.is_trusted(f.stable->sha256(), "P",
+                               Date::ymd(2018, 12, 31), Scope::kTls),
+            TrustAnswer::kNotCovered);
+  EXPECT_EQ(f.index.is_trusted(f.stable->sha256(), "P", Date::ymd(2020, 7, 2),
+                               Scope::kTls),
+            TrustAnswer::kNotCovered);
+  // Coverage boundaries themselves answer.
+  EXPECT_EQ(f.index.is_trusted(f.stable->sha256(), "P", Date::ymd(2019, 1, 1),
+                               Scope::kTls),
+            TrustAnswer::kTrusted);
+  EXPECT_EQ(f.index.is_trusted(f.stable->sha256(), "P", Date::ymd(2020, 7, 1),
+                               Scope::kTls),
+            TrustAnswer::kTrusted);
+  // store_at mirrors the same boundary behaviour.
+  EXPECT_FALSE(
+      f.index.store_at("P", Date::ymd(2018, 12, 31), Scope::kTls).has_value());
+  EXPECT_TRUE(
+      f.index.store_at("P", Date::ymd(2020, 7, 1), Scope::kTls).has_value());
+
+  const auto cov = f.index.coverage("P");
+  ASSERT_TRUE(cov.has_value());
+  EXPECT_EQ(cov->first, Date::ymd(2019, 1, 1));
+  EXPECT_EQ(cov->last, Date::ymd(2020, 7, 1));
+}
+
+TEST(TrustIndex, UnknownCertificateInsideCoverageIsUntrusted) {
+  Fixture f;
+  EXPECT_EQ(f.index.is_trusted(f.outsider->sha256(), "P",
+                               Date::ymd(2019, 3, 1), Scope::kTls),
+            TrustAnswer::kUntrusted);
+}
+
+TEST(TrustIndex, UnknownProviderIsNotCovered) {
+  Fixture f;
+  EXPECT_FALSE(f.index.has_provider("Nope"));
+  EXPECT_EQ(f.index.is_trusted(f.stable->sha256(), "Nope",
+                               Date::ymd(2019, 3, 1), Scope::kTls),
+            TrustAnswer::kNotCovered);
+  EXPECT_FALSE(f.index.coverage("Nope").has_value());
+  EXPECT_FALSE(
+      f.index.store_at("Nope", Date::ymd(2019, 3, 1), Scope::kTls).has_value());
+}
+
+TEST(TrustIndex, StoreAtResolvesToLatestSnapshotOnOrBefore) {
+  Fixture f;
+  const auto view = f.index.store_at("P", Date::ymd(2019, 9, 9), Scope::kTls);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->provider, "P");
+  EXPECT_EQ(view->snapshot_date, Date::ymd(2019, 7, 1));
+  EXPECT_EQ(view->version, "2019-07-01");
+  ASSERT_NE(view->roots, nullptr);
+  EXPECT_EQ(view->roots->size(), 1u);
+  const auto id = f.interner.id_of(f.stable->sha256());
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(view->roots->contains(*id));
+}
+
+TEST(TrustIndex, DiffReportsAddedAndRemoved) {
+  Fixture f;
+  const auto delta = f.index.diff("P", Date::ymd(2019, 8, 1),
+                                  Date::ymd(2020, 2, 1), Scope::kTls);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(delta->from.snapshot_date, Date::ymd(2019, 7, 1));
+  EXPECT_EQ(delta->to.snapshot_date, Date::ymd(2020, 1, 1));
+  EXPECT_EQ(delta->added.size(), 1u);
+  EXPECT_EQ(delta->removed.size(), 0u);
+  const auto id = f.interner.id_of(f.flapper->sha256());
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(delta->added.contains(*id));
+  // Reversed direction swaps the delta.
+  const auto back = f.index.diff("P", Date::ymd(2020, 2, 1),
+                                 Date::ymd(2019, 8, 1), Scope::kTls);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->added.size(), 0u);
+  EXPECT_EQ(back->removed.size(), 1u);
+  // One uncovered endpoint poisons the diff.
+  EXPECT_FALSE(f.index.diff("P", Date::ymd(2018, 1, 1), Date::ymd(2020, 2, 1),
+                            Scope::kTls)
+                   .has_value());
+}
+
+TEST(TrustIndex, ProvidersTrustingReportsNotCoveredSeparately) {
+  Fixture f;
+  // 2019-03-01: P covers (and trusts stable); Q's coverage is the single
+  // snapshot date 2019-06-01, so Q lands in not_covered.
+  std::vector<std::string> skipped;
+  const auto trusting = f.index.providers_trusting(
+      f.stable->sha256(), Date::ymd(2019, 3, 1), Scope::kTls, &skipped);
+  EXPECT_EQ(trusting, std::vector<std::string>{"P"});
+  EXPECT_EQ(skipped, std::vector<std::string>{"Q"});
+}
+
+TEST(TrustIndex, ScopesAreIndependent) {
+  auto cert = make_cert(7);
+  TrustEntry entry;
+  entry.certificate = cert;
+  entry.purposes[0].level = rs::store::TrustLevel::kMustVerify;
+  entry.purposes[1].level = rs::store::TrustLevel::kTrustedDelegator;
+  entry.purposes[2].level = rs::store::TrustLevel::kDistrusted;
+
+  StoreDatabase db;
+  ProviderHistory h("S");
+  h.add(snap("S", Date::ymd(2020, 1, 1), {entry}));
+  h.add(snap("S", Date::ymd(2020, 6, 1), {entry}));
+  db.add(std::move(h));
+  const auto interner = CertInterner::from_database(db);
+  const auto index = TrustIndex::build(db, interner);
+
+  const Date d = Date::ymd(2020, 3, 1);
+  EXPECT_EQ(index.is_trusted(cert->sha256(), "S", d, Scope::kTls),
+            TrustAnswer::kUntrusted);
+  EXPECT_EQ(index.is_trusted(cert->sha256(), "S", d, Scope::kEmail),
+            TrustAnswer::kTrusted);
+  EXPECT_EQ(index.is_trusted(cert->sha256(), "S", d, Scope::kCode),
+            TrustAnswer::kUntrusted);
+  // kPresent sees the entry regardless of trust bits.
+  EXPECT_EQ(index.is_trusted(cert->sha256(), "S", d, Scope::kPresent),
+            TrustAnswer::kTrusted);
+}
+
+TEST(TrustIndex, EqualDatedSnapshotsCollapseToTheLast) {
+  auto a = make_cert(11);
+  auto b = make_cert(12);
+  StoreDatabase db;
+  ProviderHistory h("C");
+  h.add(snap("C", Date::ymd(2020, 1, 1), {make_tls_anchor(a)}));
+  h.add(snap("C", Date::ymd(2020, 1, 1), {make_tls_anchor(b)}));  // same day
+  h.add(snap("C", Date::ymd(2020, 6, 1), {make_tls_anchor(b)}));
+  db.add(std::move(h));
+  const auto interner = CertInterner::from_database(db);
+  const auto index = TrustIndex::build(db, interner);
+
+  // ProviderHistory::at resolves the later same-day snapshot; the index
+  // must agree, so `a` never appears trusted.
+  EXPECT_EQ(index.is_trusted(a->sha256(), "C", Date::ymd(2020, 1, 1),
+                             Scope::kTls),
+            TrustAnswer::kUntrusted);
+  EXPECT_EQ(index.is_trusted(b->sha256(), "C", Date::ymd(2020, 1, 1),
+                             Scope::kTls),
+            TrustAnswer::kTrusted);
+  EXPECT_TRUE(index.lineage(a->sha256(), Scope::kTls).empty());
+}
+
+TEST(TrustIndex, OpenEndedIntervalForStillPresentRoot) {
+  Fixture f;
+  const auto spans = f.index.lineage(f.stable->sha256(), Scope::kTls);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].provider, "P");
+  EXPECT_EQ(spans[0].interval.added, Date::ymd(2019, 1, 1));
+  EXPECT_FALSE(spans[0].interval.removed.has_value());
+  // Q's only root is likewise open-ended (single-snapshot history).
+  const auto q_spans = f.index.lineage(f.outsider->sha256(), Scope::kTls);
+  ASSERT_EQ(q_spans.size(), 1u);
+  EXPECT_EQ(q_spans[0].provider, "Q");
+  EXPECT_FALSE(q_spans[0].interval.removed.has_value());
+}
+
+TEST(TrustIndex, StatsAccessors) {
+  Fixture f;
+  EXPECT_EQ(f.index.provider_count(), 2u);
+  EXPECT_EQ(f.index.providers(),
+            (std::vector<std::string>{"P", "Q"}));
+  EXPECT_EQ(f.index.resolution_point_count(), 5u);  // 4 dates + 1 date
+}
+
+}  // namespace
+}  // namespace rs::query

@@ -1,0 +1,88 @@
+#include "src/serve/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rs::serve {
+namespace {
+
+TEST(LruCache, MissThenHit) {
+  LruCache cache(4);
+  EXPECT_FALSE(cache.get("a").has_value());
+  cache.put("a", "A");
+  const auto hit = cache.get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "A");
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.put("a", "A");
+  cache.put("b", "B");
+  ASSERT_TRUE(cache.get("a").has_value());  // "a" is now most recent
+  cache.put("c", "C");                      // evicts "b"
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+}
+
+TEST(LruCache, PutRefreshesExistingEntry) {
+  LruCache cache(2);
+  cache.put("a", "A1");
+  cache.put("b", "B");
+  cache.put("a", "A2");  // refresh, not insert: "a" becomes most recent
+  cache.put("c", "C");   // evicts "b", the LRU
+  EXPECT_EQ(cache.size(), 2u);
+  const auto a = cache.get("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, "A2");
+  EXPECT_FALSE(cache.get("b").has_value());
+}
+
+TEST(LruCache, ZeroCapacityDisables) {
+  LruCache cache(0);
+  cache.put("a", "A");
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.capacity(), 0u);
+  EXPECT_EQ(cache.counters().misses, 1u);
+}
+
+TEST(LruCache, ConcurrentMixedTrafficStaysConsistent) {
+  LruCache cache(16);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "k" + std::to_string((t * 7 + i) % 32);
+        if (i % 3 == 0) {
+          cache.put(key, "v" + key);
+        } else if (auto hit = cache.get(key)) {
+          // A hit must always carry the value that key was stored with.
+          ASSERT_EQ(*hit, "v" + key);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_LE(cache.size(), 16u);
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits + c.misses,
+            static_cast<std::uint64_t>(kThreads) * ((kOps * 2) / 3));
+}
+
+}  // namespace
+}  // namespace rs::serve

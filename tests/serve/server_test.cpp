@@ -1,0 +1,324 @@
+// Serve-layer integration tests: the socket path must answer byte-identically
+// to the in-process engine under concurrent clients, survive malformed and
+// oversized input, and drain gracefully on stop().  The suite is labelled
+// `tsan` — it races real client threads against the server's pool.
+#include "src/serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/query/engine.h"
+#include "src/store/database.h"
+#include "src/util/hex.h"
+#include "src/x509/builder.h"
+
+namespace rs::serve {
+namespace {
+
+using rs::query::QueryEngine;
+using rs::store::ProviderHistory;
+using rs::store::Snapshot;
+using rs::store::StoreDatabase;
+using rs::util::Date;
+
+std::shared_ptr<const rs::x509::Certificate> make_cert(std::uint64_t seed) {
+  rs::x509::Name n;
+  n.add_common_name("Serve Root " + std::to_string(seed));
+  return std::make_shared<const rs::x509::Certificate>(
+      rs::x509::CertificateBuilder().subject(n).key_seed(seed).build());
+}
+
+StoreDatabase make_db() {
+  auto a = make_cert(1);
+  auto b = make_cert(2);
+  StoreDatabase db;
+  ProviderHistory h("P");
+  Snapshot s1;
+  s1.provider = "P";
+  s1.date = Date::ymd(2019, 1, 1);
+  s1.version = "1";
+  s1.entries = {rs::store::make_tls_anchor(a)};
+  Snapshot s2;
+  s2.provider = "P";
+  s2.date = Date::ymd(2020, 1, 1);
+  s2.version = "2";
+  s2.entries = {rs::store::make_tls_anchor(a), rs::store::make_tls_anchor(b)};
+  h.add(std::move(s1));
+  h.add(std::move(s2));
+  db.add(std::move(h));
+  return db;
+}
+
+/// Minimal blocking NDJSON client.
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool send_raw(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads up to the next newline; empty optional on EOF/error.
+  std::optional<std::string> read_line() {
+    while (true) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return std::nullopt;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::optional<std::string> roundtrip(const std::string& request) {
+    if (!send_raw(request + "\n")) return std::nullopt;
+    return read_line();
+  }
+
+  void half_close() { ::shutdown(fd_, SHUT_WR); }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct ServerFixture {
+  StoreDatabase db = make_db();
+  QueryEngine engine{db, {}};
+  std::unique_ptr<Server> server;
+  std::uint16_t port = 0;
+
+  explicit ServerFixture(ServerOptions options = {}) {
+    server = std::make_unique<Server>(engine, options);
+    auto bound = server->start();
+    EXPECT_TRUE(bound.ok()) << bound.error();
+    port = bound.ok() ? bound.value() : 0;
+  }
+};
+
+std::vector<std::string> request_mix() {
+  const std::string fp_a = rs::util::hex_encode(make_cert(1)->sha256());
+  const std::string fp_b = rs::util::hex_encode(make_cert(2)->sha256());
+  return {
+      R"({"op":"stats"})",
+      R"({"op":"store_at","provider":"P","date":"2019-06-01"})",
+      R"({"op":"store_at","provider":"P","date":"2020-06-01"})",
+      R"({"op":"store_at","provider":"P","date":"1999-01-01"})",
+      R"({"op":"is_trusted","provider":"P","fp":")" + fp_a +
+          R"(","date":"2019-06-01"})",
+      R"({"op":"is_trusted","provider":"P","fp":")" + fp_b +
+          R"(","date":"2019-06-01"})",
+      R"({"op":"diff","provider":"P","date_a":"2019-06-01","date_b":"2020-06-01"})",
+      R"({"op":"lineage","fp":")" + fp_b + R"("})",
+      R"({"op":"providers_trusting","fp":")" + fp_a +
+          R"(","date":"2019-06-01"})",
+      R"({"op":"store_at","provider":"Nope","date":"2019-06-01"})",
+      R"(garbage that does not parse)",
+  };
+}
+
+/// The acceptance criterion: N concurrent clients each replay the mix and
+/// every socket response must equal the in-process engine's bytes.
+void expect_byte_identical(std::size_t num_clients) {
+  ServerFixture f;
+  ASSERT_NE(f.port, 0);
+  const auto mix = request_mix();
+  std::vector<std::vector<std::string>> got(num_clients);
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&f, &mix, &got, c] {
+      Client client(f.port);
+      if (!client.connected()) return;
+      for (std::size_t lap = 0; lap < 3; ++lap) {
+        for (const auto& line : mix) {
+          auto response = client.roundtrip(line);
+          if (!response) return;
+          got[c].push_back(*response);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    ASSERT_EQ(got[c].size(), mix.size() * 3) << "client " << c;
+    for (std::size_t lap = 0; lap < 3; ++lap) {
+      for (std::size_t i = 0; i < mix.size(); ++i) {
+        EXPECT_EQ(got[c][lap * mix.size() + i], f.engine.handle_json(mix[i]))
+            << "client " << c << " request " << mix[i];
+      }
+    }
+  }
+  f.server->stop();
+}
+
+TEST(Server, ByteIdenticalToEngineOneClient) { expect_byte_identical(1); }
+TEST(Server, ByteIdenticalToEngineFourClients) { expect_byte_identical(4); }
+TEST(Server, ByteIdenticalToEngineEightClients) { expect_byte_identical(8); }
+
+TEST(Server, ByteIdenticalWithInlineAcceptThread) {
+  // 0 pool workers: the accept thread serves connections itself.  One
+  // client at a time, but the bytes contract is the same.
+  ServerOptions options;
+  options.num_threads = 0;
+  ServerFixture f(options);
+  ASSERT_NE(f.port, 0);
+  Client client(f.port);
+  ASSERT_TRUE(client.connected());
+  for (const auto& line : request_mix()) {
+    auto response = client.roundtrip(line);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(*response, f.engine.handle_json(line));
+  }
+  f.server->stop();
+}
+
+TEST(Server, PipelinedRequestsAnswerInOrder) {
+  ServerFixture f;
+  Client client(f.port);
+  ASSERT_TRUE(client.connected());
+  const auto mix = request_mix();
+  std::string burst;
+  for (const auto& line : mix) burst += line + "\n";
+  ASSERT_TRUE(client.send_raw(burst));
+  for (const auto& line : mix) {
+    auto response = client.read_line();
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(*response, f.engine.handle_json(line));
+  }
+  f.server->stop();
+}
+
+TEST(Server, OversizedLineGetsStructuredErrorThenClose) {
+  ServerFixture f;
+  Client client(f.port);
+  ASSERT_TRUE(client.connected());
+  const std::string huge(rs::query::kMaxRequestBytes + 100, 'x');
+  ASSERT_TRUE(client.send_raw(huge));  // no newline: unterminated flood
+  auto response = client.read_line();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(QueryEngine::is_error_response(*response));
+  EXPECT_NE(response->find("\"code\":\"oversized\""), std::string::npos);
+  // The connection closes after the error (framing is lost).
+  EXPECT_FALSE(client.read_line().has_value());
+  f.server->stop();
+}
+
+TEST(Server, EofMidRequestAnswersBadRequest) {
+  ServerFixture f;
+  Client client(f.port);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_raw(R"({"op":"stats")"));  // no closing newline
+  client.half_close();
+  auto response = client.read_line();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_NE(response->find("\"code\":\"bad_request\""), std::string::npos);
+  f.server->stop();
+}
+
+TEST(Server, CacheHitsAreCountedAndStatsServed) {
+  ServerFixture f;
+  Client client(f.port);
+  ASSERT_TRUE(client.connected());
+  const std::string line =
+      R"({"op":"store_at","provider":"P","date":"2019-06-01"})";
+  // Same canonical request twice: first misses, second hits.
+  const auto first = client.roundtrip(line);
+  const auto second = client.roundtrip(line);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, *second);
+  // Spelling the default scope explicitly still hits the same entry.
+  const auto third = client.roundtrip(
+      R"({"op":"store_at","provider":"P","scope":"tls","date":"2019-06-01"})");
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(*third, *first);
+
+  const auto stats = client.roundtrip(R"({"op":"server_stats"})");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NE(stats->find("\"op\":\"server_stats\""), std::string::npos);
+  EXPECT_NE(stats->find("\"cache_hits\":2"), std::string::npos);
+
+  const ServerStats s = f.server->stats();
+  EXPECT_EQ(s.cache_hits, 2u);
+  EXPECT_GE(s.cache_misses, 1u);
+  f.server->stop();
+}
+
+TEST(Server, ErrorsAreNeverCached) {
+  ServerFixture f;
+  Client client(f.port);
+  ASSERT_TRUE(client.connected());
+  const std::string bad =
+      R"({"op":"store_at","provider":"Nope","date":"2019-06-01"})";
+  ASSERT_TRUE(client.roundtrip(bad).has_value());
+  ASSERT_TRUE(client.roundtrip(bad).has_value());
+  EXPECT_EQ(f.server->stats().cache_hits, 0u);
+  f.server->stop();
+}
+
+TEST(Server, StopDrainsInFlightRequestsAndRefusesNewConnections) {
+  ServerFixture f;
+  Client client(f.port);
+  ASSERT_TRUE(client.connected());
+  // Prove the connection is live, then stop the server while the client
+  // sits idle: stop() must half-close it and return rather than hang.
+  ASSERT_TRUE(client.roundtrip(R"({"op":"stats"})").has_value());
+  f.server->stop();
+  EXPECT_FALSE(f.server->running());
+  // The drained connection reads EOF.
+  EXPECT_FALSE(client.read_line().has_value());
+  // stop() is idempotent.
+  f.server->stop();
+}
+
+TEST(Server, RespondLineMatchesSocketSemantics) {
+  ServerFixture f;
+  const std::string line = R"({"op":"stats"})";
+  EXPECT_EQ(f.server->respond_line(line), f.engine.handle_json(line));
+  f.server->stop();
+}
+
+}  // namespace
+}  // namespace rs::serve

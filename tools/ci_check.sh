@@ -7,15 +7,17 @@
 #                        test suite so memory bugs fail CI deterministically
 #   3. TSan build        ThreadSanitizer over the concurrency suite
 #                        (`ctest -L tsan`: thread-pool stress tests, the
-#                        parallel analysis pipeline under contention, and
-#                        the merge-vs-interned equivalence suite on the pool)
+#                        parallel analysis pipeline under contention, the
+#                        merge-vs-interned equivalence suite on the pool,
+#                        and the serve layer under concurrent socket clients)
 #   4. lint              clang-tidy via tools/run_lint.sh (skipped with a
 #                        notice when clang-tidy is not installed)
 #   5. benches           records the 1-vs-N worker scaling sweep into
 #                        BENCH_parallel.json, the merge-vs-interned
-#                        set-algebra sweep into BENCH_intern.json, and the
-#                        observability-overhead sweep into BENCH_obs.json
-#                        (skip with ROOTSTORE_SKIP_BENCH=1)
+#                        set-algebra sweep into BENCH_intern.json, the
+#                        observability-overhead sweep into BENCH_obs.json,
+#                        and the serve-layer throughput/latency sweep into
+#                        BENCH_serve.json (skip with ROOTSTORE_SKIP_BENCH=1)
 #   6. coverage          gcov build + full suite, enforcing the src/ line
 #                        coverage floor in tools/coverage_baseline.txt
 #                        (skip with ROOTSTORE_SKIP_COVERAGE=1)
@@ -43,7 +45,7 @@ cmake -B "$repo_root/build-tsan" -S "$repo_root" \
       -DROOTSTORE_SANITIZE=thread >/dev/null
 cmake --build "$repo_root/build-tsan" -j "$jobs" \
       --target exec_tests --target intern_equivalence_tests \
-      --target obs_tests
+      --target obs_tests --target query_property_tests --target serve_tests
 ctest --test-dir "$repo_root/build-tsan" --output-on-failure -L tsan
 
 echo "=== [4/6] clang-tidy ==="
@@ -52,11 +54,13 @@ echo "=== [4/6] clang-tidy ==="
 if [ "${ROOTSTORE_SKIP_BENCH:-0}" = "1" ]; then
   echo "=== [5/6] benches: SKIPPED (ROOTSTORE_SKIP_BENCH=1) ==="
 else
-  echo "=== [5/6] benches -> BENCH_parallel/intern/obs.json ==="
-  cmake --build "$repo_root/build" -j "$jobs" --target perf_analysis
+  echo "=== [5/6] benches -> BENCH_parallel/intern/obs/serve.json ==="
+  cmake --build "$repo_root/build" -j "$jobs" --target perf_analysis \
+        --target rootstore --target serve_loadgen
   "$repo_root/tools/record_parallel_bench.sh" "$repo_root/build"
   "$repo_root/tools/record_intern_bench.sh" "$repo_root/build"
   "$repo_root/tools/record_obs_bench.sh" "$repo_root/build"
+  "$repo_root/tools/record_serve_bench.sh" "$repo_root/build"
 fi
 
 if [ "${ROOTSTORE_SKIP_COVERAGE:-0}" = "1" ]; then

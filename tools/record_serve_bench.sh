@@ -1,0 +1,64 @@
+#!/bin/sh
+# Records the serving-layer benchmark into BENCH_serve.json:
+#
+#   * miss phase — distinct requests, every answer computed by the engine
+#   * hit phase  — a small working set replayed, answered from the LRU
+#
+# serve_loadgen reports per-phase throughput and p50/p99 latency plus the
+# server's own cache counters; the committed BENCH_serve.json is the
+# record that a cache hit is measurably faster than a miss.
+#
+# Usage: tools/record_serve_bench.sh [build-dir] [out-file]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${1:-"$repo_root/build"}"
+out_file="${2:-"$repo_root/BENCH_serve.json"}"
+
+rootstore="$build_dir/tools/rootstore"
+loadgen="$build_dir/tools/serve_loadgen"
+for bin in "$rootstore" "$loadgen"; do
+  if [ ! -x "$bin" ]; then
+    echo "record_serve_bench: $bin missing; build rootstore and" >&2
+    echo "serve_loadgen first" >&2
+    exit 2
+  fi
+done
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+"$rootstore" serve --port 0 --threads 4 --cache 1024 \
+    --port-file "$workdir/port" > "$workdir/serve.log" 2>&1 &
+server_pid=$!
+
+i=0
+while [ ! -s "$workdir/port" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 600 ] || ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "record_serve_bench: server failed to start" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+port=$(cat "$workdir/port")
+
+"$loadgen" --port "$port" --connections 4 --requests 2000 \
+    --json-out "$out_file"
+
+kill -INT "$server_pid"
+status=0
+wait "$server_pid" || status=$?
+server_pid=""
+if [ "$status" -ne 0 ]; then
+  echo "record_serve_bench: server exited $status after SIGINT" >&2
+  exit 1
+fi
+
+echo "record_serve_bench: wrote $out_file"

@@ -7,10 +7,14 @@
 //   rootstore dataset export <dir>        write the scenario dataset
 //   rootstore dataset verify <dir>        reload + verify a dataset
 //   rootstore report <name>               table1..table7, fig1..fig4
+//   rootstore query '<json>'              one-shot trust query (docs/SERVING.md)
+//   rootstore serve                       NDJSON query server on loopback TCP
 //   rootstore formats                     list supported formats
 //
 // Every subcommand works on any supported serialization (sniffed from the
 // content): certdata.txt, PEM bundle, JKS, RSTS.
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +22,10 @@
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
+
+#include "src/exec/thread_pool.h"
 
 #include "src/analysis/hygiene.h"
 #include "src/core/export.h"
@@ -29,7 +37,10 @@
 #include "src/formats/portable.h"
 #include "src/formats/sniff.h"
 #include "src/obs/registry.h"
+#include "src/query/engine.h"
+#include "src/serve/server.h"
 #include "src/synth/paper_scenario.h"
+#include "src/synth/user_agents.h"
 #include "src/util/strings.h"
 #include "src/util/table.h"
 #include "src/x509/lint.h"
@@ -58,6 +69,18 @@ int usage() {
       "                            --trace-out writes a Chrome trace_event\n"
       "                            JSON (env ROOTSTORE_TRACE works too) and\n"
       "                            --metrics-out a counters/stages JSON\n"
+      "  query '<json>' [--threads N] [--from DIR]\n"
+      "                            answer one trust query (is_trusted,\n"
+      "                            providers_trusting, store_at, diff,\n"
+      "                            agent_store, lineage, stats) without a\n"
+      "                            server; see docs/SERVING.md\n"
+      "  serve [--port N] [--threads K] [--cache N] [--port-file FILE]\n"
+      "        [--from DIR]\n"
+      "                            serve queries as newline-delimited JSON\n"
+      "                            over loopback TCP (port 0 = ephemeral;\n"
+      "                            the bound port is printed and optionally\n"
+      "                            written to FILE); SIGINT drains in-flight\n"
+      "                            requests and exits 0\n"
       "  formats                   list supported serializations\n",
       stderr);
   return 2;
@@ -301,6 +324,95 @@ int cmd_report(const std::string& name, bool csv, std::size_t threads,
   return 0;
 }
 
+// Materializes the database the query/serve engines answer from: the
+// curated paper scenario, or a `dataset export` directory decoded through
+// the real parsers when `from_dir` is given (same bytes either way).
+rs::util::Result<rs::store::StoreDatabase> load_query_database(
+    const std::string& from_dir) {
+  if (!from_dir.empty()) {
+    auto loaded = rs::formats::load_dataset(from_dir);
+    if (!loaded.ok()) return loaded;
+    return std::move(loaded).take();
+  }
+  auto scenario = rs::synth::build_paper_scenario(rs::synth::kPaperSeed);
+  rs::store::StoreDatabase db = scenario.database();
+  return db;
+}
+
+int cmd_query(const std::string& request, std::size_t threads,
+              const std::string& from_dir) {
+  auto db = load_query_database(from_dir);
+  if (!db.ok()) return die(db.error());
+  rs::exec::ThreadPool build_pool(threads);
+  const rs::query::QueryEngine engine(db.value(),
+                                      rs::synth::user_agent_population(),
+                                      &build_pool);
+  const std::string response = engine.handle_json(request);
+  std::printf("%s\n", response.c_str());
+  // Scripting contract: exit 0 for any answered query (including typed
+  // not_covered), 1 only for error responses.
+  return rs::query::QueryEngine::is_error_response(response) ? 1 : 0;
+}
+
+// SIGINT/SIGTERM latch for `rootstore serve`: the handler writes one byte
+// into a self-pipe; the main thread blocks on the read end and runs the
+// graceful drain when it wakes (only async-signal-safe calls in the
+// handler itself).
+int g_shutdown_pipe[2] = {-1, -1};
+
+extern "C" void handle_shutdown_signal(int) {
+  const char byte = 1;
+  // Best-effort: a full pipe means a shutdown is already pending.
+  [[maybe_unused]] const ssize_t n = write(g_shutdown_pipe[1], &byte, 1);
+}
+
+int cmd_serve(std::uint16_t port, std::size_t threads, std::size_t cache,
+              const std::string& port_file, const std::string& from_dir) {
+  auto db = load_query_database(from_dir);
+  if (!db.ok()) return die(db.error());
+  rs::exec::ThreadPool build_pool(threads);
+  const rs::query::QueryEngine engine(db.value(),
+                                      rs::synth::user_agent_population(),
+                                      &build_pool);
+
+  rs::serve::ServerOptions options;
+  options.port = port;
+  options.num_threads = threads;
+  options.cache_capacity = cache;
+  rs::serve::Server server(engine, options);
+  auto bound = server.start();
+  if (!bound.ok()) return die(bound.error());
+
+  if (pipe(g_shutdown_pipe) != 0) return die("cannot create signal pipe");
+  struct sigaction action {};
+  action.sa_handler = handle_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  if (!port_file.empty()) {
+    std::ofstream f(port_file, std::ios::binary);
+    f << bound.value() << "\n";
+    if (!f) return die("cannot write port file: " + port_file);
+  }
+  std::printf("listening 127.0.0.1:%u (threads=%zu cache=%zu)\n",
+              static_cast<unsigned>(bound.value()), threads, cache);
+  std::fflush(stdout);
+
+  char byte = 0;
+  while (read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  server.stop();
+  const rs::serve::ServerStats stats = server.stats();
+  std::printf("drained: %llu request(s) over %llu connection(s), "
+              "%llu cache hit(s), %llu error(s)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.errors));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -345,6 +457,48 @@ int main(int argc, char** argv) {
       }
     }
     return cmd_report(args[1], csv, threads, from_dir, trace_out, metrics_out);
+  }
+  if (cmd == "query" && args.size() >= 2) {
+    std::size_t threads = 0;
+    std::string from_dir;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--threads" && i + 1 < args.size()) {
+        threads = static_cast<std::size_t>(
+            std::strtoul(args[++i].c_str(), nullptr, 10));
+      } else if (args[i] == "--from" && i + 1 < args.size()) {
+        from_dir = args[++i];
+      } else {
+        return usage();
+      }
+    }
+    return cmd_query(args[1], threads, from_dir);
+  }
+  if (cmd == "serve") {
+    unsigned long port = 0;
+    std::size_t threads = 4;
+    std::size_t cache = 1024;
+    std::string port_file;
+    std::string from_dir;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--port" && i + 1 < args.size()) {
+        port = std::strtoul(args[++i].c_str(), nullptr, 10);
+        if (port > 65535) return die("--port must be 0..65535");
+      } else if (args[i] == "--threads" && i + 1 < args.size()) {
+        threads = static_cast<std::size_t>(
+            std::strtoul(args[++i].c_str(), nullptr, 10));
+      } else if (args[i] == "--cache" && i + 1 < args.size()) {
+        cache = static_cast<std::size_t>(
+            std::strtoul(args[++i].c_str(), nullptr, 10));
+      } else if (args[i] == "--port-file" && i + 1 < args.size()) {
+        port_file = args[++i];
+      } else if (args[i] == "--from" && i + 1 < args.size()) {
+        from_dir = args[++i];
+      } else {
+        return usage();
+      }
+    }
+    return cmd_serve(static_cast<std::uint16_t>(port), threads, cache,
+                     port_file, from_dir);
   }
   return usage();
 }

@@ -1,0 +1,74 @@
+#!/bin/sh
+# End-to-end smoke test for `rootstore serve`, registered as a ctest:
+#
+#   1. start the server on an ephemeral port (--port-file handshake)
+#   2. answer one query over the socket and sanity-check the bytes
+#   3. send SIGINT and require a graceful drain with exit code 0
+#
+# Usage: tools/serve_smoke.sh <build-dir>
+set -eu
+
+build_dir="${1:?usage: serve_smoke.sh <build-dir>}"
+rootstore="$build_dir/tools/rootstore"
+loadgen="$build_dir/tools/serve_loadgen"
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+"$rootstore" serve --port 0 --threads 2 --cache 64 \
+    --port-file "$workdir/port" > "$workdir/serve.log" 2>&1 &
+server_pid=$!
+
+# The engine compiles its index before listening; allow up to 60s.
+i=0
+while [ ! -s "$workdir/port" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 600 ]; then
+    echo "serve_smoke: server never wrote the port file" >&2
+    cat "$workdir/serve.log" >&2
+    kill "$server_pid" 2>/dev/null || true
+    exit 1
+  fi
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "serve_smoke: server exited before listening" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+port=$(cat "$workdir/port")
+
+response=$("$loadgen" --port "$port" --oneshot '{"op":"stats"}')
+case "$response" in
+  '{"op":"stats","status":"ok"'*) ;;
+  *)
+    echo "serve_smoke: unexpected stats response: $response" >&2
+    kill "$server_pid" 2>/dev/null || true
+    exit 1
+    ;;
+esac
+
+# Malformed input must answer a structured error, not kill the server.
+bad=$("$loadgen" --port "$port" --oneshot 'not json')
+case "$bad" in
+  '{"status":"error","code":"bad_request"'*) ;;
+  *)
+    echo "serve_smoke: unexpected error response: $bad" >&2
+    kill "$server_pid" 2>/dev/null || true
+    exit 1
+    ;;
+esac
+
+kill -INT "$server_pid"
+status=0
+wait "$server_pid" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "serve_smoke: server exited $status after SIGINT (want 0)" >&2
+  cat "$workdir/serve.log" >&2
+  exit 1
+fi
+grep -q "^drained:" "$workdir/serve.log" || {
+  echo "serve_smoke: no drain summary in server log" >&2
+  cat "$workdir/serve.log" >&2
+  exit 1
+}
+echo "serve_smoke: OK (port $port)"
