@@ -19,6 +19,10 @@ option(ROOTSTORE_FUZZ "Build fuzz harnesses and corpus replay tests" ON)
 option(ROOTSTORE_COVERAGE
        "Instrument for line coverage (gcov/llvm-cov); see tools/check_coverage.sh"
        OFF)
+option(ROOTSTORE_THREAD_SAFETY
+       "Enable clang -Wthread-safety over the annotated mutexes (clang only; \
+see docs/STATIC_ANALYSIS.md)"
+       ON)
 
 # Warning set required by the acceptance gate; -Wconversion and -Wshadow
 # are deliberate choices for parser code, where silent narrowing of length
@@ -26,6 +30,21 @@ option(ROOTSTORE_COVERAGE
 set(RS_WARNING_FLAGS -Wall -Wextra -Wconversion -Wshadow)
 if(ROOTSTORE_WERROR)
   list(APPEND RS_WARNING_FLAGS -Werror)
+endif()
+
+# Compile-time lock-discipline proof: clang's Thread Safety Analysis over
+# the RS_GUARDED_BY/RS_REQUIRES annotations (src/util/thread_annotations.h).
+# gcc has no equivalent analysis — the macros expand to nothing there, so
+# the build is skipped gracefully and CI relies on a clang builder for the
+# proof (tools/ci_check.sh stage "static concurrency gates").
+if(ROOTSTORE_THREAD_SAFETY)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    list(APPEND RS_WARNING_FLAGS -Wthread-safety)
+  else()
+    message(STATUS
+            "rootstore: -Wthread-safety skipped (${CMAKE_CXX_COMPILER_ID} "
+            "has no thread-safety analysis; annotations compile as no-ops)")
+  endif()
 endif()
 
 set(RS_SANITIZE_FLAGS "")

@@ -45,7 +45,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const rs::util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -68,7 +68,7 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const rs::util::MutexLock lock(mutex_);
     if (stopping_) {
       throw std::logic_error("ThreadPool::submit: pool is shutting down");
     }
@@ -82,8 +82,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const rs::util::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       // Shutdown drains the queue: exit only once no work is left.
       if (queue_.empty()) return;
       task = std::move(queue_.front());

@@ -19,15 +19,16 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace rs::exec {
 
@@ -55,15 +56,17 @@ class ThreadPool {
   /// Enqueues a task.  Tasks must not throw (parallel_for wraps bodies with
   /// its own exception capture); a throwing raw task terminates.  Throws
   /// std::logic_error when called from a worker of this pool.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) RS_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() RS_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  rs::util::Mutex mutex_;
+  rs::util::CondVar cv_;
+  std::deque<std::function<void()>> queue_ RS_GUARDED_BY(mutex_);
+  bool stopping_ RS_GUARDED_BY(mutex_) = false;
+  // Written only by the constructor and joined by the destructor; after
+  // construction the vector is effectively const, so workers_ needs no lock.
   std::vector<std::thread> workers_;
 };
 
@@ -108,26 +111,38 @@ void for_each_chunk(ThreadPool* pool, std::size_t n, const Body& body) {
     return;
   }
 
-  std::mutex mutex;
-  std::condition_variable done;
-  std::size_t remaining = plan.chunk_count;
-  std::exception_ptr error;
+  // Completion latch shared with the submitted tasks.  Guarded members are
+  // initialized in the constructor (constructors are exempt from the
+  // thread-safety analysis: no other thread can hold the lock yet).
+  struct Completion {
+    explicit Completion(std::size_t chunks) : remaining(chunks) {}
+    rs::util::Mutex mutex;
+    rs::util::CondVar done;
+    std::size_t remaining RS_GUARDED_BY(mutex);
+    std::exception_ptr error RS_GUARDED_BY(mutex);
+  };
+  Completion state(plan.chunk_count);
   for (std::size_t c = 0; c < plan.chunk_count; ++c) {
     const std::size_t begin = c * plan.chunk_size;
     const std::size_t end = std::min(n, begin + plan.chunk_size);
     pool->submit([&, c, begin, end] {
+      std::exception_ptr thrown;
       try {
         body(c, begin, end);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex);
-        if (!error) error = std::current_exception();
+        thrown = std::current_exception();
       }
-      const std::lock_guard<std::mutex> lock(mutex);
-      if (--remaining == 0) done.notify_one();
+      const rs::util::MutexLock lock(state.mutex);
+      if (thrown && !state.error) state.error = std::move(thrown);
+      if (--state.remaining == 0) state.done.notify_one();
     });
   }
-  std::unique_lock<std::mutex> lock(mutex);
-  done.wait(lock, [&] { return remaining == 0; });
+  std::exception_ptr error;
+  {
+    rs::util::MutexLock lock(state.mutex);
+    while (state.remaining != 0) state.done.wait(state.mutex);
+    error = std::move(state.error);
+  }
   if (error) std::rethrow_exception(error);
 }
 

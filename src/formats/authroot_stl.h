@@ -52,12 +52,12 @@ struct AuthRootBlob {
 ///  - anchor purposes  -> `ekus`
 ///  - distrusted purposes -> `disallowed`
 ///  - TLS distrust_after -> `disallowAfter`
-AuthRootBlob write_authroot(const std::vector<rs::store::TrustEntry>& entries);
+[[nodiscard]] AuthRootBlob write_authroot(const std::vector<rs::store::TrustEntry>& entries);
 
 /// Parses a CTL, resolving certificates via `certs`.  Entries whose
 /// certificate cannot be resolved (or fails to parse) become warnings —
 /// exactly the failure mode of a stale Windows download cache.
-rs::util::Result<ParsedStore> parse_authroot(
+[[nodiscard]] rs::util::Result<ParsedStore> parse_authroot(
     std::span<const std::uint8_t> stl, const CertByHash& certs);
 
 }  // namespace rs::formats

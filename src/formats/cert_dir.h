@@ -26,17 +26,17 @@ struct CertDirFile {
 
 /// Parses a directory listing: each file may contain PEM blocks or raw DER.
 /// Trust is assigned per `policy` (directories carry no trust metadata).
-rs::util::Result<ParsedStore> parse_cert_dir(
+[[nodiscard]] rs::util::Result<ParsedStore> parse_cert_dir(
     const std::vector<CertDirFile>& files, const BundleTrustPolicy& policy);
 
 /// Serializes entries to a directory listing, one PEM file per root, named
 /// "<sanitized-cn>_<short-fp>.pem" so names are unique and stable.
-std::vector<CertDirFile> write_cert_dir(
+[[nodiscard]] std::vector<CertDirFile> write_cert_dir(
     const std::vector<rs::store::TrustEntry>& entries);
 
 /// Reads every regular file in `path` (non-recursive) into CertDirFiles.
 /// Filesystem errors produce an error Result; an empty directory is valid.
-rs::util::Result<std::vector<CertDirFile>> load_cert_dir_from_disk(
+[[nodiscard]] rs::util::Result<std::vector<CertDirFile>> load_cert_dir_from_disk(
     const std::string& path);
 
 }  // namespace rs::formats

@@ -30,10 +30,10 @@ struct ParsedStore {
 
 /// Parses a certdata.txt body.  Fails only on grammar-level corruption;
 /// object-level problems become warnings and the object is skipped.
-rs::util::Result<ParsedStore> parse_certdata(std::string_view text);
+[[nodiscard]] rs::util::Result<ParsedStore> parse_certdata(std::string_view text);
 
 /// Serializes entries to certdata.txt format (one CKO_CERTIFICATE plus one
 /// CKO_NSS_TRUST object per entry, BEGINDATA header, octal-encoded DER).
-std::string write_certdata(const std::vector<rs::store::TrustEntry>& entries);
+[[nodiscard]] std::string write_certdata(const std::vector<rs::store::TrustEntry>& entries);
 
 }  // namespace rs::formats

@@ -23,10 +23,10 @@ namespace rs::formats {
 /// Writes `db` under `dir` (created if absent).  Returns an error on any
 /// filesystem failure; on success the directory contains a MANIFEST plus
 /// one RSTS file per snapshot.
-rs::util::Result<std::monostate> write_dataset(
+[[nodiscard]] rs::util::Result<std::monostate> write_dataset(
     const rs::store::StoreDatabase& db, const std::string& dir);
 
 /// Loads a dataset written by write_dataset.
-rs::util::Result<rs::store::StoreDatabase> load_dataset(const std::string& dir);
+[[nodiscard]] rs::util::Result<rs::store::StoreDatabase> load_dataset(const std::string& dir);
 
 }  // namespace rs::formats

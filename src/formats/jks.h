@@ -31,14 +31,14 @@ inline constexpr std::string_view kDefaultJksPassword = "changeit";
 
 /// Serializes entries as a JKS v2 trusted-certificate keystore.
 /// Aliases are "<sanitized-cn> [<short-fp>]"; `created` stamps every entry.
-std::vector<std::uint8_t> write_jks(
+[[nodiscard]] std::vector<std::uint8_t> write_jks(
     const std::vector<rs::store::TrustEntry>& entries,
     rs::util::Date created,
     std::string_view password = kDefaultJksPassword);
 
 /// Parses a JKS v2 keystore and verifies the integrity digest against
 /// `password`; digest mismatch (wrong password or corruption) is an error.
-rs::util::Result<ParsedStore> parse_jks(
+[[nodiscard]] rs::util::Result<ParsedStore> parse_jks(
     std::span<const std::uint8_t> data,
     std::string_view password = kDefaultJksPassword);
 

@@ -30,13 +30,13 @@ struct BundleTrustPolicy {
 
 /// Parses a PEM bundle into trust entries, applying `policy` to every
 /// certificate.  Undecodable blocks become warnings.
-rs::util::Result<ParsedStore> parse_pem_bundle(std::string_view text,
+[[nodiscard]] rs::util::Result<ParsedStore> parse_pem_bundle(std::string_view text,
                                                const BundleTrustPolicy& policy);
 
 /// Serializes entries as a bundle.  Only the certificates are written —
 /// trust metadata is *lost by design*, mirroring the real format; callers
 /// exercising the §6 fidelity analysis rely on this lossiness.
-std::string write_pem_bundle(const std::vector<rs::store::TrustEntry>& entries);
+[[nodiscard]] std::string write_pem_bundle(const std::vector<rs::store::TrustEntry>& entries);
 
 /// The §7 short-term fix: single-purpose bundles, one per trust purpose,
 /// as recently adopted by RHEL and AmazonLinux
@@ -48,12 +48,11 @@ struct PurposeBundles {
   std::string email;     // email-ca-bundle.pem
   std::string codesign;  // objsign-ca-bundle.pem
 };
-
-PurposeBundles write_purpose_bundles(
+[[nodiscard]] PurposeBundles write_purpose_bundles(
     const std::vector<rs::store::TrustEntry>& entries);
 
 /// Parses one purpose bundle back, granting only `purpose`.
-rs::util::Result<ParsedStore> parse_purpose_bundle(
+[[nodiscard]] rs::util::Result<ParsedStore> parse_purpose_bundle(
     std::string_view text, rs::store::TrustPurpose purpose);
 
 }  // namespace rs::formats

@@ -41,11 +41,11 @@ namespace rs::formats {
 inline constexpr int kRstsVersion = 1;
 
 /// Serializes entries with full trust fidelity.
-std::string write_rsts(const std::vector<rs::store::TrustEntry>& entries);
+[[nodiscard]] std::string write_rsts(const std::vector<rs::store::TrustEntry>& entries);
 
 /// Parses an RSTS document.  Grammar errors (bad header, truncated block)
 /// fail the parse; per-entry problems (bad base64, sha256 mismatch,
 /// unknown keys) become warnings and skip the entry or key.
-rs::util::Result<ParsedStore> parse_rsts(std::string_view text);
+[[nodiscard]] rs::util::Result<ParsedStore> parse_rsts(std::string_view text);
 
 }  // namespace rs::formats

@@ -33,13 +33,13 @@ struct Envelope {
 };
 
 /// Seals `payload` under the signer's key seed.
-std::vector<std::uint8_t> seal_envelope(std::span<const std::uint8_t> payload,
+[[nodiscard]] std::vector<std::uint8_t> seal_envelope(std::span<const std::uint8_t> payload,
                                         std::string_view signer,
                                         std::uint64_t key_seed);
 
 /// Opens and verifies an envelope; a wrong key seed, altered payload, or
 /// malformed DER is an error.
-rs::util::Result<Envelope> open_envelope(std::span<const std::uint8_t> der,
+[[nodiscard]] rs::util::Result<Envelope> open_envelope(std::span<const std::uint8_t> der,
                                          std::uint64_t key_seed);
 
 /// Convenience: authroot blob with the CTL sealed (what Windows actually
@@ -48,13 +48,12 @@ struct SignedAuthRootBlob {
   std::vector<std::uint8_t> sealed_stl;
   CertByHash certs;
 };
-
-SignedAuthRootBlob write_authroot_signed(
+[[nodiscard]] SignedAuthRootBlob write_authroot_signed(
     const std::vector<rs::store::TrustEntry>& entries, std::string_view signer,
     std::uint64_t key_seed);
 
 /// Verifies the envelope, then parses the CTL inside.
-rs::util::Result<ParsedStore> parse_authroot_signed(
+[[nodiscard]] rs::util::Result<ParsedStore> parse_authroot_signed(
     std::span<const std::uint8_t> sealed_stl, const CertByHash& certs,
     std::uint64_t key_seed);
 

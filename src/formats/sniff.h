@@ -26,16 +26,16 @@ enum class StoreFormat {
 const char* to_string(StoreFormat f) noexcept;
 
 /// Inspects content bytes and guesses the serialization.
-StoreFormat detect_store_format(std::string_view content);
+[[nodiscard]] StoreFormat detect_store_format(std::string_view content);
 
 /// Parses `content` with the detected parser.  kUnknown falls back to the
 /// PEM-bundle parser (matching how TLS tooling treats mystery files), with
 /// `multi_purpose` deciding the granted purposes for purpose-less formats.
-rs::util::Result<ParsedStore> parse_any_store(std::string_view content,
+[[nodiscard]] rs::util::Result<ParsedStore> parse_any_store(std::string_view content,
                                               bool multi_purpose = true);
 
 /// Reads the file at `path` and parses it.  I/O failures are errors.
-rs::util::Result<ParsedStore> load_any_store(const std::string& path,
+[[nodiscard]] rs::util::Result<ParsedStore> load_any_store(const std::string& path,
                                              bool multi_purpose = true);
 
 }  // namespace rs::formats

@@ -43,15 +43,20 @@ class FakeClock final : public Clock {
   explicit FakeClock(TimeNs start = 0, TimeNs step_ns = 0)
       : now_(start), step_(step_ns) {}
 
+  // memory-order: relaxed — scripted test clock: readings only need to be
+  // atomic increments, and tests that assert on exact values advance or
+  // query it from a single thread.
   TimeNs now_ns() const override {
     calls_.fetch_add(1, std::memory_order_relaxed);
     return now_.fetch_add(step_, std::memory_order_relaxed);
   }
 
+  // memory-order: relaxed — see now_ns().
   void advance(TimeNs ns) { now_.fetch_add(ns, std::memory_order_relaxed); }
   void set(TimeNs ns) { now_.store(ns, std::memory_order_relaxed); }
   /// Total now_ns() queries observed (0 while instrumentation is disabled).
   std::uint64_t calls() const {
+    // memory-order: relaxed — monotonic probe counter.
     return calls_.load(std::memory_order_relaxed);
   }
 

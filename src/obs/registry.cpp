@@ -62,13 +62,16 @@ void append_micros(std::string& out, TimeNs ns) {
 
 void Counter::add(std::uint64_t delta) noexcept {
   if (!owner_->enabled()) return;
+  // memory-order: relaxed — monotonic statistic with no ordering contract;
+  // readers snapshot via value().
   value_.fetch_add(delta, std::memory_order_relaxed);
 }
 
 Registry& Registry::global() {
   static Registry* instance = [] {
     auto* reg = new Registry();
-    const char* env = std::getenv("ROOTSTORE_TRACE");
+    // Startup-only read before any worker thread exists; no setenv racer.
+    const char* env = std::getenv("ROOTSTORE_TRACE");  // NOLINT(concurrency-mt-unsafe)
     if (env != nullptr && env[0] != '\0') reg->enable();
     return reg;
   }();
@@ -76,12 +79,20 @@ Registry& Registry::global() {
 }
 
 void Registry::enable(const Clock* clock) {
-  clock_ = clock != nullptr ? clock : &default_clock();
+  // memory-order: release — publishes the clock object to probe threads,
+  // pairing with the acquire load in clock().  The enabled flag itself can
+  // stay relaxed: a probe that sees it early still loads a valid pointer
+  // (clock_ is written first and never reverts to null).
+  clock_.store(clock != nullptr ? clock : &default_clock(),
+               std::memory_order_release);
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void Registry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const rs::util::MutexLock lock(mutex_);
+  // memory-order: relaxed — reset is a quiescent-point operation (tests and
+  // CLI call it between phases); concurrent probes would only re-observe
+  // zeroed statistics, never torn state.
   for (auto& c : counter_storage_) {
     c->value_.store(0, std::memory_order_relaxed);
   }
@@ -93,7 +104,7 @@ void Registry::reset() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const rs::util::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   counter_storage_.push_back(
@@ -105,7 +116,7 @@ Counter& Registry::counter(std::string_view name) {
 
 void Registry::set_gauge(std::string_view name, std::uint64_t value) {
   if (!enabled()) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const rs::util::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it != gauges_.end()) {
     it->second = value;
@@ -115,11 +126,13 @@ void Registry::set_gauge(std::string_view name, std::uint64_t value) {
 }
 
 void Registry::record_span(SpanRecord record) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const rs::util::MutexLock lock(mutex_);
   spans_.push_back(std::move(record));
 }
 
 std::uint32_t Registry::thread_index() {
+  // memory-order: relaxed — epoch and index only need uniqueness within a
+  // reset() generation, and reset() happens at quiescent points.
   const std::uint64_t epoch = thread_epoch_.load(std::memory_order_relaxed);
   if (tls_thread_slot.epoch != epoch) {
     tls_thread_slot.epoch = epoch;
@@ -130,25 +143,25 @@ std::uint32_t Registry::thread_index() {
 }
 
 std::vector<SpanRecord> Registry::spans() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const rs::util::MutexLock lock(mutex_);
   return spans_;
 }
 
 std::uint64_t Registry::counter_value(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const rs::util::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 std::map<std::string, std::uint64_t> Registry::counters() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const rs::util::MutexLock lock(mutex_);
   std::map<std::string, std::uint64_t> out;
   for (const auto& [name, c] : counters_) out.emplace(name, c->value());
   return out;
 }
 
 std::map<std::string, std::uint64_t> Registry::gauges() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const rs::util::MutexLock lock(mutex_);
   return {gauges_.begin(), gauges_.end()};
 }
 

@@ -25,12 +25,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/obs/clock.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace rs::obs {
 
@@ -47,6 +48,8 @@ class Counter {
   void increment() noexcept { add(1); }
 
   std::uint64_t value() const noexcept {
+    // memory-order: relaxed — monotonic statistic; readers only need an
+    // eventually-consistent snapshot, never ordering against other state.
     return value_.load(std::memory_order_relaxed);
   }
   const std::string& name() const noexcept { return name_; }
@@ -101,11 +104,21 @@ class Registry {
   /// Starts recording.  `clock` must outlive the registry; nullptr selects
   /// the built-in SteadyClock.
   void enable(const Clock* clock = nullptr);
+  // memory-order: relaxed — the enabled flag is an independent on/off
+  // probe; the clock pointer it gates is published separately with
+  // release/acquire (see clock_), so no ordering is needed here.
   void disable() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const noexcept {
+    // memory-order: relaxed — see disable(); a stale read only means one
+    // more or one fewer sample around an enable/disable edge.
     return enabled_.load(std::memory_order_relaxed);
   }
-  const Clock& clock() const noexcept { return *clock_; }
+  const Clock& clock() const noexcept {
+    // memory-order: acquire — pairs with the release store in enable() so
+    // a thread that observes the pointer also observes the constructed
+    // clock object behind it.
+    return *clock_.load(std::memory_order_acquire);
+  }
 
   /// Zeroes every counter, clears gauges and spans, and resets the span-id
   /// and thread-index generators.  Counter handles stay valid.
@@ -140,6 +153,7 @@ class Registry {
 
   // --- used by Span -------------------------------------------------------
   std::uint64_t next_span_id() noexcept {
+    // memory-order: relaxed — ids only need uniqueness, not ordering.
     return next_span_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
   /// Dense index for the calling thread, assigned on first use per epoch
@@ -148,15 +162,20 @@ class Registry {
 
  private:
   std::atomic<bool> enabled_{false};
-  const Clock* clock_ = nullptr;  // set by enable(); never null afterwards
+  // Set by enable(), read lock-free by every probe; atomic because spans on
+  // worker threads may race an enable()/clock swap on the main thread.
+  std::atomic<const Clock*> clock_{nullptr};
 
-  mutable std::mutex mutex_;
+  mutable rs::util::Mutex mutex_;
   // Deque-like stable storage: counters are never destroyed or moved once
   // created, so references handed out remain valid without the lock.
-  std::vector<std::unique_ptr<Counter>> counter_storage_;
-  std::map<std::string, Counter*, std::less<>> counters_;
-  std::map<std::string, std::uint64_t, std::less<>> gauges_;
-  std::vector<SpanRecord> spans_;
+  std::vector<std::unique_ptr<Counter>> counter_storage_
+      RS_GUARDED_BY(mutex_);
+  std::map<std::string, Counter*, std::less<>> counters_
+      RS_GUARDED_BY(mutex_);
+  std::map<std::string, std::uint64_t, std::less<>> gauges_
+      RS_GUARDED_BY(mutex_);
+  std::vector<SpanRecord> spans_ RS_GUARDED_BY(mutex_);
 
   std::atomic<std::uint64_t> next_span_id_{0};
   std::atomic<std::uint32_t> next_thread_index_{0};

@@ -45,13 +45,14 @@ class QueryEngine {
   /// Parses one request line and answers it.  Parse failures become
   /// {"status":"error","code":"bad_request",...}; this function never
   /// throws on any input.
-  std::string handle_json(std::string_view line) const;
+  [[nodiscard]] std::string handle_json(std::string_view line) const;
 
   /// Answers an already-parsed request.
-  std::string handle(const Request& request) const;
+  [[nodiscard]] std::string handle(const Request& request) const;
 
   /// True for responses produced by the error path ("status" first).
-  static bool is_error_response(std::string_view response) noexcept;
+  [[nodiscard]] static bool is_error_response(
+      std::string_view response) noexcept;
 
   const TrustIndex& index() const noexcept { return index_; }
 

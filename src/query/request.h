@@ -71,12 +71,12 @@ struct Request {
 
 /// Parses one request line.  Errors are human-readable and safe to echo
 /// back to the (untrusted) client.
-rs::util::Result<Request> parse_request(std::string_view text);
+[[nodiscard]] rs::util::Result<Request> parse_request(std::string_view text);
 
 /// Canonical single-line serialization: `op` first, remaining fields in a
 /// fixed order, `scope` always explicit for ops that take one.  Parsing
 /// the result yields an equal Request (pinned by the fuzz harness).
-std::string canonical_request(const Request& request);
+[[nodiscard]] std::string canonical_request(const Request& request);
 
 /// Appends `s` as a JSON string literal (quotes + escapes) to `out`.
 /// Shared by the canonicalizer and the response writers in engine.cpp.

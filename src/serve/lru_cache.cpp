@@ -3,7 +3,7 @@
 namespace rs::serve {
 
 std::optional<std::string> LruCache::get(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const rs::util::MutexLock lock(mutex_);
   const auto it = by_key_.find(key);
   if (it == by_key_.end()) {
     ++counters_.misses;
@@ -16,7 +16,7 @@ std::optional<std::string> LruCache::get(const std::string& key) {
 
 void LruCache::put(const std::string& key, std::string value) {
   if (capacity_ == 0) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const rs::util::MutexLock lock(mutex_);
   const auto it = by_key_.find(key);
   if (it != by_key_.end()) {
     it->second->second = std::move(value);
@@ -33,12 +33,12 @@ void LruCache::put(const std::string& key, std::string value) {
 }
 
 std::size_t LruCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const rs::util::MutexLock lock(mutex_);
   return by_key_.size();
 }
 
 LruCache::Counters LruCache::counters() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const rs::util::MutexLock lock(mutex_);
   return counters_;
 }
 

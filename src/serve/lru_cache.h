@@ -6,19 +6,22 @@
 // the least-recently-used entry.  get() counts hits and misses — the
 // numbers `server_stats` and BENCH_serve.json report.
 //
-// Concurrency: one mutex around the map+list.  Entries are immutable
-// response strings, so a hit copies the value out under the lock and the
-// caller works lock-free from there.
+// Concurrency: one mutex around the map+list, proven by -Wthread-safety
+// (every field is RS_GUARDED_BY(mutex_); see docs/STATIC_ANALYSIS.md).
+// Entries are immutable response strings, so a hit copies the value out
+// under the lock and the caller works lock-free from there.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace rs::serve {
 
@@ -32,29 +35,32 @@ class LruCache {
   LruCache& operator=(const LruCache&) = delete;
 
   /// Returns the cached response and marks the entry most-recently-used.
-  std::optional<std::string> get(const std::string& key);
+  [[nodiscard]] std::optional<std::string> get(const std::string& key)
+      RS_EXCLUDES(mutex_);
 
   /// Inserts or refreshes; evicts the LRU entry when over capacity.
-  void put(const std::string& key, std::string value);
+  void put(const std::string& key, std::string value) RS_EXCLUDES(mutex_);
 
-  std::size_t size() const;
-  std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const RS_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   struct Counters {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
   };
-  Counters counters() const;
+  [[nodiscard]] Counters counters() const RS_EXCLUDES(mutex_);
 
  private:
   using Entry = std::pair<std::string, std::string>;  // key, response
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> order_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;
-  Counters counters_;
+  mutable rs::util::Mutex mutex_;
+  // front = most recently used
+  std::list<Entry> order_ RS_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> by_key_
+      RS_GUARDED_BY(mutex_);
+  Counters counters_ RS_GUARDED_BY(mutex_);
 };
 
 }  // namespace rs::serve

@@ -12,6 +12,7 @@
 
 #include "src/obs/span.h"
 #include "src/query/request.h"
+#include "src/util/strings.h"
 
 namespace rs::serve {
 namespace {
@@ -47,7 +48,7 @@ rs::util::Result<std::uint16_t> Server::start() {
   if (running()) return R::err("server already running");
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return R::err(std::string("socket: ") + std::strerror(errno));
+  if (fd < 0) return R::err("socket: " + rs::util::errno_message(errno));
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
@@ -56,19 +57,19 @@ rs::util::Result<std::uint16_t> Server::start() {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(options_.port);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    const std::string why = std::strerror(errno);
+    const std::string why = rs::util::errno_message(errno);
     ::close(fd);
     return R::err("bind 127.0.0.1:" + std::to_string(options_.port) + ": " +
                   why);
   }
   if (::listen(fd, options_.backlog) != 0) {
-    const std::string why = std::strerror(errno);
+    const std::string why = rs::util::errno_message(errno);
     ::close(fd);
     return R::err("listen: " + why);
   }
   socklen_t len = sizeof addr;
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    const std::string why = std::strerror(errno);
+    const std::string why = rs::util::errno_message(errno);
     ::close(fd);
     return R::err("getsockname: " + why);
   }
@@ -93,6 +94,7 @@ void Server::accept_loop() {
       ::close(fd);
       continue;
     }
+    // memory-order: relaxed — monotonic counter read only by stats().
     connections_.fetch_add(1, std::memory_order_relaxed);
     rs::obs::Registry::global().counter("serve.connections").increment();
     register_connection(fd);
@@ -167,6 +169,7 @@ void Server::serve_connection(int fd) {
       // EOF.  Leftover bytes without a newline are an incomplete request;
       // answer it as malformed rather than dropping it silently.
       if (!buffer.empty()) {
+        // memory-order: relaxed — monotonic counter read only by stats().
         errors_.fetch_add(1, std::memory_order_relaxed);
         rs::obs::Registry::global().counter("serve.errors").increment();
         std::string response = rs::query::error_response(
@@ -185,6 +188,7 @@ void Server::serve_connection(int fd) {
 
   // Oversized request: structured error, then close — line framing can't
   // be trusted past this point.
+  // memory-order: relaxed — monotonic counter read only by stats().
   errors_.fetch_add(1, std::memory_order_relaxed);
   rs::obs::Registry::global().counter("serve.errors").increment();
   std::string response = rs::query::error_response(
@@ -199,11 +203,13 @@ void Server::serve_connection(int fd) {
 std::string Server::respond_line(std::string_view line) {
   rs::obs::Span span("serve/request");
   auto& registry = rs::obs::Registry::global();
+  // memory-order: relaxed — monotonic counters read only by stats().
   requests_.fetch_add(1, std::memory_order_relaxed);
   registry.counter("serve.requests").increment();
 
   auto parsed = rs::query::parse_request(line);
   if (!parsed.ok()) {
+    // memory-order: relaxed — monotonic counter read only by stats().
     errors_.fetch_add(1, std::memory_order_relaxed);
     registry.counter("serve.errors").increment();
     return rs::query::error_response("bad_request", parsed.error());
@@ -221,6 +227,7 @@ std::string Server::respond_line(std::string_view line) {
 
   std::string response = engine_.handle(parsed.value());
   if (rs::query::QueryEngine::is_error_response(response)) {
+    // memory-order: relaxed — monotonic counter read only by stats().
     errors_.fetch_add(1, std::memory_order_relaxed);
     registry.counter("serve.errors").increment();
   } else {
@@ -252,12 +259,12 @@ std::string Server::server_stats_response() const {
 }
 
 void Server::register_connection(int fd) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const rs::util::MutexLock lock(mutex_);
   active_.insert(fd);
 }
 
 void Server::unregister_connection(int fd) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const rs::util::MutexLock lock(mutex_);
   active_.erase(fd);
   if (active_.empty()) idle_cv_.notify_all();
 }
@@ -277,7 +284,7 @@ void Server::stop() {
   // connections inline, and an idle client would otherwise hold it (and
   // this join) hostage.
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const rs::util::MutexLock lock(mutex_);
     for (const int fd : active_) ::shutdown(fd, SHUT_RD);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -288,15 +295,17 @@ void Server::stop() {
   // join registered before the accept loop exited, so this catches them
   // all — nothing registers after the join.
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const rs::util::MutexLock lock(mutex_);
     for (const int fd : active_) ::shutdown(fd, SHUT_RD);
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return active_.empty(); });
+  const rs::util::MutexLock lock(mutex_);
+  while (!active_.empty()) idle_cv_.wait(mutex_);
 }
 
 ServerStats Server::stats() const {
   ServerStats s;
+  // memory-order: relaxed — point-in-time snapshot; fields may be mutually
+  // skewed by in-flight requests, which callers of stats() accept.
   s.connections = connections_.load(std::memory_order_relaxed);
   s.requests = requests_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);

@@ -28,10 +28,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
@@ -40,7 +38,9 @@
 #include "src/exec/thread_pool.h"
 #include "src/query/engine.h"
 #include "src/serve/lru_cache.h"
+#include "src/util/mutex.h"
 #include "src/util/result.h"
+#include "src/util/thread_annotations.h"
 
 namespace rs::serve {
 
@@ -96,8 +96,8 @@ class Server {
   void accept_loop();
   void serve_connection(int fd);
   std::string server_stats_response() const;
-  void register_connection(int fd);
-  void unregister_connection(int fd);
+  void register_connection(int fd) RS_EXCLUDES(mutex_);
+  void unregister_connection(int fd) RS_EXCLUDES(mutex_);
 
   const rs::query::QueryEngine& engine_;
   const ServerOptions options_;
@@ -110,10 +110,13 @@ class Server {
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
 
-  mutable std::mutex mutex_;
-  std::condition_variable idle_cv_;  // signalled when active_ empties
-  std::set<int> active_;             // fds of registered connections
+  mutable rs::util::Mutex mutex_;
+  rs::util::CondVar idle_cv_;  // signalled when active_ empties
+  // fds of registered connections
+  std::set<int> active_ RS_GUARDED_BY(mutex_);
 
+  // memory-order: relaxed — independent monotonic counters, read only by
+  // stats() snapshots that tolerate momentary skew between them.
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};

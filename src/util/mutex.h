@@ -1,0 +1,90 @@
+// Annotated synchronization primitives: the only mutex the tree may use.
+//
+// util::Mutex / util::MutexLock / util::CondVar wrap the std primitives
+// with the thread-safety attributes from thread_annotations.h, so clang's
+// -Wthread-safety can prove at compile time that every RS_GUARDED_BY field
+// is only touched under its lock (see docs/STATIC_ANALYSIS.md).  Naked
+// std::mutex / std::lock_guard / std::condition_variable elsewhere in src/
+// or tools/ fail the structural lint (tools/check_concurrency.sh): an
+// unannotated mutex is invisible to the analysis, which silently un-proves
+// everything it guards.
+//
+// CondVar deliberately has no predicate-taking wait: the idiomatic form is
+//
+//     util::MutexLock lock(mutex_);
+//     while (!condition) cv_.wait(mutex_);
+//
+// so the condition's guarded reads sit directly in the locked scope where
+// the analysis can see them (a predicate lambda would be analyzed as a
+// separate unannotated function and rejected).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace rs::util {
+
+class CondVar;
+
+/// An exclusive lock (std::mutex) the thread-safety analysis understands.
+/// Prefer MutexLock over manual lock()/unlock() pairs.
+class RS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RS_ACQUIRE() { impl_.lock(); }
+  void unlock() RS_RELEASE() { impl_.unlock(); }
+  bool try_lock() RS_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex impl_;
+};
+
+/// RAII scope lock over a Mutex (the annotated std::lock_guard).
+class RS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) RS_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RS_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable for use with Mutex.  wait() takes the Mutex itself
+/// (which the caller must hold, typically via MutexLock) so call sites keep
+/// their guarded-condition loops inside the analyzed locked scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks until notified, and reacquires it
+  /// before returning.  Spurious wakeups happen: always wait in a loop.
+  void wait(Mutex& mutex) RS_REQUIRES(mutex) {
+    // Adopt the already-held lock for the std wait protocol, then release
+    // the unique_lock wrapper without unlocking — ownership stays with the
+    // caller's MutexLock exactly as the annotations claim.
+    std::unique_lock<std::mutex> adopted(mutex.impl_, std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rs::util

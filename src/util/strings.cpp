@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 
 namespace rs::util {
 
@@ -95,6 +96,20 @@ bool icontains(std::string_view haystack, std::string_view needle) {
     if (iequals(haystack.substr(i, needle.size()), needle)) return true;
   }
   return false;
+}
+
+std::string errno_message(int errnum) {
+  char buf[256];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r returns a char* that may point at a static immutable
+  // string instead of filling buf.
+  return strerror_r(errnum, buf, sizeof buf);
+#else
+  if (strerror_r(errnum, buf, sizeof buf) != 0) {
+    return "errno " + std::to_string(errnum);
+  }
+  return buf;
+#endif
 }
 
 }  // namespace rs::util

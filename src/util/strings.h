@@ -36,4 +36,9 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep);
 /// True if `needle` occurs in `haystack` ignoring ASCII case.
 bool icontains(std::string_view haystack, std::string_view needle);
 
+/// Thread-safe strerror: the glibc strerror() writes into a shared static
+/// buffer (clang-tidy concurrency-mt-unsafe), so concurrent code must use
+/// this strerror_r-backed variant instead.
+std::string errno_message(int errnum);
+
 }  // namespace rs::util

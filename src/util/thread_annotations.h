@@ -1,0 +1,65 @@
+// Clang Thread Safety Analysis attribute macros (RS_ prefix).
+//
+// These macros let the compiler *prove* lock discipline at build time: a
+// field declared RS_GUARDED_BY(mutex_) can only be touched while mutex_ is
+// held, a function declared RS_REQUIRES(mutex_) can only be called with it
+// held, and violations are -Wthread-safety errors under clang — no test
+// schedule required.  Under gcc (which has no such analysis) every macro
+// expands to nothing, so the annotations are zero-cost documentation there;
+// cmake/Hardening.cmake adds -Wthread-safety only for clang builds.
+//
+// Vocabulary (see docs/STATIC_ANALYSIS.md for the full guide):
+//   RS_CAPABILITY(x)        class is a lockable capability (util::Mutex)
+//   RS_SCOPED_CAPABILITY    RAII class that acquires/releases (MutexLock)
+//   RS_GUARDED_BY(mu)       data member readable/writable only under `mu`
+//   RS_PT_GUARDED_BY(mu)    pointee (not the pointer) guarded by `mu`
+//   RS_REQUIRES(mu)         caller must hold `mu` (exclusive)
+//   RS_REQUIRES_SHARED(mu)  caller must hold `mu` at least shared
+//   RS_ACQUIRE(mu)          function acquires `mu` and does not release it
+//   RS_RELEASE(mu)          function releases `mu`
+//   RS_TRY_ACQUIRE(b, mu)   acquires `mu` iff the return value equals `b`
+//   RS_EXCLUDES(mu)         caller must NOT hold `mu` (deadlock guard)
+//   RS_ACQUIRED_BEFORE/AFTER declare a global lock ordering
+//   RS_ASSERT_CAPABILITY(mu) runtime assertion that `mu` is held
+//   RS_RETURN_CAPABILITY(mu) accessor returns a reference to `mu`
+//   RS_NO_THREAD_SAFETY_ANALYSIS  opt a function out of the analysis.
+//       Every use MUST carry a `// safety:` comment justifying why the
+//       analysis cannot see the invariant (enforced by
+//       tools/check_concurrency.sh).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define RS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RS_THREAD_ANNOTATION(x)  // no-op: gcc has no thread-safety analysis
+#endif
+
+#define RS_CAPABILITY(x) RS_THREAD_ANNOTATION(capability(x))
+#define RS_SCOPED_CAPABILITY RS_THREAD_ANNOTATION(scoped_lockable)
+#define RS_GUARDED_BY(x) RS_THREAD_ANNOTATION(guarded_by(x))
+#define RS_PT_GUARDED_BY(x) RS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define RS_ACQUIRED_BEFORE(...) \
+  RS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define RS_ACQUIRED_AFTER(...) \
+  RS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define RS_REQUIRES(...) \
+  RS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define RS_REQUIRES_SHARED(...) \
+  RS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define RS_ACQUIRE(...) RS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RS_ACQUIRE_SHARED(...) \
+  RS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RS_RELEASE(...) RS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RS_RELEASE_SHARED(...) \
+  RS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RS_TRY_ACQUIRE(...) \
+  RS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define RS_TRY_ACQUIRE_SHARED(...) \
+  RS_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+#define RS_EXCLUDES(...) RS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define RS_ASSERT_CAPABILITY(x) RS_THREAD_ANNOTATION(assert_capability(x))
+#define RS_ASSERT_SHARED_CAPABILITY(x) \
+  RS_THREAD_ANNOTATION(assert_shared_capability(x))
+#define RS_RETURN_CAPABILITY(x) RS_THREAD_ANNOTATION(lock_returned(x))
+#define RS_NO_THREAD_SAFETY_ANALYSIS \
+  RS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
+#include <thread>
+#include <vector>
 
 #include "src/obs/clock.h"
 #include "src/obs/span.h"
@@ -175,6 +179,44 @@ TEST(ObsRegistry, DisableKeepsCollectedDataUntilReset) {
   reg.reset();
   EXPECT_TRUE(reg.spans().empty());
   EXPECT_EQ(reg.counter_value("kept.counter"), 0u);
+}
+
+// Regression (concurrency-safety pass): Registry::clock_ was a plain
+// pointer written by enable() while probe threads read it lock-free — a
+// data race TSan only caught on lucky schedules.  It is now an atomic with
+// release/acquire publication; this test races an enable/disable/enable
+// cycle against span-creating workers so the tsan-labeled CI stage pins
+// the fix deterministically-by-construction rather than by schedule.
+TEST(ObsRegistry, EnableRacesSpanProbesWithoutTearing) {
+  FakeClock clock_a(0, 1);
+  FakeClock clock_b(1'000'000, 1);
+  Registry reg;
+  reg.enable(&clock_a);
+
+  constexpr int kWorkers = 4;
+  constexpr int kSpansPerWorker = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&reg] {
+      for (int i = 0; i < kSpansPerWorker; ++i) {
+        Span span(reg, "race/probe");
+        span.add_items(1);
+        reg.counter("race.counter").increment();
+      }
+    });
+  }
+  // Re-publish clocks while the workers probe: every probe must see either
+  // clock_a or clock_b, never a torn pointer.
+  for (int flip = 0; flip < 200; ++flip) {
+    reg.enable(flip % 2 == 0 ? &clock_b : &clock_a);
+  }
+  for (auto& t : workers) t.join();
+
+  EXPECT_EQ(reg.counter_value("race.counter"),
+            static_cast<std::uint64_t>(kWorkers) * kSpansPerWorker);
+  EXPECT_EQ(reg.spans().size(),
+            static_cast<std::size_t>(kWorkers) * kSpansPerWorker);
 }
 
 }  // namespace

@@ -428,7 +428,8 @@ int main(int argc, char** argv) {
   if (cmd == "report" && args.size() >= 2) {
     // Default worker count from the environment; --threads overrides.
     std::size_t threads = 0;
-    if (const char* env = std::getenv("ROOTSTORE_THREADS")) {
+    // Startup-only read on the main thread (CLI flag default): safe.
+    if (const char* env = std::getenv("ROOTSTORE_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
       threads = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
     }
     bool csv = false;
@@ -437,7 +438,8 @@ int main(int argc, char** argv) {
     std::string from_dir;
     std::string trace_out;
     std::string metrics_out;
-    if (const char* env = std::getenv("ROOTSTORE_TRACE")) {
+    // Startup-only read on the main thread (CLI flag default): safe.
+    if (const char* env = std::getenv("ROOTSTORE_TRACE")) {  // NOLINT(concurrency-mt-unsafe)
       if (env[0] != '\0') trace_out = env;
     }
     for (std::size_t i = 2; i < args.size(); ++i) {

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Clang static analyzer over src/, gated on a checked-in baseline.
+#
+# Runs `clang++ --analyze` (the scan-build core checkers: null deref,
+# use-after-move, dead stores, uninitialized reads) on every translation
+# unit in src/ and diffs the findings against tools/analyzer_baseline.txt.
+# The baseline is EMPTY by policy: any new flow-sensitive finding blocks
+# merge.  If the analyzer ever false-positives unavoidably, the finding is
+# added to the baseline with a justification comment — never silenced in
+# code.
+#
+# Exits 0 with a SKIPPED notice when no clang is installed (gcc has no
+# comparable C++ analyzer; the gate is enforced on clang builders), so the
+# gate degrades the same way tools/run_lint.sh does.
+#
+# Usage: tools/run_analyzer.sh [clang++-binary]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+clangxx="${1:-${CLANGXX:-}}"
+if [ -z "$clangxx" ]; then
+  for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16 \
+                   clang++-15 clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      clangxx="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$clangxx" ]; then
+  echo "run_analyzer: clang++ not found; skipping analyzer (install LLVM or set CLANGXX)" >&2
+  exit 0
+fi
+
+baseline="$repo_root/tools/analyzer_baseline.txt"
+findings=$(mktemp)
+trap 'rm -f "$findings" "$findings.raw"' EXIT
+
+# src/ is self-contained (only repo-root-relative includes, no gtest), so a
+# fixed flag set matches the real build closely enough for the analyzer.
+fail=0
+for tu in $(find src -name '*.cpp' | sort); do
+  "$clangxx" --analyze -Xclang -analyzer-output=text \
+    -std=c++20 -I"$repo_root" -o /dev/null "$tu" 2>>"$findings.raw" || fail=1
+done
+# Keep one line per finding; drop the note:/caret context lines.
+grep -E ' (warning|error):' "$findings.raw" 2>/dev/null | sort -u \
+  > "$findings" || true
+rm -f "$findings.raw"
+
+# Baseline comparison: every finding must appear in the baseline (comments
+# and blanks in the baseline are ignored).
+known=$(mktemp)
+grep -v -e '^#' -e '^$' "$baseline" > "$known" || true
+new=$(grep -vxFf "$known" "$findings" || true)
+rm -f "$known"
+if [ -n "$new" ] || [ "$fail" -ne 0 ]; then
+  echo "run_analyzer: new findings not in tools/analyzer_baseline.txt:" >&2
+  printf '%s\n' "$new" >&2
+  exit 1
+fi
+echo "run_analyzer: clean ($clangxx, $(find src -name '*.cpp' | wc -l | tr -d ' ') TUs, baseline $(grep -cv '^#' "$baseline" 2>/dev/null || echo 0) entries)"

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Runs clang-tidy (config: .clang-tidy at the repo root) over the production
-# sources in src/ and the fuzz harnesses, using the compile database of an
-# existing CMake build tree.
+# sources in src/, the CLI surface in tools/ (rootstore.cpp, serve_loadgen.cpp),
+# and the fuzz harnesses, using the compile database of an existing CMake
+# build tree.
 #
 # Usage: tools/run_lint.sh [build-dir] [extra clang-tidy args...]
 #
@@ -35,8 +36,12 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
   exit 2
 fi
 
-# Every translation unit in src/ plus the fuzz harnesses; tests and bench
-# are intentionally out of scope (gtest/benchmark macros trip style checks).
-find "$repo_root/src" "$repo_root/fuzz" -name '*.cpp' 2>/dev/null | sort | \
-  xargs "$tidy_bin" -p "$build_dir" --quiet "$@"
+# Every translation unit in src/, the CLI binaries in tools/, and the fuzz
+# harnesses; tests and bench are intentionally out of scope (gtest/benchmark
+# macros trip style checks).  tools/ was a blind spot until the concurrency
+# pass: the serve CLI and loadgen carry real thread code.
+{
+  find "$repo_root/src" "$repo_root/fuzz" -name '*.cpp' 2>/dev/null
+  find "$repo_root/tools" -maxdepth 1 -name '*.cpp' 2>/dev/null
+} | sort | xargs "$tidy_bin" -p "$build_dir" --quiet "$@"
 echo "run_lint: clean"
