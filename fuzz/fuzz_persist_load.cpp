@@ -1,0 +1,38 @@
+// Fuzz target: rs::query::TrustIndexIO::deserialize, the hardened loader
+// for persisted RSIX index files (see docs/PERSISTENCE.md).  The loader is
+// the only code that ever maps untrusted bytes straight into the query
+// engine's tables, so it must fail closed — typed LoadError, no crash, no
+// hostile allocation — for ANY byte string.
+//
+// Invariants checked on every accepted input:
+//   * re-serializing the loaded index yields an image the loader accepts
+//     again (a load never produces an unserializable index), and
+//   * that second round trip is a byte-level fixed point (canonical
+//     encoding: the bytes do not drift across load/store cycles).
+#include <span>
+#include <string>
+
+#include "fuzz/fuzz_harness.h"
+#include "src/query/index_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // The container declares its own total size, so anything the mutator can
+  // realistically explore fits well under this; the cap just keeps a
+  // hostile declared-length from turning the fuzzer into an allocator
+  // benchmark.
+  constexpr std::size_t kMaxInput = 1 << 20;
+  if (size > kMaxInput) return 0;
+
+  auto loaded = rs::query::TrustIndexIO::deserialize({data, size});
+  if (!loaded.ok()) return 0;
+
+  const std::string first =
+      rs::query::TrustIndexIO::serialize(loaded.value());
+  auto again = rs::query::TrustIndexIO::deserialize(
+      {reinterpret_cast<const std::uint8_t*>(first.data()), first.size()});
+  RS_FUZZ_ASSERT(again.ok(), "re-serialized index rejected by the loader");
+  RS_FUZZ_ASSERT(rs::query::TrustIndexIO::serialize(again.value()) == first,
+                 "serialization is not a fixed point");
+  return 0;
+}

@@ -20,7 +20,14 @@
 #include "src/formats/certdata.h"
 #include "src/formats/jks.h"
 #include "src/formats/pem_bundle.h"
+#include "src/query/index_io.h"
+#include "src/query/trust_index.h"
+#include "src/store/database.h"
+#include "src/store/interner.h"
+#include "src/store/persist.h"
+#include "src/store/snapshot.h"
 #include "src/store/trust.h"
+#include "src/util/date.h"
 #include "src/x509/builder.h"
 
 namespace {
@@ -225,6 +232,55 @@ int main(int argc, char** argv) {
     alias_overflow.push_back('a');
     write_seed(dir, "alias-overflow.jks", sign_jks(std::move(alias_overflow)));
     write_seed(dir, "empty.jks", Bytes{});
+  }
+
+  // --- persist_load: RSIX trust-index images -----------------------------
+  {
+    const fs::path dir = root / "persist_load";
+    // A minimal but fully populated index: one provider, two snapshots,
+    // three roots, one dropped at the second date so the interval section
+    // carries both closed and still-open runs.
+    rs::store::Snapshot first_snap;
+    first_snap.provider = "CorpusStore";
+    first_snap.date = rs::util::Date::ymd(2020, 1, 1);
+    first_snap.version = "1";
+    first_snap.entries = sample_entries(3);
+    rs::store::Snapshot second_snap = first_snap;
+    second_snap.date = rs::util::Date::ymd(2020, 7, 1);
+    second_snap.version = "2";
+    second_snap.entries.pop_back();
+    rs::store::ProviderHistory history("CorpusStore");
+    history.add(first_snap);
+    history.add(second_snap);
+    rs::store::StoreDatabase db;
+    db.add(std::move(history));
+    const auto index = rs::query::TrustIndex::build(
+        db, rs::store::CertInterner::from_database(db));
+    const std::string image = rs::query::TrustIndexIO::serialize(index);
+    write_seed(dir, "minimal.rsix", std::string_view(image));
+    write_seed(dir, "empty-index.rsix",
+               std::string_view(
+                   rs::query::TrustIndexIO::serialize(rs::query::TrustIndex())));
+
+    // One truncation at the end of each of the four sections, plus a
+    // mid-header cut — the boundaries the loader's sweep must reject.
+    const auto span = std::span(
+        reinterpret_cast<const std::uint8_t*>(image.data()), image.size());
+    auto view = rs::store::persist::FileView::parse(span);
+    for (const auto& sec : view.value().sections()) {
+      const std::size_t end = static_cast<std::size_t>(
+          sec.payload.data() - span.data()) + sec.payload.size();
+      write_seed(dir,
+                 "truncated-after-s" + std::to_string(sec.id) + ".rsix",
+                 std::string_view(image).substr(0, end - 1));
+    }
+    write_seed(dir, "truncated-header.rsix",
+               std::string_view(image).substr(0, 20));
+    std::string skew = image;
+    skew[8] = 0x7F;  // version u32 -> unknown
+    write_seed(dir, "version-skew.rsix", std::string_view(skew));
+    write_seed(dir, "not-an-index.rsix",
+               std::string_view("RSIX01 but not really\n"));
   }
 
   std::printf("corpus written to %s\n", root.string().c_str());

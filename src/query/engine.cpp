@@ -124,6 +124,10 @@ QueryEngine::QueryEngine(const rs::store::StoreDatabase& db,
                                build_pool)),
       agents_(std::move(agents)) {}
 
+QueryEngine::QueryEngine(TrustIndex index,
+                         std::vector<rs::synth::UserAgentGroup> agents)
+    : index_(std::move(index)), agents_(std::move(agents)) {}
+
 std::string QueryEngine::handle_json(std::string_view line) const {
   auto parsed = parse_request(line);
   if (!parsed.ok()) return error_response("bad_request", parsed.error());

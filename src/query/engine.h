@@ -42,6 +42,11 @@ class QueryEngine {
               std::vector<rs::synth::UserAgentGroup> agents,
               rs::exec::ThreadPool* build_pool = nullptr);
 
+  /// Wraps an already-compiled index — e.g. one loaded from a persisted
+  /// RSIX file by TrustIndexIO::load_file — so a serve process cold-starts
+  /// without a database or build pool.
+  QueryEngine(TrustIndex index, std::vector<rs::synth::UserAgentGroup> agents);
+
   /// Parses one request line and answers it.  Parse failures become
   /// {"status":"error","code":"bad_request",...}; this function never
   /// throws on any input.

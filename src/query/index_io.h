@@ -1,0 +1,116 @@
+// Binary persistence and incremental append for the TrustIndex.
+//
+// `rootstore serve` answers queries from an immutable TrustIndex that is
+// expensive to compile: decode snapshots, intern the certificate universe,
+// derive per-(provider,scope,cert) presence intervals.  TrustIndexIO
+// round-trips the compiled index through the RSIX container defined in
+// src/store/persist.h so a serve process cold-starts by loading flat
+// arrays instead of rebuilding, and a new weekly snapshot is absorbed by
+// touching only that provider's membership tables and intervals —
+// O(delta), not O(history).
+//
+// Guarantees (enforced by tests/query/index_io_test.cpp and
+// index_append_test.cpp):
+//   * serialize() is canonical: a pure function of the logical index, so
+//     serialize(deserialize(serialize(x))) == serialize(x) byte-for-byte,
+//     and an incrementally appended index serializes byte-identically to
+//     a full rebuild over the same snapshots.
+//   * deserialize() is hardened like the PR-1 parsers: bounds-checked by
+//     construction, caps on every count field, per-section checksums, and
+//     a typed persist::LoadError for every way a file can lie (the
+//     `persist_fault` ctest label sweeps truncations, bit flips, version
+//     skew, and oversized counts).
+//   * verify() additionally proves the redundant structures agree: the
+//     interval tables are recomputed from the membership sets and
+//     compared, so a checksummed-but-inconsistent file is still rejected.
+//
+// File layout (docs/PERSISTENCE.md has the diagram): four sections —
+// interner digests, provider timelines, per-date membership IdSets,
+// flattened interval records — all fixed-width little-endian flat arrays.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/query/trust_index.h"
+#include "src/store/persist.h"
+
+namespace rs::store {
+struct Snapshot;
+class StoreDatabase;
+}  // namespace rs::store
+
+namespace rs::query {
+
+/// RSIX section ids used by the index container.
+inline constexpr std::uint32_t kSectionInterner = 1;
+inline constexpr std::uint32_t kSectionProviders = 2;
+inline constexpr std::uint32_t kSectionSets = 3;
+inline constexpr std::uint32_t kSectionIntervals = 4;
+
+/// Summary returned by verify(): what a structurally valid, internally
+/// consistent index file contains.
+struct IndexFileStats {
+  std::uint64_t providers = 0;
+  std::uint64_t certificates = 0;
+  std::uint64_t resolution_points = 0;  // distinct dates over all providers
+  std::uint64_t intervals = 0;
+  std::uint64_t bytes = 0;
+};
+
+class TrustIndexIO {
+ public:
+  /// Canonical byte image of the index (deterministic; see above).
+  static std::string serialize(const TrustIndex& index);
+
+  /// Parses and structurally validates an index image.  Never throws on
+  /// any input; every malformation maps to a typed LoadError.
+  static rs::store::persist::Loaded<TrustIndex> deserialize(
+      std::span<const std::uint8_t> bytes);
+
+  /// serialize() + persist::atomic_write_file.  Returns bytes written.
+  static rs::util::Result<std::uint64_t> write_file(const TrustIndex& index,
+                                                    const std::string& path);
+
+  /// mmaps `path` and deserializes it.  The mapping lives only for the
+  /// duration of the load; the returned index owns all of its memory.
+  static rs::store::persist::Loaded<TrustIndex> load_file(
+      const std::string& path);
+
+  /// Deep verification: a full deserialize plus recomputation of every
+  /// interval table from the membership sets.  Rejects files whose
+  /// redundant structures disagree (checksums cannot catch a writer that
+  /// lied consistently).
+  static rs::store::persist::Loaded<IndexFileStats> verify(
+      std::span<const std::uint8_t> bytes);
+  static rs::store::persist::Loaded<IndexFileStats> verify_file(
+      const std::string& path);
+
+  /// Absorbs one snapshot into the index incrementally: grows the interner
+  /// if the snapshot carries unseen certificates (a monotonic dense-ID
+  /// remap), then touches only `snapshot.provider`'s membership tables and
+  /// intervals.  Snapshots must arrive in date order per provider; a
+  /// snapshot dated equal to the provider's newest replaces it (the
+  /// equal-dated-snapshot collapse the full build applies).  The result is
+  /// indistinguishable — byte-for-byte under serialize() — from a full
+  /// rebuild over the same snapshots.
+  static rs::util::Result<bool> append_snapshot(
+      TrustIndex& index, const rs::store::Snapshot& snapshot);
+
+  /// Appends every database snapshot strictly newer than the provider's
+  /// indexed coverage (all snapshots for providers the index has never
+  /// seen), one at a time in date order.  Returns the number absorbed.
+  static rs::util::Result<std::size_t> append_from_database(
+      TrustIndex& index, const rs::store::StoreDatabase& db);
+
+ private:
+  /// Grows the interner universe by `fresh` (sorted, unique, disjoint from
+  /// the current universe) and remaps every dense ID in the index.  The
+  /// remap is monotonic, so canonical serialization order is preserved.
+  static void grow_interner(TrustIndex& index,
+                            const std::vector<rs::crypto::Sha256Digest>& fresh);
+};
+
+}  // namespace rs::query

@@ -8,9 +8,8 @@
 #include "src/store/trust.h"
 
 namespace rs::query {
-namespace {
 
-bool in_scope(const rs::store::TrustEntry& entry, Scope scope) noexcept {
+bool scope_matches(const rs::store::TrustEntry& entry, Scope scope) noexcept {
   switch (scope) {
     case Scope::kTls:
       return entry.is_anchor_for(rs::store::TrustPurpose::kServerAuth);
@@ -23,8 +22,6 @@ bool in_scope(const rs::store::TrustEntry& entry, Scope scope) noexcept {
   }
   return false;
 }
-
-}  // namespace
 
 const char* to_string(TrustAnswer a) noexcept {
   switch (a) {
@@ -70,7 +67,7 @@ void TrustIndex::build_provider(const rs::store::ProviderHistory& history,
     for (std::size_t k = 0; k < resolved.size(); ++k) {
       rs::store::IdSet members(universe);
       for (const auto& entry : resolved[k]->entries) {
-        if (!in_scope(entry, scope)) continue;
+        if (!scope_matches(entry, scope)) continue;
         const auto id = interner.id_of(entry.certificate->sha256());
         if (id) members.insert(*id);
       }
@@ -174,7 +171,10 @@ TrustAnswer TrustIndex::is_trusted(const rs::crypto::Sha256Digest& fp,
   if (!resolve(*p, date)) return TrustAnswer::kNotCovered;
   const auto id = interner_.id_of(fp);
   if (!id) return TrustAnswer::kUntrusted;
-  const auto& runs = p->intervals[static_cast<std::size_t>(scope)][*id];
+  // Loaded indexes size interval tables to the highest ID with runs.
+  const auto& table = p->intervals[static_cast<std::size_t>(scope)];
+  if (*id >= table.size()) return TrustAnswer::kUntrusted;
+  const auto& runs = table[*id];
   // Last interval starting on or before `date`.
   const auto it = std::upper_bound(
       runs.begin(), runs.end(), date,
@@ -240,7 +240,9 @@ std::vector<LineageSpan> TrustIndex::lineage(
   const auto id = interner_.id_of(fp);
   if (!id) return spans;
   for (const auto& p : providers_) {
-    for (const auto& run : p.intervals[static_cast<std::size_t>(scope)][*id]) {
+    const auto& table = p.intervals[static_cast<std::size_t>(scope)];
+    if (*id >= table.size()) continue;
+    for (const auto& run : table[*id]) {
       spans.push_back({p.name, run});
     }
   }

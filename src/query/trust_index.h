@@ -44,6 +44,11 @@ namespace rs::query {
 /// A point query's three-valued answer.
 enum class TrustAnswer : std::uint8_t { kTrusted, kUntrusted, kNotCovered };
 
+/// True when `entry` belongs to the membership set of `scope` (TLS/email/
+/// code anchors, or bare presence).  Shared by the index build and the
+/// incremental append path in index_io.cpp.
+bool scope_matches(const rs::store::TrustEntry& entry, Scope scope) noexcept;
+
 const char* to_string(TrustAnswer a) noexcept;
 
 /// One maximal presence run.  `removed` is the date of the first snapshot
@@ -138,6 +143,10 @@ class TrustIndex {
                                    Scope scope) const;
 
  private:
+  // The persistence layer (serialize/load/append, docs/PERSISTENCE.md)
+  // reads and reconstructs the private representation directly.
+  friend class TrustIndexIO;
+
   struct ProviderData {
     std::string name;
     // Distinct snapshot dates, ascending.  When a history carries several
@@ -148,6 +157,9 @@ class TrustIndex {
     // Per scope, per distinct date: interned membership set.
     std::array<std::vector<rs::store::IdSet>, kScopeCount> sets;
     // Per scope, per certificate ID: date-ordered presence intervals.
+    // May be shorter than the universe (indexes past the end mean "no
+    // runs"): the loader sizes each table to the highest ID that actually
+    // has runs, so a file's memory cost is bounded by its contents.
     std::array<std::vector<std::vector<TrustInterval>>, kScopeCount>
         intervals;
   };

@@ -99,6 +99,15 @@ double IdSet::jaccard_distance(const IdSet& other) const noexcept {
   return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
 }
 
+IdSet IdSet::from_words(std::vector<std::uint64_t> words) {
+  IdSet out;
+  out.words_ = std::move(words);
+  for (const std::uint64_t w : out.words_) {
+    out.count_ += static_cast<std::size_t>(std::popcount(w));
+  }
+  return out;
+}
+
 std::vector<std::uint32_t> IdSet::ids() const {
   std::vector<std::uint32_t> out;
   out.reserve(count_);

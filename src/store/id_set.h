@@ -55,6 +55,14 @@ class IdSet {
   /// sorted-digest order, this is also sorted-digest order.
   std::vector<std::uint32_t> ids() const;
 
+  /// Raw packed words (may carry trailing zero words; the persisted form
+  /// trims them — see src/store/persist.h).
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+  /// Rebuilds a set from packed words (the persistence load path); the
+  /// cardinality is recomputed by popcount.
+  static IdSet from_words(std::vector<std::uint64_t> words);
+
   /// Logical equality: same IDs present (trailing zero words ignored).
   friend bool operator==(const IdSet& a, const IdSet& b) noexcept;
 

@@ -82,6 +82,12 @@ class CertInterner {
   /// Round-trips an IdSet back to digests (sorted, by the ID order contract).
   FingerprintSet materialize(const IdSet& ids) const;
 
+  /// The sorted, unique digest universe (ID i maps to digests()[i]).  The
+  /// persistence layer serializes this flat array directly.
+  const std::vector<rs::crypto::Sha256Digest>& digests() const noexcept {
+    return digests_;
+  }
+
  private:
   std::vector<rs::crypto::Sha256Digest> digests_;  // sorted, unique
 };

@@ -1,0 +1,263 @@
+// Round-trip property suite for the persisted trust index (RSIX).
+//
+// The contract under test: serialize() is a canonical pure function of the
+// logical index, deserialize(serialize(x)) answers every query exactly as
+// x does, and the serialize/deserialize pair is a fixed point — the bytes
+// do not drift across round trips.  Proven on the paper scenario and on
+// randomized simulated ecosystems.
+#include "src/query/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/query/engine.h"
+#include "src/query/trust_index.h"
+#include "src/store/database.h"
+#include "src/store/interner.h"
+#include "src/synth/paper_scenario.h"
+#include "src/synth/simulator.h"
+#include "src/synth/user_agents.h"
+#include "src/util/hex.h"
+
+namespace rs::query {
+namespace {
+
+using rs::store::ProviderHistory;
+using rs::store::Snapshot;
+using rs::store::StoreDatabase;
+using rs::store::TrustPurpose;
+using rs::util::Date;
+
+std::span<const std::uint8_t> as_span(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Ground truth, mirroring tests/query/query_property_test.cpp: resolve
+/// the snapshot with ProviderHistory::at and scan its entries directly.
+TrustAnswer brute_force(const StoreDatabase& db,
+                        const rs::crypto::Sha256Digest& fp,
+                        const std::string& provider, Date date, Scope scope) {
+  const ProviderHistory* history = db.find(provider);
+  if (history == nullptr || history->empty()) return TrustAnswer::kNotCovered;
+  if (date < history->first_date() || history->last_date() < date) {
+    return TrustAnswer::kNotCovered;
+  }
+  const Snapshot* snapshot = history->at(date);
+  if (snapshot == nullptr) return TrustAnswer::kNotCovered;
+  const rs::store::TrustEntry* entry = snapshot->find(fp);
+  if (entry == nullptr) return TrustAnswer::kUntrusted;
+  bool yes = false;
+  switch (scope) {
+    case Scope::kTls:
+      yes = entry->trust_for(TrustPurpose::kServerAuth).is_anchor();
+      break;
+    case Scope::kEmail:
+      yes = entry->trust_for(TrustPurpose::kEmailProtection).is_anchor();
+      break;
+    case Scope::kCode:
+      yes = entry->trust_for(TrustPurpose::kCodeSigning).is_anchor();
+      break;
+    case Scope::kPresent:
+      yes = true;
+      break;
+  }
+  return yes ? TrustAnswer::kTrusted : TrustAnswer::kUntrusted;
+}
+
+std::vector<Date> probe_dates(const ProviderHistory& history) {
+  std::vector<Date> dates;
+  for (const auto& s : history.snapshots()) {
+    dates.push_back(s.date + (-1));
+    dates.push_back(s.date);
+    dates.push_back(s.date + 1);
+  }
+  dates.push_back(history.first_date() + (-30));
+  dates.push_back(history.last_date() + 30);
+  return dates;
+}
+
+TrustIndex build_index(const StoreDatabase& db) {
+  return TrustIndex::build(db, rs::store::CertInterner::from_database(db));
+}
+
+TEST(IndexIoRoundTrip, SerializeIsAFixedPoint) {
+  const auto scenario = rs::synth::build_paper_scenario();
+  const TrustIndex built = build_index(scenario.database());
+
+  const std::string first = TrustIndexIO::serialize(built);
+  auto loaded = TrustIndexIO::deserialize(as_span(first));
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  const std::string second = TrustIndexIO::serialize(loaded.value());
+  // Byte-for-byte, not just equivalent: canonical encoding means a load
+  // never perturbs what a re-serialize emits.
+  EXPECT_EQ(first, second);
+}
+
+TEST(IndexIoRoundTrip, LoadedIndexMatchesBruteForceEverywhere) {
+  const auto scenario = rs::synth::build_paper_scenario();
+  const StoreDatabase& db = scenario.database();
+  const auto interner = rs::store::CertInterner::from_database(db);
+  const TrustIndex built = TrustIndex::build(db, interner);
+
+  const std::string image = TrustIndexIO::serialize(built);
+  auto loaded = TrustIndexIO::deserialize(as_span(image));
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  const TrustIndex& index = loaded.value();
+
+  ASSERT_EQ(index.provider_count(), built.provider_count());
+  ASSERT_EQ(index.interner().size(), built.interner().size());
+  ASSERT_EQ(index.resolution_point_count(), built.resolution_point_count());
+
+  const Scope scopes[] = {Scope::kTls, Scope::kEmail, Scope::kCode,
+                          Scope::kPresent};
+  std::size_t checked = 0;
+  for (const auto& provider : db.providers()) {
+    const ProviderHistory* history = db.find(provider);
+    ASSERT_NE(history, nullptr);
+    for (const Date date : probe_dates(*history)) {
+      for (const Scope scope : scopes) {
+        for (std::uint32_t id = 0; id < interner.size(); ++id) {
+          const auto& fp = interner.digest_of(id);
+          const TrustAnswer expect = brute_force(db, fp, provider, date, scope);
+          const TrustAnswer got = index.is_trusted(fp, provider, date, scope);
+          ASSERT_EQ(got, expect)
+              << provider << " " << date.to_string() << " scope="
+              << to_string(scope) << " fp=" << rs::util::hex_encode(fp);
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 100000u);
+}
+
+// The loaded engine must be indistinguishable from the built one at the
+// response-byte level across every op in the wire grammar.
+TEST(IndexIoRoundTrip, LoadedEngineAnswersByteIdentically) {
+  const auto scenario = rs::synth::build_paper_scenario();
+  const StoreDatabase& db = scenario.database();
+  const auto agents = rs::synth::user_agent_population();
+
+  const QueryEngine from_db(db, agents);
+  const std::string image = TrustIndexIO::serialize(from_db.index());
+  auto loaded = TrustIndexIO::deserialize(as_span(image));
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  const QueryEngine from_file(std::move(loaded).take(), agents);
+
+  std::vector<std::string> lines = {R"({"op":"stats"})"};
+  for (const auto& provider : db.providers()) {
+    const ProviderHistory* history = db.find(provider);
+    lines.push_back(R"({"op":"store_at","provider":")" + provider +
+                    R"(","date":")" + history->last_date().to_string() +
+                    R"("})");
+    lines.push_back(R"({"op":"diff","provider":")" + provider +
+                    R"(","date_a":")" + history->first_date().to_string() +
+                    R"(","date_b":")" + history->last_date().to_string() +
+                    R"(","scope":"present"})");
+  }
+  const auto roots = db.all_tls_roots_ever();
+  std::size_t i = 0;
+  for (const auto& fp : roots.items()) {
+    if (++i % 7 != 0) continue;
+    const std::string hex = rs::util::hex_encode(fp);
+    lines.push_back(R"({"op":"lineage","fp":")" + hex + R"("})");
+    lines.push_back(R"({"op":"providers_trusting","fp":")" + hex +
+                    R"(","date":"2020-06-01"})");
+    lines.push_back(R"({"op":"is_trusted","fp":")" + hex +
+                    R"(","provider":"NSS","date":"2019-03-03"})");
+  }
+  lines.push_back(R"({"op":"agent_store","user_agent":"Curl",)"
+                  R"("date":"2019-06-01"})");
+
+  for (const auto& line : lines) {
+    EXPECT_EQ(from_db.handle_json(line), from_file.handle_json(line)) << line;
+  }
+}
+
+TEST(IndexIoRoundTrip, FixedPointOnRandomizedEcosystems) {
+  for (const std::uint64_t seed : {7ull, 21ull, 1337ull}) {
+    rs::synth::SimulatorConfig cfg;
+    cfg.seed = seed;
+    cfg.ca_count = 60;
+    cfg.program_count = 3;
+    cfg.derivative_count = 2;
+    cfg.snapshot_interval_days = 120;
+    const auto eco = rs::synth::simulate_ecosystem(cfg);
+    const TrustIndex built = build_index(eco.database);
+
+    const std::string first = TrustIndexIO::serialize(built);
+    auto loaded = TrustIndexIO::deserialize(as_span(first));
+    ASSERT_TRUE(loaded.ok()) << "seed " << seed << ": " << loaded.message();
+    EXPECT_EQ(first, TrustIndexIO::serialize(loaded.value()))
+        << "seed " << seed;
+
+    // Spot-check answers on the loaded copy against brute force.
+    const auto& interner = built.interner();
+    std::size_t checked = 0;
+    for (const auto& provider : eco.database.providers()) {
+      const ProviderHistory* history = eco.database.find(provider);
+      for (const Date date : probe_dates(*history)) {
+        for (std::uint32_t id = 0; id < interner.size(); id += 5) {
+          const auto& fp = interner.digest_of(id);
+          ASSERT_EQ(
+              loaded.value().is_trusted(fp, provider, date, Scope::kTls),
+              brute_force(eco.database, fp, provider, date, Scope::kTls))
+              << "seed " << seed << " " << provider << " "
+              << date.to_string();
+          ++checked;
+        }
+      }
+    }
+    EXPECT_GT(checked, 1000u) << "seed " << seed;
+  }
+}
+
+TEST(IndexIoFile, WriteLoadVerifyRoundTrip) {
+  const auto scenario = rs::synth::build_paper_scenario();
+  const TrustIndex built = build_index(scenario.database());
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "rs_index_io_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "paper.rsix").string();
+
+  auto written = TrustIndexIO::write_file(built, path);
+  ASSERT_TRUE(written.ok()) << written.error();
+  EXPECT_EQ(written.value(), std::filesystem::file_size(path));
+
+  auto loaded = TrustIndexIO::load_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  EXPECT_EQ(TrustIndexIO::serialize(loaded.value()),
+            TrustIndexIO::serialize(built));
+
+  auto stats = TrustIndexIO::verify_file(path);
+  ASSERT_TRUE(stats.ok()) << stats.message();
+  EXPECT_EQ(stats.value().providers, built.provider_count());
+  EXPECT_EQ(stats.value().certificates, built.interner().size());
+  EXPECT_EQ(stats.value().resolution_points,
+            built.resolution_point_count());
+  EXPECT_GT(stats.value().intervals, 0u);
+  EXPECT_EQ(stats.value().bytes, written.value());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IndexIoFile, EmptyIndexRoundTrips) {
+  const TrustIndex empty;
+  const std::string image = TrustIndexIO::serialize(empty);
+  auto loaded = TrustIndexIO::deserialize(as_span(image));
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  EXPECT_EQ(loaded.value().provider_count(), 0u);
+  EXPECT_EQ(loaded.value().interner().size(), 0u);
+  EXPECT_EQ(TrustIndexIO::serialize(loaded.value()), image);
+
+  auto stats = TrustIndexIO::verify(as_span(image));
+  ASSERT_TRUE(stats.ok()) << stats.message();
+  EXPECT_EQ(stats.value().intervals, 0u);
+}
+
+}  // namespace
+}  // namespace rs::query

@@ -1,0 +1,416 @@
+// Fault-injection battery for the persisted index loader (ctest label
+// `persist_fault`): every way an RSIX file can lie must produce a typed
+// LoadError — never a crash, never a silently wrong index.  The corpus is
+// a real serialized index; corruptions are injected byte-surgically:
+//   * truncation at every section boundary, and one byte either side,
+//   * single-bit flips across the header, section table, and payloads,
+//   * version and flag skew,
+//   * count fields rewritten to hostile values (via re-framed sections,
+//     so checksums are valid and the *semantic* caps must catch them),
+//   * checksummed-but-inconsistent files that only deep verify() rejects.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/query/index_io.h"
+#include "src/query/trust_index.h"
+#include "src/store/interner.h"
+#include "src/store/persist.h"
+#include "src/synth/simulator.h"
+
+namespace rs::query {
+namespace {
+
+namespace persist = rs::store::persist;
+using persist::LoadError;
+
+std::span<const std::uint8_t> as_span(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// One compact but fully featured index image: multiple providers (with
+/// derivatives), multi-year histories, all four sections populated.
+const std::string& corpus_image() {
+  static const std::string image = [] {
+    rs::synth::SimulatorConfig cfg;
+    cfg.seed = 11;
+    cfg.ca_count = 40;
+    cfg.program_count = 2;
+    cfg.derivative_count = 1;
+    cfg.snapshot_interval_days = 180;
+    const auto eco = rs::synth::simulate_ecosystem(cfg);
+    const TrustIndex index = TrustIndex::build(
+        eco.database, rs::store::CertInterner::from_database(eco.database));
+    return TrustIndexIO::serialize(index);
+  }();
+  return image;
+}
+
+/// Byte offsets of every structural boundary in the image: header end,
+/// section-table end, and each section's payload end.
+std::vector<std::size_t> section_boundaries(const std::string& image) {
+  auto parsed = persist::FileView::parse(as_span(image));
+  EXPECT_TRUE(parsed.ok());
+  std::vector<std::size_t> cuts;
+  cuts.push_back(persist::kHeaderBytes);
+  std::size_t offset = persist::kHeaderBytes +
+                       parsed.value().sections().size() *
+                           persist::kSectionEntryBytes;
+  cuts.push_back(offset);  // end of the section table
+  for (const auto& s : parsed.value().sections()) {
+    offset += s.payload.size();
+    cuts.push_back(offset);  // end of this section's payload
+  }
+  return cuts;
+}
+
+/// Reframes the corpus with section `id`'s payload replaced, so all
+/// checksums are freshly valid and only semantic validation can object.
+std::string with_section_payload(std::uint32_t id, std::string payload) {
+  auto parsed = persist::FileView::parse(as_span(corpus_image()));
+  EXPECT_TRUE(parsed.ok());
+  persist::FileBuilder b;
+  for (const auto& s : parsed.value().sections()) {
+    if (s.id == id) {
+      b.add_section(s.id, payload);
+    } else {
+      b.add_section(s.id,
+                    std::string(s.payload.begin(), s.payload.end()));
+    }
+  }
+  return b.finish();
+}
+
+/// Every corruption must fail closed: typed error, no value, no crash.
+void expect_rejected(const std::string& image, const char* what) {
+  auto loaded = TrustIndexIO::deserialize(as_span(image));
+  EXPECT_FALSE(loaded.ok()) << what << ": corrupt image loaded";
+  if (!loaded.ok()) {
+    // The failure is typed and renders a non-empty diagnostic.
+    EXPECT_FALSE(loaded.message().empty()) << what;
+  }
+}
+
+TEST(PersistFault, CorpusIsValid) {
+  auto loaded = TrustIndexIO::deserialize(as_span(corpus_image()));
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  EXPECT_GT(loaded.value().provider_count(), 2u);
+  auto verified = TrustIndexIO::verify(as_span(corpus_image()));
+  ASSERT_TRUE(verified.ok()) << verified.message();
+}
+
+TEST(PersistFault, TruncationSweepAtEverySectionBoundary) {
+  const std::string& image = corpus_image();
+  for (const std::size_t cut : section_boundaries(image)) {
+    for (const std::size_t n :
+         {cut - 1, cut, cut == image.size() ? cut : cut + 1}) {
+      if (n >= image.size()) continue;
+      expect_rejected(image.substr(0, n),
+                      ("truncated to " + std::to_string(n)).c_str());
+    }
+  }
+  // And a coarse sweep across the whole image.
+  for (std::size_t n = 0; n < image.size(); n += 97) {
+    expect_rejected(image.substr(0, n),
+                    ("truncated to " + std::to_string(n)).c_str());
+  }
+}
+
+TEST(PersistFault, SingleBitFlipsInHeaderAndSectionTable) {
+  const std::string& image = corpus_image();
+  const std::size_t protected_bytes =
+      persist::kHeaderBytes + 4 * persist::kSectionEntryBytes;
+  ASSERT_LE(protected_bytes, image.size());
+  for (std::size_t byte = 0; byte < protected_bytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = image;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      // The magic, version, flags, counts, offsets, and both checksum
+      // layers each cover part of this range; every flip must land in
+      // one of those nets.
+      expect_rejected(flipped, ("bit " + std::to_string(bit) + " of byte " +
+                                std::to_string(byte))
+                                   .c_str());
+    }
+  }
+}
+
+TEST(PersistFault, SingleBitFlipsInPayloadsTripSectionChecksums) {
+  const std::string& image = corpus_image();
+  const std::size_t payload_start =
+      persist::kHeaderBytes + 4 * persist::kSectionEntryBytes;
+  // Stride across the payload region; every flip must be caught by the
+  // section checksum before any payload byte is interpreted.
+  for (std::size_t byte = payload_start; byte < image.size(); byte += 211) {
+    std::string flipped = image;
+    flipped[byte] = static_cast<char>(flipped[byte] ^ 0x40);
+    auto loaded = TrustIndexIO::deserialize(as_span(flipped));
+    ASSERT_FALSE(loaded.ok()) << "payload flip at byte " << byte;
+    EXPECT_EQ(loaded.code(), LoadError::kChecksum)
+        << "payload flip at byte " << byte;
+  }
+}
+
+TEST(PersistFault, VersionAndFlagSkew) {
+  {
+    std::string skew = corpus_image();
+    skew[8] = 2;  // future format version
+    auto loaded = TrustIndexIO::deserialize(as_span(skew));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kBadVersion);
+  }
+  {
+    std::string skew = corpus_image();
+    skew[8] = 0;  // pre-release version
+    auto loaded = TrustIndexIO::deserialize(as_span(skew));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kBadVersion);
+  }
+  {
+    std::string skew = corpus_image();
+    skew[12] = 0x04;  // unknown feature flag
+    auto loaded = TrustIndexIO::deserialize(as_span(skew));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kBadFlags);
+  }
+}
+
+TEST(PersistFault, NotAnIndexAtAll) {
+  expect_rejected("", "empty file");
+  expect_rejected(std::string(3, '\0'), "three zero bytes");
+  expect_rejected(std::string(4096, 'A'), "text file");
+  // Text-mode mangling: the \r\n sentinel in the magic catches a file
+  // that went through newline translation.
+  std::string mangled = corpus_image();
+  mangled.erase(6, 1);  // strip the \r
+  expect_rejected(mangled, "CRLF-stripped image");
+}
+
+TEST(PersistFault, OversizedCountsFailTheCapsNotTheAllocator) {
+  {  // Interner digest count beyond kMaxCerts.
+    persist::ByteWriter w;
+    w.u64(persist::kMaxCerts + 1);
+    auto loaded = TrustIndexIO::deserialize(
+        as_span(with_section_payload(kSectionInterner, std::move(w).take())));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kCountOverflow);
+  }
+  {  // Digest count promising more bytes than the section holds.
+    persist::ByteWriter w;
+    w.u64(1000);
+    w.u64(0);
+    auto loaded = TrustIndexIO::deserialize(
+        as_span(with_section_payload(kSectionInterner, std::move(w).take())));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kCountOverflow);
+  }
+  {  // Provider count beyond kMaxProviders.
+    persist::ByteWriter w;
+    w.u64(persist::kMaxProviders + 1);
+    auto loaded = TrustIndexIO::deserialize(
+        as_span(with_section_payload(kSectionProviders, std::move(w).take())));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kCountOverflow);
+  }
+  {  // A provider name longer than kMaxNameBytes.
+    persist::ByteWriter w;
+    w.u64(1);
+    w.str(std::string(persist::kMaxNameBytes + 1, 'p'));
+    auto loaded = TrustIndexIO::deserialize(
+        as_span(with_section_payload(kSectionProviders, std::move(w).take())));
+    EXPECT_FALSE(loaded.ok());
+  }
+  {  // Interval run count promising far more records than present.
+    persist::ByteWriter w;
+    w.u64(std::uint64_t{1} << 40);
+    auto loaded = TrustIndexIO::deserialize(
+        as_span(with_section_payload(kSectionIntervals, std::move(w).take())));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kCountOverflow);
+  }
+}
+
+TEST(PersistFault, SemanticInvariantViolations) {
+  {  // Provider with zero snapshots.  (The name is long enough that the
+     // per-provider byte floor passes and the semantic check is what fires.)
+    persist::ByteWriter w;
+    w.u64(1);
+    w.str("SnapshotlessProvider");
+    w.u64(0);
+    auto loaded = TrustIndexIO::deserialize(
+        as_span(with_section_payload(kSectionProviders, std::move(w).take())));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kBadValue);
+  }
+  {  // Empty provider name.
+    persist::ByteWriter w;
+    w.u64(1);
+    w.str("");
+    w.u64(1);
+    w.i64(0);
+    w.str("v1");
+    auto loaded = TrustIndexIO::deserialize(
+        as_span(with_section_payload(kSectionProviders, std::move(w).take())));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kBadValue);
+  }
+  {  // Provider names out of order.
+    persist::ByteWriter w;
+    w.u64(2);
+    w.str("Zeta");
+    w.u64(1);
+    w.i64(0);
+    w.str("v");
+    w.str("Alpha");
+    w.u64(1);
+    w.i64(0);
+    w.str("v");
+    auto loaded = TrustIndexIO::deserialize(
+        as_span(with_section_payload(kSectionProviders, std::move(w).take())));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kBadValue);
+  }
+  {  // Snapshot dates not strictly ascending.
+    persist::ByteWriter w;
+    w.u64(1);
+    w.str("P");
+    w.u64(2);
+    w.i64(100);
+    w.i64(100);
+    w.str("a");
+    w.str("b");
+    auto loaded = TrustIndexIO::deserialize(
+        as_span(with_section_payload(kSectionProviders, std::move(w).take())));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kBadValue);
+  }
+}
+
+TEST(PersistFault, TrailingAndMissingBytes) {
+  {  // Junk appended to a section payload (reframed, checksums valid).
+    auto parsed = persist::FileView::parse(as_span(corpus_image()));
+    ASSERT_TRUE(parsed.ok());
+    const auto s1 = *parsed.value().section(kSectionInterner);
+    std::string padded(s1.begin(), s1.end());
+    padded += '\0';
+    auto loaded = TrustIndexIO::deserialize(
+        as_span(with_section_payload(kSectionInterner, padded)));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kTrailingBytes);
+  }
+  {  // Junk appended to the file itself.
+    expect_rejected(corpus_image() + "tail", "appended bytes");
+  }
+  {  // A section missing entirely.
+    auto parsed = persist::FileView::parse(as_span(corpus_image()));
+    ASSERT_TRUE(parsed.ok());
+    persist::FileBuilder b;
+    for (const auto& s : parsed.value().sections()) {
+      if (s.id == kSectionIntervals) continue;
+      b.add_section(s.id, std::string(s.payload.begin(), s.payload.end()));
+    }
+    auto loaded = TrustIndexIO::deserialize(as_span(b.finish()));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kBadSectionTable);
+  }
+}
+
+// A file can be perfectly checksummed and structurally valid while its
+// redundant structures disagree — a lying writer.  The loader accepts it
+// (each structure is self-consistent); deep verify() must not.
+TEST(PersistFault, DeepVerifyCatchesConsistentlyLyingWriter) {
+  auto parsed = persist::FileView::parse(as_span(corpus_image()));
+  ASSERT_TRUE(parsed.ok());
+  const auto s4 = *parsed.value().section(kSectionIntervals);
+  std::string payload(s4.begin(), s4.end());
+  // Section 4 layout: per (provider, scope), u64 run count then 24-byte
+  // records {u32 id, u32 pad, i64 added, i64 removed}.  Find the first
+  // non-empty run group and shift its first record's `added` one day
+  // earlier — still sorted, still loadable, but now disagreeing with the
+  // membership sets.
+  std::size_t pos = 0;
+  while (pos + 8 <= payload.size()) {
+    std::uint64_t runs = 0;
+    for (int i = 0; i < 8; ++i) {
+      runs |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(payload[pos + i]))
+              << (8 * i);
+    }
+    pos += 8;
+    if (runs > 0) break;
+  }
+  ASSERT_LT(pos + 24, payload.size()) << "corpus has no interval records";
+  const std::size_t added_at = pos + 8;
+  std::int64_t added = 0;
+  for (int i = 0; i < 8; ++i) {
+    added |= static_cast<std::int64_t>(
+                 static_cast<std::uint8_t>(payload[added_at + i]))
+             << (8 * i);
+  }
+  added -= 1;
+  for (int i = 0; i < 8; ++i) {
+    payload[added_at + i] = static_cast<char>((added >> (8 * i)) & 0xFF);
+  }
+  const std::string lying = with_section_payload(kSectionIntervals, payload);
+
+  // Structurally fine: the plain loader takes it...
+  auto loaded = TrustIndexIO::deserialize(as_span(lying));
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  // ...but the deep check recomputes intervals from the sets and objects.
+  auto verified = TrustIndexIO::verify(as_span(lying));
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.code(), LoadError::kBadValue);
+}
+
+TEST(PersistFault, IntervalRecordInvariants) {
+  {  // removed <= added.
+    persist::ByteWriter w;
+    w.u64(1);
+    w.u32(0);
+    w.u32(0);
+    w.i64(100);
+    w.i64(100);
+    auto loaded = TrustIndexIO::deserialize(
+        as_span(with_section_payload(kSectionIntervals, std::move(w).take())));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kBadValue);
+  }
+  {  // Certificate id beyond the universe.
+    persist::ByteWriter w;
+    w.u64(1);
+    w.u32(0xFFFFFFFFu);
+    w.u32(0);
+    w.i64(100);
+    w.i64(200);
+    auto loaded = TrustIndexIO::deserialize(
+        as_span(with_section_payload(kSectionIntervals, std::move(w).take())));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kBadValue);
+  }
+  {  // Reserved pad not zero.
+    persist::ByteWriter w;
+    w.u64(1);
+    w.u32(0);
+    w.u32(1);
+    w.i64(100);
+    w.i64(200);
+    auto loaded = TrustIndexIO::deserialize(
+        as_span(with_section_payload(kSectionIntervals, std::move(w).take())));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), LoadError::kBadValue);
+  }
+}
+
+TEST(PersistFault, LoadFileOnMissingOrDirectoryPath) {
+  auto missing = TrustIndexIO::load_file("/no-such-rs-index.rsix");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), LoadError::kIo);
+  auto dir = TrustIndexIO::load_file("/tmp");
+  ASSERT_FALSE(dir.ok());
+  EXPECT_EQ(dir.code(), LoadError::kIo);
+}
+
+}  // namespace
+}  // namespace rs::query

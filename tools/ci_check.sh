@@ -27,8 +27,13 @@
 #                        BENCH_parallel.json, the merge-vs-interned
 #                        set-algebra sweep into BENCH_intern.json, the
 #                        observability-overhead sweep into BENCH_obs.json,
-#                        and the serve-layer throughput/latency sweep into
-#                        BENCH_serve.json (skip with ROOTSTORE_SKIP_BENCH=1)
+#                        the serve-layer throughput/latency sweep into
+#                        BENCH_serve.json, and the persisted-index
+#                        cold-start/append speedups into
+#                        BENCH_incremental.json — the latter gated against
+#                        the docs/PERSISTENCE.md floors (load >= 20x
+#                        rebuild, append-one >= 10x full recompute)
+#                        (skip with ROOTSTORE_SKIP_BENCH=1)
 #   7. coverage          gcov build + full suite, enforcing the src/ line
 #                        coverage floor in tools/coverage_baseline.txt
 #                        (skip with ROOTSTORE_SKIP_COVERAGE=1)
@@ -93,13 +98,14 @@ echo "=== [5/7] clang-tidy ==="
 if [ "${ROOTSTORE_SKIP_BENCH:-0}" = "1" ]; then
   echo "=== [6/7] benches: SKIPPED (ROOTSTORE_SKIP_BENCH=1) ==="
 else
-  echo "=== [6/7] benches -> BENCH_parallel/intern/obs/serve.json ==="
+  echo "=== [6/7] benches -> BENCH_parallel/intern/obs/serve/incremental.json ==="
   cmake --build "$repo_root/build" -j "$jobs" --target perf_analysis \
-        --target rootstore --target serve_loadgen
+        --target perf_persist --target rootstore --target serve_loadgen
   "$repo_root/tools/record_parallel_bench.sh" "$repo_root/build"
   "$repo_root/tools/record_intern_bench.sh" "$repo_root/build"
   "$repo_root/tools/record_obs_bench.sh" "$repo_root/build"
   "$repo_root/tools/record_serve_bench.sh" "$repo_root/build"
+  "$repo_root/tools/record_incremental_bench.sh" "$repo_root/build"
 fi
 
 if [ "${ROOTSTORE_SKIP_COVERAGE:-0}" = "1" ]; then

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Records the persisted-index benchmark into BENCH_incremental.json:
+#
+#   * cold start — BM_ColdStartLoadFile (mmap + validate + deserialize,
+#     the `rootstore serve --index` path) vs BM_ColdStartRebuild
+#     (interner + index compile from the database)
+#   * incremental absorb — BM_AppendOneSnapshot (apply one new snapshot to
+#     the existing tables) vs BM_FullRecompute (rebuild over the history)
+#
+# Both speedups are enforced against the floors the format promises
+# (docs/PERSISTENCE.md): load >= 20x rebuild, append-one >= 10x full
+# recompute.  The committed BENCH_incremental.json is the record.
+#
+# Usage: tools/record_incremental_bench.sh [build-dir] [out-file]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${1:-"$repo_root/build"}"
+out_file="${2:-"$repo_root/BENCH_incremental.json"}"
+
+bench_bin="$build_dir/bench/perf_persist"
+if [ ! -x "$bench_bin" ]; then
+  echo "record_incremental_bench: $bench_bin missing; build it first:" >&2
+  echo "  cmake --build $build_dir --target perf_persist" >&2
+  exit 2
+fi
+
+"$bench_bin" \
+  --benchmark_filter='BM_ColdStartRebuild|BM_ColdStartLoad|BM_ColdStartLoadFile|BM_FullRecompute|BM_AppendOneSnapshot' \
+  --benchmark_out="$out_file" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1
+
+# Summarize and gate the two speedups from the JSON (no jq dependency:
+# the google-benchmark JSON layout is stable enough for an awk pass).
+awk '
+  /"name":/      { gsub(/[",]/, ""); name = $2 }
+  /"real_time":/ {
+    gsub(/,/, "");
+    times[name] = $2;
+  }
+  END {
+    status = 0;
+    if (times["BM_ColdStartLoadFile"] > 0) {
+      cold = times["BM_ColdStartRebuild"] / times["BM_ColdStartLoadFile"];
+      printf "cold start:  load-from-file %.1fx vs rebuild (floor 20x)\n",
+             cold;
+      if (cold < 20) {
+        print "record_incremental_bench: cold-start floor MISSED";
+        status = 1;
+      }
+    } else { print "missing BM_ColdStartLoadFile"; status = 1 }
+    if (times["BM_AppendOneSnapshot"] > 0) {
+      inc = times["BM_FullRecompute"] / times["BM_AppendOneSnapshot"];
+      printf "append one:  incremental %.1fx vs full recompute (floor 10x)\n",
+             inc;
+      if (inc < 10) {
+        print "record_incremental_bench: append-one floor MISSED";
+        status = 1;
+      }
+    } else { print "missing BM_AppendOneSnapshot"; status = 1 }
+    exit status;
+  }
+' "$out_file"
+
+echo "record_incremental_bench: wrote $out_file"

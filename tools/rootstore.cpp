@@ -9,6 +9,9 @@
 //   rootstore report <name>               table1..table7, fig1..fig4
 //   rootstore query '<json>'              one-shot trust query (docs/SERVING.md)
 //   rootstore serve                       NDJSON query server on loopback TCP
+//   rootstore index build <out>           compile + persist the trust index
+//   rootstore index append <file>         absorb new snapshots incrementally
+//   rootstore index verify <file>         deep-verify a persisted index
 //   rootstore formats                     list supported formats
 //
 // Every subcommand works on any supported serialization (sniffed from the
@@ -38,6 +41,7 @@
 #include "src/formats/sniff.h"
 #include "src/obs/registry.h"
 #include "src/query/engine.h"
+#include "src/query/index_io.h"
 #include "src/serve/server.h"
 #include "src/synth/paper_scenario.h"
 #include "src/synth/user_agents.h"
@@ -69,18 +73,31 @@ int usage() {
       "                            --trace-out writes a Chrome trace_event\n"
       "                            JSON (env ROOTSTORE_TRACE works too) and\n"
       "                            --metrics-out a counters/stages JSON\n"
-      "  query '<json>' [--threads N] [--from DIR]\n"
+      "  query '<json>' [--threads N] [--from DIR] [--index FILE]\n"
       "                            answer one trust query (is_trusted,\n"
       "                            providers_trusting, store_at, diff,\n"
       "                            agent_store, lineage, stats) without a\n"
-      "                            server; see docs/SERVING.md\n"
+      "                            server; --index FILE answers from a\n"
+      "                            persisted index (no rebuild); see\n"
+      "                            docs/SERVING.md\n"
+      "  index build <out> [--from DIR] [--threads N]\n"
+      "                            compile the trust index and persist it\n"
+      "                            to <out> (RSIX; see docs/PERSISTENCE.md)\n"
+      "  index append <file> [--from DIR]\n"
+      "                            absorb snapshots newer than the index's\n"
+      "                            coverage — O(delta), byte-identical to a\n"
+      "                            full rebuild — and rewrite atomically\n"
+      "  index verify <file>       structural + checksum + deep consistency\n"
+      "                            verification of a persisted index\n"
       "  serve [--port N] [--threads K] [--cache N] [--port-file FILE]\n"
-      "        [--from DIR]\n"
+      "        [--from DIR] [--index FILE]\n"
       "                            serve queries as newline-delimited JSON\n"
       "                            over loopback TCP (port 0 = ephemeral;\n"
       "                            the bound port is printed and optionally\n"
       "                            written to FILE); SIGINT drains in-flight\n"
-      "                            requests and exits 0\n"
+      "                            requests and exits 0; --index FILE\n"
+      "                            cold-starts from a persisted index\n"
+      "                            instead of rebuilding from snapshots\n"
       "  formats                   list supported serializations\n",
       stderr);
   return 2;
@@ -339,19 +356,87 @@ rs::util::Result<rs::store::StoreDatabase> load_query_database(
   return db;
 }
 
-int cmd_query(const std::string& request, std::size_t threads,
-              const std::string& from_dir) {
+// Builds the engine either the expensive way (decode + intern + index
+// build from a database) or the cold-start way (load a persisted index).
+rs::util::Result<rs::query::QueryEngine> make_engine(
+    const std::string& from_dir, const std::string& index_file,
+    std::size_t threads) {
+  using R = rs::util::Result<rs::query::QueryEngine>;
+  if (!index_file.empty()) {
+    auto loaded = rs::query::TrustIndexIO::load_file(index_file);
+    if (!loaded.ok()) return R::err(index_file + ": " + loaded.message());
+    return rs::query::QueryEngine(std::move(loaded).take(),
+                                  rs::synth::user_agent_population());
+  }
   auto db = load_query_database(from_dir);
-  if (!db.ok()) return die(db.error());
+  if (!db.ok()) return db.propagate<rs::query::QueryEngine>();
   rs::exec::ThreadPool build_pool(threads);
-  const rs::query::QueryEngine engine(db.value(),
-                                      rs::synth::user_agent_population(),
-                                      &build_pool);
-  const std::string response = engine.handle_json(request);
+  return rs::query::QueryEngine(db.value(), rs::synth::user_agent_population(),
+                                &build_pool);
+}
+
+int cmd_query(const std::string& request, std::size_t threads,
+              const std::string& from_dir, const std::string& index_file) {
+  auto engine = make_engine(from_dir, index_file, threads);
+  if (!engine.ok()) return die(engine.error());
+  const std::string response = engine.value().handle_json(request);
   std::printf("%s\n", response.c_str());
   // Scripting contract: exit 0 for any answered query (including typed
   // not_covered), 1 only for error responses.
   return rs::query::QueryEngine::is_error_response(response) ? 1 : 0;
+}
+
+int cmd_index_build(const std::string& out, const std::string& from_dir,
+                    std::size_t threads) {
+  auto db = load_query_database(from_dir);
+  if (!db.ok()) return die(db.error());
+  rs::exec::ThreadPool pool(threads);
+  const auto index = rs::query::TrustIndex::build(
+      db.value(), rs::store::CertInterner::from_database(db.value()), &pool);
+  auto written = rs::query::TrustIndexIO::write_file(index, out);
+  if (!written.ok()) return die(written.error());
+  std::printf("wrote %s: %zu provider(s), %zu certificate(s), "
+              "%zu resolution point(s), %llu bytes\n",
+              out.c_str(), index.provider_count(), index.interner().size(),
+              index.resolution_point_count(),
+              static_cast<unsigned long long>(written.value()));
+  return 0;
+}
+
+int cmd_index_append(const std::string& path, const std::string& from_dir) {
+  auto loaded = rs::query::TrustIndexIO::load_file(path);
+  if (!loaded.ok()) return die(path + ": " + loaded.message());
+  auto index = std::move(loaded).take();
+  auto db = load_query_database(from_dir);
+  if (!db.ok()) return die(db.error());
+  auto appended = rs::query::TrustIndexIO::append_from_database(index,
+                                                                db.value());
+  if (!appended.ok()) return die(appended.error());
+  if (appended.value() == 0) {
+    std::printf("%s already covers every snapshot; nothing to do\n",
+                path.c_str());
+    return 0;
+  }
+  auto written = rs::query::TrustIndexIO::write_file(index, path);
+  if (!written.ok()) return die(written.error());
+  std::printf("appended %zu snapshot(s) to %s (%llu bytes)\n",
+              appended.value(), path.c_str(),
+              static_cast<unsigned long long>(written.value()));
+  return 0;
+}
+
+int cmd_index_verify(const std::string& path) {
+  auto stats = rs::query::TrustIndexIO::verify_file(path);
+  if (!stats.ok()) return die(path + ": " + stats.message());
+  const auto& s = stats.value();
+  std::printf("ok: %llu provider(s), %llu certificate(s), "
+              "%llu resolution point(s), %llu interval(s), %llu bytes\n",
+              static_cast<unsigned long long>(s.providers),
+              static_cast<unsigned long long>(s.certificates),
+              static_cast<unsigned long long>(s.resolution_points),
+              static_cast<unsigned long long>(s.intervals),
+              static_cast<unsigned long long>(s.bytes));
+  return 0;
 }
 
 // SIGINT/SIGTERM latch for `rootstore serve`: the handler writes one byte
@@ -367,13 +452,11 @@ extern "C" void handle_shutdown_signal(int) {
 }
 
 int cmd_serve(std::uint16_t port, std::size_t threads, std::size_t cache,
-              const std::string& port_file, const std::string& from_dir) {
-  auto db = load_query_database(from_dir);
-  if (!db.ok()) return die(db.error());
-  rs::exec::ThreadPool build_pool(threads);
-  const rs::query::QueryEngine engine(db.value(),
-                                      rs::synth::user_agent_population(),
-                                      &build_pool);
+              const std::string& port_file, const std::string& from_dir,
+              const std::string& index_file) {
+  auto made = make_engine(from_dir, index_file, threads);
+  if (!made.ok()) return die(made.error());
+  const rs::query::QueryEngine engine = std::move(made).take();
 
   rs::serve::ServerOptions options;
   options.port = port;
@@ -463,7 +546,27 @@ int main(int argc, char** argv) {
   if (cmd == "query" && args.size() >= 2) {
     std::size_t threads = 0;
     std::string from_dir;
+    std::string index_file;
     for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--threads" && i + 1 < args.size()) {
+        threads = static_cast<std::size_t>(
+            std::strtoul(args[++i].c_str(), nullptr, 10));
+      } else if (args[i] == "--from" && i + 1 < args.size()) {
+        from_dir = args[++i];
+      } else if (args[i] == "--index" && i + 1 < args.size()) {
+        index_file = args[++i];
+      } else {
+        return usage();
+      }
+    }
+    return cmd_query(args[1], threads, from_dir, index_file);
+  }
+  if (cmd == "index" && args.size() >= 3) {
+    const std::string& verb = args[1];
+    const std::string& path = args[2];
+    std::size_t threads = 0;
+    std::string from_dir;
+    for (std::size_t i = 3; i < args.size(); ++i) {
       if (args[i] == "--threads" && i + 1 < args.size()) {
         threads = static_cast<std::size_t>(
             std::strtoul(args[++i].c_str(), nullptr, 10));
@@ -473,7 +576,10 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
-    return cmd_query(args[1], threads, from_dir);
+    if (verb == "build") return cmd_index_build(path, from_dir, threads);
+    if (verb == "append") return cmd_index_append(path, from_dir);
+    if (verb == "verify" && args.size() == 3) return cmd_index_verify(path);
+    return usage();
   }
   if (cmd == "serve") {
     unsigned long port = 0;
@@ -481,6 +587,7 @@ int main(int argc, char** argv) {
     std::size_t cache = 1024;
     std::string port_file;
     std::string from_dir;
+    std::string index_file;
     for (std::size_t i = 1; i < args.size(); ++i) {
       if (args[i] == "--port" && i + 1 < args.size()) {
         port = std::strtoul(args[++i].c_str(), nullptr, 10);
@@ -495,12 +602,14 @@ int main(int argc, char** argv) {
         port_file = args[++i];
       } else if (args[i] == "--from" && i + 1 < args.size()) {
         from_dir = args[++i];
+      } else if (args[i] == "--index" && i + 1 < args.size()) {
+        index_file = args[++i];
       } else {
         return usage();
       }
     }
     return cmd_serve(static_cast<std::uint16_t>(port), threads, cache,
-                     port_file, from_dir);
+                     port_file, from_dir, index_file);
   }
   return usage();
 }

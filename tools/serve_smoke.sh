@@ -4,6 +4,9 @@
 #   1. start the server on an ephemeral port (--port-file handshake)
 #   2. answer one query over the socket and sanity-check the bytes
 #   3. send SIGINT and require a graceful drain with exit code 0
+#   4. repeat the lifecycle from a persisted index: `rootstore index build`
+#      writes an RSIX file, `serve --index` cold-starts from it, and the
+#      stats response must be byte-identical to the database-built one
 #
 # Usage: tools/serve_smoke.sh <build-dir>
 set -eu
@@ -71,4 +74,54 @@ grep -q "^drained:" "$workdir/serve.log" || {
   cat "$workdir/serve.log" >&2
   exit 1
 }
-echo "serve_smoke: OK (port $port)"
+
+# --- phase 2: the same lifecycle served from a persisted index ------------
+"$rootstore" index build "$workdir/smoke.rsix" > "$workdir/index.log" 2>&1
+"$rootstore" index verify "$workdir/smoke.rsix" >> "$workdir/index.log" 2>&1
+
+"$rootstore" serve --index "$workdir/smoke.rsix" --port 0 --threads 2 \
+    --cache 64 --port-file "$workdir/port2" > "$workdir/serve2.log" 2>&1 &
+server_pid=$!
+
+i=0
+while [ ! -s "$workdir/port2" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 600 ]; then
+    echo "serve_smoke: --index server never wrote the port file" >&2
+    cat "$workdir/serve2.log" >&2
+    kill "$server_pid" 2>/dev/null || true
+    exit 1
+  fi
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "serve_smoke: --index server exited before listening" >&2
+    cat "$workdir/serve2.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+port2=$(cat "$workdir/port2")
+
+# The loaded engine must answer byte-identically to the built one.
+from_index=$("$loadgen" --port "$port2" --oneshot '{"op":"stats"}')
+if [ "$from_index" != "$response" ]; then
+  echo "serve_smoke: --index stats differ from database-built stats" >&2
+  echo "  built:  $response" >&2
+  echo "  loaded: $from_index" >&2
+  kill "$server_pid" 2>/dev/null || true
+  exit 1
+fi
+
+kill -INT "$server_pid"
+status=0
+wait "$server_pid" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "serve_smoke: --index server exited $status after SIGINT (want 0)" >&2
+  cat "$workdir/serve2.log" >&2
+  exit 1
+fi
+grep -q "^drained:" "$workdir/serve2.log" || {
+  echo "serve_smoke: no drain summary in --index server log" >&2
+  cat "$workdir/serve2.log" >&2
+  exit 1
+}
+echo "serve_smoke: OK (port $port, --index port $port2)"
