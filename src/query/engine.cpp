@@ -128,7 +128,33 @@ QueryEngine::QueryEngine(TrustIndex index,
                          std::vector<rs::synth::UserAgentGroup> agents)
     : index_(std::move(index)), agents_(std::move(agents)) {}
 
+std::string batch_response(const std::vector<std::string>& responses) {
+  std::string out = "{\"op\":\"batch\",\"status\":\"ok\",\"count\":";
+  out += std::to_string(responses.size());
+  out += ",\"responses\":[";
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += responses[i];
+  }
+  out += "]}";
+  return out;
+}
+
 std::string QueryEngine::handle_json(std::string_view line) const {
+  if (looks_like_batch(line)) {
+    auto items = parse_batch_request(line);
+    if (!items.ok()) return error_response("bad_request", items.error());
+    std::vector<std::string> responses;
+    responses.reserve(items.value().size());
+    for (const std::string_view item : items.value()) {
+      // One level only: a batch inside a batch errors in its own slot.
+      responses.push_back(
+          looks_like_batch(item)
+              ? error_response("bad_request", "batch requests may not nest")
+              : handle_json(item));
+    }
+    return batch_response(responses);
+  }
   auto parsed = parse_request(line);
   if (!parsed.ok()) return error_response("bad_request", parsed.error());
   return handle(parsed.value());
@@ -147,6 +173,10 @@ std::string QueryEngine::handle(const Request& request) const {
       return error_response(
           "not_serving",
           "server_stats is answered by `rootstore serve`, not the engine");
+    case Op::kReloadIndex:
+      return error_response(
+          "not_serving",
+          "reload_index is answered by `rootstore serve`, not the engine");
   }
   return error_response("bad_request", "unhandled op");
 }

@@ -49,7 +49,9 @@ class QueryEngine {
 
   /// Parses one request line and answers it.  Parse failures become
   /// {"status":"error","code":"bad_request",...}; this function never
-  /// throws on any input.
+  /// throws on any input.  Batch envelopes ({"op":"batch","requests":[...]})
+  /// answer every sub-request in order inside one batch_response() line;
+  /// per-item failures are isolated to their slot.
   [[nodiscard]] std::string handle_json(std::string_view line) const;
 
   /// Answers an already-parsed request.
@@ -77,5 +79,12 @@ class QueryEngine {
 /// Builds the canonical error response (also used by the serve layer for
 /// transport-level failures such as oversized request lines).
 std::string error_response(std::string_view code, std::string_view message);
+
+/// Assembles the batch envelope response from already-rendered per-item
+/// response lines:
+///   {"op":"batch","status":"ok","count":N,"responses":[...]}
+/// Shared by QueryEngine::handle_json and the serve layer (which answers
+/// items through its response cache but must emit identical bytes).
+std::string batch_response(const std::vector<std::string>& responses);
 
 }  // namespace rs::query

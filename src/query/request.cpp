@@ -178,7 +178,7 @@ struct OpSpec {
 
 // `os` is the only optional-when-admissible field (agent names are only
 // ambiguous across OSes); everything else admissible is required.
-constexpr std::array<OpSpec, 8> kOpSpecs = {{
+constexpr std::array<OpSpec, 9> kOpSpecs = {{
     {Op::kIsTrusted, "is_trusted",
      true, true, true, false, false, false, false, true},
     {Op::kProvidersTrusting, "providers_trusting",
@@ -194,6 +194,8 @@ constexpr std::array<OpSpec, 8> kOpSpecs = {{
     {Op::kStats, "stats",
      false, false, false, false, false, false, false, false},
     {Op::kServerStats, "server_stats",
+     false, false, false, false, false, false, false, false},
+    {Op::kReloadIndex, "reload_index",
      false, false, false, false, false, false, false, false},
 }};
 
@@ -331,6 +333,100 @@ rs::util::Result<Request> parse_request(std::string_view text) {
                   "' requires field '" + missing + "'");
   }
   return request;
+}
+
+namespace {
+
+/// Matches one literal token at the cursor after skipping whitespace.
+bool consume_token(Cursor& in, std::string_view token) noexcept {
+  in.skip_ws();
+  if (in.text.size() - in.pos < token.size()) return false;
+  if (in.text.substr(in.pos, token.size()) != token) return false;
+  in.pos += token.size();
+  return true;
+}
+
+}  // namespace
+
+bool looks_like_batch(std::string_view text) noexcept {
+  Cursor in{text};
+  return consume_token(in, "{") && consume_token(in, "\"op\"") &&
+         consume_token(in, ":") && consume_token(in, "\"batch\"");
+}
+
+rs::util::Result<std::vector<std::string_view>> parse_batch_request(
+    std::string_view text) {
+  using R = rs::util::Result<std::vector<std::string_view>>;
+  if (text.size() > kMaxBatchBytes) {
+    return R::err("batch request exceeds " + std::to_string(kMaxBatchBytes) +
+                  " bytes");
+  }
+  Cursor in{text};
+  // Fixed field order keeps the envelope grammar (and looks_like_batch)
+  // trivially unambiguous: op first, then requests, nothing else.
+  if (!consume_token(in, "{") || !consume_token(in, "\"op\"") ||
+      !consume_token(in, ":") || !consume_token(in, "\"batch\"")) {
+    return R::err("batch envelope must open with {\"op\":\"batch\"");
+  }
+  if (!consume_token(in, ",") || !consume_token(in, "\"requests\"") ||
+      !consume_token(in, ":") || !consume_token(in, "[")) {
+    return R::err("batch envelope requires \"requests\":[...] after the op");
+  }
+  std::vector<std::string_view> items;
+  in.skip_ws();
+  if (!in.consume(']')) {
+    while (true) {
+      in.skip_ws();
+      if (in.done() || in.peek() != '{') {
+        return R::err("batch item " + std::to_string(items.size()) +
+                      " must be a JSON object");
+      }
+      // Brace-match the item with string/escape awareness.  Sub-requests
+      // are flat objects, but a malformed nested one must still frame
+      // cleanly here so its rejection stays isolated to its slot.
+      const std::size_t begin = in.pos;
+      std::size_t depth = 0;
+      bool in_string = false;
+      bool escaped = false;
+      while (!in.done()) {
+        const char c = in.text[in.pos++];
+        if (in_string) {
+          if (escaped) escaped = false;
+          else if (c == '\\') escaped = true;
+          else if (c == '"') in_string = false;
+          continue;
+        }
+        if (c == '"') in_string = true;
+        else if (c == '{') ++depth;
+        else if (c == '}' && --depth == 0) break;
+      }
+      if (depth != 0 || in_string) {
+        return R::err("unterminated batch item " +
+                      std::to_string(items.size()));
+      }
+      const std::size_t length = in.pos - begin;
+      if (length > kMaxRequestBytes) {
+        return R::err("batch item " + std::to_string(items.size()) +
+                      " exceeds " + std::to_string(kMaxRequestBytes) +
+                      " bytes");
+      }
+      items.push_back(text.substr(begin, length));
+      if (items.size() > kMaxBatchRequests) {
+        return R::err("batch carries more than " +
+                      std::to_string(kMaxBatchRequests) + " requests");
+      }
+      in.skip_ws();
+      if (in.consume(',')) continue;
+      if (in.consume(']')) break;
+      return R::err("expected ',' or ']' after batch item");
+    }
+  }
+  if (!consume_token(in, "}")) {
+    return R::err("expected '}' to close the batch envelope");
+  }
+  in.skip_ws();
+  if (!in.done()) return R::err("trailing bytes after batch envelope");
+  return items;
 }
 
 std::string canonical_request(const Request& request) {

@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/crypto/digest.h"
 #include "src/util/date.h"
@@ -31,6 +32,13 @@ inline constexpr std::size_t kMaxFields = 12;
 inline constexpr std::size_t kMaxKeyBytes = 32;
 inline constexpr std::size_t kMaxValueBytes = 512;
 
+/// Batch-envelope caps: one line may carry up to kMaxBatchRequests
+/// sub-requests (each individually bounded by kMaxRequestBytes) inside a
+/// total line budget of kMaxBatchBytes.  The serve layer sizes its
+/// transport line cap from kMaxBatchBytes.
+inline constexpr std::size_t kMaxBatchRequests = 64;
+inline constexpr std::size_t kMaxBatchBytes = 65536;
+
 /// The query operations the engine answers (docs/SERVING.md).
 enum class Op : std::uint8_t {
   kIsTrusted,          // is fp a trust anchor for provider at date?
@@ -41,6 +49,7 @@ enum class Op : std::uint8_t {
   kLineage,            // full add/remove timeline of fp across providers
   kStats,              // engine-level dataset summary
   kServerStats,        // serve-layer counters; answered by the server only
+  kReloadIndex,        // hot-swap the serve engine; server only
 };
 
 /// Trust scope of a query: one purpose's anchors, or bare presence.
@@ -81,5 +90,25 @@ struct Request {
 /// Appends `s` as a JSON string literal (quotes + escapes) to `out`.
 /// Shared by the canonicalizer and the response writers in engine.cpp.
 void append_json_string(std::string& out, std::string_view s);
+
+/// True when `text` opens a batch envelope: `{"op":"batch",...}` with `op`
+/// as the first field (the batch grammar mandates field order, so this
+/// cheap prefix test is exact).  Batch lines bypass parse_request and go
+/// through parse_batch_request instead.
+[[nodiscard]] bool looks_like_batch(std::string_view text) noexcept;
+
+/// Parses one batch envelope line:
+///
+///   {"op":"batch","requests":[{...},{...},...]}
+///
+/// Grammar is strict: exactly the two fields above in that order, each
+/// element of `requests` a JSON object.  Returned views alias `text` and
+/// are the raw sub-request objects, NOT yet validated — feed each through
+/// parse_request (or QueryEngine::handle_json) so per-item errors stay
+/// isolated to their response slot.  Envelope-level violations (size over
+/// kMaxBatchBytes, more than kMaxBatchRequests items, an item over
+/// kMaxRequestBytes, malformed framing) fail the whole line.
+[[nodiscard]] rs::util::Result<std::vector<std::string_view>>
+parse_batch_request(std::string_view text);
 
 }  // namespace rs::query

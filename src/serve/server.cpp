@@ -3,12 +3,13 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
-#include <vector>
 
 #include "src/obs/span.h"
 #include "src/query/request.h"
@@ -17,29 +18,27 @@
 namespace rs::serve {
 namespace {
 
-/// Writes the whole buffer, retrying short writes.  MSG_NOSIGNAL keeps a
-/// dead client from raising SIGPIPE; false means the connection is gone.
-bool send_all(int fd, std::string_view data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+/// Nanosecond mtime of `path`, or -1 when it cannot be stat'ed (e.g. the
+/// file is momentarily absent mid-rename).
+std::int64_t watch_stamp(const std::string& path) {
+  struct ::stat st {};
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+         static_cast<std::int64_t>(st.st_mtim.tv_nsec);
+}
+
+std::size_t loop_count_for(std::size_t num_threads) noexcept {
+  return num_threads == 0 ? 1 : num_threads;
 }
 
 }  // namespace
 
-Server::Server(const rs::query::QueryEngine& engine, ServerOptions options)
-    : engine_(engine),
-      options_(options),
-      cache_(options.cache_capacity),
-      pool_(std::make_unique<rs::exec::ThreadPool>(options.num_threads)) {}
+Server::Server(std::shared_ptr<const rs::query::QueryEngine> engine,
+               ServerOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, loop_count_for(options_.num_threads)),
+      published_(std::make_shared<const Published>(
+          Published{std::move(engine), 0})) {}
 
 Server::~Server() { stop(); }
 
@@ -47,7 +46,8 @@ rs::util::Result<std::uint16_t> Server::start() {
   using R = rs::util::Result<std::uint16_t>;
   if (running()) return R::err("server already running");
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return R::err("socket: " + rs::util::errno_message(errno));
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -75,129 +75,85 @@ rs::util::Result<std::uint16_t> Server::start() {
   }
   listen_fd_ = fd;
   port_ = ntohs(addr.sin_port);
-  draining_.store(false, std::memory_order_release);
-  running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { accept_loop(); });
-  return port_;
-}
 
-void Server::accept_loop() {
-  while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      // stop() shut the listening socket down; anything else is fatal for
-      // the accept loop either way.
-      return;
-    }
-    if (draining_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      continue;
-    }
+  EventLoopOptions loop_options;
+  // Framing cap: the largest legal line is a full batch plus "\r\n".
+  loop_options.max_line_bytes = rs::query::kMaxBatchBytes + 2;
+  loop_options.write_buffer_cap = options_.write_buffer_cap;
+  loop_options.drain_deadline = options_.drain_deadline;
+
+  EventLoopHooks hooks;
+  hooks.respond = [this](std::string_view line) { return respond_line(line); };
+  hooks.transport_error = [this](std::string_view code,
+                                 std::string_view message) {
+    // memory-order: relaxed — monotonic counter read only by stats().
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    rs::obs::Registry::global().counter("serve.errors").increment();
+    return rs::query::error_response(code, message);
+  };
+  hooks.on_connection = [this] {
     // memory-order: relaxed — monotonic counter read only by stats().
     connections_.fetch_add(1, std::memory_order_relaxed);
     rs::obs::Registry::global().counter("serve.connections").increment();
-    register_connection(fd);
-    // Queue-wait probe: measured only while tracing, so the disabled path
-    // stays clock-free.
-    auto& registry = rs::obs::Registry::global();
-    const bool timed = registry.enabled();
-    const std::uint64_t enqueued_ns = timed ? registry.clock().now_ns() : 0;
-    pool_->submit([this, fd, timed, enqueued_ns] {
-      if (timed) {
-        auto& reg = rs::obs::Registry::global();
-        if (reg.enabled()) {
-          reg.counter("serve.queue_wait_ns")
-              .add(static_cast<std::uint64_t>(reg.clock().now_ns() -
-                                              enqueued_ns));
-        }
-      }
-      serve_connection(fd);
-      ::shutdown(fd, SHUT_RDWR);
-      // Unregister before close: once closed, the kernel may recycle the
-      // fd number for a new accept, and the unregister would then evict
-      // the new connection's registration.
-      unregister_connection(fd);
-      ::close(fd);
-    });
+  };
+
+  const std::size_t n = loop_count_for(options_.num_threads);
+  loops_.clear();
+  loops_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>(loop_options, hooks));
   }
+  std::vector<EventLoop*> ring;
+  ring.reserve(n);
+  for (const auto& loop : loops_) ring.push_back(loop.get());
+  loops_[0]->set_peers(std::move(ring));
+  loops_[0]->set_listen_fd(listen_fd_);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!loops_[i]->start()) {
+      for (std::size_t j = 0; j < i; ++j) loops_[j]->request_drain();
+      for (std::size_t j = 0; j < i; ++j) loops_[j]->join();
+      loops_.clear();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      port_ = 0;
+      return R::err("event loop " + std::to_string(i) +
+                    " failed to start (epoll/pipe limit?)");
+    }
+  }
+
+  if (options_.reload_factory) {
+    if (!options_.watch_path.empty()) {
+      watch_mtime_ = watch_stamp(options_.watch_path);
+    }
+    reload_thread_ = std::thread([this] { reload_loop(); });
+  }
+  running_.store(true, std::memory_order_release);
+  return port_;
 }
 
-void Server::serve_connection(int fd) {
-  rs::obs::Span span("serve/connection");
-  // Read caps: a request line plus its newline (and optional '\r').
-  constexpr std::size_t kMaxLine = rs::query::kMaxRequestBytes + 2;
-  std::string buffer;
-  char chunk[4096];
-  bool oversized = false;
-  std::uint64_t served = 0;
+void Server::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
 
-  while (!oversized) {
-    // Drain complete lines already buffered (clients may pipeline).
-    std::size_t start = 0;
-    while (true) {
-      const std::size_t nl = buffer.find('\n', start);
-      if (nl == std::string::npos) break;
-      std::string_view line(buffer.data() + start, nl - start);
-      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-      std::string response = respond_line(line);
-      response.push_back('\n');
-      if (!send_all(fd, response)) {
-        span.set_items(served);
-        return;
-      }
-      ++served;
-      start = nl + 1;
-    }
-    buffer.erase(0, start);
-    if (draining_.load(std::memory_order_acquire)) {
-      // Drain semantics: every fully received request (all complete lines
-      // in the buffer) is answered, then the connection closes even if
-      // more bytes are in flight.
-      span.set_items(served);
-      return;
-    }
-    if (buffer.size() > kMaxLine) break;  // unterminated oversized line
+  // Loop 0 first: it owns the accept path, so once it has drained and
+  // exited no new fd can be handed to a peer — draining peers before the
+  // acceptor would race a handoff against the peer's exit.
+  loops_[0]->request_drain();
+  loops_[0]->join();
+  for (std::size_t i = 1; i < loops_.size(); ++i) loops_[i]->request_drain();
+  for (std::size_t i = 1; i < loops_.size(); ++i) loops_[i]->join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
 
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      span.set_items(served);
-      return;
+  if (reload_thread_.joinable()) {
+    {
+      const rs::util::MutexLock lock(reload_mutex_);
+      reload_stop_ = true;
+      reload_cv_.notify_all();
     }
-    if (n == 0) {
-      // EOF.  Leftover bytes without a newline are an incomplete request;
-      // answer it as malformed rather than dropping it silently.
-      if (!buffer.empty()) {
-        // memory-order: relaxed — monotonic counter read only by stats().
-        errors_.fetch_add(1, std::memory_order_relaxed);
-        rs::obs::Registry::global().counter("serve.errors").increment();
-        std::string response = rs::query::error_response(
-            "bad_request", "connection closed mid-request (no newline)");
-        response.push_back('\n');
-        send_all(fd, response);
-      }
-      span.set_items(served);
-      return;
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    if (buffer.size() > kMaxLine && buffer.find('\n') == std::string::npos) {
-      oversized = true;
-    }
+    reload_thread_.join();
   }
-
-  // Oversized request: structured error, then close — line framing can't
-  // be trusted past this point.
-  // memory-order: relaxed — monotonic counter read only by stats().
-  errors_.fetch_add(1, std::memory_order_relaxed);
-  rs::obs::Registry::global().counter("serve.errors").increment();
-  std::string response = rs::query::error_response(
-      "oversized",
-      "request line exceeds " + std::to_string(rs::query::kMaxRequestBytes) +
-          " bytes; closing connection");
-  response.push_back('\n');
-  send_all(fd, response);
-  span.set_items(served);
 }
 
 std::string Server::respond_line(std::string_view line) {
@@ -207,6 +163,46 @@ std::string Server::respond_line(std::string_view line) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   registry.counter("serve.requests").increment();
 
+  // Pin the published engine+epoch once for the whole line: every item of
+  // a batch is answered by the same engine even when a hot swap lands
+  // mid-batch, and the pinned shared_ptr keeps the old engine alive until
+  // this request is done.
+  const std::shared_ptr<const Published> pub =
+      published_.load(std::memory_order_acquire);
+
+  if (rs::query::looks_like_batch(line)) {
+    auto items = rs::query::parse_batch_request(line);
+    if (!items.ok()) {
+      // memory-order: relaxed — monotonic counter read only by stats().
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter("serve.errors").increment();
+      return rs::query::error_response("bad_request", items.error());
+    }
+    // memory-order: relaxed — monotonic counter read only by stats().
+    batch_items_.fetch_add(items.value().size(), std::memory_order_relaxed);
+    registry.counter("serve.batch_items").add(items.value().size());
+    std::vector<std::string> responses;
+    responses.reserve(items.value().size());
+    for (const std::string_view item : items.value()) {
+      if (rs::query::looks_like_batch(item)) {
+        // memory-order: relaxed — monotonic counter read only by stats().
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        registry.counter("serve.errors").increment();
+        responses.push_back(rs::query::error_response(
+            "bad_request", "batch requests may not nest"));
+      } else {
+        responses.push_back(respond_single(*pub, item));
+      }
+    }
+    span.set_items(items.value().size());
+    return rs::query::batch_response(responses);
+  }
+  return respond_single(*pub, line);
+}
+
+std::string Server::respond_single(const Published& pub,
+                                   std::string_view line) {
+  auto& registry = rs::obs::Registry::global();
   auto parsed = rs::query::parse_request(line);
   if (!parsed.ok()) {
     // memory-order: relaxed — monotonic counter read only by stats().
@@ -217,15 +213,22 @@ std::string Server::respond_line(std::string_view line) {
   if (parsed.value().op == rs::query::Op::kServerStats) {
     return server_stats_response();
   }
+  if (parsed.value().op == rs::query::Op::kReloadIndex) {
+    return reload_response(pub);
+  }
 
-  const std::string key = rs::query::canonical_request(parsed.value());
+  // Epoch-prefixed key: an entry cached under a replaced engine can never
+  // be served after a flip; dead-epoch keys age out of the LRU naturally.
+  std::string key = std::to_string(pub.epoch);
+  key.push_back('|');
+  key += rs::query::canonical_request(parsed.value());
   if (auto cached = cache_.get(key)) {
     registry.counter("serve.cache_hits").increment();
     return *std::move(cached);
   }
   registry.counter("serve.cache_misses").increment();
 
-  std::string response = engine_.handle(parsed.value());
+  std::string response = pub.engine->handle(parsed.value());
   if (rs::query::QueryEngine::is_error_response(response)) {
     // memory-order: relaxed — monotonic counter read only by stats().
     errors_.fetch_add(1, std::memory_order_relaxed);
@@ -253,53 +256,98 @@ std::string Server::server_stats_response() const {
   field("cache_misses", s.cache_misses);
   field("cache_entries", cache_.size());
   field("cache_capacity", cache_.capacity());
-  field("threads", pool_->worker_count());
+  field("cache_shards", cache_.shard_count());
+  field("threads", loop_count_for(options_.num_threads));
+  field("batch_items", s.batch_items);
+  field("epoch", s.epoch);
+  field("reloads", s.reloads);
+  field("reload_failures", s.reload_failures);
   out.push_back('}');
   return out;
 }
 
-void Server::register_connection(int fd) {
-  const rs::util::MutexLock lock(mutex_);
-  active_.insert(fd);
+std::string Server::reload_response(const Published& pub) {
+  auto& registry = rs::obs::Registry::global();
+  if (!options_.reload_factory) {
+    // memory-order: relaxed — monotonic counter read only by stats().
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    registry.counter("serve.errors").increment();
+    return rs::query::error_response(
+        "reload_unavailable",
+        "server was started without a reloadable index source");
+  }
+  {
+    const rs::util::MutexLock lock(reload_mutex_);
+    ++reload_pending_;
+    reload_cv_.notify_all();
+  }
+  // The flip is asynchronous (the reloader thread loads the index off the
+  // event loops); `epoch` is the one this request pinned — clients poll
+  // server_stats to observe the flip.
+  return "{\"op\":\"reload_index\",\"status\":\"ok\",\"accepted\":true,"
+         "\"epoch\":" +
+         std::to_string(pub.epoch) + "}";
 }
 
-void Server::unregister_connection(int fd) {
-  const rs::util::MutexLock lock(mutex_);
-  active_.erase(fd);
-  if (active_.empty()) idle_cv_.notify_all();
+void Server::reload_loop() {
+  while (true) {
+    std::uint64_t take = 0;
+    {
+      const rs::util::MutexLock lock(reload_mutex_);
+      if (reload_stop_) return;
+      if (reload_pending_ == 0) {
+        if (options_.watch_path.empty()) {
+          reload_cv_.wait(reload_mutex_);
+        } else {
+          reload_cv_.wait_for(reload_mutex_, options_.watch_interval);
+        }
+      }
+      if (reload_stop_) return;
+      take = reload_pending_;
+      reload_pending_ = 0;
+    }
+    if (take > 0) {
+      run_reload();
+    } else if (!options_.watch_path.empty()) {
+      const std::int64_t stamp = watch_stamp(options_.watch_path);
+      if (stamp >= 0 && stamp != watch_mtime_) {
+        watch_mtime_ = stamp;
+        run_reload();
+      }
+    }
+  }
 }
 
-void Server::stop() {
-  bool expected = true;
-  if (!running_.compare_exchange_strong(expected, false)) return;
-  draining_.store(true, std::memory_order_release);
-
-  // Wake the accept thread (Linux: shutdown on a listening socket makes a
-  // blocked accept return).
-  ::shutdown(listen_fd_, SHUT_RDWR);
-
-  // Half-close every active connection's read side: blocked reads see EOF,
-  // requests already received keep flowing to their responses.  This must
-  // precede the join — with zero pool workers the accept thread serves
-  // connections inline, and an idle client would otherwise hold it (and
-  // this join) hostage.
-  {
-    const rs::util::MutexLock lock(mutex_);
-    for (const int fd : active_) ::shutdown(fd, SHUT_RD);
+void Server::run_reload() {
+  auto made = options_.reload_factory();
+  if (!made.ok() || made.value() == nullptr) {
+    // Keep serving the current epoch: a broken index on disk must never
+    // take down a healthy server.
+    // memory-order: relaxed — monotonic counter read only by stats().
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    rs::obs::Registry::global().counter("serve.reload_failures").increment();
+    return;
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  swap_engine(std::move(made).take());
+  // memory-order: relaxed — monotonic counter read only by stats().
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  rs::obs::Registry::global().counter("serve.reloads").increment();
+}
 
-  // Second sweep: connections accepted between the first sweep and the
-  // join registered before the accept loop exited, so this catches them
-  // all — nothing registers after the join.
-  {
-    const rs::util::MutexLock lock(mutex_);
-    for (const int fd : active_) ::shutdown(fd, SHUT_RD);
-  }
-  const rs::util::MutexLock lock(mutex_);
-  while (!active_.empty()) idle_cv_.wait(mutex_);
+void Server::swap_engine(
+    std::shared_ptr<const rs::query::QueryEngine> engine) {
+  auto cur = published_.load(std::memory_order_acquire);
+  std::shared_ptr<const Published> next;
+  do {
+    next = std::make_shared<const Published>(
+        Published{engine, cur->epoch + 1});
+  } while (!published_.compare_exchange_weak(cur, next,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire));
+}
+
+std::uint64_t Server::epoch() const {
+  return published_.load(std::memory_order_acquire)->epoch;
 }
 
 ServerStats Server::stats() const {
@@ -309,6 +357,10 @@ ServerStats Server::stats() const {
   s.connections = connections_.load(std::memory_order_relaxed);
   s.requests = requests_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
+  s.batch_items = batch_items_.load(std::memory_order_relaxed);
+  s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  s.epoch = epoch();
   const LruCache::Counters c = cache_.counters();
   s.cache_hits = c.hits;
   s.cache_misses = c.misses;

@@ -1,43 +1,60 @@
-// `rootstore serve`: a concurrent loopback TCP server over the QueryEngine.
+// `rootstore serve`: the event-driven loopback TCP server over QueryEngine.
 //
 // Protocol (docs/SERVING.md): newline-delimited JSON.  Each client sends
 // one request object per line and receives exactly one response line, in
 // order, over a persistent connection.  Responses are byte-identical to
 // QueryEngine::handle_json() on the same line — the engine is the single
-// handler, the server only adds transport, caching, and counters.
+// handler, the server only adds transport, caching, batching fan-out, and
+// counters.  A `{"op":"batch","requests":[...]}` line is one transport
+// line fanning out to up to query::kMaxBatchRequests engine calls whose
+// responses come back in one envelope.
 //
-// Architecture:
-//   * One accept thread owns the listening socket (bound to 127.0.0.1
-//     only; this is an analysis-dataset service, not an Internet daemon).
-//   * Each accepted connection becomes one task on an exec::ThreadPool of
-//     `num_threads` workers, so at most `num_threads` connections are
-//     served concurrently; further connections queue at the pool.  With
-//     zero workers the accept thread serves connections inline, one at a
-//     time (the degenerate single-threaded mode).
-//   * An LruCache keyed on canonical_request() fronts the engine.
+// Architecture (the PR 5 thread-per-connection design lives on unchanged
+// in threaded_server.h as the measured baseline):
+//   * A fixed pool of `num_threads` EventLoop workers, each owning its own
+//     epoll fd.  Loop 0 additionally owns the nonblocking listening socket
+//     (bound to 127.0.0.1 only) and round-robins accepted fds across all
+//     loops via the handoff ring — one accept point, no thundering herd.
+//   * Connections are nonblocking and edge-triggered with per-connection
+//     read/write buffers; a connection whose pending responses exceed
+//     `write_buffer_cap` stops being read until the peer drains it
+//     (backpressure via TCP flow control).
+//   * A ShardedCache (next_pow2(num_threads) shards) keyed on
+//     epoch-prefixed canonical_request() fronts the engine, so loops
+//     answering different requests never contend on one cache lock.
 //
-// Robustness: request lines are capped at query::kMaxRequestBytes; an
-// oversized or malformed line gets a structured error response (the
-// connection closes after an oversized one, since framing is lost).  A
-// crashed client mid-line just closes the connection.
+// Hot swap (RCU): the engine is published as
+// `std::atomic<std::shared_ptr<const Published>>` where Published bundles
+// {engine, epoch}.  A request pins one Published at dispatch and uses it
+// for the whole line (every item of a batch included), so a swap mid-line
+// never mixes epochs.  Old engines are freed when the last in-flight
+// request drops its shared_ptr.  Cache keys carry the epoch, so entries
+// cached under a replaced engine can never be served after a flip.
+// Swaps come from the `reload_index` admin op or `--watch-index` polling;
+// both run options_.reload_factory on the dedicated reloader thread —
+// never on an event loop — so serving latency is unaffected by index
+// loading.
 //
-// Graceful drain: stop() stops accepting, half-closes every active
-// connection's read side, and waits until each in-flight request has been
-// answered and its connection torn down.  SIGINT handling lives in the
-// CLI (tools/rootstore.cpp), which calls stop() from the main thread.
+// Graceful drain: stop() drains loop 0 first (no more accepts or
+// handoffs), then the peers; every fully received request line is
+// answered before its connection closes, bounded by `drain_deadline`.
+// SIGINT handling lives in the CLI (tools/rootstore.cpp), which calls
+// stop() from the main thread.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
-#include <set>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
-#include "src/exec/thread_pool.h"
 #include "src/query/engine.h"
-#include "src/serve/lru_cache.h"
+#include "src/serve/event_loop.h"
+#include "src/serve/sharded_cache.h"
 #include "src/util/mutex.h"
 #include "src/util/result.h"
 #include "src/util/thread_annotations.h"
@@ -46,33 +63,51 @@ namespace rs::serve {
 
 struct ServerOptions {
   std::uint16_t port = 0;          // 0 = kernel-assigned ephemeral port
-  std::size_t num_threads = 4;     // pool workers (0 = inline serial)
-  std::size_t cache_capacity = 1024;  // LRU entries; 0 disables the cache
+  std::size_t num_threads = 4;     // event-loop workers (0 → 1)
+  std::size_t cache_capacity = 1024;  // total LRU entries; 0 disables
   int backlog = 64;                // listen(2) backlog
+  std::size_t write_buffer_cap = 262144;  // per-conn backpressure threshold
+  std::chrono::milliseconds drain_deadline{5000};
+  /// Loads a fresh engine for a hot swap; invoked on the reloader thread
+  /// only.  Unset → `reload_index` answers `reload_unavailable`.
+  std::function<rs::util::Result<std::shared_ptr<const rs::query::QueryEngine>>()>
+      reload_factory;
+  /// When nonempty, the reloader thread polls this file's mtime every
+  /// `watch_interval` and runs `reload_factory` on change.
+  std::string watch_path;
+  std::chrono::milliseconds watch_interval{200};
 };
 
 /// Point-in-time serve-layer counters (also mirrored to rs_obs as
 /// serve.requests / serve.errors / serve.cache_hits / serve.cache_misses /
-/// serve.connections / serve.queue_wait_ns when tracing is enabled).
+/// serve.connections / serve.batch_items / serve.reloads when tracing is
+/// enabled).
 struct ServerStats {
   std::uint64_t connections = 0;   // accepted since start
   std::uint64_t requests = 0;      // request lines answered
   std::uint64_t errors = 0;        // error responses (parse or engine)
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t batch_items = 0;   // individual requests inside batch lines
+  std::uint64_t epoch = 0;         // current engine epoch (0 = initial)
+  std::uint64_t reloads = 0;       // successful hot swaps
+  std::uint64_t reload_failures = 0;
 };
 
 class Server {
  public:
-  /// `engine` must outlive the server.
-  Server(const rs::query::QueryEngine& engine, ServerOptions options);
+  /// The server shares ownership of `engine` (hot swaps retire it only
+  /// after the last in-flight request finishes).
+  Server(std::shared_ptr<const rs::query::QueryEngine> engine,
+         ServerOptions options);
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and starts the accept thread.  Returns the bound
-  /// port (useful with port 0) or a diagnostic.
+  /// Binds, listens, and starts the event-loop pool (plus the reloader
+  /// thread when configured).  Returns the bound port (useful with port 0)
+  /// or a diagnostic.
   rs::util::Result<std::uint16_t> start();
 
   /// The bound port; 0 before a successful start().
@@ -82,44 +117,66 @@ class Server {
     return running_.load(std::memory_order_acquire);
   }
 
-  /// Graceful drain, idempotent: stop accepting, let every in-flight
-  /// request finish and its response flush, then return.
+  /// Graceful drain, idempotent: stop accepting, answer every fully
+  /// received request, flush, then return (bounded by drain_deadline).
   void stop();
 
   ServerStats stats() const;
 
-  /// Answers one request line exactly as a connection would (cache +
-  /// server_stats included).  Exposed for the serve-layer tests.
+  /// Answers one request line exactly as a connection would (cache,
+  /// batch, server_stats, and reload_index included).  Exposed for the
+  /// serve-layer tests; callable without start().
   std::string respond_line(std::string_view line);
 
+  /// Publishes `engine` as a new epoch (RCU flip).  In-flight requests
+  /// keep the epoch they pinned at dispatch; new requests see the new
+  /// one.  Thread-safe against readers and other swappers.
+  void swap_engine(std::shared_ptr<const rs::query::QueryEngine> engine);
+
+  /// The currently published epoch (starts at 0, +1 per swap).
+  std::uint64_t epoch() const;
+
  private:
-  void accept_loop();
-  void serve_connection(int fd);
+  /// One atomically published engine+epoch pair.  Bundling them means a
+  /// single load observes a consistent pair — no torn engine/epoch reads.
+  struct Published {
+    std::shared_ptr<const rs::query::QueryEngine> engine;
+    std::uint64_t epoch = 0;
+  };
+
+  std::string respond_single(const Published& pub, std::string_view line);
   std::string server_stats_response() const;
-  void register_connection(int fd) RS_EXCLUDES(mutex_);
-  void unregister_connection(int fd) RS_EXCLUDES(mutex_);
+  std::string reload_response(const Published& pub) RS_EXCLUDES(reload_mutex_);
+  void reload_loop();
+  void run_reload();
 
-  const rs::query::QueryEngine& engine_;
   const ServerOptions options_;
-  LruCache cache_;
-  std::unique_ptr<rs::exec::ThreadPool> pool_;
+  ShardedCache cache_;
+  std::atomic<std::shared_ptr<const Published>> published_;
 
+  // unique_ptr: EventLoop is immovable (owns a Mutex and a thread).
+  std::vector<std::unique_ptr<EventLoop>> loops_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
-  std::thread accept_thread_;
   std::atomic<bool> running_{false};
-  std::atomic<bool> draining_{false};
 
-  mutable rs::util::Mutex mutex_;
-  rs::util::CondVar idle_cv_;  // signalled when active_ empties
-  // fds of registered connections
-  std::set<int> active_ RS_GUARDED_BY(mutex_);
+  std::thread reload_thread_;
+  mutable rs::util::Mutex reload_mutex_;
+  rs::util::CondVar reload_cv_;
+  std::uint64_t reload_pending_ RS_GUARDED_BY(reload_mutex_) = 0;
+  bool reload_stop_ RS_GUARDED_BY(reload_mutex_) = false;
+  // Reloader-thread-only (plus start(), before the thread exists): last
+  // observed nanosecond mtime of watch_path, -1 when never stat'ed.
+  std::int64_t watch_mtime_ = -1;
 
   // memory-order: relaxed — independent monotonic counters, read only by
   // stats() snapshots that tolerate momentary skew between them.
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> batch_items_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> reload_failures_{0};
 };
 
 }  // namespace rs::serve

@@ -1,0 +1,57 @@
+#include "src/serve/sharded_cache.h"
+
+namespace rs::serve {
+namespace {
+
+std::uint64_t fnv1a(std::string_view key) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ShardedCache::ShardedCache(std::size_t capacity, std::size_t shard_hint)
+    : capacity_(capacity) {
+  const std::size_t shards = next_pow2(shard_hint == 0 ? 1 : shard_hint);
+  const std::size_t per_shard =
+      capacity == 0 ? 0 : (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<LruCache>(per_shard));
+  }
+}
+
+std::size_t ShardedCache::shard_of(std::string_view key) const noexcept {
+  return static_cast<std::size_t>(fnv1a(key)) & (shards_.size() - 1);
+}
+
+std::optional<std::string> ShardedCache::get(const std::string& key) {
+  return shards_[shard_of(key)]->get(key);
+}
+
+void ShardedCache::put(const std::string& key, std::string value) {
+  shards_[shard_of(key)]->put(key, std::move(value));
+}
+
+std::size_t ShardedCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+LruCache::Counters ShardedCache::counters() const {
+  LruCache::Counters total;
+  for (const auto& shard : shards_) {
+    const LruCache::Counters c = shard->counters();
+    total.hits += c.hits;
+    total.misses += c.misses;
+    total.evictions += c.evictions;
+  }
+  return total;
+}
+
+}  // namespace rs::serve

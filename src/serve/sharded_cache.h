@@ -1,0 +1,71 @@
+// A sharded response cache: kShards independent LruCaches, shard chosen
+// by a hash of the canonical request key.
+//
+// The PR 5 serve layer fronted the engine with ONE mutexed LRU, so every
+// cache hit — the fast path — serialized on the same lock.  Sharding
+// splits the key space across next_pow2(threads) locks: two event-loop
+// workers answering different requests touch different shards and never
+// contend.  Each shard is the existing annotated serve::LruCache, so the
+// lock discipline (-Wthread-safety over RS_GUARDED_BY fields) is inherited
+// rather than re-proven.
+//
+// Counter exactness: every get()/put() touches exactly one shard under
+// that shard's mutex, so summing per-shard counters gives exact totals —
+// hits + misses always equals the number of get() calls ever made
+// (tests/serve/sharded_cache_test.cpp holds that line under concurrent
+// mixed traffic).
+//
+// Hashing is FNV-1a, fixed here rather than std::hash so shard routing is
+// deterministic across standard libraries; the shard count is a power of
+// two so selection is a mask, not a division.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/serve/lru_cache.h"
+
+namespace rs::serve {
+
+/// Smallest power of two >= n (n = 0 or 1 both give 1).
+constexpr std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+class ShardedCache {
+ public:
+  /// `capacity` is the TOTAL entry budget, split evenly across
+  /// next_pow2(shard_hint) shards (rounded up, so the usable total is
+  /// never below the requested one).  capacity 0 disables caching.
+  ShardedCache(std::size_t capacity, std::size_t shard_hint);
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+  void put(const std::string& key, std::string value);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] LruCache::Counters counters() const;
+
+  /// The shard `key` routes to — exposed so tests can pin the routing.
+  [[nodiscard]] std::size_t shard_of(std::string_view key) const noexcept;
+
+ private:
+  const std::size_t capacity_;
+  // unique_ptr because LruCache is immovable (it owns a Mutex).
+  std::vector<std::unique_ptr<LruCache>> shards_;
+};
+
+}  // namespace rs::serve

@@ -1,0 +1,319 @@
+#include "src/serve/threaded_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/obs/span.h"
+#include "src/query/request.h"
+#include "src/util/strings.h"
+
+namespace rs::serve {
+namespace {
+
+/// Writes the whole buffer, retrying short writes.  MSG_NOSIGNAL keeps a
+/// dead client from raising SIGPIPE; false means the connection is gone.
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ThreadedServer::ThreadedServer(const rs::query::QueryEngine& engine,
+                               ServerOptions options)
+    : engine_(engine),
+      options_(options),
+      cache_(options.cache_capacity),
+      pool_(std::make_unique<rs::exec::ThreadPool>(options.num_threads)) {}
+
+ThreadedServer::~ThreadedServer() { stop(); }
+
+rs::util::Result<std::uint16_t> ThreadedServer::start() {
+  using R = rs::util::Result<std::uint16_t>;
+  if (running()) return R::err("server already running");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return R::err("socket: " + rs::util::errno_message(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string why = rs::util::errno_message(errno);
+    ::close(fd);
+    return R::err("bind 127.0.0.1:" + std::to_string(options_.port) + ": " +
+                  why);
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    const std::string why = rs::util::errno_message(errno);
+    ::close(fd);
+    return R::err("listen: " + why);
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string why = rs::util::errno_message(errno);
+    ::close(fd);
+    return R::err("getsockname: " + why);
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return port_;
+}
+
+void ThreadedServer::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // stop() shut the listening socket down; anything else is fatal for
+      // the accept loop either way.
+      return;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
+    }
+    // memory-order: relaxed — monotonic counter read only by stats().
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    rs::obs::Registry::global().counter("serve.connections").increment();
+    register_connection(fd);
+    // Queue-wait probe: measured only while tracing, so the disabled path
+    // stays clock-free.
+    auto& registry = rs::obs::Registry::global();
+    const bool timed = registry.enabled();
+    const std::uint64_t enqueued_ns = timed ? registry.clock().now_ns() : 0;
+    pool_->submit([this, fd, timed, enqueued_ns] {
+      if (timed) {
+        auto& reg = rs::obs::Registry::global();
+        if (reg.enabled()) {
+          reg.counter("serve.queue_wait_ns")
+              .add(static_cast<std::uint64_t>(reg.clock().now_ns() -
+                                              enqueued_ns));
+        }
+      }
+      serve_connection(fd);
+      ::shutdown(fd, SHUT_RDWR);
+      // Unregister before close: once closed, the kernel may recycle the
+      // fd number for a new accept, and the unregister would then evict
+      // the new connection's registration.
+      unregister_connection(fd);
+      ::close(fd);
+    });
+  }
+}
+
+void ThreadedServer::serve_connection(int fd) {
+  rs::obs::Span span("serve/connection");
+  // Read caps: a request line plus its newline (and optional '\r').
+  constexpr std::size_t kMaxLine = rs::query::kMaxRequestBytes + 2;
+  std::string buffer;
+  char chunk[4096];
+  bool oversized = false;
+  std::uint64_t served = 0;
+
+  while (!oversized) {
+    // Drain complete lines already buffered (clients may pipeline).
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      std::string response = respond_line(line);
+      response.push_back('\n');
+      if (!send_all(fd, response)) {
+        span.set_items(served);
+        return;
+      }
+      ++served;
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+    if (draining_.load(std::memory_order_acquire)) {
+      // Drain semantics: every fully received request (all complete lines
+      // in the buffer) is answered, then the connection closes even if
+      // more bytes are in flight.
+      span.set_items(served);
+      return;
+    }
+    if (buffer.size() > kMaxLine) break;  // unterminated oversized line
+
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      span.set_items(served);
+      return;
+    }
+    if (n == 0) {
+      // EOF.  Leftover bytes without a newline are an incomplete request;
+      // answer it as malformed rather than dropping it silently.
+      if (!buffer.empty()) {
+        // memory-order: relaxed — monotonic counter read only by stats().
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        rs::obs::Registry::global().counter("serve.errors").increment();
+        std::string response = rs::query::error_response(
+            "bad_request", "connection closed mid-request (no newline)");
+        response.push_back('\n');
+        send_all(fd, response);
+      }
+      span.set_items(served);
+      return;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxLine && buffer.find('\n') == std::string::npos) {
+      oversized = true;
+    }
+  }
+
+  // Oversized request: structured error, then close — line framing can't
+  // be trusted past this point.
+  // memory-order: relaxed — monotonic counter read only by stats().
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  rs::obs::Registry::global().counter("serve.errors").increment();
+  std::string response = rs::query::error_response(
+      "oversized",
+      "request line exceeds " + std::to_string(rs::query::kMaxRequestBytes) +
+          " bytes; closing connection");
+  response.push_back('\n');
+  send_all(fd, response);
+  span.set_items(served);
+}
+
+std::string ThreadedServer::respond_line(std::string_view line) {
+  rs::obs::Span span("serve/request");
+  auto& registry = rs::obs::Registry::global();
+  // memory-order: relaxed — monotonic counters read only by stats().
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  registry.counter("serve.requests").increment();
+
+  auto parsed = rs::query::parse_request(line);
+  if (!parsed.ok()) {
+    // memory-order: relaxed — monotonic counter read only by stats().
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    registry.counter("serve.errors").increment();
+    return rs::query::error_response("bad_request", parsed.error());
+  }
+  if (parsed.value().op == rs::query::Op::kServerStats) {
+    return server_stats_response();
+  }
+
+  const std::string key = rs::query::canonical_request(parsed.value());
+  if (auto cached = cache_.get(key)) {
+    registry.counter("serve.cache_hits").increment();
+    return *std::move(cached);
+  }
+  registry.counter("serve.cache_misses").increment();
+
+  std::string response = engine_.handle(parsed.value());
+  if (rs::query::QueryEngine::is_error_response(response)) {
+    // memory-order: relaxed — monotonic counter read only by stats().
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    registry.counter("serve.errors").increment();
+  } else {
+    cache_.put(key, response);
+  }
+  return response;
+}
+
+std::string ThreadedServer::server_stats_response() const {
+  const ServerStats s = stats();
+  std::string out = "{\"op\":\"server_stats\",\"status\":\"ok\"";
+  const auto field = [&out](const char* key, std::uint64_t value) {
+    out.push_back(',');
+    out.push_back('"');
+    out += key;
+    out += "\":";
+    out += std::to_string(value);
+  };
+  field("connections", s.connections);
+  field("requests", s.requests);
+  field("errors", s.errors);
+  field("cache_hits", s.cache_hits);
+  field("cache_misses", s.cache_misses);
+  field("cache_entries", cache_.size());
+  field("cache_capacity", cache_.capacity());
+  field("threads", pool_->worker_count());
+  out.push_back('}');
+  return out;
+}
+
+void ThreadedServer::register_connection(int fd) {
+  const rs::util::MutexLock lock(mutex_);
+  active_.insert(fd);
+}
+
+void ThreadedServer::unregister_connection(int fd) {
+  const rs::util::MutexLock lock(mutex_);
+  active_.erase(fd);
+  if (active_.empty()) idle_cv_.notify_all();
+}
+
+void ThreadedServer::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  draining_.store(true, std::memory_order_release);
+
+  // Wake the accept thread (Linux: shutdown on a listening socket makes a
+  // blocked accept return).
+  ::shutdown(listen_fd_, SHUT_RDWR);
+
+  // Half-close every active connection's read side: blocked reads see EOF,
+  // requests already received keep flowing to their responses.  This must
+  // precede the join — with zero pool workers the accept thread serves
+  // connections inline, and an idle client would otherwise hold it (and
+  // this join) hostage.
+  {
+    const rs::util::MutexLock lock(mutex_);
+    for (const int fd : active_) ::shutdown(fd, SHUT_RD);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Second sweep: connections accepted between the first sweep and the
+  // join registered before the accept loop exited, so this catches them
+  // all — nothing registers after the join.
+  {
+    const rs::util::MutexLock lock(mutex_);
+    for (const int fd : active_) ::shutdown(fd, SHUT_RD);
+  }
+  const rs::util::MutexLock lock(mutex_);
+  while (!active_.empty()) idle_cv_.wait(mutex_);
+}
+
+ServerStats ThreadedServer::stats() const {
+  ServerStats s;
+  // memory-order: relaxed — point-in-time snapshot; fields may be mutually
+  // skewed by in-flight requests, which callers of stats() accept.
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  const LruCache::Counters c = cache_.counters();
+  s.cache_hits = c.hits;
+  s.cache_misses = c.misses;
+  return s;
+}
+
+}  // namespace rs::serve

@@ -1,0 +1,85 @@
+// ThreadedServer: the PR 5 thread-per-connection serve layer, preserved
+// verbatim as the measured baseline for the epoll rebuild.
+//
+// Architecture (the one BENCH_serve.json's `threaded_*` phases record):
+//   * One accept thread owns the listening socket.
+//   * Each accepted connection becomes one task on an exec::ThreadPool of
+//     `num_threads` workers, so at most `num_threads` connections are
+//     served concurrently; further connections queue at the pool.  With
+//     zero workers the accept thread serves connections inline.
+//   * A single globally mutexed LruCache fronts the engine.
+//
+// `rootstore serve --transport threaded` runs it; the default transport is
+// the event-driven serve::Server (server.h), which this class exists to be
+// compared against — same protocol, same engine, no batch/hot-swap
+// support.  Do not grow features here: it is a frozen baseline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "src/exec/thread_pool.h"
+#include "src/query/engine.h"
+#include "src/serve/lru_cache.h"
+#include "src/serve/server.h"
+#include "src/util/mutex.h"
+#include "src/util/result.h"
+#include "src/util/thread_annotations.h"
+
+namespace rs::serve {
+
+class ThreadedServer {
+ public:
+  /// `engine` must outlive the server.  Only `port`, `num_threads`,
+  /// `cache_capacity`, and `backlog` of the options apply.
+  ThreadedServer(const rs::query::QueryEngine& engine, ServerOptions options);
+  ~ThreadedServer();
+
+  ThreadedServer(const ThreadedServer&) = delete;
+  ThreadedServer& operator=(const ThreadedServer&) = delete;
+
+  rs::util::Result<std::uint16_t> start();
+  std::uint16_t port() const noexcept { return port_; }
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  void stop();
+  ServerStats stats() const;
+  std::string respond_line(std::string_view line);
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  std::string server_stats_response() const;
+  void register_connection(int fd) RS_EXCLUDES(mutex_);
+  void unregister_connection(int fd) RS_EXCLUDES(mutex_);
+
+  const rs::query::QueryEngine& engine_;
+  const ServerOptions options_;
+  LruCache cache_;
+  std::unique_ptr<rs::exec::ThreadPool> pool_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+
+  mutable rs::util::Mutex mutex_;
+  rs::util::CondVar idle_cv_;  // signalled when active_ empties
+  // fds of registered connections
+  std::set<int> active_ RS_GUARDED_BY(mutex_);
+
+  // memory-order: relaxed — independent monotonic counters, read only by
+  // stats() snapshots that tolerate momentary skew between them.
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace rs::serve

@@ -19,6 +19,7 @@
 // separate unannotated function and rejected).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -78,6 +79,18 @@ class CondVar {
     std::unique_lock<std::mutex> adopted(mutex.impl_, std::adopt_lock);
     cv_.wait(adopted);
     adopted.release();
+  }
+
+  /// wait() with a timeout.  Returns false when the timeout elapsed first.
+  /// Like wait(), spurious wakeups happen: re-check the guarded condition
+  /// (and the remaining budget) in the caller's while-loop.
+  template <typename Rep, typename Period>
+  bool wait_for(Mutex& mutex,
+                std::chrono::duration<Rep, Period> timeout) RS_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> adopted(mutex.impl_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(adopted, timeout);
+    adopted.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

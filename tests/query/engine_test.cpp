@@ -195,5 +195,51 @@ TEST(QueryEngine, HandleAndHandleJsonAgree) {
   EXPECT_EQ(f.engine.handle(parsed.value()), f.engine.handle_json(line));
 }
 
+TEST(QueryEngine, ReloadIndexIsNotServedByTheEngine) {
+  Fixture f;
+  const std::string response = f.engine.handle_json(R"({"op":"reload_index"})");
+  EXPECT_TRUE(QueryEngine::is_error_response(response));
+  EXPECT_NE(response.find("\"code\":\"not_serving\""), std::string::npos);
+}
+
+// --- Batch envelopes ------------------------------------------------------
+
+TEST(QueryEngine, BatchAnswersEverySubRequestInOrder) {
+  Fixture f;
+  const std::string stats = f.engine.handle_json(R"({"op":"stats"})");
+  const std::string bad = f.engine.handle_json(R"({"op":"nope"})");
+  const std::string response = f.engine.handle_json(
+      R"({"op":"batch","requests":[{"op":"stats"},{"op":"nope"},{"op":"stats"}]})");
+  EXPECT_EQ(response, batch_response({stats, bad, stats}));
+  EXPECT_NE(response.find("\"count\":3"), std::string::npos);
+}
+
+TEST(QueryEngine, EmptyBatchAnswersAnEmptyEnvelope) {
+  Fixture f;
+  EXPECT_EQ(f.engine.handle_json(R"({"op":"batch","requests":[]})"),
+            R"({"op":"batch","status":"ok","count":0,"responses":[]})");
+}
+
+TEST(QueryEngine, NestedBatchErrorsInItsOwnSlot) {
+  Fixture f;
+  const std::string response = f.engine.handle_json(
+      R"({"op":"batch","requests":[{"op":"batch","requests":[]},{"op":"stats"}]})");
+  // The envelope succeeds; slot 0 carries the nesting error, slot 1 the
+  // real answer.
+  EXPECT_NE(response.find("\"op\":\"batch\",\"status\":\"ok\",\"count\":2"),
+            std::string::npos);
+  EXPECT_NE(response.find("batch requests may not nest"), std::string::npos);
+  EXPECT_NE(response.find(f.engine.handle_json(R"({"op":"stats"})")),
+            std::string::npos);
+}
+
+TEST(QueryEngine, MalformedBatchEnvelopeIsOneBadRequest) {
+  Fixture f;
+  const std::string response =
+      f.engine.handle_json(R"({"op":"batch","requests":[{"op":"stats"})");
+  EXPECT_TRUE(QueryEngine::is_error_response(response));
+  EXPECT_NE(response.find("\"code\":\"bad_request\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rs::query

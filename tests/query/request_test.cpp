@@ -190,5 +190,100 @@ TEST(AppendJsonString, EscapesControlBytesAndQuotes) {
   EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
 }
 
+// --- Batch envelopes ------------------------------------------------------
+
+TEST(LooksLikeBatch, MatchesExactlyTheEnvelopeOpening) {
+  EXPECT_TRUE(looks_like_batch(R"({"op":"batch","requests":[]})"));
+  EXPECT_TRUE(looks_like_batch("  { \"op\" : \"batch\" ,"));  // ws-tolerant
+  EXPECT_FALSE(looks_like_batch(R"({"op":"stats"})"));
+  EXPECT_FALSE(looks_like_batch(R"({"requests":[],"op":"batch"})"));
+  EXPECT_FALSE(looks_like_batch(""));
+  EXPECT_FALSE(looks_like_batch("batch"));
+}
+
+TEST(ParseBatchRequest, SplitsItemsAsViewsIntoTheLine) {
+  const std::string line =
+      R"({"op":"batch","requests":[{"op":"stats"},{"op":"server_stats"}]})";
+  auto items = parse_batch_request(line);
+  ASSERT_TRUE(items.ok()) << items.error();
+  ASSERT_EQ(items.value().size(), 2u);
+  EXPECT_EQ(items.value()[0], R"({"op":"stats"})");
+  EXPECT_EQ(items.value()[1], R"({"op":"server_stats"})");
+  // The views alias the input, not copies.
+  EXPECT_GE(items.value()[0].data(), line.data());
+  EXPECT_LE(items.value()[1].data() + items.value()[1].size(),
+            line.data() + line.size());
+}
+
+TEST(ParseBatchRequest, EmptyRequestListIsValid) {
+  auto items = parse_batch_request(R"({"op":"batch","requests":[]})");
+  ASSERT_TRUE(items.ok()) << items.error();
+  EXPECT_TRUE(items.value().empty());
+}
+
+TEST(ParseBatchRequest, FramesItemsWithStringAwareBraceMatching) {
+  // A brace inside a string value must not close the item early.
+  const std::string line =
+      R"({"op":"batch","requests":[{"op":"store_at","provider":"a}b","date":"2020-01-01"}]})";
+  auto items = parse_batch_request(line);
+  ASSERT_TRUE(items.ok()) << items.error();
+  ASSERT_EQ(items.value().size(), 1u);
+  EXPECT_EQ(items.value()[0],
+            R"({"op":"store_at","provider":"a}b","date":"2020-01-01"})");
+}
+
+TEST(ParseBatchRequest, ReturnsNestedBatchesUnvalidated) {
+  // The splitter frames a nested envelope as one item; rejecting it is the
+  // engine's per-slot job (QueryEngine.NestedBatchErrorsInItsOwnSlot).
+  auto items = parse_batch_request(
+      R"({"op":"batch","requests":[{"op":"batch","requests":[]}]})");
+  ASSERT_TRUE(items.ok()) << items.error();
+  ASSERT_EQ(items.value().size(), 1u);
+  EXPECT_TRUE(looks_like_batch(items.value()[0]));
+}
+
+TEST(ParseBatchRequest, RejectsMalformedFraming) {
+  const char* bad[] = {
+      R"({"op":"batch"})",                             // no requests field
+      R"({"op":"batch","requests":{}})",               // not an array
+      R"({"requests":[],"op":"batch"})",               // wrong field order
+      R"({"op":"batch","requests":[{"op":"stats"})",   // unterminated array
+      R"({"op":"batch","requests":[{"op":"stats"}])",  // unterminated object
+      R"({"op":"batch","requests":["x"]})",            // item not an object
+      R"({"op":"batch","requests":[{"op":"st)",        // unterminated item
+      R"({"op":"batch","requests":[{},{}]} trailing)", // trailing bytes
+      R"({"op":"batch","requests":[{} {}]})",          // missing comma
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(parse_batch_request(line).ok()) << line;
+  }
+}
+
+TEST(ParseBatchRequest, EnforcesEnvelopeCaps) {
+  // More than kMaxBatchRequests items.
+  std::string many = R"({"op":"batch","requests":[)";
+  for (std::size_t i = 0; i <= kMaxBatchRequests; ++i) {
+    if (i > 0) many += ',';
+    many += R"({"op":"stats"})";
+  }
+  many += "]}";
+  ASSERT_LE(many.size(), kMaxBatchBytes);
+  auto over_count = parse_batch_request(many);
+  ASSERT_FALSE(over_count.ok());
+  EXPECT_NE(over_count.error().find("more than"), std::string::npos);
+
+  // One item over the per-request byte cap.
+  std::string fat_item = R"({"op":"batch","requests":[{"op":"stats","x":")" +
+                         std::string(kMaxRequestBytes, 'a') + "\"}]}";
+  ASSERT_LE(fat_item.size(), kMaxBatchBytes);
+  auto over_item = parse_batch_request(fat_item);
+  ASSERT_FALSE(over_item.ok());
+  EXPECT_NE(over_item.error().find("exceeds"), std::string::npos);
+
+  // The whole line over the envelope byte cap fails before any parsing.
+  std::string fat_line(kMaxBatchBytes + 1, ' ');
+  EXPECT_FALSE(parse_batch_request(fat_line).ok());
+}
+
 }  // namespace
 }  // namespace rs::query

@@ -1,0 +1,111 @@
+// ShardedCache: routing determinism, capacity split, and — the load-bearing
+// property — exact counter aggregation under concurrent mixed hit/miss
+// traffic (hits + misses must equal the number of get() calls, always).
+#include "src/serve/sharded_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rs::serve {
+namespace {
+
+TEST(NextPow2, RoundsUpToPowersOfTwo) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(16), 16u);
+  EXPECT_EQ(next_pow2(17), 32u);
+}
+
+TEST(ShardedCache, ShardCountIsNextPow2OfHint) {
+  EXPECT_EQ(ShardedCache(64, 0).shard_count(), 1u);
+  EXPECT_EQ(ShardedCache(64, 1).shard_count(), 1u);
+  EXPECT_EQ(ShardedCache(64, 3).shard_count(), 4u);
+  EXPECT_EQ(ShardedCache(64, 6).shard_count(), 8u);
+}
+
+TEST(ShardedCache, RoutingIsStableAndInRange) {
+  ShardedCache cache(64, 4);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const std::size_t shard = cache.shard_of(key);
+    EXPECT_LT(shard, cache.shard_count());
+    EXPECT_EQ(shard, cache.shard_of(key)) << "routing must be deterministic";
+  }
+}
+
+TEST(ShardedCache, GetPutRoundTripAndCounters) {
+  ShardedCache cache(64, 4);
+  EXPECT_FALSE(cache.get("a").has_value());
+  cache.put("a", "alpha");
+  auto hit = cache.get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "alpha");
+  const LruCache::Counters c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.capacity(), 64u);
+}
+
+TEST(ShardedCache, ZeroCapacityNeverStores) {
+  ShardedCache cache(0, 4);
+  cache.put("a", "alpha");
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedCache, CapacitySplitsAcrossShardsWithRoundUp) {
+  // 10 entries over 4 shards → 3 per shard → 12 usable, never below 10.
+  ShardedCache cache(10, 4);
+  for (int i = 0; i < 100; ++i) {
+    cache.put("k" + std::to_string(i), "v");
+  }
+  EXPECT_LE(cache.size(), 12u);
+  EXPECT_GT(cache.counters().evictions, 0u);
+}
+
+TEST(ShardedCache, ConcurrentMixedTrafficCountersAreExact) {
+  // 8 threads × 4000 gets with a put after every miss, over a keyspace
+  // bigger than the cache so evictions churn constantly.  The aggregated
+  // counters must balance exactly: hits + misses == total get() calls.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kGetsPerThread = 4000;
+  constexpr std::size_t kKeyspace = 512;
+  ShardedCache cache(128, kThreads);
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      // Deterministic per-thread key walk (tests cannot call rand()):
+      // stride by a thread-specific odd step so threads collide on keys.
+      std::size_t k = t * 131;
+      for (std::size_t i = 0; i < kGetsPerThread; ++i) {
+        k = (k + 2 * t + 7) % kKeyspace;
+        const std::string key = "key-" + std::to_string(k);
+        if (!cache.get(key).has_value()) {
+          cache.put(key, "value-" + std::to_string(k));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const LruCache::Counters c = cache.counters();
+  EXPECT_EQ(c.hits + c.misses, kThreads * kGetsPerThread);
+  EXPECT_GT(c.hits, 0u);
+  EXPECT_GT(c.misses, 0u);
+  EXPECT_LE(cache.size(), next_pow2(kThreads) *
+                              ((128 + next_pow2(kThreads) - 1) /
+                               next_pow2(kThreads)));
+}
+
+}  // namespace
+}  // namespace rs::serve

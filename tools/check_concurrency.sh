@@ -19,6 +19,9 @@
 #       rationale comment on the same line or within the 10 lines above.
 #   R4  every RS_NO_THREAD_SAFETY_ANALYSIS use needs a `// safety:`
 #       justification comment on the same line or within the 10 lines above.
+#   R5  no naked epoll calls (epoll_create1/epoll_ctl/epoll_wait) outside
+#       src/serve/event_loop.* — readiness bookkeeping that bypasses
+#       EventLoop breaks its edge-triggered re-arm and drain invariants.
 #
 # Usage: tools/check_concurrency.sh   (exits non-zero on any finding)
 set -eu
@@ -49,6 +52,19 @@ if [ -n "$r2" ]; then
   status=1
   echo "check_concurrency: R2 std::thread::detach() is banned (nothing may outlive the drain):" >&2
   printf '%s\n' "$r2" >&2
+fi
+
+# R5: epoll syscalls confined to the event loop.  Everything else talks to
+# EventLoop through its API so the edge-trigger re-arm logic stays in one
+# place.
+r5=$(printf '%s\n' "$files" |
+  grep -v -e '^src/serve/event_loop\.h$' -e '^src/serve/event_loop\.cpp$' |
+  xargs grep -nE 'epoll_(create1|ctl|wait)\s*\(' /dev/null |
+  grep -v 'check_concurrency-allow' || true)
+if [ -n "$r5" ]; then
+  status=1
+  echo "check_concurrency: R5 naked epoll call outside src/serve/event_loop.* (route readiness through EventLoop):" >&2
+  printf '%s\n' "$r5" >&2
 fi
 
 # R3/R4: pattern uses requiring a nearby rationale comment.

@@ -27,12 +27,15 @@
 #                        BENCH_parallel.json, the merge-vs-interned
 #                        set-algebra sweep into BENCH_intern.json, the
 #                        observability-overhead sweep into BENCH_obs.json,
-#                        the serve-layer throughput/latency sweep into
-#                        BENCH_serve.json, and the persisted-index
-#                        cold-start/append speedups into
-#                        BENCH_incremental.json — the latter gated against
-#                        the docs/PERSISTENCE.md floors (load >= 20x
-#                        rebuild, append-one >= 10x full recompute)
+#                        the threaded-vs-epoll serve transport comparison
+#                        into BENCH_serve.json — gated same-run: epoll at
+#                        64 connections must hold >= 0.7x the threaded
+#                        4-connection miss throughput, and batch-16 must
+#                        amortize >= 2x the singleton hit throughput —
+#                        and the persisted-index cold-start/append
+#                        speedups into BENCH_incremental.json, gated
+#                        against the docs/PERSISTENCE.md floors (load >=
+#                        20x rebuild, append-one >= 10x full recompute)
 #                        (skip with ROOTSTORE_SKIP_BENCH=1)
 #   7. coverage          gcov build + full suite, enforcing the src/ line
 #                        coverage floor in tools/coverage_baseline.txt

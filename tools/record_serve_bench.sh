@@ -1,12 +1,39 @@
 #!/bin/sh
-# Records the serving-layer benchmark into BENCH_serve.json:
+# Records the serving-layer benchmark into BENCH_serve.json.
 #
-#   * miss phase — distinct requests, every answer computed by the engine
-#   * hit phase  — a small working set replayed, answered from the LRU
+# Five runs, every one against a FRESH server so each miss phase is a real
+# cold cache, all recorded in the same invocation so the gate below never
+# compares numbers from different machines or commits:
 #
-# serve_loadgen reports per-phase throughput and p50/p99 latency plus the
-# server's own cache counters; the committed BENCH_serve.json is the
-# record that a cache hit is measurably faster than a miss.
+#   threaded_4   --transport threaded, 4 connections  (the PR 5 baseline at
+#                 its native concurrency: one pool worker per connection)
+#   threaded_64  --transport threaded, 64 connections (16x the worker count:
+#                 connections queue behind the 4-thread pool)
+#   epoll_4      event-driven transport, 4 connections
+#   epoll_64     event-driven transport, 64 connections (the contention
+#                 phase: 64 sockets multiplexed over 4 event loops)
+#   epoll_batch16 event-driven transport, 4 connections, 16 queries per
+#                 batch envelope (per-QUERY throughput, so the ratio to
+#                 epoll_4 is the syscall-amortization win)
+#
+# Gates (hard failures, so CI catches a serve-layer regression):
+#   G1  epoll_64 miss throughput >= 0.7x threaded_4 miss throughput — the
+#       event loop at 16x the connection count must stay in the same class
+#       as the PR 5 baseline at its native 4.
+#   G2  epoll_batch16 hit throughput >= 2.0x epoll_4 hit throughput — the
+#       cached path is syscall-bound, so batching must amortize visibly.
+#
+# NOTE on single-core CI runners: with one hardware thread every
+# architecture time-slices the same core, so the multi-core story (64
+# threaded connections queueing behind 4 pool workers while 4 event loops
+# keep serving) cannot show up as a throughput win here.  What 1 CPU
+# *does* measure honestly: epoll pays ~15% per-event syscall overhead vs
+# a parked blocking recv when every socket is always-ready (hence a floor,
+# not a speedup — 0.7 rather than 0.85 only to absorb the ±8% per-phase
+# scheduler noise observed run-to-run), and batch envelopes amortize that
+# overhead away (G2 is a real >= 2x on the same hardware).
+# docs/SERVING.md records the interpretation; measured ratios land in the
+# JSON either way.
 #
 # Usage: tools/record_serve_bench.sh [build-dir] [out-file]
 set -eu
@@ -33,32 +60,88 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-"$rootstore" serve --port 0 --threads 4 --cache 1024 \
-    --port-file "$workdir/port" > "$workdir/serve.log" 2>&1 &
-server_pid=$!
-
-i=0
-while [ ! -s "$workdir/port" ]; do
-  i=$((i + 1))
-  if [ "$i" -gt 600 ] || ! kill -0 "$server_pid" 2>/dev/null; then
-    echo "record_serve_bench: server failed to start" >&2
-    cat "$workdir/serve.log" >&2
+# run_one <name> <transport> <connections> <requests> <batch>
+# Starts a fresh server, runs loadgen, stops the server, leaves the
+# per-run JSON at $workdir/<name>.json.
+run_one() {
+  name="$1"; transport="$2"; conns="$3"; reqs="$4"; batch="$5"
+  rm -f "$workdir/port"
+  "$rootstore" serve --port 0 --threads 4 --cache 1024 \
+      --transport "$transport" \
+      --port-file "$workdir/port" > "$workdir/$name.serve.log" 2>&1 &
+  server_pid=$!
+  i=0
+  while [ ! -s "$workdir/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 600 ] || ! kill -0 "$server_pid" 2>/dev/null; then
+      echo "record_serve_bench: $name server failed to start" >&2
+      cat "$workdir/$name.serve.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  port=$(cat "$workdir/port")
+  "$loadgen" --port "$port" --connections "$conns" --requests "$reqs" \
+      --batch "$batch" --json-out "$workdir/$name.json"
+  kill -INT "$server_pid"
+  status=0
+  wait "$server_pid" || status=$?
+  server_pid=""
+  if [ "$status" -ne 0 ]; then
+    echo "record_serve_bench: $name server exited $status after SIGINT" >&2
+    cat "$workdir/$name.serve.log" >&2
     exit 1
   fi
-  sleep 0.1
-done
-port=$(cat "$workdir/port")
+}
 
-"$loadgen" --port "$port" --connections 4 --requests 2000 \
-    --json-out "$out_file"
+# Gate-feeding phases run 25600 requests: short phases (~50 ms) let
+# warm-up noise swamp the ratios on a shared CI core.
+run_one threaded_4    threaded  4 25600 1
+run_one threaded_64   threaded 64  6400 1
+run_one epoll_4       epoll     4 25600 1
+run_one epoll_64      epoll    64 25600 1
+run_one epoll_batch16 epoll     4 25600 16
 
-kill -INT "$server_pid"
-status=0
-wait "$server_pid" || status=$?
-server_pid=""
-if [ "$status" -ne 0 ]; then
-  echo "record_serve_bench: server exited $status after SIGINT" >&2
+# phase_rps <file> <phase>: extracts "throughput_rps" from the phase line.
+phase_rps() {
+  awk -v phase="\"$2\"" -F'"throughput_rps": ' \
+    '$0 ~ phase {split($2, a, ","); print a[1]}' "$1"
+}
+
+t4_miss=$(phase_rps "$workdir/threaded_4.json" miss_phase)
+t64_miss=$(phase_rps "$workdir/threaded_64.json" miss_phase)
+e64_miss=$(phase_rps "$workdir/epoll_64.json" miss_phase)
+e4_hit=$(phase_rps "$workdir/epoll_4.json" hit_phase)
+b16_hit=$(phase_rps "$workdir/epoll_batch16.json" hit_phase)
+
+# Compose the committed record: the five runs plus the gate ratios.
+{
+  printf '{\n  "benchmark": "serve_transports",\n'
+  for name in threaded_4 threaded_64 epoll_4 epoll_64 epoll_batch16; do
+    printf '  "%s": ' "$name"
+    sed 's/^/  /' "$workdir/$name.json" | sed '1s/^  //'
+    printf ',\n'
+  done | sed 's/^\(  },\)$/\1/'
+  awk -v t4="$t4_miss" -v t64="$t64_miss" -v e64="$e64_miss" \
+      -v e4h="$e4_hit" -v b16="$b16_hit" \
+    'BEGIN {
+       printf "  \"epoll64_over_threaded4_miss\": %.2f,\n", (t4 > 0 ? e64 / t4 : 0)
+       printf "  \"epoll64_over_threaded64_miss\": %.2f,\n", (t64 > 0 ? e64 / t64 : 0)
+       printf "  \"batch16_over_singleton_hit\": %.2f\n", (e4h > 0 ? b16 / e4h : 0)
+     }'
+  printf '}\n'
+} > "$out_file"
+
+# Gates.
+awk -v t4="$t4_miss" -v e64="$e64_miss" 'BEGIN { exit !(e64 >= 0.7 * t4) }' || {
+  echo "record_serve_bench: GATE G1 FAILED — epoll@64conns miss ${e64_miss} rps" >&2
+  echo "is below 0.7x threaded@4conns miss ${t4_miss} rps (same-run)" >&2
   exit 1
-fi
+}
+awk -v e4h="$e4_hit" -v b16="$b16_hit" 'BEGIN { exit !(b16 >= 2.0 * e4h) }' || {
+  echo "record_serve_bench: GATE G2 FAILED — batch-16 hit ${b16_hit} rps/query" >&2
+  echo "is below 2.0x singleton hit ${e4_hit} rps (same-run)" >&2
+  exit 1
+}
 
-echo "record_serve_bench: wrote $out_file"
+echo "record_serve_bench: wrote $out_file (epoll64/threaded4 miss $(awk -v a="$e64_miss" -v b="$t4_miss" 'BEGIN{printf "%.2f", (b>0 ? a/b : 0)}')x, batch16/singleton hit $(awk -v a="$b16_hit" -v b="$e4_hit" 'BEGIN{printf "%.2f", (b>0 ? a/b : 0)}')x)"

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "src/exec/thread_pool.h"
@@ -43,6 +44,7 @@
 #include "src/query/engine.h"
 #include "src/query/index_io.h"
 #include "src/serve/server.h"
+#include "src/serve/threaded_server.h"
 #include "src/synth/paper_scenario.h"
 #include "src/synth/user_agents.h"
 #include "src/util/strings.h"
@@ -90,14 +92,21 @@ int usage() {
       "  index verify <file>       structural + checksum + deep consistency\n"
       "                            verification of a persisted index\n"
       "  serve [--port N] [--threads K] [--cache N] [--port-file FILE]\n"
-      "        [--from DIR] [--index FILE]\n"
+      "        [--from DIR] [--index FILE] [--transport epoll|threaded]\n"
+      "        [--watch-index]\n"
       "                            serve queries as newline-delimited JSON\n"
       "                            over loopback TCP (port 0 = ephemeral;\n"
       "                            the bound port is printed and optionally\n"
-      "                            written to FILE); SIGINT drains in-flight\n"
-      "                            requests and exits 0; --index FILE\n"
-      "                            cold-starts from a persisted index\n"
-      "                            instead of rebuilding from snapshots\n"
+      "                            written to FILE after listen succeeds);\n"
+      "                            SIGINT drains in-flight requests and\n"
+      "                            exits 0; --index FILE cold-starts from a\n"
+      "                            persisted index instead of rebuilding\n"
+      "                            from snapshots, enables the reload_index\n"
+      "                            op, and with --watch-index hot-swaps the\n"
+      "                            engine when FILE changes on disk;\n"
+      "                            --transport threaded runs the PR 5\n"
+      "                            thread-per-connection baseline instead\n"
+      "                            of the event-driven default\n"
       "  formats                   list supported serializations\n",
       stderr);
   return 2;
@@ -451,21 +460,42 @@ extern "C" void handle_shutdown_signal(int) {
   [[maybe_unused]] const ssize_t n = write(g_shutdown_pipe[1], &byte, 1);
 }
 
-int cmd_serve(std::uint16_t port, std::size_t threads, std::size_t cache,
-              const std::string& port_file, const std::string& from_dir,
-              const std::string& index_file) {
-  auto made = make_engine(from_dir, index_file, threads);
-  if (!made.ok()) return die(made.error());
-  const rs::query::QueryEngine engine = std::move(made).take();
+// Writes `port` into `path` atomically: temp file, fsync, rename.  A
+// concurrently polling reader either sees no file or the complete port —
+// never a partial write — and a crash mid-write leaves no torn file.
+bool write_port_file_atomic(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const std::string text = std::to_string(port) + "\n";
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n =
+        ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0 ||
+      ::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
 
-  rs::serve::ServerOptions options;
-  options.port = port;
-  options.num_threads = threads;
-  options.cache_capacity = cache;
-  rs::serve::Server server(engine, options);
-  auto bound = server.start();
-  if (!bound.ok()) return die(bound.error());
-
+// Shared serve tail for both transports: install the signal latch, publish
+// the port file (only now — listen(2) has already succeeded inside
+// start(), so the file never names a dead socket), block until
+// SIGINT/SIGTERM, drain, report.
+template <typename ServerT>
+int serve_until_signal(ServerT& server, std::uint16_t bound_port,
+                       const std::string& port_file, std::size_t threads,
+                       std::size_t cache, const char* transport) {
   if (pipe(g_shutdown_pipe) != 0) return die("cannot create signal pipe");
   struct sigaction action {};
   action.sa_handler = handle_shutdown_signal;
@@ -473,13 +503,11 @@ int cmd_serve(std::uint16_t port, std::size_t threads, std::size_t cache,
   sigaction(SIGINT, &action, nullptr);
   sigaction(SIGTERM, &action, nullptr);
 
-  if (!port_file.empty()) {
-    std::ofstream f(port_file, std::ios::binary);
-    f << bound.value() << "\n";
-    if (!f) return die("cannot write port file: " + port_file);
+  if (!port_file.empty() && !write_port_file_atomic(port_file, bound_port)) {
+    return die("cannot write port file: " + port_file);
   }
-  std::printf("listening 127.0.0.1:%u (threads=%zu cache=%zu)\n",
-              static_cast<unsigned>(bound.value()), threads, cache);
+  std::printf("listening 127.0.0.1:%u (transport=%s threads=%zu cache=%zu)\n",
+              static_cast<unsigned>(bound_port), transport, threads, cache);
   std::fflush(stdout);
 
   char byte = 0;
@@ -494,6 +522,64 @@ int cmd_serve(std::uint16_t port, std::size_t threads, std::size_t cache,
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.errors));
   return 0;
+}
+
+int cmd_serve(std::uint16_t port, std::size_t threads, std::size_t cache,
+              const std::string& port_file, const std::string& from_dir,
+              const std::string& index_file, const std::string& transport,
+              bool watch_index) {
+  if (transport != "epoll" && transport != "threaded") {
+    return die("--transport must be 'epoll' or 'threaded'");
+  }
+  if (watch_index && index_file.empty()) {
+    return die("--watch-index requires --index FILE");
+  }
+  if (watch_index && transport == "threaded") {
+    return die("--watch-index requires the epoll transport");
+  }
+  // A stale port file from an earlier run poisons waiting clients: remove
+  // it up front so a reader only ever sees the port of THIS process.
+  if (!port_file.empty()) ::unlink(port_file.c_str());
+
+  auto made = make_engine(from_dir, index_file, threads);
+  if (!made.ok()) return die(made.error());
+
+  rs::serve::ServerOptions options;
+  options.port = port;
+  options.num_threads = threads;
+  options.cache_capacity = cache;
+
+  if (transport == "threaded") {
+    const rs::query::QueryEngine engine = std::move(made).take();
+    rs::serve::ThreadedServer server(engine, options);
+    auto bound = server.start();
+    if (!bound.ok()) return die(bound.error());
+    return serve_until_signal(server, bound.value(), port_file, threads,
+                              cache, "threaded");
+  }
+
+  if (!index_file.empty()) {
+    // Reloading re-reads the persisted index: cheap relative to a rebuild,
+    // and exactly what `--watch-index` watches.
+    options.reload_factory = [index_file]()
+        -> rs::util::Result<
+            std::shared_ptr<const rs::query::QueryEngine>> {
+      using R =
+          rs::util::Result<std::shared_ptr<const rs::query::QueryEngine>>;
+      auto loaded = rs::query::TrustIndexIO::load_file(index_file);
+      if (!loaded.ok()) return R::err(index_file + ": " + loaded.message());
+      return std::make_shared<const rs::query::QueryEngine>(
+          std::move(loaded).take(), rs::synth::user_agent_population());
+    };
+    if (watch_index) options.watch_path = index_file;
+  }
+  rs::serve::Server server(
+      std::make_shared<const rs::query::QueryEngine>(std::move(made).take()),
+      options);
+  auto bound = server.start();
+  if (!bound.ok()) return die(bound.error());
+  return serve_until_signal(server, bound.value(), port_file, threads, cache,
+                            "epoll");
 }
 
 }  // namespace
@@ -588,6 +674,8 @@ int main(int argc, char** argv) {
     std::string port_file;
     std::string from_dir;
     std::string index_file;
+    std::string transport = "epoll";
+    bool watch_index = false;
     for (std::size_t i = 1; i < args.size(); ++i) {
       if (args[i] == "--port" && i + 1 < args.size()) {
         port = std::strtoul(args[++i].c_str(), nullptr, 10);
@@ -604,12 +692,16 @@ int main(int argc, char** argv) {
         from_dir = args[++i];
       } else if (args[i] == "--index" && i + 1 < args.size()) {
         index_file = args[++i];
+      } else if (args[i] == "--transport" && i + 1 < args.size()) {
+        transport = args[++i];
+      } else if (args[i] == "--watch-index") {
+        watch_index = true;
       } else {
         return usage();
       }
     }
     return cmd_serve(static_cast<std::uint16_t>(port), threads, cache,
-                     port_file, from_dir, index_file);
+                     port_file, from_dir, index_file, transport, watch_index);
   }
   return usage();
 }

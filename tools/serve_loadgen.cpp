@@ -5,13 +5,17 @@
 //       failure).  Used by tools/serve_smoke.sh.
 //
 //   serve_loadgen --port N [--connections C] [--requests M]
-//                 [--json-out FILE]
+//                 [--duration S] [--batch K] [--json-out FILE]
 //       Benchmark mode: C concurrent connections issue M requests total in
 //       two phases — a MISS phase of distinct store_at/diff/is_trusted/
 //       lineage requests over the paper scenario, then a HIT phase
 //       replaying a small working set so the server's LRU answers from
-//       cache.  Reports throughput and p50/p99 latency per phase (and
-//       overall) as JSON to FILE (default stdout): the numbers checked in
+//       cache.  --duration S makes each phase time-bounded instead: the
+//       request mix replays cyclically until S seconds elapse.  --batch K
+//       wraps every K requests into one {"op":"batch",...} line (the
+//       throughput figures stay per-QUERY, so batch vs singleton numbers
+//       compare directly).  Reports throughput and p50/p99/p99.9 latency
+//       per phase as JSON to FILE (default stdout): the numbers checked in
 //       as BENCH_serve.json.
 //
 // Request mix is generated deterministically from the scenario database,
@@ -156,24 +160,52 @@ std::vector<std::string> build_requests(const rs::store::StoreDatabase& db,
   return requests;
 }
 
+/// Wraps `requests` into batch envelopes of `batch` items each (the
+/// remainder short of a full envelope is dropped so every line carries
+/// exactly `batch` queries and per-query math stays exact).
+std::vector<std::string> batch_lines(const std::vector<std::string>& requests,
+                                     std::size_t batch) {
+  std::vector<std::string> lines;
+  lines.reserve(requests.size() / batch);
+  for (std::size_t i = 0; i + batch <= requests.size(); i += batch) {
+    std::string line = "{\"op\":\"batch\",\"requests\":[";
+    for (std::size_t j = 0; j < batch; ++j) {
+      if (j > 0) line.push_back(',');
+      line += requests[i + j];
+    }
+    line += "]}";
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
 struct PhaseResult {
   double seconds = 0;
-  std::size_t requests = 0;
-  double p50_us = 0;
+  std::size_t lines = 0;       // request lines round-tripped
+  std::size_t requests = 0;    // individual queries (lines × batch size)
+  double p50_us = 0;           // per-LINE latency percentiles
   double p99_us = 0;
+  double p999_us = 0;
 
   double throughput() const {
     return seconds > 0 ? static_cast<double>(requests) / seconds : 0;
   }
 };
 
-/// Runs `requests` round-robin across `connections` client threads;
-/// latencies are per-request microseconds.
+/// Runs `lines` round-robin across `connections` client threads; each line
+/// counts as `queries_per_line` requests.  With `duration_s` > 0 the mix
+/// replays cyclically until the deadline instead of stopping after one
+/// pass.  Latencies are per-line microseconds.
 bool run_phase(std::uint16_t port, std::size_t connections,
-               const std::vector<std::string>& requests, PhaseResult& out) {
+               const std::vector<std::string>& lines,
+               std::size_t queries_per_line, double duration_s,
+               PhaseResult& out) {
   std::vector<std::vector<double>> latencies(connections);
   std::vector<bool> failed(connections, false);
   const auto wall_start = std::chrono::steady_clock::now();
+  const auto deadline =
+      wall_start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(duration_s));
   std::vector<std::thread> clients;
   clients.reserve(connections);
   for (std::size_t c = 0; c < connections; ++c) {
@@ -184,15 +216,23 @@ bool run_phase(std::uint16_t port, std::size_t connections,
         return;
       }
       std::string response;
-      for (std::size_t i = c; i < requests.size(); i += connections) {
+      std::size_t i = c;
+      while (true) {
+        if (duration_s > 0) {
+          if (std::chrono::steady_clock::now() >= deadline) return;
+          if (i >= lines.size()) i %= lines.size();  // replay until deadline
+        } else if (i >= lines.size()) {
+          return;  // count-bounded: one pass
+        }
         const auto t0 = std::chrono::steady_clock::now();
-        if (!conn.roundtrip(requests[i], response)) {
+        if (!conn.roundtrip(lines[i], response)) {
           failed[c] = true;
           return;
         }
         const auto t1 = std::chrono::steady_clock::now();
         latencies[c].push_back(
             std::chrono::duration<double, std::micro>(t1 - t0).count());
+        i += connections;
       }
     });
   }
@@ -206,20 +246,23 @@ bool run_phase(std::uint16_t port, std::size_t connections,
     all.insert(all.end(), per_conn.begin(), per_conn.end());
   }
   out.seconds = std::chrono::duration<double>(wall_end - wall_start).count();
-  out.requests = all.size();
+  out.lines = all.size();
+  out.requests = all.size() * queries_per_line;
   out.p50_us = rs::util::percentile(all, 50.0);
   out.p99_us = rs::util::percentile(all, 99.0);
+  out.p999_us = rs::util::percentile(all, 99.9);
   return true;
 }
 
 void append_phase(std::string& out, const char* name, const PhaseResult& r) {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof buf,
-                "  \"%s\": {\"requests\": %zu, \"seconds\": %.6f, "
+                "  \"%s\": {\"lines\": %zu, \"requests\": %zu, "
+                "\"seconds\": %.6f, "
                 "\"throughput_rps\": %.1f, \"p50_us\": %.1f, "
-                "\"p99_us\": %.1f}",
-                name, r.requests, r.seconds, r.throughput(), r.p50_us,
-                r.p99_us);
+                "\"p99_us\": %.1f, \"p999_us\": %.1f}",
+                name, r.lines, r.requests, r.seconds, r.throughput(),
+                r.p50_us, r.p99_us, r.p999_us);
   out += buf;
 }
 
@@ -230,6 +273,8 @@ int main(int argc, char** argv) {
   unsigned long port = 0;
   std::size_t connections = 4;
   std::size_t request_count = 2000;
+  std::size_t batch = 1;
+  double duration_s = 0;
   std::string oneshot;
   std::string json_out;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -241,16 +286,26 @@ int main(int argc, char** argv) {
     } else if (args[i] == "--requests" && i + 1 < args.size()) {
       request_count = static_cast<std::size_t>(
           std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--batch" && i + 1 < args.size()) {
+      batch = static_cast<std::size_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--duration" && i + 1 < args.size()) {
+      duration_s = std::strtod(args[++i].c_str(), nullptr);
     } else if (args[i] == "--oneshot" && i + 1 < args.size()) {
       oneshot = args[++i];
     } else if (args[i] == "--json-out" && i + 1 < args.size()) {
       json_out = args[++i];
     } else {
       return die("usage: serve_loadgen --port N [--connections C] "
-                 "[--requests M] [--json-out FILE] [--oneshot '<json>']");
+                 "[--requests M] [--duration S] [--batch K] "
+                 "[--json-out FILE] [--oneshot '<json>']");
     }
   }
   if (port == 0 || port > 65535) return die("--port is required (1..65535)");
+  if (batch == 0 || batch > rs::query::kMaxBatchRequests) {
+    return die("--batch must be 1.." +
+               std::to_string(rs::query::kMaxBatchRequests));
+  }
   const auto port16 = static_cast<std::uint16_t>(port);
 
   if (!oneshot.empty()) {
@@ -284,11 +339,22 @@ int main(int argc, char** argv) {
     hit_requests.push_back(hot_set[hit_requests.size() % hot_set.size()]);
   }
 
+  // Batch mode folds every K queries into one envelope line; the per-query
+  // throughput math stays comparable with singleton runs.
+  const auto miss_lines =
+      batch > 1 ? batch_lines(miss_requests, batch) : miss_requests;
+  const auto hit_lines =
+      batch > 1 ? batch_lines(hit_requests, batch) : hit_requests;
+
+  if (miss_lines.empty() || hit_lines.empty()) {
+    return die("--requests too small for --batch " + std::to_string(batch));
+  }
+
   PhaseResult miss, hit;
-  if (!run_phase(port16, connections, miss_requests, miss)) {
+  if (!run_phase(port16, connections, miss_lines, batch, duration_s, miss)) {
     return die("miss phase failed (server down?)");
   }
-  if (!run_phase(port16, connections, hit_requests, hit)) {
+  if (!run_phase(port16, connections, hit_lines, batch, duration_s, hit)) {
     return die("hit phase failed (server down?)");
   }
 
@@ -307,6 +373,7 @@ int main(int argc, char** argv) {
 
   std::string out = "{\n  \"benchmark\": \"serve\",\n";
   out += "  \"connections\": " + std::to_string(connections) + ",\n";
+  out += "  \"batch\": " + std::to_string(batch) + ",\n";
   append_phase(out, "miss_phase", miss);
   out += ",\n";
   append_phase(out, "hit_phase", hit);

@@ -2,11 +2,15 @@
 # End-to-end smoke test for `rootstore serve`, registered as a ctest:
 #
 #   1. start the server on an ephemeral port (--port-file handshake)
-#   2. answer one query over the socket and sanity-check the bytes
+#   2. answer one query over the socket and sanity-check the bytes; a
+#      malformed line and a batch envelope must both answer structured JSON
 #   3. send SIGINT and require a graceful drain with exit code 0
 #   4. repeat the lifecycle from a persisted index: `rootstore index build`
 #      writes an RSIX file, `serve --index` cold-starts from it, and the
 #      stats response must be byte-identical to the database-built one
+#   5. hot-swap that server via `{"op":"reload_index"}`: the epoch counter
+#      in server_stats must flip to 1 and answers must stay byte-identical
+#      (the rebuilt index file is identical)
 #
 # Usage: tools/serve_smoke.sh <build-dir>
 set -eu
@@ -61,6 +65,18 @@ case "$bad" in
     ;;
 esac
 
+# A batch envelope answers every sub-request in order inside one line.
+batch=$("$loadgen" --port "$port" \
+    --oneshot '{"op":"batch","requests":[{"op":"stats"},{"op":"nope"}]}')
+case "$batch" in
+  '{"op":"batch","status":"ok","count":2,"responses":[{"op":"stats","status":"ok"'*) ;;
+  *)
+    echo "serve_smoke: unexpected batch response: $batch" >&2
+    kill "$server_pid" 2>/dev/null || true
+    exit 1
+    ;;
+esac
+
 kill -INT "$server_pid"
 status=0
 wait "$server_pid" || status=$?
@@ -107,6 +123,43 @@ if [ "$from_index" != "$response" ]; then
   echo "serve_smoke: --index stats differ from database-built stats" >&2
   echo "  built:  $response" >&2
   echo "  loaded: $from_index" >&2
+  kill "$server_pid" 2>/dev/null || true
+  exit 1
+fi
+
+# --- phase 3: live hot-swap on the --index server -------------------------
+# reload_index queues an asynchronous swap; the epoch flip shows up in
+# server_stats.  The rebuilt RSIX file is byte-identical, so answers must
+# stay identical across the flip — only the epoch counter moves.
+"$rootstore" index build "$workdir/smoke.rsix" >> "$workdir/index.log" 2>&1
+accepted=$("$loadgen" --port "$port2" --oneshot '{"op":"reload_index"}')
+case "$accepted" in
+  '{"op":"reload_index","status":"ok","accepted":true'*) ;;
+  *)
+    echo "serve_smoke: reload_index not accepted: $accepted" >&2
+    kill "$server_pid" 2>/dev/null || true
+    exit 1
+    ;;
+esac
+i=0
+while :; do
+  stats=$("$loadgen" --port "$port2" --oneshot '{"op":"server_stats"}')
+  case "$stats" in
+    *'"epoch":1'*'"reloads":1'*) break ;;
+  esac
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "serve_smoke: epoch never flipped after reload_index: $stats" >&2
+    kill "$server_pid" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+after_swap=$("$loadgen" --port "$port2" --oneshot '{"op":"stats"}')
+if [ "$after_swap" != "$response" ]; then
+  echo "serve_smoke: answers changed across an identical-index swap" >&2
+  echo "  before: $response" >&2
+  echo "  after:  $after_swap" >&2
   kill "$server_pid" 2>/dev/null || true
   exit 1
 fi
