@@ -28,8 +28,9 @@ void check_canonical_fixed_point(std::string_view line) {
   auto parsed = rs::query::parse_request(line);
   if (!parsed.ok()) return;
   const std::string canonical = rs::query::canonical_request(parsed.value());
-  RS_FUZZ_ASSERT(canonical.size() <= rs::query::kMaxRequestBytes,
-                 "canonical form exceeds the request size cap");
+  RS_FUZZ_ASSERT(
+      canonical.size() <= rs::query::max_request_bytes(parsed.value().op),
+      "canonical form exceeds the per-op request size cap");
   auto again = rs::query::parse_request(canonical);
   RS_FUZZ_ASSERT(again.ok(), "canonical form rejected by the parser");
   RS_FUZZ_ASSERT(rs::query::canonical_request(again.value()) == canonical,
@@ -45,8 +46,8 @@ void check_batch(std::string_view line) {
   std::string rewrapped = "{\"op\":\"batch\",\"requests\":[";
   for (std::size_t i = 0; i < items.size(); ++i) {
     const std::string_view item = items[i];
-    RS_FUZZ_ASSERT(item.size() <= rs::query::kMaxRequestBytes,
-                   "batch item exceeds the per-request size cap");
+    RS_FUZZ_ASSERT(item.size() <= rs::query::kMaxVerifyRequestBytes,
+                   "batch item exceeds the per-item size cap");
     RS_FUZZ_ASSERT(item.data() >= line.data() &&
                        item.data() + item.size() <= line.data() + line.size(),
                    "batch item does not alias the input line");

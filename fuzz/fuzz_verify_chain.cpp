@@ -1,0 +1,182 @@
+// Fuzz target: the chain-verification slice behind the verify_chain /
+// first_rejected_at serve ops — rs::query::parse_request on the NDJSON
+// line, Certificate::parse on the embedded DER, and
+// rs::verify::verify_chain over a deterministic synthetic oracle.
+//
+// Invariants checked on every input that reaches verify_chain:
+//   * caps are hard: candidate count, per-path depth, and fail_index
+//     ranges never exceed their bounds,
+//   * acceptance is coherent: accepted <=> reason kAccepted <=> the last
+//     recorded candidate is the accepted path, and its terminal
+//     certificate is present per the oracle,
+//   * the verdict is a pure function: re-running yields identical results,
+//     and reversing the pool changes nothing (candidate ranking is
+//     pool-order independent — the cache-key canonicalization in
+//     request.cpp depends on exactly this).
+// Raw DER that is not a request line is driven through Certificate::parse
+// and a poolless verify_chain (the parser must never crash on it).
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/fuzz_harness.h"
+#include "src/asn1/oid.h"
+#include "src/query/request.h"
+#include "src/util/date.h"
+#include "src/verify/verify.h"
+#include "src/x509/certificate.h"
+
+namespace {
+
+using rs::verify::OracleAnswer;
+using rs::verify::VerifyCaps;
+using rs::verify::VerifyResult;
+using rs::x509::Certificate;
+
+/// Fingerprint-keyed synthetic store: deterministic, covers all three
+/// answers, and anchors are a strict subset of present certificates.
+rs::verify::TrustOracle synthetic_oracle() {
+  rs::verify::TrustOracle oracle;
+  oracle.present = [](const rs::crypto::Sha256Digest& fp, rs::util::Date) {
+    switch (fp[0] % 4) {
+      case 0: return OracleAnswer::kNo;
+      case 1: return OracleAnswer::kNotCovered;
+      default: return OracleAnswer::kYes;
+    }
+  };
+  oracle.anchor = [](const rs::crypto::Sha256Digest& fp, rs::util::Date) {
+    if (fp[0] % 4 < 2) return OracleAnswer::kNo;  // never beyond `present`
+    return fp[1] % 2 == 0 ? OracleAnswer::kYes : OracleAnswer::kNo;
+  };
+  return oracle;
+}
+
+/// Flattens a result for equality comparison: verdict, reason, and every
+/// candidate's status/fail_index/certificate fingerprints.
+std::string render(const VerifyResult& result) {
+  std::string out = result.accepted ? "A:" : "R:";
+  out += rs::verify::to_string(result.reason);
+  for (const auto& c : result.candidates) {
+    out += '|';
+    out += rs::verify::to_string(c.status);
+    out += ':';
+    out += std::to_string(c.fail_index);
+    for (const Certificate* cert : c.certs) {
+      const auto& fp = cert->sha256();
+      out.append(reinterpret_cast<const char*>(fp.data()), fp.size());
+    }
+  }
+  return out;
+}
+
+void check_verify(const Certificate& leaf,
+                  std::vector<const Certificate*> pool, rs::util::Date date,
+                  const std::optional<rs::asn1::Oid>& eku,
+                  const VerifyCaps& caps) {
+  const auto oracle = synthetic_oracle();
+  const VerifyResult result = rs::verify::verify_chain(
+      leaf, pool, date, oracle, eku, caps);
+
+  RS_FUZZ_ASSERT(result.candidates.size() <= caps.max_candidates,
+                 "candidate count exceeds caps.max_candidates");
+  for (const auto& c : result.candidates) {
+    RS_FUZZ_ASSERT(!c.certs.empty(), "recorded candidate with empty path");
+    RS_FUZZ_ASSERT(c.certs.size() <= caps.max_depth,
+                   "candidate path exceeds caps.max_depth");
+    RS_FUZZ_ASSERT(c.fail_index < c.certs.size(),
+                   "fail_index outside the candidate path");
+    RS_FUZZ_ASSERT(c.certs.front() == &leaf,
+                   "candidate path does not start at the leaf");
+  }
+  if (result.accepted) {
+    RS_FUZZ_ASSERT(result.reason == rs::verify::PathStatus::kAccepted,
+                   "accepted verdict with a rejection reason");
+    RS_FUZZ_ASSERT(result.accepted_index == result.candidates.size() - 1,
+                   "accepted path is not the final candidate");
+    const auto* path = result.accepted_path();
+    RS_FUZZ_ASSERT(path != nullptr &&
+                       path->status == rs::verify::PathStatus::kAccepted,
+                   "accepted_path() does not carry kAccepted");
+    RS_FUZZ_ASSERT(oracle.present(path->certs.back()->sha256(), date) ==
+                       OracleAnswer::kYes,
+                   "accepted path terminates outside the store");
+  } else {
+    RS_FUZZ_ASSERT(result.accepted_index == VerifyResult::kNone,
+                   "rejected verdict with an accepted index");
+    for (const auto& c : result.candidates) {
+      RS_FUZZ_ASSERT(c.status != rs::verify::PathStatus::kAccepted,
+                     "rejected verdict but a candidate was accepted");
+    }
+  }
+
+  // Pure function: identical call, identical result.
+  const std::string first = render(result);
+  RS_FUZZ_ASSERT(
+      render(rs::verify::verify_chain(leaf, pool, date, oracle, eku, caps)) ==
+          first,
+      "verify_chain is not deterministic");
+  // Candidate ranking orders parents by AKI/SKI then fingerprint, so pool
+  // order must not change anything — verdict, reason, or candidate order.
+  std::reverse(pool.begin(), pool.end());
+  RS_FUZZ_ASSERT(
+      render(rs::verify::verify_chain(leaf, pool, date, oracle, eku, caps)) ==
+          first,
+      "verify result depends on pool order");
+}
+
+void drive_request(const rs::query::Request& request, std::size_t size) {
+  if (request.op != rs::query::Op::kVerifyChain &&
+      request.op != rs::query::Op::kFirstRejectedAt) {
+    return;
+  }
+  auto leaf = Certificate::parse(*request.leaf);
+  if (!leaf.ok()) return;
+  std::vector<Certificate> owned;
+  owned.reserve(request.pool.size());
+  for (const auto& der : request.pool) {
+    auto cert = Certificate::parse(der);
+    if (cert.ok()) owned.push_back(std::move(cert).value());
+  }
+  std::vector<const Certificate*> pool;
+  for (const auto& cert : owned) pool.push_back(&cert);
+
+  const rs::util::Date date =
+      request.date.value_or(rs::util::Date::ymd(2015, 6, 1));
+  // Input-derived caps exercise the truncation paths; the defaults are
+  // covered because small inputs map onto them too.
+  VerifyCaps caps;
+  caps.max_depth = 1 + size % 9;
+  caps.max_candidates = 1 + size % 33;
+  caps.max_steps = 16 + size % 512;
+  std::optional<rs::asn1::Oid> eku;
+  if (request.scope == rs::query::Scope::kTls) {
+    eku = rs::asn1::oids::eku_server_auth();
+  } else if (request.scope == rs::query::Scope::kEmail) {
+    eku = rs::asn1::oids::eku_email_protection();
+  }
+  check_verify(leaf.value(), std::move(pool), date, eku, caps);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view line(reinterpret_cast<const char*>(data), size);
+  auto parsed = rs::query::parse_request(line);
+  if (parsed.ok()) {
+    drive_request(parsed.value(), size);
+    return 0;
+  }
+  // Not a request line: treat the bytes as one DER certificate and verify
+  // it poolless (certificate parsing is the other untrusted surface here).
+  auto cert = Certificate::parse(std::span(data, size));
+  if (cert.ok()) {
+    check_verify(cert.value(), {}, rs::util::Date::ymd(2015, 6, 1),
+                 std::nullopt, VerifyCaps{});
+  }
+  return 0;
+}

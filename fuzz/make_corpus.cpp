@@ -7,9 +7,12 @@
 // project's own writers plus hand-crafted malformed inputs covering the
 // error paths the harnesses must survive: truncation, oversized length
 // prefixes, bad magic/version, non-canonical encodings, deep nesting.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -21,7 +24,9 @@
 #include "src/formats/jks.h"
 #include "src/formats/pem_bundle.h"
 #include "src/query/index_io.h"
+#include "src/query/request.h"
 #include "src/query/trust_index.h"
+#include "src/synth/chain_gen.h"
 #include "src/store/database.h"
 #include "src/store/interner.h"
 #include "src/store/persist.h"
@@ -281,6 +286,75 @@ int main(int argc, char** argv) {
     write_seed(dir, "version-skew.rsix", std::string_view(skew));
     write_seed(dir, "not-an-index.rsix",
                std::string_view("RSIX01 but not really\n"));
+  }
+
+  // --- verify_chain: NDJSON verify requests over synthetic chains --------
+  {
+    const fs::path dir = root / "verify_chain";
+    rs::x509::Name anchor_name;
+    anchor_name.add_common_name("Corpus Verify Anchor");
+    anchor_name.add_organization("rs_verify");
+    rs::synth::ChainGenConfig cfg;
+    cfg.anchor = std::make_shared<const rs::x509::Certificate>(
+        rs::x509::CertificateBuilder()
+            .subject(anchor_name)
+            .key_seed(7100)
+            .build());
+    const auto cases = rs::synth::build_chain_cases(cfg);
+    const auto& v = cfg.anchor->validity();
+    const rs::util::Date mid =
+        v.not_before.date + (v.not_after.date - v.not_before.date) / 2;
+
+    auto request_for = [&](const rs::synth::ChainCase& c, rs::query::Op op,
+                           std::optional<rs::util::Date> date,
+                           rs::query::Scope scope) {
+      rs::query::Request r;
+      r.op = op;
+      r.provider = "CorpusStore";
+      r.date = date;
+      r.scope = scope;
+      r.leaf = c.leaf->der();
+      for (const auto& cert : c.pool) r.pool.push_back(cert->der());
+      std::sort(r.pool.begin(), r.pool.end());
+      r.pool.erase(std::unique(r.pool.begin(), r.pool.end()), r.pool.end());
+      return rs::query::canonical_request(r);
+    };
+    for (const char* name :
+         {"straight", "deep", "cross_sign", "pathlen_violation",
+          "non_ca_intermediate", "missing_intermediate", "untrusted_root",
+          "mixed_case"}) {
+      for (const auto& c : cases) {
+        if (c.name != name) continue;
+        write_seed(dir, std::string(name) + ".req",
+                   request_for(c, rs::query::Op::kVerifyChain, mid,
+                               rs::query::Scope::kTls));
+      }
+    }
+    for (const auto& c : cases) {
+      if (c.name == "email_leaf") {
+        write_seed(dir, "email-scope.req",
+                   request_for(c, rs::query::Op::kVerifyChain, mid,
+                               rs::query::Scope::kEmail));
+      }
+      if (c.name == "straight") {
+        write_seed(dir, "flip-scan.req",
+                   request_for(c, rs::query::Op::kFirstRejectedAt,
+                               std::nullopt, rs::query::Scope::kTls));
+        // Raw DER (not a request line) drives the bare-certificate mode.
+        write_seed(dir, "raw-leaf.der", c.leaf->der());
+        // Valid base64 of truncated DER: the request parses, the
+        // certificate must be rejected without crashing.
+        auto half = c.leaf->der();
+        half.resize(half.size() / 2);
+        rs::query::Request r;
+        r.op = rs::query::Op::kVerifyChain;
+        r.provider = "CorpusStore";
+        r.date = mid;
+        r.scope = rs::query::Scope::kTls;
+        r.leaf = std::move(half);
+        write_seed(dir, "truncated-leaf.req", rs::query::canonical_request(r));
+      }
+    }
   }
 
   std::printf("corpus written to %s\n", root.string().c_str());

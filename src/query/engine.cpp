@@ -8,6 +8,9 @@
 #include "src/store/database.h"
 #include "src/store/interner.h"
 #include "src/util/hex.h"
+#include "src/verify/temporal.h"
+#include "src/verify/verify.h"
+#include "src/x509/certificate.h"
 
 namespace rs::query {
 namespace {
@@ -169,6 +172,8 @@ std::string QueryEngine::handle(const Request& request) const {
     case Op::kAgentStore: return handle_agent_store(request);
     case Op::kLineage: return handle_lineage(request);
     case Op::kStats: return handle_stats();
+    case Op::kVerifyChain: return handle_verify_chain(request);
+    case Op::kFirstRejectedAt: return handle_first_rejected_at(request);
     case Op::kServerStats:
       return error_response(
           "not_serving",
@@ -352,6 +357,190 @@ std::string QueryEngine::handle_lineage(const Request& r) const {
     out.push_back('}');
   }
   out.push_back(']');
+  return w.finish();
+}
+
+namespace {
+
+/// The leaf plus the pool certificates that parsed; unparseable pool
+/// entries are skipped (and counted), a broken leaf fails the request.
+struct ParsedChain {
+  rs::x509::Certificate leaf;
+  std::vector<rs::x509::Certificate> pool;
+  std::size_t pool_unparsed = 0;
+};
+
+rs::util::Result<ParsedChain> parse_chain(const Request& r) {
+  using R = rs::util::Result<ParsedChain>;
+  auto leaf = rs::x509::Certificate::parse(*r.leaf);
+  if (!leaf.ok()) {
+    return R::err("field 'leaf' is not a DER certificate: " + leaf.error());
+  }
+  ParsedChain chain{std::move(leaf).take(), {}, 0};
+  chain.pool.reserve(r.pool.size());
+  for (const auto& der : r.pool) {
+    auto cert = rs::x509::Certificate::parse(der);
+    if (!cert.ok()) {
+      ++chain.pool_unparsed;
+      continue;
+    }
+    chain.pool.push_back(std::move(cert).take());
+  }
+  return chain;
+}
+
+rs::verify::OracleAnswer to_oracle(TrustAnswer a) noexcept {
+  switch (a) {
+    case TrustAnswer::kTrusted: return rs::verify::OracleAnswer::kYes;
+    case TrustAnswer::kUntrusted: return rs::verify::OracleAnswer::kNo;
+    case TrustAnswer::kNotCovered: return rs::verify::OracleAnswer::kNotCovered;
+  }
+  return rs::verify::OracleAnswer::kNo;
+}
+
+/// Adapts the temporal index to the verifier's two questions.  `index` and
+/// `provider` must outlive the oracle (both live for the handler call).
+rs::verify::TrustOracle make_oracle(const TrustIndex& index,
+                                    const std::string& provider, Scope scope) {
+  rs::verify::TrustOracle oracle;
+  oracle.present = [&index, &provider](const rs::crypto::Sha256Digest& fp,
+                                       rs::util::Date d) {
+    return to_oracle(index.is_trusted(fp, provider, d, Scope::kPresent));
+  };
+  oracle.anchor = [&index, &provider, scope](
+                      const rs::crypto::Sha256Digest& fp, rs::util::Date d) {
+    return to_oracle(index.is_trusted(fp, provider, d, scope));
+  };
+  return oracle;
+}
+
+/// The EKU a scope demands of the non-anchor chain certificates; kPresent
+/// asks only for membership, so it imposes none.
+std::optional<rs::asn1::Oid> eku_for_scope(Scope scope) {
+  switch (scope) {
+    case Scope::kTls: return rs::asn1::oids::eku_server_auth();
+    case Scope::kEmail: return rs::asn1::oids::eku_email_protection();
+    case Scope::kCode: return rs::asn1::oids::eku_code_signing();
+    case Scope::kPresent: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void append_cert_path(std::string& out,
+                      const std::vector<const rs::x509::Certificate*>& certs) {
+  out.push_back('[');
+  for (std::size_t i = 0; i < certs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    append_json_string(out, fp_hex(certs[i]->sha256()));
+  }
+  out.push_back(']');
+}
+
+}  // namespace
+
+std::string QueryEngine::handle_verify_chain(const Request& r) const {
+  if (!index_.has_provider(*r.provider)) {
+    return error_response("unknown_provider",
+                          "no history for provider '" + *r.provider + "'");
+  }
+  auto chain = parse_chain(r);
+  if (!chain.ok()) return error_response("bad_certificate", chain.error());
+  const auto echo = [&](ResponseWriter& w) {
+    w.field("fp", fp_hex(chain.value().leaf.sha256()));
+    w.field("date", r.date->to_string());
+    w.field("scope", to_string(r.scope));
+  };
+  const auto cov = index_.coverage(*r.provider);
+  if (!cov || *r.date < cov->first || *r.date > cov->last) {
+    return not_covered(r, *r.provider, cov, echo);
+  }
+
+  std::vector<const rs::x509::Certificate*> pool;
+  pool.reserve(chain.value().pool.size());
+  for (const auto& cert : chain.value().pool) pool.push_back(&cert);
+  const auto oracle = make_oracle(index_, *r.provider, r.scope);
+  const rs::verify::VerifyResult result = rs::verify::verify_chain(
+      chain.value().leaf, pool, *r.date, oracle, eku_for_scope(r.scope));
+
+  ResponseWriter w = begin(r, "ok");
+  echo(w);
+  w.field("provider", *r.provider);
+  w.field("verdict", result.accepted ? "accepted" : "rejected");
+  w.field("reason", rs::verify::to_string(result.reason));
+  w.key_only("path");
+  if (const auto* path = result.accepted_path()) {
+    append_cert_path(w.raw(), path->certs);
+  } else {
+    w.raw() += "[]";
+  }
+  w.key_only("candidates");
+  std::string& out = w.raw();
+  out.push_back('[');
+  for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += "{\"path\":";
+    append_cert_path(out, result.candidates[i].certs);
+    out += ",\"status\":";
+    append_json_string(out, rs::verify::to_string(result.candidates[i].status));
+    out += ",\"fail_index\":";
+    out += std::to_string(result.candidates[i].fail_index);
+    out.push_back('}');
+  }
+  out.push_back(']');
+  w.field_uint("pool_size", chain.value().pool.size());
+  w.field_uint("pool_unparsed", chain.value().pool_unparsed);
+  return w.finish();
+}
+
+std::string QueryEngine::handle_first_rejected_at(const Request& r) const {
+  if (!index_.has_provider(*r.provider)) {
+    return error_response("unknown_provider",
+                          "no history for provider '" + *r.provider + "'");
+  }
+  auto chain = parse_chain(r);
+  if (!chain.ok()) return error_response("bad_certificate", chain.error());
+  const auto echo = [&](ResponseWriter& w) {
+    w.field("fp", fp_hex(chain.value().leaf.sha256()));
+    w.field("scope", to_string(r.scope));
+  };
+  const auto cov = index_.coverage(*r.provider);
+  if (!cov) return not_covered(r, *r.provider, cov, echo);
+
+  std::vector<const rs::x509::Certificate*> all;
+  all.reserve(chain.value().pool.size() + 1);
+  all.push_back(&chain.value().leaf);
+  for (const auto& cert : chain.value().pool) all.push_back(&cert);
+  const auto snapshots = index_.snapshot_dates(*r.provider);
+  const auto breakpoints =
+      rs::verify::flip_breakpoints(snapshots, all, cov->first, cov->last);
+
+  std::vector<const rs::x509::Certificate*> pool(all.begin() + 1, all.end());
+  const auto oracle = make_oracle(index_, *r.provider, r.scope);
+  const auto eku = eku_for_scope(r.scope);
+  const rs::verify::FlipScan scan = rs::verify::scan_first_rejected(
+      breakpoints, [&](rs::util::Date d) {
+        return rs::verify::verify_chain(chain.value().leaf, pool, d, oracle,
+                                        eku);
+      });
+
+  ResponseWriter w = begin(r, "ok");
+  echo(w);
+  w.field("provider", *r.provider);
+  if (scan.accepted_from) {
+    w.field("accepted_from", scan.accepted_from->to_string());
+  } else {
+    w.field_null("accepted_from");
+  }
+  if (scan.first_rejected) {
+    w.field("first_rejected", scan.first_rejected->to_string());
+    w.field("reason", rs::verify::to_string(scan.flip_reason));
+  } else {
+    w.field_null("first_rejected");
+    w.field_null("reason");
+  }
+  w.field_uint("evaluated", scan.evaluated);
+  w.field("coverage_begin", cov->first.to_string());
+  w.field("coverage_end", cov->last.to_string());
   return w.finish();
 }
 

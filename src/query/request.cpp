@@ -4,6 +4,8 @@
 #include <array>
 #include <vector>
 
+#include "src/encoding/base64.h"
+
 namespace rs::query {
 namespace {
 
@@ -83,17 +85,23 @@ Result<std::string> parse_string(Cursor& in, const char* what,
   return out;
 }
 
-/// One raw key/value pair before per-op validation.
+/// One raw key/value pair before per-op validation.  The only non-string
+/// value in the grammar is the "pool" array of strings; everything else
+/// stays flat.
 struct RawField {
   std::string key;
   std::string value;
+  std::vector<std::string> items;  // "pool" only
+  bool is_array = false;
 };
 
 Result<std::vector<RawField>> parse_object(std::string_view text) {
   using R = Result<std::vector<RawField>>;
-  if (text.size() > kMaxRequestBytes) {
-    return R::err("request exceeds " + std::to_string(kMaxRequestBytes) +
-                  " bytes");
+  if (text.size() > kMaxVerifyRequestBytes) {
+    // The widest per-op budget; parse_request re-checks the tighter cap
+    // once the op is known.
+    return R::err("request exceeds " +
+                  std::to_string(kMaxVerifyRequestBytes) + " bytes");
   }
   Cursor in{text};
   in.skip_ws();
@@ -113,20 +121,50 @@ Result<std::vector<RawField>> parse_object(std::string_view text) {
     if (!in.consume(':')) return R::err("expected ':' after field name");
     in.skip_ws();
     if (in.done()) return R::err("missing value");
-    if (in.peek() != '"') {
-      // The whole request vocabulary is strings; numbers, booleans, and
+    RawField field;
+    field.key = std::move(key).take();
+    if (in.peek() == '[' && field.key == "pool") {
+      // The certificate pool: a bounded array of Base64 strings.  No other
+      // key admits an array, keeping the attack surface flat.
+      in.consume('[');
+      field.is_array = true;
+      in.skip_ws();
+      if (!in.consume(']')) {
+        while (true) {
+          in.skip_ws();
+          auto item = parse_string(in, "pool entry", kMaxCertB64Bytes);
+          if (!item.ok()) return item.propagate<std::vector<RawField>>();
+          field.items.push_back(std::move(item).take());
+          if (field.items.size() > kMaxPoolCerts) {
+            return R::err("pool carries more than " +
+                          std::to_string(kMaxPoolCerts) + " certificates");
+          }
+          in.skip_ws();
+          if (in.consume(',')) continue;
+          if (in.consume(']')) break;
+          return R::err("expected ',' or ']' after pool entry");
+        }
+      }
+    } else if (in.peek() == '"') {
+      // "leaf" carries a Base64 certificate and gets the wide value cap;
+      // every other value keeps the tight one.
+      const std::size_t cap =
+          field.key == "leaf" ? kMaxCertB64Bytes : kMaxValueBytes;
+      auto value = parse_string(in, "field value", cap);
+      if (!value.ok()) return value.propagate<std::vector<RawField>>();
+      field.value = std::move(value).take();
+    } else {
+      // The remaining request vocabulary is strings; numbers, booleans, and
       // nested containers are rejected outright to keep the attack
       // surface flat.
-      return R::err("field '" + key.value() + "' must be a JSON string");
+      return R::err("field '" + field.key + "' must be a JSON string");
     }
-    auto value = parse_string(in, "field value", kMaxValueBytes);
-    if (!value.ok()) return value.propagate<std::vector<RawField>>();
     for (const auto& f : fields) {
-      if (f.key == key.value()) {
-        return R::err("duplicate field '" + key.value() + "'");
+      if (f.key == field.key) {
+        return R::err("duplicate field '" + field.key + "'");
       }
     }
-    fields.push_back({std::move(key).take(), std::move(value).take()});
+    fields.push_back(std::move(field));
     if (fields.size() > kMaxFields) {
       return R::err("more than " + std::to_string(kMaxFields) + " fields");
     }
@@ -138,6 +176,15 @@ Result<std::vector<RawField>> parse_object(std::string_view text) {
   in.skip_ws();
   if (!in.done()) return R::err("trailing bytes after request object");
   return fields;
+}
+
+Result<std::vector<std::uint8_t>> parse_cert_b64(const std::string& what,
+                                                 const std::string& value) {
+  using R = Result<std::vector<std::uint8_t>>;
+  auto der = rs::encoding::base64_decode(value);
+  if (!der) return R::err(what + " is not valid Base64");
+  if (der->empty()) return R::err(what + " decodes to zero bytes");
+  return *std::move(der);
 }
 
 Result<rs::crypto::Sha256Digest> parse_fp(const std::string& value) {
@@ -174,11 +221,14 @@ struct OpSpec {
   const char* name;
   // Field admissibility, beyond "op" itself.
   bool fp, provider, date, date_a, date_b, user_agent, os, scope;
+  bool leaf = false, pool = false;
 };
 
 // `os` is the only optional-when-admissible field (agent names are only
-// ambiguous across OSes); everything else admissible is required.
-constexpr std::array<OpSpec, 9> kOpSpecs = {{
+// ambiguous across OSes); everything else admissible is required (an
+// empty `pool` array is legal — the leaf may chain straight to an
+// anchor — but the field itself must be present).
+constexpr std::array<OpSpec, 11> kOpSpecs = {{
     {Op::kIsTrusted, "is_trusted",
      true, true, true, false, false, false, false, true},
     {Op::kProvidersTrusting, "providers_trusting",
@@ -197,6 +247,10 @@ constexpr std::array<OpSpec, 9> kOpSpecs = {{
      false, false, false, false, false, false, false, false},
     {Op::kReloadIndex, "reload_index",
      false, false, false, false, false, false, false, false},
+    {Op::kVerifyChain, "verify_chain",
+     false, true, true, false, false, false, false, true, true, true},
+    {Op::kFirstRejectedAt, "first_rejected_at",
+     false, true, false, false, false, false, false, true, true, true},
 }};
 
 const OpSpec* spec_for(std::string_view name) noexcept {
@@ -216,6 +270,12 @@ const OpSpec& spec_of(Op op) noexcept {
 }  // namespace
 
 const char* to_string(Op op) noexcept { return spec_of(op).name; }
+
+std::size_t max_request_bytes(Op op) noexcept {
+  return (op == Op::kVerifyChain || op == Op::kFirstRejectedAt)
+             ? kMaxVerifyRequestBytes
+             : kMaxRequestBytes;
+}
 
 const char* to_string(Scope scope) noexcept {
   switch (scope) {
@@ -261,9 +321,15 @@ rs::util::Result<Request> parse_request(std::string_view text) {
     if (spec == nullptr) return R::err("unknown op '" + f.value + "'");
   }
   if (spec == nullptr) return R::err("missing required field 'op'");
+  if (text.size() > max_request_bytes(spec->op)) {
+    return R::err("request exceeds " +
+                  std::to_string(max_request_bytes(spec->op)) +
+                  " bytes for op '" + std::string(spec->name) + "'");
+  }
 
   Request request;
   request.op = spec->op;
+  bool has_pool = false;
   for (const auto& f : fields.value()) {
     if (f.key == "op") continue;
     const bool admissible =
@@ -272,10 +338,16 @@ rs::util::Result<Request> parse_request(std::string_view text) {
         (f.key == "date_a" && spec->date_a) ||
         (f.key == "date_b" && spec->date_b) ||
         (f.key == "user_agent" && spec->user_agent) ||
-        (f.key == "os" && spec->os) || (f.key == "scope" && spec->scope);
+        (f.key == "os" && spec->os) || (f.key == "scope" && spec->scope) ||
+        (f.key == "leaf" && spec->leaf) || (f.key == "pool" && spec->pool);
     if (!admissible) {
       return R::err("unknown field '" + f.key + "' for op '" +
                     std::string(spec->name) + "'");
+    }
+    if (f.is_array != (f.key == "pool")) {
+      // parse_object only builds arrays for "pool", so the one remaining
+      // mismatch is a string-valued "pool".
+      return R::err("field 'pool' must be a JSON array of strings");
     }
     if (f.key == "fp") {
       auto fp = parse_fp(f.value);
@@ -296,6 +368,24 @@ rs::util::Result<Request> parse_request(std::string_view text) {
     } else if (f.key == "os") {
       if (f.value.empty()) return R::err("field 'os' is empty");
       request.os = f.value;
+    } else if (f.key == "leaf") {
+      auto der = parse_cert_b64("field 'leaf'", f.value);
+      if (!der.ok()) return der.propagate<Request>();
+      request.leaf = std::move(der).take();
+    } else if (f.key == "pool") {
+      has_pool = true;
+      for (std::size_t i = 0; i < f.items.size(); ++i) {
+        auto der = parse_cert_b64("pool entry " + std::to_string(i),
+                                  f.items[i]);
+        if (!der.ok()) return der.propagate<Request>();
+        request.pool.push_back(std::move(der).take());
+      }
+      // Sort by DER bytes and deduplicate so pool order never leaks into
+      // the canonical form (or the serve-cache key).
+      std::sort(request.pool.begin(), request.pool.end());
+      request.pool.erase(
+          std::unique(request.pool.begin(), request.pool.end()),
+          request.pool.end());
     } else {  // scope
       if (f.value == "tls") request.scope = Scope::kTls;
       else if (f.value == "email") request.scope = Scope::kEmail;
@@ -328,6 +418,10 @@ rs::util::Result<Request> parse_request(std::string_view text) {
   if (spec->user_agent && !missing) {
     missing = require(request.user_agent.has_value(), "user_agent");
   }
+  if (spec->leaf && !missing) {
+    missing = require(request.leaf.has_value(), "leaf");
+  }
+  if (spec->pool && !missing) missing = require(has_pool, "pool");
   if (missing != nullptr) {
     return R::err("op '" + std::string(spec->name) +
                   "' requires field '" + missing + "'");
@@ -405,9 +499,11 @@ rs::util::Result<std::vector<std::string_view>> parse_batch_request(
                       std::to_string(items.size()));
       }
       const std::size_t length = in.pos - begin;
-      if (length > kMaxRequestBytes) {
+      // The widest per-op budget; parse_request enforces the tighter
+      // kMaxRequestBytes cap on non-verify items.
+      if (length > kMaxVerifyRequestBytes) {
         return R::err("batch item " + std::to_string(items.size()) +
-                      " exceeds " + std::to_string(kMaxRequestBytes) +
+                      " exceeds " + std::to_string(kMaxVerifyRequestBytes) +
                       " bytes");
       }
       items.push_back(text.substr(begin, length));
@@ -456,7 +552,20 @@ std::string canonical_request(const Request& request) {
     }
     field("fp", hex);
   }
+  if (spec.leaf && request.leaf) {
+    field("leaf", rs::encoding::base64_encode(*request.leaf));
+  }
   if (spec.os && request.os) field("os", *request.os);
+  if (spec.pool) {
+    // Always explicit, even when empty; entries are already in sorted-DER
+    // order (parse_request canonicalizes), so this is a fixed point.
+    out += ",\"pool\":[";
+    for (std::size_t i = 0; i < request.pool.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      append_json_string(out, rs::encoding::base64_encode(request.pool[i]));
+    }
+    out.push_back(']');
+  }
   if (spec.provider && request.provider) field("provider", *request.provider);
   if (spec.scope) field("scope", to_string(request.scope));
   if (spec.user_agent && request.user_agent) {

@@ -32,6 +32,17 @@ inline constexpr std::size_t kMaxFields = 12;
 inline constexpr std::size_t kMaxKeyBytes = 32;
 inline constexpr std::size_t kMaxValueBytes = 512;
 
+/// Chain-verification caps.  verify_chain/first_rejected_at requests carry
+/// Base64 DER certificates ("leaf" plus a "pool" array), so they get wider
+/// per-value and per-request budgets: each certificate at most
+/// kMaxCertB64Bytes of Base64 (~2.3 KiB DER), at most kMaxPoolCerts pool
+/// entries, and a total line budget of kMaxVerifyRequestBytes (which still
+/// fits inside a batch envelope).  max_request_bytes(op) selects the
+/// per-op total cap; every other op keeps kMaxRequestBytes.
+inline constexpr std::size_t kMaxCertB64Bytes = 3072;
+inline constexpr std::size_t kMaxPoolCerts = 8;
+inline constexpr std::size_t kMaxVerifyRequestBytes = 32768;
+
 /// Batch-envelope caps: one line may carry up to kMaxBatchRequests
 /// sub-requests (each individually bounded by kMaxRequestBytes) inside a
 /// total line budget of kMaxBatchBytes.  The serve layer sizes its
@@ -50,6 +61,8 @@ enum class Op : std::uint8_t {
   kStats,              // engine-level dataset summary
   kServerStats,        // serve-layer counters; answered by the server only
   kReloadIndex,        // hot-swap the serve engine; server only
+  kVerifyChain,        // would provider accept this chain at date? (VERIFY.md)
+  kFirstRejectedAt,    // first date an accepted chain flips to rejected
 };
 
 /// Trust scope of a query: one purpose's anchors, or bare presence.
@@ -76,7 +89,18 @@ struct Request {
   std::optional<std::string> user_agent;
   std::optional<std::string> os;
   Scope scope = Scope::kTls;
+  /// verify_chain / first_rejected_at payload: the leaf certificate DER
+  /// (decoded from Base64 at parse time) and the intermediate/root pool.
+  /// The pool is sorted by DER bytes and deduplicated at parse time so two
+  /// requests naming the same pool in any order share one canonical form
+  /// (and thus one serve-cache slot).
+  std::optional<std::vector<std::uint8_t>> leaf;
+  std::vector<std::vector<std::uint8_t>> pool;
 };
+
+/// Per-op total request byte cap: kMaxVerifyRequestBytes for the
+/// certificate-carrying verify ops, kMaxRequestBytes otherwise.
+[[nodiscard]] std::size_t max_request_bytes(Op op) noexcept;
 
 /// Parses one request line.  Errors are human-readable and safe to echo
 /// back to the (untrusted) client.
@@ -107,7 +131,9 @@ void append_json_string(std::string& out, std::string_view s);
 /// parse_request (or QueryEngine::handle_json) so per-item errors stay
 /// isolated to their response slot.  Envelope-level violations (size over
 /// kMaxBatchBytes, more than kMaxBatchRequests items, an item over
-/// kMaxRequestBytes, malformed framing) fail the whole line.
+/// kMaxVerifyRequestBytes — the widest per-op cap; parse_request then
+/// enforces the tighter per-op budget — malformed framing) fail the whole
+/// line.
 [[nodiscard]] rs::util::Result<std::vector<std::string_view>>
 parse_batch_request(std::string_view text);
 

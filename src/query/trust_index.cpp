@@ -163,6 +163,13 @@ std::optional<ProviderCoverage> TrustIndex::coverage(
   return ProviderCoverage{p->dates.front(), p->dates.back()};
 }
 
+std::vector<rs::util::Date> TrustIndex::snapshot_dates(
+    std::string_view provider) const {
+  const ProviderData* p = find(provider);
+  if (p == nullptr) return {};
+  return p->dates;
+}
+
 TrustAnswer TrustIndex::is_trusted(const rs::crypto::Sha256Digest& fp,
                                    std::string_view provider,
                                    rs::util::Date date, Scope scope) const {

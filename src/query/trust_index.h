@@ -112,6 +112,11 @@ class TrustIndex {
   std::size_t resolution_point_count() const noexcept { return resolutions_; }
   bool has_provider(std::string_view provider) const;
   std::optional<ProviderCoverage> coverage(std::string_view provider) const;
+  /// The provider's distinct snapshot dates, ascending; empty for unknown
+  /// providers.  The temporal verify path (first_rejected_at) sweeps these
+  /// as verdict breakpoints — between consecutive snapshots the resolved
+  /// store, and thus the anchor set, cannot change.
+  std::vector<rs::util::Date> snapshot_dates(std::string_view provider) const;
 
   /// Point lookup, O(log intervals).  Unknown providers answer kNotCovered
   /// (the engine layer distinguishes them via has_provider for a typed

@@ -126,8 +126,10 @@ void ThreadedServer::accept_loop() {
 
 void ThreadedServer::serve_connection(int fd) {
   rs::obs::Span span("serve/connection");
-  // Read caps: a request line plus its newline (and optional '\r').
-  constexpr std::size_t kMaxLine = rs::query::kMaxRequestBytes + 2;
+  // Read caps: the widest legal request line — a full batch envelope
+  // (verify items included; same bound the epoll transport enforces) —
+  // plus its newline (and optional '\r').
+  constexpr std::size_t kMaxLine = rs::query::kMaxBatchBytes + 2;
   std::string buffer;
   char chunk[4096];
   bool oversized = false;
@@ -194,7 +196,7 @@ void ThreadedServer::serve_connection(int fd) {
   rs::obs::Registry::global().counter("serve.errors").increment();
   std::string response = rs::query::error_response(
       "oversized",
-      "request line exceeds " + std::to_string(rs::query::kMaxRequestBytes) +
+      "request line exceeds " + std::to_string(rs::query::kMaxBatchBytes) +
           " bytes; closing connection");
   response.push_back('\n');
   send_all(fd, response);

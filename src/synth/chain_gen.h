@@ -1,0 +1,64 @@
+// Issuer-hierarchy synthesis for the chain-verification workload.
+//
+// The store pipeline only ships self-signed roots; the verify path
+// (src/verify, docs/VERIFY.md) needs whole hierarchies — intermediates,
+// cross-signs, expired or constraint-violating decoys, incident-straddling
+// chains.  build_chain_cases() manufactures a deterministic catalog of
+// named leaf+pool scenarios anchored at real store roots, so the
+// differential property suite, the golden corpus, and the fuzz seeds all
+// draw from one generator.
+//
+// Signatures are the repo's HMAC substitution and are never verified;
+// chaining is by issuer/subject name (Name::equivalent) assisted by
+// SKI/AKI, exactly what rs::verify::verify_chain consumes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/crypto/digest.h"
+#include "src/store/database.h"
+#include "src/x509/certificate.h"
+
+namespace rs::synth {
+
+/// One named verification scenario: a leaf, the pool handed to the
+/// verifier, and the anchor the case is built toward.
+struct ChainCase {
+  std::string name;  // stable label, e.g. "straight", "incident:diginotar"
+  std::shared_ptr<const rs::x509::Certificate> leaf;
+  std::vector<std::shared_ptr<const rs::x509::Certificate>> pool;
+  rs::crypto::Sha256Digest root_fp{};  // the targeted anchor's fingerprint
+  std::string note;                    // what the case demonstrates
+};
+
+struct ChainGenConfig {
+  std::uint64_t seed = 20211102;
+  /// The long-lived TLS store anchor the generic cases chain to.
+  std::shared_ptr<const rs::x509::Certificate> anchor;
+  /// An email/code-only root (never TLS-trusted) for the trust-bit case;
+  /// may be null, which skips the "email_only_anchor" case.
+  std::shared_ptr<const rs::x509::Certificate> email_only_anchor;
+  /// Incident roots (e.g. DigiNotar): one "incident:<name>" case each.
+  std::vector<std::pair<std::string,
+                        std::shared_ptr<const rs::x509::Certificate>>>
+      incident_anchors;
+};
+
+/// Builds the catalog.  Deterministic: equal configs yield byte-identical
+/// DER.  `config.anchor` must be non-null.
+std::vector<ChainCase> build_chain_cases(const ChainGenConfig& config);
+
+/// Picks the generic anchors out of a snapshot database: `anchor` is the
+/// certificate that is a TLS anchor in the most snapshots across all
+/// providers (tie broken by smallest fingerprint), `email_only_anchor` the
+/// smallest-fingerprint root that is an email anchor somewhere but was
+/// never TLS-trusted by anyone (null when the dataset has none).
+/// Incident anchors are the caller's to add.  Deterministic per database.
+ChainGenConfig default_chain_config(const rs::store::StoreDatabase& db,
+                                    std::uint64_t seed = 20211102);
+
+}  // namespace rs::synth

@@ -1,0 +1,49 @@
+#include "src/verify/temporal.h"
+
+#include <algorithm>
+
+namespace rs::verify {
+
+std::vector<rs::util::Date> flip_breakpoints(
+    std::span<const rs::util::Date> snapshot_dates,
+    std::span<const rs::x509::Certificate* const> certs, rs::util::Date first,
+    rs::util::Date last) {
+  std::vector<rs::util::Date> points;
+  points.reserve(snapshot_dates.size() + 2 * certs.size() + 1);
+  points.push_back(first);
+  for (const rs::util::Date d : snapshot_dates) points.push_back(d);
+  for (const rs::x509::Certificate* cert : certs) {
+    if (cert == nullptr) continue;
+    // The verdict can change the day a certificate becomes valid and the
+    // day after it expires (is_expired_at is strict: not_after < D).
+    points.push_back(cert->validity().not_before.date);
+    points.push_back(cert->validity().not_after.date + 1);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  std::erase_if(points,
+                [&](rs::util::Date d) { return d < first || d > last; });
+  return points;
+}
+
+FlipScan scan_first_rejected(
+    std::span<const rs::util::Date> breakpoints,
+    const std::function<VerifyResult(rs::util::Date)>& verdict) {
+  FlipScan scan;
+  for (const rs::util::Date d : breakpoints) {
+    ++scan.evaluated;
+    const VerifyResult result = verdict(d);
+    if (!scan.accepted_from) {
+      if (result.accepted) scan.accepted_from = d;
+      continue;
+    }
+    if (!result.accepted) {
+      scan.first_rejected = d;
+      scan.flip_reason = result.reason;
+      break;
+    }
+  }
+  return scan;
+}
+
+}  // namespace rs::verify

@@ -1,0 +1,55 @@
+// Temporal flip search: the first date an accepted chain turns rejected.
+//
+// A chain's verdict at date D is a pure function of (a) which certificates
+// the provider's store contains at D — piecewise constant between snapshot
+// dates — and (b) each path certificate's validity window — piecewise
+// constant between its notBefore and the day after its notAfter.  So the
+// verdict over a provider's whole coverage window is piecewise constant
+// over the breakpoint set {snapshot dates} ∪ {notBefore, notAfter + 1 of
+// every supplied certificate}, and evaluating each breakpoint once is an
+// *exact* sweep of the entire calendar — O(breakpoints · verify) instead of
+// O(days · verify).  The differential suite pins this equivalence against a
+// literal day-by-day scan.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/util/date.h"
+#include "src/verify/verify.h"
+
+namespace rs::verify {
+
+/// Result of a flip scan over one provider's coverage window.
+struct FlipScan {
+  /// First breakpoint whose verdict is accepted; nullopt when the chain is
+  /// never accepted anywhere in the window.
+  std::optional<rs::util::Date> accepted_from;
+  /// First breakpoint after `accepted_from` whose verdict is rejected —
+  /// the DigiNotar question.  nullopt when the chain never flips back.
+  std::optional<rs::util::Date> first_rejected;
+  /// The rejection reason at `first_rejected` (meaningful only then).
+  PathStatus flip_reason = PathStatus::kNoIssuerFound;
+  /// Breakpoints evaluated (cost/diagnostics echo).
+  std::size_t evaluated = 0;
+};
+
+/// The exact breakpoint set for (snapshot dates, path certificates),
+/// clipped to the inclusive coverage window [first, last]: every snapshot
+/// date plus each certificate's notBefore and notAfter + 1, sorted and
+/// deduplicated.  `first` itself is always included so the scan starts at
+/// the window's opening verdict.
+[[nodiscard]] std::vector<rs::util::Date> flip_breakpoints(
+    std::span<const rs::util::Date> snapshot_dates,
+    std::span<const rs::x509::Certificate* const> certs, rs::util::Date first,
+    rs::util::Date last);
+
+/// Walks `breakpoints` (must be ascending) evaluating `verdict` at each,
+/// recording the first accepted date and the first rejection after it.
+[[nodiscard]] FlipScan scan_first_rejected(
+    std::span<const rs::util::Date> breakpoints,
+    const std::function<VerifyResult(rs::util::Date)>& verdict);
+
+}  // namespace rs::verify

@@ -1,0 +1,306 @@
+#include "src/verify/verify.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/x509/extensions.h"
+
+namespace rs::verify {
+namespace {
+
+using rs::x509::Certificate;
+
+/// Issuer/subject chaining predicate: RFC 5280 caseIgnoreMatch, not byte
+/// equality (docs/VERIFY.md; the mixed-case regression pins this).
+bool chains_to(const Certificate& child, const Certificate& parent) {
+  return child.issuer().equivalent(parent.subject());
+}
+
+/// Self-issued under the same folded comparison the chain walk uses.
+bool self_issued(const Certificate& cert) {
+  return cert.issuer().equivalent(cert.subject());
+}
+
+std::optional<std::vector<std::uint8_t>> subject_key_id(
+    const Certificate& cert) {
+  const rs::x509::Extension* ext = rs::x509::find_extension(
+      cert.extensions(), rs::asn1::oids::subject_key_id());
+  if (ext == nullptr) return std::nullopt;
+  auto ski = rs::x509::SubjectKeyIdentifier::parse(ext->value);
+  if (!ski.ok()) return std::nullopt;
+  return std::move(ski).take().key_id;
+}
+
+std::optional<std::vector<std::uint8_t>> authority_key_id(
+    const Certificate& cert) {
+  const rs::x509::Extension* ext = rs::x509::find_extension(
+      cert.extensions(), rs::asn1::oids::authority_key_id());
+  if (ext == nullptr) return std::nullopt;
+  auto aki = rs::x509::AuthorityKeyIdentifier::parse(ext->value);
+  if (!aki.ok()) return std::nullopt;
+  return std::move(aki).take().key_id;
+}
+
+std::optional<rs::x509::KeyUsage> key_usage(const Certificate& cert) {
+  const rs::x509::Extension* ext = rs::x509::find_extension(
+      cert.extensions(), rs::asn1::oids::key_usage());
+  if (ext == nullptr) return std::nullopt;
+  auto ku = rs::x509::KeyUsage::parse(ext->value);
+  if (!ku.ok()) return std::nullopt;
+  return std::move(ku).take();
+}
+
+std::optional<std::int64_t> path_len_constraint(const Certificate& cert) {
+  const rs::x509::Extension* ext = rs::x509::find_extension(
+      cert.extensions(), rs::asn1::oids::basic_constraints());
+  if (ext == nullptr) return std::nullopt;
+  auto bc = rs::x509::BasicConstraints::parse(ext->value);
+  if (!bc.ok() || !bc.value().ca) return std::nullopt;
+  return bc.value().path_len;
+}
+
+/// RFC 5280 §6.1 checks over one anchored path (leaf first, anchor last).
+/// Returns the first failure in the documented check order; `fail_index`
+/// names the offending certificate.
+PathStatus check_path(const std::vector<const Certificate*>& path,
+                      rs::util::Date date, const TrustOracle& oracle,
+                      const std::optional<rs::asn1::Oid>& eku_purpose,
+                      std::size_t& fail_index) {
+  // 1. Validity window of every certificate at D (anchors included: root
+  //    stores do ship expired roots, and a client rejects them).
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (path[i]->is_expired_at(date)) {
+      fail_index = i;
+      return PathStatus::kCertExpired;
+    }
+    if (!path[i]->is_valid_at(date)) {
+      fail_index = i;
+      return PathStatus::kCertNotYetValid;
+    }
+  }
+  // 2. Every issuing certificate must be a CA (BasicConstraints; v1 certs
+  //    count as legacy CAs, matching Certificate::is_ca).
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    if (!path[i]->is_ca()) {
+      fail_index = i;
+      return PathStatus::kIntermediateNotCa;
+    }
+  }
+  // 3. KeyUsage, when present, must include keyCertSign on issuing certs.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const auto ku = key_usage(*path[i]);
+    if (ku && !ku->key_cert_sign) {
+      fail_index = i;
+      return PathStatus::kKeyUsageNoCertSign;
+    }
+  }
+  // 4. pathLenConstraint: a CA at index i with constraint L allows at most
+  //    L non-self-issued issuing certificates below it (indices 1..i-1;
+  //    the leaf does not count).
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const auto limit = path_len_constraint(*path[i]);
+    if (!limit) continue;
+    std::int64_t below = 0;
+    for (std::size_t j = 1; j < i; ++j) {
+      if (!self_issued(*path[j])) ++below;
+    }
+    if (below > *limit) {
+      fail_index = i;
+      return PathStatus::kPathLenExceeded;
+    }
+  }
+  // 5. EKU scope gating on every certificate except the anchor (root
+  //    programs express anchor purposes via trust bits, not the anchor's
+  //    own EKU).  Absent EKU means unrestricted.
+  if (eku_purpose) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto eku = path[i]->extended_key_usage();
+      if (eku && !eku->permits(*eku_purpose)) {
+        fail_index = i;
+        return PathStatus::kEkuScopeMismatch;
+      }
+    }
+  }
+  // 6. The anchor's trust bits must grant the queried scope.
+  fail_index = path.size() - 1;
+  if (oracle.anchor(path.back()->sha256(), date) != OracleAnswer::kYes) {
+    return PathStatus::kAnchorNotTrustedForScope;
+  }
+  return PathStatus::kAccepted;
+}
+
+/// Depth-first path enumeration with a visited set (loop-free), AKI/SKI
+/// ranked branching, and hard caps.  All state lives here; the walk is a
+/// pure function of its inputs.
+class Walker {
+ public:
+  Walker(std::span<const Certificate* const> pool, rs::util::Date date,
+         const TrustOracle& oracle,
+         const std::optional<rs::asn1::Oid>& eku_purpose,
+         const VerifyCaps& caps)
+      : date_(date), oracle_(oracle), eku_(eku_purpose), caps_(caps) {
+    pool_.reserve(pool.size());
+    for (const Certificate* cert : pool) {
+      if (cert != nullptr) pool_.push_back(cert);
+    }
+  }
+
+  VerifyResult run(const Certificate& leaf) {
+    path_.push_back(&leaf);
+    visited_.push_back(leaf.sha256());
+    extend();
+    finish_reason();
+    return std::move(result_);
+  }
+
+ private:
+  void record(PathStatus status, std::size_t fail_index) {
+    if (result_.candidates.size() >= caps_.max_candidates) {
+      done_ = true;
+      return;
+    }
+    CandidatePath candidate;
+    candidate.certs = path_;
+    candidate.status = status;
+    candidate.fail_index = fail_index;
+    result_.candidates.push_back(std::move(candidate));
+    if (status == PathStatus::kAccepted) {
+      result_.accepted = true;
+      result_.accepted_index = result_.candidates.size() - 1;
+      done_ = true;
+    }
+  }
+
+  /// Pool indices chaining from `top`, AKI/SKI matches first, then by
+  /// ascending fingerprint — a deterministic total order.
+  std::vector<std::size_t> ranked_parents(const Certificate& top) const {
+    const auto aki = authority_key_id(top);
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      const Certificate* parent = pool_[i];
+      if (std::find(visited_.begin(), visited_.end(), parent->sha256()) !=
+          visited_.end()) {
+        continue;
+      }
+      if (!chains_to(top, *parent)) continue;
+      out.push_back(i);
+    }
+    std::sort(out.begin(), out.end(), [&](std::size_t a, std::size_t b) {
+      const bool a_key = aki && subject_key_id(*pool_[a]) == aki;
+      const bool b_key = aki && subject_key_id(*pool_[b]) == aki;
+      if (a_key != b_key) return a_key;
+      return pool_[a]->sha256() < pool_[b]->sha256();
+    });
+    return out;
+  }
+
+  void extend() {
+    if (done_ || ++steps_ > caps_.max_steps) {
+      done_ = done_ || steps_ > caps_.max_steps;
+      return;
+    }
+    const Certificate& top = *path_.back();
+    // A certificate present in the store at D terminates the path; the
+    // per-path checks then decide acceptance.  Branching (cross-signs to a
+    // different in-store parent) happens above, not past an anchor.
+    if (oracle_.present(top.sha256(), date_) == OracleAnswer::kYes) {
+      std::size_t fail_index = 0;
+      const PathStatus status =
+          check_path(path_, date_, oracle_, eku_, fail_index);
+      record(status, fail_index);
+      return;
+    }
+    if (path_.size() >= caps_.max_depth) {
+      record(PathStatus::kDepthLimit, path_.size() - 1);
+      return;
+    }
+    const std::vector<std::size_t> parents = ranked_parents(top);
+    if (parents.empty()) {
+      record(self_issued(top) ? PathStatus::kUntrustedRoot
+                              : PathStatus::kNoIssuerFound,
+             path_.size() - 1);
+      return;
+    }
+    for (const std::size_t i : parents) {
+      path_.push_back(pool_[i]);
+      visited_.push_back(pool_[i]->sha256());
+      extend();
+      path_.pop_back();
+      visited_.pop_back();
+      if (done_) return;
+    }
+  }
+
+  /// Primary rejection reason: anchored-path failures (DFS order) beat
+  /// kUntrustedRoot beat kDepthLimit beat kNoIssuerFound.
+  void finish_reason() {
+    if (result_.accepted) {
+      result_.reason = PathStatus::kAccepted;
+      return;
+    }
+    std::optional<PathStatus> anchored, untrusted, depth, dead_end;
+    for (const CandidatePath& c : result_.candidates) {
+      switch (c.status) {
+        case PathStatus::kUntrustedRoot:
+          if (!untrusted) untrusted = c.status;
+          break;
+        case PathStatus::kDepthLimit:
+          if (!depth) depth = c.status;
+          break;
+        case PathStatus::kNoIssuerFound:
+          if (!dead_end) dead_end = c.status;
+          break;
+        default:
+          if (!anchored) anchored = c.status;
+          break;
+      }
+    }
+    if (anchored) result_.reason = *anchored;
+    else if (untrusted) result_.reason = *untrusted;
+    else if (depth) result_.reason = *depth;
+    else result_.reason = PathStatus::kNoIssuerFound;
+  }
+
+  std::vector<const Certificate*> pool_;
+  rs::util::Date date_;
+  const TrustOracle& oracle_;
+  const std::optional<rs::asn1::Oid>& eku_;
+  const VerifyCaps& caps_;
+
+  VerifyResult result_;
+  std::vector<const Certificate*> path_;
+  std::vector<rs::crypto::Sha256Digest> visited_;
+  std::size_t steps_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace
+
+const char* to_string(PathStatus s) noexcept {
+  switch (s) {
+    case PathStatus::kAccepted: return "accepted";
+    case PathStatus::kCertNotYetValid: return "cert_not_yet_valid";
+    case PathStatus::kCertExpired: return "cert_expired";
+    case PathStatus::kIntermediateNotCa: return "intermediate_not_ca";
+    case PathStatus::kKeyUsageNoCertSign: return "key_usage_no_cert_sign";
+    case PathStatus::kPathLenExceeded: return "path_len_exceeded";
+    case PathStatus::kEkuScopeMismatch: return "eku_scope_mismatch";
+    case PathStatus::kAnchorNotTrustedForScope:
+      return "anchor_not_trusted_for_scope";
+    case PathStatus::kUntrustedRoot: return "untrusted_root";
+    case PathStatus::kNoIssuerFound: return "no_issuer_found";
+    case PathStatus::kDepthLimit: return "depth_limit";
+  }
+  return "?";
+}
+
+VerifyResult verify_chain(const Certificate& leaf,
+                          std::span<const Certificate* const> pool,
+                          rs::util::Date date, const TrustOracle& oracle,
+                          const std::optional<rs::asn1::Oid>& eku_purpose,
+                          const VerifyCaps& caps) {
+  Walker walker(pool, date, oracle, eku_purpose, caps);
+  return walker.run(leaf);
+}
+
+}  // namespace rs::verify

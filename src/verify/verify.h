@@ -1,0 +1,127 @@
+// Chain building and temporal path validation (docs/VERIFY.md).
+//
+// The paper measures trust-anchor *membership*; real clients build and
+// validate *chains*.  rs_verify answers the million-user question "would
+// client X accept this chain on date D?": given a leaf, an intermediate
+// pool, and a temporal trust oracle (the provider's store resolved at D),
+// it enumerates candidate paths by issuer/subject name chaining — depth
+// capped, loop free, AKI/SKI-assisted candidate ranking — terminates paths
+// at certificates present in the store at D, and applies per-path RFC 5280
+// checks (validity windows, basicConstraints CA bit, pathLenConstraint,
+// KeyUsage keyCertSign, EKU scope gating, per-scope trust bits).  Every
+// candidate path carries a machine-readable status; the whole result is
+// deterministic for a given input, which is what lets the serve layer
+// cache verdicts and the differential suite pin them against a brute-force
+// validator.
+//
+// The layer is oracle-shaped on purpose: it never touches TrustIndex or
+// QueryEngine directly, so it has no dependency on rs_query (rs_query
+// links rs_verify, not the other way around) and tests can drive it from
+// raw snapshot scans.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/asn1/oid.h"
+#include "src/util/date.h"
+#include "src/x509/certificate.h"
+
+namespace rs::verify {
+
+/// Typed per-path verdict.  kAccepted is the only success; everything else
+/// names the first check the path failed (or why building stopped).
+enum class PathStatus : std::uint8_t {
+  kAccepted,
+  // Anchored-path check failures, in check order.
+  kCertNotYetValid,          // a path cert's validity has not begun at D
+  kCertExpired,              // a path cert's validity has ended at D
+  kIntermediateNotCa,        // an issuing cert lacks the CA bit
+  kKeyUsageNoCertSign,       // an issuing cert's KeyUsage lacks keyCertSign
+  kPathLenExceeded,          // a pathLenConstraint is violated below a CA
+  kEkuScopeMismatch,         // a non-anchor cert's EKU excludes the scope
+  kAnchorNotTrustedForScope, // anchor present but trust bits lack the scope
+  // Dead ends (the path never reached an in-store certificate).
+  kUntrustedRoot,            // self-issued top, not in the store at D
+  kNoIssuerFound,            // no pool cert chains from the path's top
+  kDepthLimit,               // the depth cap stopped the walk
+};
+
+/// Stable wire token, e.g. "path_len_exceeded" (docs/VERIFY.md taxonomy).
+const char* to_string(PathStatus s) noexcept;
+
+/// Three-valued membership answer, mirroring rs::query::TrustAnswer without
+/// depending on it (rs_verify sits below rs_query).
+enum class OracleAnswer : std::uint8_t { kYes, kNo, kNotCovered };
+
+/// The temporal store interface.  Both callables answer for one fixed
+/// (provider, scope) pair; the date varies per call because
+/// first_rejected_at() sweeps it.
+struct TrustOracle {
+  /// Is the certificate in the store at all at `date` (bare presence)?
+  /// Chain building terminates on present certificates.
+  std::function<OracleAnswer(const rs::crypto::Sha256Digest&, rs::util::Date)>
+      present;
+  /// Is it a trust anchor for the queried scope at `date`?  For a bare
+  /// presence scope this is the same predicate as `present`.
+  std::function<OracleAnswer(const rs::crypto::Sha256Digest&, rs::util::Date)>
+      anchor;
+};
+
+/// Hard caps on path enumeration; defaults bound the serve-path work for
+/// the request caps in src/query/request.h (pool <= kMaxPoolCerts).
+struct VerifyCaps {
+  std::size_t max_depth = 8;       // certificates per path, leaf included
+  std::size_t max_candidates = 32; // recorded candidate paths
+  std::size_t max_steps = 4096;    // DFS expansions (pathological pools)
+};
+
+/// One examined path: leaf first, deepest certificate last.  `fail_index`
+/// is the path index of the certificate that triggered `status` (0 when the
+/// status is not about one certificate, e.g. kNoIssuerFound points at the
+/// top of the truncated path).
+struct CandidatePath {
+  std::vector<const rs::x509::Certificate*> certs;
+  PathStatus status = PathStatus::kNoIssuerFound;
+  std::size_t fail_index = 0;
+};
+
+/// The full verdict for one (leaf, pool, date) evaluation.
+struct VerifyResult {
+  bool accepted = false;
+  /// kAccepted, or the highest-priority rejection across candidates:
+  /// anchored-path failures (first in DFS order) beat kUntrustedRoot beat
+  /// kDepthLimit beat kNoIssuerFound.
+  PathStatus reason = PathStatus::kNoIssuerFound;
+  /// Paths in DFS discovery order, up to caps.max_candidates.  When a path
+  /// is accepted it is the last entry (enumeration stops there).
+  std::vector<CandidatePath> candidates;
+  /// Index into `candidates` of the accepted path, or npos.
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t accepted_index = kNone;
+
+  const CandidatePath* accepted_path() const noexcept {
+    return accepted_index == kNone ? nullptr : &candidates[accepted_index];
+  }
+};
+
+/// Builds and checks candidate paths for `leaf` over `pool` at `date`.
+///
+/// `eku_purpose` is the Extended Key Usage OID the scope demands of every
+/// non-anchor certificate that carries an EKU extension (nullopt == no EKU
+/// gating, used for bare-presence scope).  Null pool entries are ignored.
+/// Deterministic: equal inputs yield equal results, including candidate
+/// order.
+[[nodiscard]] VerifyResult verify_chain(
+    const rs::x509::Certificate& leaf,
+    std::span<const rs::x509::Certificate* const> pool, rs::util::Date date,
+    const TrustOracle& oracle,
+    const std::optional<rs::asn1::Oid>& eku_purpose,
+    const VerifyCaps& caps = {});
+
+}  // namespace rs::verify

@@ -1,6 +1,38 @@
 #include "src/x509/name.h"
 
 namespace rs::x509 {
+namespace {
+
+bool is_fold_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+char ascii_lower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/// caseIgnoreMatch preparation (RFC 5280 §7.1 / RFC 4518 in spirit, ASCII
+/// subset): trim outer whitespace, collapse inner runs, fold case.
+std::string case_ignore_fold(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  bool pending_space = false;
+  for (const char c : value) {
+    if (is_fold_space(c)) {
+      if (!out.empty()) pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(ascii_lower(c));
+  }
+  return out;
+}
+
+}  // namespace
 
 using rs::asn1::Oid;
 using rs::asn1::Reader;
@@ -60,6 +92,18 @@ std::string Name::to_string() const {
     out += a.value;
   }
   return out;
+}
+
+bool Name::equivalent(const Name& other) const {
+  if (attrs_.size() != other.attrs_.size()) return false;
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].type != other.attrs_[i].type) return false;
+    if (case_ignore_fold(attrs_[i].value) !=
+        case_ignore_fold(other.attrs_[i].value)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void Name::encode(Writer& w) const {

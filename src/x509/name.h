@@ -65,6 +65,15 @@ class Name {
   /// RFC 4514-flavoured display: "CN=Foo Root CA, O=Foo, C=US".
   std::string to_string() const;
 
+  /// RFC 5280 §7.1 name matching for chain building: attribute types must
+  /// match exactly (in order), attribute values compare caseIgnoreMatch —
+  /// ASCII case-insensitive, leading/trailing whitespace stripped, internal
+  /// whitespace runs collapsed to one space.  The string encoding kind is
+  /// ignored (a PrintableString and a UTF8String with the same folded value
+  /// match).  operator== stays byte-exact; equivalent() is what issuer/
+  /// subject chaining must use (a mixed-case issuer still chains).
+  [[nodiscard]] bool equivalent(const Name& other) const;
+
   /// Appends this name's DER (SEQUENCE OF RDN) to `w`.
   void encode(rs::asn1::Writer& w) const;
 

@@ -146,6 +146,107 @@ TEST(ParseRequest, EnforcesByteAndFieldCaps) {
   std::string long_key =
       "{\"" + std::string(kMaxKeyBytes + 1, 'k') + "\":\"v\"}";
   EXPECT_FALSE(parse_request(long_key).ok());
+  // A non-verify op must stay under kMaxRequestBytes even when every field
+  // is individually small (the slack here is pure whitespace).
+  std::string padded = R"({"op":"stats"})" + std::string(kMaxRequestBytes, ' ');
+  ASSERT_LE(padded.size(), kMaxVerifyRequestBytes);
+  auto r = parse_request(padded);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("for op 'stats'"), std::string::npos);
+}
+
+// --- verify_chain / first_rejected_at payloads ----------------------------
+
+// Tiny placeholder DER payloads used below: "AQID" = {1,2,3},
+// "BAUG" = {4,5,6}, "Bw==" = {7}.  parse_request only decodes Base64;
+// x509 parsing happens in the engine.
+
+TEST(ParseRequest, VerifyChainParsesLeafAndPool) {
+  auto r = parse_request(
+      R"({"op":"verify_chain","provider":"NSS","date":"2020-06-01",)"
+      R"("leaf":"AQID","pool":["Bw==","BAUG","Bw=="]})");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().op, Op::kVerifyChain);
+  ASSERT_TRUE(r.value().leaf.has_value());
+  EXPECT_EQ(*r.value().leaf, (std::vector<std::uint8_t>{1, 2, 3}));
+  // Pool is sorted by DER bytes and deduplicated at parse time.
+  ASSERT_EQ(r.value().pool.size(), 2u);
+  EXPECT_EQ(r.value().pool[0], (std::vector<std::uint8_t>{4, 5, 6}));
+  EXPECT_EQ(r.value().pool[1], (std::vector<std::uint8_t>{7}));
+}
+
+TEST(ParseRequest, FirstRejectedAtTakesNoDate) {
+  auto r = parse_request(
+      R"({"op":"first_rejected_at","provider":"NSS",)"
+      R"("leaf":"AQID","pool":[],"scope":"email"})");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().op, Op::kFirstRejectedAt);
+  EXPECT_TRUE(r.value().pool.empty());
+  EXPECT_EQ(r.value().scope, Scope::kEmail);
+  EXPECT_FALSE(
+      parse_request(R"({"op":"first_rejected_at","provider":"NSS",)"
+                    R"("leaf":"AQID","pool":[],"date":"2020-01-01"})")
+          .ok());
+}
+
+TEST(ParseRequest, VerifyChainRejectsMalformedPayloads) {
+  // Missing leaf / missing pool (empty array is fine, absence is not).
+  EXPECT_FALSE(parse_request(R"({"op":"verify_chain","provider":"NSS",)"
+                             R"("date":"2020-06-01","pool":[]})")
+                   .ok());
+  EXPECT_FALSE(parse_request(R"({"op":"verify_chain","provider":"NSS",)"
+                             R"("date":"2020-06-01","leaf":"AQID"})")
+                   .ok());
+  // pool must be an array; arrays are only legal for pool.
+  EXPECT_FALSE(parse_request(R"({"op":"verify_chain","provider":"NSS",)"
+                             R"("date":"2020-06-01","leaf":"AQID",)"
+                             R"("pool":"AQID"})")
+                   .ok());
+  EXPECT_FALSE(parse_request(R"({"op":"verify_chain","provider":"NSS",)"
+                             R"("date":"2020-06-01","leaf":["AQID"],)"
+                             R"("pool":[]})")
+                   .ok());
+  // Invalid / empty Base64 payloads.
+  EXPECT_FALSE(parse_request(R"({"op":"verify_chain","provider":"NSS",)"
+                             R"("date":"2020-06-01","leaf":"@!","pool":[]})")
+                   .ok());
+  EXPECT_FALSE(parse_request(R"({"op":"verify_chain","provider":"NSS",)"
+                             R"("date":"2020-06-01","leaf":"","pool":[]})")
+                   .ok());
+  EXPECT_FALSE(parse_request(R"({"op":"verify_chain","provider":"NSS",)"
+                             R"("date":"2020-06-01","leaf":"AQID",)"
+                             R"("pool":["@!"]})")
+                   .ok());
+  // Certificate fields are unknown for every other op.
+  EXPECT_FALSE(parse_request(R"({"op":"stats","pool":[]})").ok());
+  EXPECT_FALSE(parse_request(R"({"op":"stats","leaf":"AQID"})").ok());
+}
+
+TEST(ParseRequest, VerifyChainEnforcesPoolAndSizeCaps) {
+  // One entry over the pool-count cap.
+  std::string many = R"({"op":"verify_chain","provider":"NSS",)"
+                     R"("date":"2020-06-01","leaf":"AQID","pool":[)";
+  for (std::size_t i = 0; i <= kMaxPoolCerts; ++i) {
+    if (i > 0) many += ',';
+    many += "\"BAUG\"";
+  }
+  many += "]}";
+  auto over = parse_request(many);
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.error().find("pool carries more than"), std::string::npos);
+  // Verify ops get the wide per-request budget: the same whitespace padding
+  // that sinks a stats request (EnforcesByteAndFieldCaps) is fine here.
+  std::string padded =
+      R"({"op":"verify_chain","provider":"NSS","date":"2020-06-01",)"
+      R"("leaf":"AQID","pool":[]})" +
+      std::string(kMaxRequestBytes, ' ');
+  auto ok = parse_request(padded);
+  EXPECT_TRUE(ok.ok()) << ok.error();
+  std::string too_fat =
+      R"({"op":"verify_chain","provider":"NSS","date":"2020-06-01",)"
+      R"("leaf":"AQID","pool":[]})" +
+      std::string(kMaxVerifyRequestBytes, ' ');
+  EXPECT_FALSE(parse_request(too_fat).ok());
 }
 
 // --- Canonicalization -----------------------------------------------------
@@ -167,12 +268,30 @@ TEST(CanonicalRequest, MaterializesDefaultsAndFixesOrder) {
   EXPECT_EQ(canonical_request(explicit_scope.value()), canonical);
 }
 
+TEST(CanonicalRequest, PoolOrderDoesNotLeakIntoTheCacheKey) {
+  auto a = parse_request(
+      R"({"op":"verify_chain","provider":"NSS","date":"2020-06-01",)"
+      R"("leaf":"AQID","pool":["Bw==","BAUG"]})");
+  auto b = parse_request(
+      R"({"op":"verify_chain","provider":"NSS","date":"2020-06-01",)"
+      R"("leaf":"AQID","pool":["BAUG","Bw==","BAUG"]})");
+  ASSERT_TRUE(a.ok()) << a.error();
+  ASSERT_TRUE(b.ok()) << b.error();
+  const std::string canonical = canonical_request(a.value());
+  EXPECT_EQ(canonical_request(b.value()), canonical);
+  EXPECT_EQ(canonical,
+            R"({"op":"verify_chain","date":"2020-06-01","leaf":"AQID",)"
+            R"("pool":["BAUG","Bw=="],"provider":"NSS","scope":"tls"})");
+}
+
 TEST(CanonicalRequest, IsAFixedPoint) {
   const char* lines[] = {
       R"({"op":"stats"})",
       R"({"op":"server_stats"})",
       R"({"op":"diff","provider":"Debian","date_a":"2015-01-01","date_b":"2020-01-01","scope":"present"})",
       R"({"op":"agent_store","user_agent":"Chrome Mobile","os":"Android","date":"2020-06-01"})",
+      R"({"op":"verify_chain","provider":"NSS","date":"2020-06-01","leaf":"AQID","pool":["Bw==","BAUG"]})",
+      R"({"op":"first_rejected_at","provider":"Microsoft","leaf":"AQID","pool":[]})",
   };
   for (const char* line : lines) {
     auto first = parse_request(line);
@@ -272,13 +391,25 @@ TEST(ParseBatchRequest, EnforcesEnvelopeCaps) {
   ASSERT_FALSE(over_count.ok());
   EXPECT_NE(over_count.error().find("more than"), std::string::npos);
 
-  // One item over the per-request byte cap.
+  // One item over the per-item byte cap (the splitter allows anything up
+  // to kMaxVerifyRequestBytes — the widest per-op budget — and leaves the
+  // tighter per-op cap to parse_request).
   std::string fat_item = R"({"op":"batch","requests":[{"op":"stats","x":")" +
-                         std::string(kMaxRequestBytes, 'a') + "\"}]}";
+                         std::string(kMaxVerifyRequestBytes, 'a') + "\"}]}";
   ASSERT_LE(fat_item.size(), kMaxBatchBytes);
   auto over_item = parse_batch_request(fat_item);
   ASSERT_FALSE(over_item.ok());
   EXPECT_NE(over_item.error().find("exceeds"), std::string::npos);
+
+  // A verify-sized item passes the splitter but a non-verify op of the
+  // same size still fails per-op validation.
+  std::string mid_item = R"({"op":"batch","requests":[{"op":"stats")" +
+                         std::string(kMaxRequestBytes, ' ') + "}]}";
+  ASSERT_LE(mid_item.size(), kMaxBatchBytes);
+  auto mid = parse_batch_request(mid_item);
+  ASSERT_TRUE(mid.ok()) << mid.error();
+  ASSERT_EQ(mid.value().size(), 1u);
+  EXPECT_FALSE(parse_request(mid.value()[0]).ok());
 
   // The whole line over the envelope byte cap fails before any parsing.
   std::string fat_line(kMaxBatchBytes + 1, ' ');

@@ -1,0 +1,53 @@
+// Byte-exact regression for the verify response shapes: every request line
+// in tests/golden/verify/requests.ndjson must produce exactly the paired
+// line in responses.ndjson, from a serial engine and from a pool-built one.
+// Regenerate the corpus with tools/update_goldens.sh ONLY for intentional
+// response changes, and review the diff.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/exec/thread_pool.h"
+#include "src/query/engine.h"
+#include "src/synth/paper_scenario.h"
+
+#ifndef ROOTSTORE_GOLDEN_DIR
+#error "ROOTSTORE_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace {
+
+std::vector<std::string> read_lines(const std::string& name) {
+  const std::string path =
+      std::string(ROOTSTORE_GOLDEN_DIR) + "/verify/" + name;
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "missing golden file " << path
+                        << " (regenerate with tools/update_goldens.sh)";
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(f, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(VerifyGolden, EngineReproducesTheCorpusByteExactly) {
+  const auto requests = read_lines("requests.ndjson");
+  const auto responses = read_lines("responses.ndjson");
+  ASSERT_EQ(requests.size(), responses.size());
+  ASSERT_GE(requests.size(), 12u) << "corpus shrank";
+
+  auto scenario = rs::synth::build_paper_scenario();
+  const rs::query::QueryEngine engine(scenario.database(), {});
+  rs::exec::ThreadPool pool(3);
+  const rs::query::QueryEngine pooled(scenario.database(), {}, &pool);
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(engine.handle_json(requests[i]), responses[i])
+        << "pair " << i << ": " << requests[i];
+    EXPECT_EQ(pooled.handle_json(requests[i]), responses[i])
+        << "pair " << i << " (pooled build): " << requests[i];
+  }
+}
+
+}  // namespace

@@ -77,6 +77,43 @@ TEST(Name, EqualityIsStructural) {
   EXPECT_NE(c, d);
 }
 
+TEST(Name, EquivalentFoldsCaseAndWhitespace) {
+  Name exact, mangled;
+  exact.add_common_name("Foo Root CA").add_organization("Foo").add_country(
+      "US");
+  // Mixed case, doubled internal spaces, outer padding, and a different
+  // string kind must all still match (RFC 5280 caseIgnoreMatch).
+  mangled.add(rs::asn1::oids::common_name(), "  FOO  ROOT ca ",
+              StringKind::kPrintable);
+  mangled.add_organization("fOO");
+  mangled.add_country("us");
+  EXPECT_TRUE(exact.equivalent(mangled));
+  EXPECT_TRUE(mangled.equivalent(exact));
+  EXPECT_NE(exact, mangled);  // byte-exact equality still distinguishes
+
+  Name different;
+  different.add_common_name("Foo Root CA 2").add_organization("Foo")
+      .add_country("US");
+  EXPECT_FALSE(exact.equivalent(different));
+  // Attribute order and count still matter: DNs are ordered sequences.
+  Name reordered;
+  reordered.add_organization("Foo").add_common_name("Foo Root CA")
+      .add_country("US");
+  EXPECT_FALSE(exact.equivalent(reordered));
+  Name shorter;
+  shorter.add_common_name("Foo Root CA");
+  EXPECT_FALSE(exact.equivalent(shorter));
+}
+
+TEST(Name, EquivalentIgnoresInnerSpaceCountButNotLetters) {
+  Name a, b, c;
+  a.add_common_name("Mixed Case Intermediate");
+  b.add_common_name("MIXED case    INTERMEDIATE");
+  c.add_common_name("MixedCase Intermediate");  // missing space joins words
+  EXPECT_TRUE(a.equivalent(b));
+  EXPECT_FALSE(a.equivalent(c));
+}
+
 TEST(Name, ParseRejectsGarbage) {
   const std::vector<std::uint8_t> junk = {0x30, 0x03, 0x02, 0x01, 0x05};
   rs::asn1::Reader r(junk);

@@ -1,0 +1,211 @@
+// Regenerates the verify golden corpus: tests/golden/verify/requests.ndjson
+// and responses.ndjson, ~a dozen canonical verify_chain / first_rejected_at
+// request lines paired with the engine's byte-exact responses.
+// tests/verify/verify_golden_test.cpp replays the requests through a fresh
+// engine and diffs against the stored responses, so regenerate ONLY for
+// intentional response-shape changes (via tools/update_goldens.sh) and
+// review the diff.
+//
+// Usage: make_verify_goldens <output-dir>
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/query/engine.h"
+#include "src/query/request.h"
+#include "src/store/database.h"
+#include "src/synth/chain_gen.h"
+#include "src/synth/incidents.h"
+#include "src/synth/paper_scenario.h"
+#include "src/util/date.h"
+
+namespace {
+
+using rs::query::Op;
+using rs::query::Request;
+using rs::query::Scope;
+using rs::synth::ChainCase;
+using rs::util::Date;
+
+const ChainCase* find_case(const std::vector<ChainCase>& cases,
+                           const std::string& prefix) {
+  for (const ChainCase& c : cases) {
+    if (c.name.rfind(prefix, 0) == 0) return &c;
+  }
+  return nullptr;
+}
+
+std::string request_line(const ChainCase& c, Op op, const std::string& provider,
+                         std::optional<Date> date, Scope scope) {
+  Request r;
+  r.op = op;
+  r.provider = provider;
+  r.date = date;
+  r.scope = scope;
+  r.leaf = c.leaf->der();
+  for (const auto& cert : c.pool) r.pool.push_back(cert->der());
+  std::sort(r.pool.begin(), r.pool.end());
+  r.pool.erase(std::unique(r.pool.begin(), r.pool.end()), r.pool.end());
+  return rs::query::canonical_request(r);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: make_verify_goldens <output-dir>\n";
+    return 2;
+  }
+  const std::filesystem::path out_dir = argv[1];
+  std::filesystem::create_directories(out_dir);
+
+  auto scenario = rs::synth::build_paper_scenario();
+  const rs::store::StoreDatabase& db = scenario.database();
+  auto config = rs::synth::default_chain_config(db);
+  for (const auto& incident : rs::synth::high_severity_incidents()) {
+    for (const auto& root_id : incident.root_ids) {
+      if (auto cert = scenario.factory().find(root_id)) {
+        config.incident_anchors.emplace_back(incident.name + "/" + root_id,
+                                             std::move(cert));
+      }
+    }
+  }
+  const auto cases = rs::synth::build_chain_cases(config);
+  const rs::query::QueryEngine engine(db, {});
+
+  const std::string provider = db.find("NSS") != nullptr
+                                   ? std::string("NSS")
+                                   : db.providers().front();
+  const auto coverage = engine.index().coverage(provider);
+  if (!coverage) {
+    std::cerr << "make_verify_goldens: provider '" << provider
+              << "' has no coverage\n";
+    return 1;
+  }
+  // A date in the interior of the coverage window where the generic chains
+  // (built inside the anchor's validity) are live.
+  const Date mid = coverage->first + (coverage->last - coverage->first) / 2;
+
+  std::vector<std::string> requests;
+  auto add = [&](const char* name, std::string line) {
+    std::cerr << "  [" << requests.size() << "] " << name << "\n";
+    requests.push_back(std::move(line));
+  };
+
+  const ChainCase* straight = find_case(cases, "straight");
+  const ChainCase* deep = find_case(cases, "deep");
+  const ChainCase* pathlen = find_case(cases, "pathlen_violation");
+  const ChainCase* rogue = find_case(cases, "untrusted_root");
+  const ChainCase* non_ca = find_case(cases, "non_ca_intermediate");
+  const ChainCase* expired_ica = find_case(cases, "expired_intermediate");
+  const ChainCase* email_leaf = find_case(cases, "email_leaf");
+  const ChainCase* missing = find_case(cases, "missing_intermediate");
+  const ChainCase* mixed = find_case(cases, "mixed_case");
+  const ChainCase* incident = find_case(cases, "incident:");
+  if (!straight || !deep || !pathlen || !rogue || !non_ca || !expired_ica ||
+      !email_leaf || !missing || !mixed || !incident) {
+    std::cerr << "make_verify_goldens: chain catalog lost a named case\n";
+    return 1;
+  }
+
+  add("accepted straight chain",
+      request_line(*straight, Op::kVerifyChain, provider, mid, Scope::kTls));
+  add("accepted deep chain",
+      request_line(*deep, Op::kVerifyChain, provider, mid, Scope::kTls));
+  // The chain outlives the provider's snapshot history, so probing past
+  // the leaf's expiry is also past coverage: the answer must be the typed
+  // not_covered, never a verdict extrapolated beyond the last snapshot.
+  add("date past coverage end",
+      request_line(*straight, Op::kVerifyChain, provider,
+                   straight->leaf->validity().not_after.date + 1, Scope::kTls));
+  add("expired intermediate",
+      request_line(*expired_ica, Op::kVerifyChain, provider,
+                   expired_ica->pool.front()->validity().not_after.date + 1,
+                   Scope::kTls));
+  add("pathLen violation",
+      request_line(*pathlen, Op::kVerifyChain, provider, mid, Scope::kTls));
+  add("non-CA intermediate",
+      request_line(*non_ca, Op::kVerifyChain, provider, mid, Scope::kTls));
+  add("untrusted root",
+      request_line(*rogue, Op::kVerifyChain, provider, mid, Scope::kTls));
+  add("email-only leaf EKU under tls scope",
+      request_line(*email_leaf, Op::kVerifyChain, provider, mid, Scope::kTls));
+  add("email-only leaf EKU under email scope",
+      request_line(*email_leaf, Op::kVerifyChain, provider, mid,
+                   Scope::kEmail));
+  add("missing intermediate",
+      request_line(*missing, Op::kVerifyChain, provider, mid, Scope::kTls));
+  add("case-folded issuer names",
+      request_line(*mixed, Op::kVerifyChain, provider, mid, Scope::kTls));
+  add("date before coverage",
+      request_line(*straight, Op::kVerifyChain, provider, coverage->first - 1,
+                   Scope::kTls));
+  add("flip scan: stable chain",
+      request_line(*straight, Op::kFirstRejectedAt, provider, std::nullopt,
+                   Scope::kTls));
+  add("flip scan: incident chain",
+      request_line(*incident, Op::kFirstRejectedAt, provider, std::nullopt,
+                   Scope::kTls));
+  // The trust-bit case runs against the provider that actually carries the
+  // email-only root, probed on a snapshot date where its email bit is set:
+  // the tls verdict must fail on the anchor's trust bits alone.
+  if (const ChainCase* email_anchor = find_case(cases, "email_only_anchor")) {
+    bool placed = false;
+    for (const std::string& p : db.providers()) {
+      const rs::store::ProviderHistory* history = db.find(p);
+      for (const rs::store::Snapshot& snap : history->snapshots()) {
+        const auto* entry = snap.find(email_anchor->root_fp);
+        if (entry == nullptr ||
+            !entry->trust_for(rs::store::TrustPurpose::kEmailProtection)
+                 .is_anchor()) {
+          continue;
+        }
+        add("email-only anchor under tls scope",
+            request_line(*email_anchor, Op::kVerifyChain, p, snap.date,
+                         Scope::kTls));
+        add("email-only anchor under email scope",
+            request_line(*email_anchor, Op::kVerifyChain, p, snap.date,
+                         Scope::kEmail));
+        placed = true;
+        break;
+      }
+      if (placed) break;
+    }
+    if (!placed) {
+      std::cerr << "make_verify_goldens: no provider carries the "
+                   "email-only anchor\n";
+      return 1;
+    }
+  }
+  // One batch envelope mixing both verify ops: the batch path must answer
+  // with the same bytes the per-line path produces for each item.
+  add("batch of two verify items",
+      "{\"op\":\"batch\",\"requests\":[" + requests[0] + "," + requests[12] +
+          "]}");
+
+  std::ofstream req_out(out_dir / "requests.ndjson", std::ios::binary);
+  std::ofstream res_out(out_dir / "responses.ndjson", std::ios::binary);
+  if (!req_out.good() || !res_out.good()) {
+    std::cerr << "make_verify_goldens: cannot write under " << out_dir << "\n";
+    return 1;
+  }
+  for (const std::string& line : requests) {
+    req_out << line << "\n";
+    res_out << engine.handle_json(line) << "\n";
+  }
+  req_out.flush();
+  res_out.flush();
+  if (!req_out.good() || !res_out.good()) {
+    std::cerr << "make_verify_goldens: short write under " << out_dir << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << requests.size() << " request/response pairs under "
+            << out_dir << "\n";
+  return 0;
+}

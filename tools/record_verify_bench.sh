@@ -1,0 +1,59 @@
+#!/bin/sh
+# Records the chain-verification benchmark into BENCH_verify.json:
+#
+#   * point verdicts — BM_VerifyChainStraight/Deep/CrossSign (the verifier
+#     alone over a TrustIndex-backed oracle) and BM_EngineVerifyChain (the
+#     same verdict through QueryEngine::handle, one serve-cache miss)
+#   * temporal scans — BM_FirstRejectedAtBreakpoints (the shipped
+#     flip_breakpoints sweep) vs BM_FirstRejectedAtLinearScan (every day
+#     of coverage, the naive alternative)
+#
+# Gate: the breakpoint sweep must beat the day-by-day scan by >= 5x on the
+# paper scenario (it visits ~30x fewer dates; see docs/VERIFY.md).  The
+# committed BENCH_verify.json is the record.
+#
+# Usage: tools/record_verify_bench.sh [build-dir] [out-file]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${1:-"$repo_root/build"}"
+out_file="${2:-"$repo_root/BENCH_verify.json"}"
+
+bench_bin="$build_dir/bench/perf_verify"
+if [ ! -x "$bench_bin" ]; then
+  echo "record_verify_bench: $bench_bin missing; build it first:" >&2
+  echo "  cmake --build $build_dir --target perf_verify" >&2
+  exit 2
+fi
+
+"$bench_bin" \
+  --benchmark_filter='BM_VerifyChainStraight|BM_VerifyChainDeep|BM_VerifyChainCrossSign|BM_EngineVerifyChain|BM_FirstRejectedAtBreakpoints|BM_FirstRejectedAtLinearScan' \
+  --benchmark_out="$out_file" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1
+
+# Summarize and gate the temporal-scan speedup from the JSON (no jq
+# dependency: the google-benchmark JSON layout is stable enough for awk).
+awk '
+  /"name":/      { gsub(/[",]/, ""); name = $2 }
+  /"real_time":/ {
+    gsub(/,/, "");
+    times[name] = $2;
+  }
+  END {
+    status = 0;
+    if (times["BM_FirstRejectedAtBreakpoints"] > 0) {
+      linear = times["BM_FirstRejectedAtLinearScan"];
+      speedup = linear / times["BM_FirstRejectedAtBreakpoints"];
+      printf "temporal scan: breakpoints %.1fx vs day-by-day (floor 5x)\n",
+             speedup;
+      if (speedup < 5) {
+        print "record_verify_bench: breakpoint-speedup floor MISSED";
+        status = 1;
+      }
+    } else { print "missing BM_FirstRejectedAtBreakpoints"; status = 1 }
+    exit status;
+  }
+' "$out_file"
+
+echo "record_verify_bench: wrote $out_file"

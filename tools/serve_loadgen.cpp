@@ -6,6 +6,7 @@
 //
 //   serve_loadgen --port N [--connections C] [--requests M]
 //                 [--duration S] [--batch K] [--json-out FILE]
+//                 [--request-file FILE]
 //       Benchmark mode: C concurrent connections issue M requests total in
 //       two phases — a MISS phase of distinct store_at/diff/is_trusted/
 //       lineage requests over the paper scenario, then a HIT phase
@@ -19,7 +20,12 @@
 //       as BENCH_serve.json.
 //
 // Request mix is generated deterministically from the scenario database,
-// so runs are comparable across machines and commits.
+// so runs are comparable across machines and commits.  --request-file FILE
+// substitutes the mix with the NDJSON lines of FILE, cycled to --requests
+// total (the hot set is the file's first 64 lines); this is how the verify
+// golden corpus (tests/golden/verify/requests.ndjson) drives the server
+// with verify_chain/first_rejected_at load.  Lines that are already batch
+// envelopes go through verbatim — combine with --batch 1 only.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -277,6 +283,7 @@ int main(int argc, char** argv) {
   double duration_s = 0;
   std::string oneshot;
   std::string json_out;
+  std::string request_file;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--port" && i + 1 < args.size()) {
       port = std::strtoul(args[++i].c_str(), nullptr, 10);
@@ -295,10 +302,13 @@ int main(int argc, char** argv) {
       oneshot = args[++i];
     } else if (args[i] == "--json-out" && i + 1 < args.size()) {
       json_out = args[++i];
+    } else if (args[i] == "--request-file" && i + 1 < args.size()) {
+      request_file = args[++i];
     } else {
       return die("usage: serve_loadgen --port N [--connections C] "
                  "[--requests M] [--duration S] [--batch K] "
-                 "[--json-out FILE] [--oneshot '<json>']");
+                 "[--json-out FILE] [--request-file FILE] "
+                 "[--oneshot '<json>']");
     }
   }
   if (port == 0 || port > 65535) return die("--port is required (1..65535)");
@@ -319,19 +329,42 @@ int main(int argc, char** argv) {
   }
 
   if (connections == 0) return die("--connections must be > 0");
-  // The workload derives from the same scenario the server loaded, so the
-  // requests below always hit covered providers and real certificates.
-  const auto scenario = rs::synth::build_paper_scenario();
-  const auto& db = scenario.database();
-
   // MISS phase: distinct requests (cold cache).  HIT phase: a small
   // working set replayed until the same request total is reached — after
   // the first lap every answer is an LRU hit.
-  const auto miss_requests = build_requests(db, request_count, 1);
-  auto hot_set = build_requests(db, std::max<std::size_t>(
-                                        std::min<std::size_t>(64, request_count),
-                                        1),
-                                2);
+  std::vector<std::string> miss_requests;
+  std::vector<std::string> hot_set;
+  if (!request_file.empty()) {
+    std::ifstream f(request_file, std::ios::binary);
+    if (!f.good()) return die("cannot read " + request_file);
+    std::vector<std::string> file_lines;
+    std::string line;
+    while (std::getline(f, line)) {
+      if (!line.empty()) file_lines.push_back(line);
+    }
+    if (file_lines.empty()) {
+      return die("no request lines in " + request_file);
+    }
+    miss_requests.reserve(request_count);
+    for (std::size_t i = 0; i < request_count; ++i) {
+      miss_requests.push_back(file_lines[i % file_lines.size()]);
+    }
+    hot_set.assign(file_lines.begin(),
+                   file_lines.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           std::min<std::size_t>(64, file_lines.size())));
+  } else {
+    // The workload derives from the same scenario the server loaded, so
+    // the requests below always hit covered providers and real
+    // certificates.
+    const auto scenario = rs::synth::build_paper_scenario();
+    const auto& db = scenario.database();
+    miss_requests = build_requests(db, request_count, 1);
+    hot_set = build_requests(db, std::max<std::size_t>(
+                                     std::min<std::size_t>(64, request_count),
+                                     1),
+                             2);
+  }
   std::vector<std::string> hit_requests;
   hit_requests.reserve(request_count + hot_set.size());
   for (const auto& r : hot_set) hit_requests.push_back(r);  // warm lap

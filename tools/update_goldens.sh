@@ -26,3 +26,11 @@ for name in table1 table2 table3 table4 table5 table6 table7 \
   "$ROOTSTORE" report "$name" --threads 0 > "tests/golden/report_$name.txt"
   echo "wrote tests/golden/report_$name.txt"
 done
+
+# Verify request→response corpus (tests/verify/verify_golden_test.cpp).
+MAKE_VERIFY_GOLDENS="$BUILD_DIR/tools/make_verify_goldens"
+if [ ! -x "$MAKE_VERIFY_GOLDENS" ]; then
+  echo "update_goldens: $MAKE_VERIFY_GOLDENS not found; build first" >&2
+  exit 1
+fi
+"$MAKE_VERIFY_GOLDENS" tests/golden/verify
