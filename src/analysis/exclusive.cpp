@@ -1,7 +1,8 @@
 #include "src/analysis/exclusive.h"
 
-#include <optional>
+#include <vector>
 
+#include "src/landscape/presence.h"
 #include "src/store/fingerprint_set.h"
 #include "src/store/id_set.h"
 
@@ -11,13 +12,13 @@ std::vector<ExclusiveSet> exclusive_roots(
     const rs::store::StoreDatabase& db,
     const std::vector<std::string>& programs,
     const rs::store::CertInterner* interner) {
-  // Ever-TLS-trusted set per program.  With an interner the "ever" sets
-  // are bitsets accumulated by OR (membership below is a bit probe);
-  // otherwise they stay merge-based FingerprintSets.
+  // Candidates: each program's latest TLS anchors.  Held: each program's
+  // ever-TLS-trusted set.  The landscape presence-vector primitive then
+  // answers "latest \ union of the others' ever" for every program in one
+  // prefix/suffix union pass (docs/LANDSCAPE.md).
   struct ProgramSets {
     std::string name;
     rs::store::FingerprintSet ever;
-    rs::store::IdSet ever_ids;
     rs::store::FingerprintSet latest;
   };
   std::vector<ProgramSets> sets;
@@ -27,33 +28,62 @@ std::vector<ExclusiveSet> exclusive_roots(
     ProgramSets ps;
     ps.name = name;
     ps.ever = db.tls_roots_ever(name);
-    if (interner != nullptr) ps.ever_ids = interner->intern(ps.ever).ids;
     ps.latest = history->back().tls_anchors();
     sets.push_back(std::move(ps));
   }
 
-  std::vector<ExclusiveSet> out;
+  // The primitive needs every digest representable as a dense ID.  The
+  // study passes its database-wide interner (always complete); callers
+  // with no interner — or a partial one — get a local universe built from
+  // exactly the sets involved, so results are identical either way.
+  rs::store::CertInterner local;
+  const rs::store::CertInterner* universe = interner;
+  const auto fully_mapped = [&](const rs::store::FingerprintSet& fps) {
+    return interner != nullptr && interner->intern(fps).unmapped.empty();
+  };
+  bool complete = interner != nullptr;
   for (const auto& ps : sets) {
-    ExclusiveSet ex;
-    ex.program = ps.name;
-    for (const auto& fp : ps.latest.items()) {
-      // Resolve the digest to its dense ID once per root, not per program.
-      std::optional<std::uint32_t> id;
-      if (interner != nullptr) id = interner->id_of(fp);
-      bool elsewhere = false;
-      for (const auto& other : sets) {
-        if (other.name == ps.name) continue;
-        // An unmapped digest (partial interner) falls back to the exact
-        // merge-based membership check.
-        const bool held = id ? other.ever_ids.contains(*id)
-                             : other.ever.contains(fp);
-        if (held) {
-          elsewhere = true;
-          break;
-        }
-      }
-      if (!elsewhere) ex.roots.push_back(fp);
+    if (!complete) break;
+    complete = fully_mapped(ps.ever) && fully_mapped(ps.latest);
+  }
+  if (!complete) {
+    std::vector<rs::crypto::Sha256Digest> digests;
+    for (const auto& ps : sets) {
+      digests.insert(digests.end(), ps.ever.items().begin(),
+                     ps.ever.items().end());
+      digests.insert(digests.end(), ps.latest.items().begin(),
+                     ps.latest.items().end());
     }
+    local = rs::store::CertInterner(std::move(digests));
+    universe = &local;
+  }
+
+  std::vector<rs::store::IdSet> candidates;
+  std::vector<rs::store::IdSet> held;
+  candidates.reserve(sets.size());
+  held.reserve(sets.size());
+  for (const auto& ps : sets) {
+    candidates.push_back(universe->intern(ps.latest).ids);
+    held.push_back(universe->intern(ps.ever).ids);
+  }
+  std::vector<const rs::store::IdSet*> candidate_views;
+  std::vector<const rs::store::IdSet*> held_views;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    candidate_views.push_back(&candidates[i]);
+    held_views.push_back(&held[i]);
+  }
+  const auto exclusive =
+      rs::landscape::exclusive_sets(candidate_views, held_views);
+
+  std::vector<ExclusiveSet> out;
+  out.reserve(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    ExclusiveSet ex;
+    ex.program = sets[i].name;
+    // IdSet::ids() ascends in sorted-digest order, matching the sorted
+    // FingerprintSet iteration the previous implementation used — the
+    // golden Table 6 bytes are pinned on it.
+    ex.roots = universe->materialize(exclusive[i]).items();
     out.push_back(std::move(ex));
   }
   return out;

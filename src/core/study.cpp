@@ -17,7 +17,10 @@
 #include "src/analysis/operators.h"
 #include "src/analysis/removals.h"
 #include "src/analysis/staleness.h"
+#include "src/landscape/index_view.h"
 #include "src/obs/span.h"
+#include "src/query/trust_index.h"
+#include "src/synth/ct_log.h"
 #include "src/synth/paper_reference.h"
 #include "src/synth/software_survey.h"
 #include "src/synth/user_agents.h"
@@ -561,6 +564,310 @@ std::string EcosystemStudy::report_figure4() const {
   out += "\n(paper: every derivative deviates; Symantec distrust fallout at "
          "2020; Debian/Ubuntu non-NSS roots until 2015; email conflation "
          "until 2017/2020)\n";
+  return out;
+}
+
+const rs::query::TrustIndex& EcosystemStudy::trust_index() {
+  if (!trust_index_) {
+    trust_index_ = std::make_shared<const rs::query::TrustIndex>(
+        rs::query::TrustIndex::build(database(), *interner_, pool()));
+  }
+  return *trust_index_;
+}
+
+namespace {
+
+/// The latest date every covered provider's history still covers — the
+/// "common date" the landscape reports anchor their cross-sections on.
+rs::util::Date latest_common_date(const rs::query::TrustIndex& index) {
+  std::optional<rs::util::Date> d;
+  for (const auto& name : index.providers()) {
+    const auto cov = index.coverage(name);
+    if (!cov) continue;
+    if (!d || cov->last < *d) d = cov->last;
+  }
+  return d.value_or(rs::util::Date{});
+}
+
+/// First/last civil years with any coverage, for the yearly grids.
+std::pair<int, int> coverage_years(const rs::query::TrustIndex& index) {
+  std::optional<rs::util::Date> lo, hi;
+  for (const auto& name : index.providers()) {
+    const auto cov = index.coverage(name);
+    if (!cov) continue;
+    if (!lo || cov->first < *lo) lo = cov->first;
+    if (!hi || *hi < cov->last) hi = cov->last;
+  }
+  if (!lo) return {1970, 1970};
+  return {lo->year(), hi->year()};
+}
+
+/// Sparkline bucket for a count: '.' 0, '+' 1-4, '*' 5-19, '#' 20+.
+char count_glyph(std::size_t n) noexcept {
+  return n == 0 ? '.' : (n < 5 ? '+' : (n < 20 ? '*' : '#'));
+}
+
+}  // namespace
+
+std::string EcosystemStudy::report_agreement() {
+  rs::obs::Span span("report/agreement");
+  const auto& index = trust_index();
+  const rs::util::Date date = latest_common_date(index);
+  const auto view = rs::landscape::presence_at(index, date,
+                                              rs::query::Scope::kTls);
+  const auto summary = rs::landscape::agreement_summary(view.sets, pool());
+
+  std::string out = "Landscape: cross-store agreement at " + date.to_string() +
+                    " (TLS scope)\n\n";
+  TextTable sizes({"Provider", "Size", "Exclusive"});
+  sizes.set_align(1, Align::kRight);
+  sizes.set_align(2, Align::kRight);
+  for (std::size_t i = 0; i < view.providers.size(); ++i) {
+    sizes.add_row({view.providers[i], std::to_string(summary.sizes[i]),
+                   std::to_string(summary.exclusive_counts[i])});
+  }
+  out += sizes.render();
+  out += "union=" + std::to_string(summary.union_size) +
+         " intersection=" + std::to_string(summary.intersection_size) +
+         " global-agreement=" +
+         rs::landscape::format_agreement(summary.intersection_size,
+                                         summary.union_size) +
+         "\n\n";
+
+  // Pairwise Jaccard-agreement matrix (upper triangle; '-' on and below
+  // the diagonal).
+  std::vector<std::string> header{"Agreement"};
+  for (const auto& p : view.providers) header.push_back(p);
+  TextTable matrix(header);
+  for (std::size_t c = 1; c <= view.providers.size(); ++c) {
+    matrix.set_align(c, Align::kRight);
+  }
+  std::vector<std::vector<std::string>> cells(
+      view.providers.size(),
+      std::vector<std::string>(view.providers.size(), "-"));
+  for (const auto& p : summary.pairs) {
+    cells[p.a][p.b] =
+        rs::landscape::format_agreement(p.intersection, p.union_size);
+  }
+  for (std::size_t a = 0; a < view.providers.size(); ++a) {
+    std::vector<std::string> row{view.providers[a]};
+    for (std::size_t b = 0; b < view.providers.size(); ++b) {
+      row.push_back(cells[a][b]);
+    }
+    matrix.add_row(row);
+  }
+  out += matrix.render();
+
+  // Yearly series: how the global landscape converged over time.
+  const auto [y_first, y_last] = coverage_years(index);
+  out += "\nYearly series (Jan 1):\n";
+  TextTable series({"Year", "Covered", "Union", "Intersection", "Agreement"});
+  for (std::size_t c = 1; c <= 4; ++c) series.set_align(c, Align::kRight);
+  for (int y = y_first; y <= y_last; ++y) {
+    const auto at = rs::landscape::presence_at(
+        index, rs::util::Date::ymd(y, 1, 1), rs::query::Scope::kTls);
+    if (at.providers.empty()) continue;
+    const auto s = rs::landscape::agreement_summary(at.sets, pool());
+    series.add_row({std::to_string(y), std::to_string(at.providers.size()),
+                    std::to_string(s.union_size),
+                    std::to_string(s.intersection_size),
+                    rs::landscape::format_agreement(s.intersection_size,
+                                                    s.union_size)});
+  }
+  out += series.render();
+  out += "(paper: stores disagree broadly — no two programs resolve the "
+         "same trusted set; derivatives track NSS most closely)\n";
+  return out;
+}
+
+std::string EcosystemStudy::report_exclusivity() {
+  rs::obs::Span span("report/exclusivity");
+  const auto& index = trust_index();
+  const rs::util::Date date = latest_common_date(index);
+  const auto [y_first, y_last] = coverage_years(index);
+
+  std::string out = "Landscape: per-provider exclusive roots (TLS scope)\n\n";
+
+  // At-date exclusives at the latest common date — the cross-sectional
+  // companion to Table 6 (which holds latest snapshots against
+  // ever-trusted sets; this holds one date against the same date).
+  const auto view = rs::landscape::presence_at(index, date,
+                                              rs::query::Scope::kTls);
+  const auto exclusives = rs::landscape::exclusive_sets(view.sets, view.sets);
+  TextTable at_date({"Provider", "Store size", "Exclusive @ " +
+                                                   date.to_string()});
+  at_date.set_align(1, Align::kRight);
+  at_date.set_align(2, Align::kRight);
+  for (std::size_t i = 0; i < view.providers.size(); ++i) {
+    at_date.add_row({view.providers[i], std::to_string(view.sets[i]->size()),
+                     std::to_string(exclusives[i].size())});
+  }
+  out += at_date.render();
+  out += "(Table 6 counts latest-vs-ever exclusives; at-date counts are "
+         "higher because other stores' past adoptions don't discount)\n";
+
+  // Yearly exclusive-count series per provider, rendered as counts and a
+  // sparkline ('.'=0 '+'=1-4 '*'=5-19 '#'=20+; blank = not covered).
+  out += "\nYearly exclusive-root series (Jan 1, " +
+         std::to_string(y_first) + "-" + std::to_string(y_last) + "):\n";
+  std::vector<std::string> names = index.providers();
+  std::map<std::string, std::string> sparks;
+  std::map<std::string, std::size_t> totals;
+  for (const auto& n : names) sparks[n] = "";
+  for (int y = y_first; y <= y_last; ++y) {
+    const auto at = rs::landscape::presence_at(
+        index, rs::util::Date::ymd(y, 1, 1), rs::query::Scope::kTls);
+    const auto ex = rs::landscape::exclusive_sets(at.sets, at.sets);
+    std::map<std::string, std::size_t> counts;
+    for (std::size_t i = 0; i < at.providers.size(); ++i) {
+      counts[at.providers[i]] = ex[i].size();
+    }
+    for (const auto& n : names) {
+      const auto it = counts.find(n);
+      if (it == counts.end()) {
+        sparks[n] += ' ';
+      } else {
+        sparks[n] += count_glyph(it->second);
+        totals[n] += it->second;
+      }
+    }
+  }
+  TextTable series({"Provider", "Exclusive-years (summed)", "Series"});
+  series.set_align(1, Align::kRight);
+  for (const auto& n : names) {
+    series.add_row({n, std::to_string(totals[n]), sparks[n]});
+  }
+  out += series.render();
+  out += "(paper: Apple, Microsoft and Java carry the most roots no other "
+         "program trusts)\n";
+  return out;
+}
+
+std::string EcosystemStudy::report_ct_landscape() {
+  rs::obs::Span span("report/ct_landscape");
+
+  // Extend a copy of the scenario database with three synthetic CT logs of
+  // distinct temperament: an eager fast-follower, a middling log, and a
+  // slow conservative one.  Policies are fixed literals so the report (and
+  // its golden) is a pure function of the scenario seed.
+  rs::store::StoreDatabase db = database();
+  const std::vector<std::string> programs = db.providers();
+  struct LogSpec {
+    const char* name;
+    int lag, jitter;
+    double accept, extra, retire;
+  };
+  const LogSpec specs[] = {
+      {"CtLogEager", 45, 30, 0.98, 0.10, 0.02},
+      {"CtLogSteady", 150, 90, 0.92, 0.25, 0.10},
+      {"CtLogSlow", 330, 120, 0.80, 0.05, 0.20},
+  };
+  std::vector<std::string> log_names;
+  std::vector<rs::store::ProviderHistory> logs;
+  for (const auto& s : specs) {
+    rs::synth::CtLogPolicy policy;
+    policy.name = s.name;
+    policy.seed = rs::synth::kPaperSeed;
+    policy.accept_lag_days = s.lag;
+    policy.lag_jitter_days = s.jitter;
+    policy.accept_prob = s.accept;
+    policy.extra_accept_prob = s.extra;
+    policy.retire_prob = s.retire;
+    log_names.push_back(policy.name);
+    logs.push_back(rs::synth::generate_ct_log(policy, db));
+  }
+  for (auto& log : logs) db.add(std::move(log));
+
+  const auto interner = rs::store::CertInterner::from_database(db);
+  const auto index = rs::query::TrustIndex::build(db, interner, pool());
+  const rs::util::Date date = latest_common_date(index);
+  const auto first_seen =
+      rs::landscape::first_seen_tables(index, rs::query::Scope::kTls);
+  const auto all_names = index.providers();
+  const auto index_of = [&](const std::string& name) {
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < all_names.size(); ++i) {
+      if (all_names[i] == name) at = i;
+    }
+    return at;
+  };
+
+  std::string out =
+      "Landscape: synthetic CT-log root acceptance vs program stores\n"
+      "(accepted-roots snapshots simulated from the scenario; common date " +
+      date.to_string() + ", TLS scope)\n";
+
+  const auto [y_first, y_last] = coverage_years(index);
+  for (const auto& log_name : log_names) {
+    const auto log_view =
+        index.store_at(log_name, date, rs::query::Scope::kTls);
+    if (!log_view) continue;
+    const std::size_t log_idx = index_of(log_name);
+
+    std::vector<std::string> covered_names;
+    std::vector<const rs::store::IdSet*> covered_sets;
+    for (const auto& p : programs) {
+      const auto v = index.store_at(p, date, rs::query::Scope::kTls);
+      if (!v) continue;
+      covered_names.push_back(p);
+      covered_sets.push_back(v->roots);
+    }
+    const auto rows = rs::landscape::coverage_rows(*log_view->roots,
+                                                   covered_sets);
+    const std::size_t exclusive =
+        rs::landscape::log_exclusive_count(*log_view->roots, covered_sets);
+
+    out += "\n" + log_name + ": " + std::to_string(log_view->roots->size()) +
+           " accepted roots, " + std::to_string(exclusive) +
+           " log-exclusive\n";
+    TextTable t({"Store", "Size", "Covered", "Fraction", "Matched",
+                 "Mean lag (d)"});
+    for (std::size_t c = 1; c <= 5; ++c) t.set_align(c, Align::kRight);
+    for (std::size_t i = 0; i < covered_names.size(); ++i) {
+      const auto lag = rs::landscape::adoption_lag(
+          first_seen[log_idx], first_seen[index_of(covered_names[i])]);
+      t.add_row({covered_names[i], std::to_string(rows[i].store_size),
+                 std::to_string(rows[i].covered),
+                 rs::landscape::format_ratio(
+                     static_cast<double>(rows[i].covered),
+                     static_cast<double>(rows[i].store_size), 4),
+                 std::to_string(lag.matched),
+                 lag.matched == 0
+                     ? std::string("-")
+                     : rs::landscape::format_ratio(
+                           static_cast<double>(lag.total_lag_days),
+                           static_cast<double>(lag.matched), 1)});
+    }
+    out += t.render();
+
+    // Yearly sparkline of union coverage: what share of the union of all
+    // program stores the log accepts each Jan 1.
+    out += "  union coverage over time: ";
+    for (int y = y_first; y <= y_last; ++y) {
+      const auto d = rs::util::Date::ymd(y, 1, 1);
+      const auto lv = index.store_at(log_name, d, rs::query::Scope::kTls);
+      if (!lv) {
+        out += ' ';
+        continue;
+      }
+      rs::store::IdSet uni;
+      for (const auto& p : programs) {
+        const auto v = index.store_at(p, d, rs::query::Scope::kTls);
+        if (v) uni |= *v->roots;
+      }
+      if (uni.size() == 0) {
+        out += ' ';
+        continue;
+      }
+      const double frac = static_cast<double>(
+                              lv->roots->intersection_size(uni)) /
+                          static_cast<double>(uni.size());
+      out += frac < 0.25 ? '.' : (frac < 0.5 ? '+' : (frac < 0.8 ? '*' : '#'));
+    }
+    out += "\n";
+  }
+  out += "\n(logs accept nearly every browser root eventually; lag and "
+         "log-exclusive counts separate eager from conservative logs)\n";
   return out;
 }
 

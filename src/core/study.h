@@ -15,6 +15,10 @@
 #include "src/store/interner.h"
 #include "src/synth/paper_scenario.h"
 
+namespace rs::query {
+class TrustIndex;
+}
+
 namespace rs::core {
 
 /// Execution knobs for a study instance.
@@ -74,8 +78,24 @@ class EcosystemStudy {
   std::string report_figure3() const;
   /// Figure 4: derivative diff categories over time.
   std::string report_figure4() const;
+  /// Landscape: cross-store agreement matrix at the latest common date,
+  /// global union/intersection stats, and the yearly agreement series
+  /// (docs/LANDSCAPE.md).
+  std::string report_agreement();
+  /// Landscape: per-provider at-date exclusive roots over a yearly grid,
+  /// the at-date companion to Table 6's latest-vs-ever exclusives.
+  std::string report_exclusivity();
+  /// Landscape: synthetic CT-log accepted-roots landscape — per-log
+  /// browser/store coverage, adoption lag, and log-exclusive roots.
+  std::string report_ct_landscape();
 
  private:
+  /// Lazily compiles (and caches) the TrustIndex over the scenario
+  /// database, sharing the study interner and pool.  The landscape reports
+  /// resolve presence views through it; the classic reports never touch
+  /// it, so their bytes and span profiles are unchanged.
+  const rs::query::TrustIndex& trust_index();
+
   rs::synth::PaperScenario scenario_;
   StudyOptions options_;
   // shared_ptr keeps the study copyable; the pool is stateless between
@@ -83,6 +103,7 @@ class EcosystemStudy {
   // after construction, so copies can share it too.
   std::shared_ptr<rs::exec::ThreadPool> pool_;
   std::shared_ptr<const rs::store::CertInterner> interner_;
+  std::shared_ptr<const rs::query::TrustIndex> trust_index_;
 };
 
 }  // namespace rs::core

@@ -1,0 +1,47 @@
+#include "src/landscape/ct_landscape.h"
+
+#include <algorithm>
+
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
+
+namespace rs::landscape {
+
+using rs::store::IdSet;
+
+std::vector<CoverageRow> coverage_rows(
+    const IdSet& log, const std::vector<const IdSet*>& stores) {
+  rs::obs::Span span("landscape/ct_coverage");
+  std::vector<CoverageRow> out;
+  out.reserve(stores.size());
+  for (const IdSet* store : stores) {
+    CoverageRow row;
+    row.store_size = store->size();
+    row.covered = log.intersection_size(*store);
+    out.push_back(row);
+  }
+  span.set_items(stores.size());
+  return out;
+}
+
+std::size_t log_exclusive_count(const IdSet& log,
+                                const std::vector<const IdSet*>& stores) {
+  IdSet others;
+  for (const IdSet* store : stores) others |= *store;
+  return log.difference(others).size();
+}
+
+LagStats adoption_lag(const FirstSeen& log_first,
+                      const FirstSeen& store_first) {
+  LagStats out;
+  const std::size_t n = std::min(log_first.size(), store_first.size());
+  for (std::size_t id = 0; id < n; ++id) {
+    if (!log_first[id] || !store_first[id]) continue;
+    ++out.matched;
+    out.total_lag_days += *log_first[id] - *store_first[id];
+  }
+  rs::obs::Registry::global().counter("landscape.lag_roots").add(out.matched);
+  return out;
+}
+
+}  // namespace rs::landscape

@@ -1,0 +1,76 @@
+// Header-only adapter: TrustIndex → landscape presence views.
+//
+// rs_landscape deliberately does not link rs_query (the engine inside
+// rs_query calls INTO the landscape computations, so a library dependency
+// in the other direction would be a cycle).  These inline helpers are the
+// bridge: any translation unit that already links rs_query (engine.cpp,
+// study.cpp, tests, benches) can include this header to resolve an index
+// into the borrowed IdSet views and first-seen tables the landscape
+// functions consume.  Views borrow from the index and stay valid for its
+// lifetime.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/landscape/ct_landscape.h"
+#include "src/landscape/presence.h"
+#include "src/query/trust_index.h"
+#include "src/store/id_set.h"
+#include "src/util/date.h"
+
+namespace rs::landscape {
+
+/// Every covered provider's resolved store at one date, provider-name
+/// order.  `providers`/`sets` are parallel; providers whose coverage
+/// excludes `date` land in `not_covered` instead (also name order).
+struct PresenceView {
+  std::vector<std::string> providers;
+  std::vector<const rs::store::IdSet*> sets;
+  std::vector<std::string> not_covered;
+};
+
+inline PresenceView presence_at(const rs::query::TrustIndex& index,
+                                rs::util::Date date,
+                                rs::query::Scope scope) {
+  PresenceView view;
+  for (const auto& name : index.providers()) {
+    const auto resolved = index.store_at(name, date, scope);
+    if (resolved) {
+      view.providers.push_back(name);
+      view.sets.push_back(resolved->roots);
+    } else {
+      view.not_covered.push_back(name);
+    }
+  }
+  return view;
+}
+
+/// Per-provider first-seen tables over the whole history: for each
+/// provider (index provider-name order) and each dense certificate ID, the
+/// `added` date of the certificate's earliest presence interval in that
+/// provider's history, or nullopt if it never appears under `scope`.
+/// Built from one lineage sweep over the interner universe.
+inline std::vector<FirstSeen> first_seen_tables(
+    const rs::query::TrustIndex& index, rs::query::Scope scope) {
+  const auto names = index.providers();
+  const std::size_t universe = index.interner().size();
+  std::vector<FirstSeen> tables(names.size(), FirstSeen(universe));
+  for (std::uint32_t id = 0; id < universe; ++id) {
+    const auto spans = index.lineage(index.interner().digest_of(id), scope);
+    for (const auto& s : spans) {
+      for (std::size_t p = 0; p < names.size(); ++p) {
+        if (names[p] != s.provider) continue;
+        auto& slot = tables[p][id];
+        // lineage() yields ascending `added` per provider, so the first
+        // span seen for a provider is its earliest — but don't rely on it.
+        if (!slot || s.interval.added < *slot) slot = s.interval.added;
+        break;
+      }
+    }
+  }
+  return tables;
+}
+
+}  // namespace rs::landscape

@@ -5,6 +5,7 @@
 #include <functional>
 #include <utility>
 
+#include "src/landscape/index_view.h"
 #include "src/store/database.h"
 #include "src/store/interner.h"
 #include "src/util/hex.h"
@@ -174,6 +175,8 @@ std::string QueryEngine::handle(const Request& request) const {
     case Op::kStats: return handle_stats();
     case Op::kVerifyChain: return handle_verify_chain(request);
     case Op::kFirstRejectedAt: return handle_first_rejected_at(request);
+    case Op::kAgreementAt: return handle_agreement_at(request);
+    case Op::kCtCoverage: return handle_ct_coverage(request);
     case Op::kServerStats:
       return error_response(
           "not_serving",
@@ -541,6 +544,162 @@ std::string QueryEngine::handle_first_rejected_at(const Request& r) const {
   w.field_uint("evaluated", scan.evaluated);
   w.field("coverage_begin", cov->first.to_string());
   w.field("coverage_end", cov->last.to_string());
+  return w.finish();
+}
+
+std::string QueryEngine::handle_agreement_at(const Request& r) const {
+  // Total over every input: providers whose coverage excludes the date are
+  // listed in not_covered, and zero covered providers is still "ok" with
+  // empty arrays (the empty-universe agreement convention scores 1.0).
+  const auto view = rs::landscape::presence_at(index_, *r.date, r.scope);
+  const auto summary = rs::landscape::agreement_summary(view.sets);
+  ResponseWriter w = begin(r, "ok");
+  w.field("date", r.date->to_string());
+  w.field("scope", to_string(r.scope));
+  w.field_strings("providers", view.providers);
+  w.key_only("sizes");
+  {
+    std::string& out = w.raw();
+    out.push_back('[');
+    for (std::size_t i = 0; i < summary.sizes.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += std::to_string(summary.sizes[i]);
+    }
+    out.push_back(']');
+  }
+  w.key_only("exclusive");
+  {
+    std::string& out = w.raw();
+    out.push_back('[');
+    for (std::size_t i = 0; i < summary.exclusive_counts.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += std::to_string(summary.exclusive_counts[i]);
+    }
+    out.push_back(']');
+  }
+  w.field_uint("union_size", summary.union_size);
+  w.field_uint("intersection_size", summary.intersection_size);
+  w.field("global_agreement",
+          rs::landscape::format_agreement(summary.intersection_size,
+                                          summary.union_size));
+  w.key_only("pairs");
+  {
+    std::string& out = w.raw();
+    out.push_back('[');
+    for (std::size_t i = 0; i < summary.pairs.size(); ++i) {
+      const auto& p = summary.pairs[i];
+      if (i > 0) out.push_back(',');
+      out += "{\"a\":";
+      append_json_string(out, view.providers[p.a]);
+      out += ",\"b\":";
+      append_json_string(out, view.providers[p.b]);
+      out += ",\"intersection\":";
+      out += std::to_string(p.intersection);
+      out += ",\"union\":";
+      out += std::to_string(p.union_size);
+      out += ",\"agreement\":";
+      append_json_string(
+          out, rs::landscape::format_agreement(p.intersection, p.union_size));
+      out.push_back('}');
+    }
+    out.push_back(']');
+  }
+  w.field_strings("not_covered", view.not_covered);
+  return w.finish();
+}
+
+std::string QueryEngine::handle_ct_coverage(const Request& r) const {
+  // Treats `provider` as "the log": how much of every OTHER store does it
+  // cover at the date, how many roots does only the log carry, and how far
+  // does its adoption of each store's roots lag (history-wide, per root
+  // present in both)?  Any provider works as the log — the CT-specific
+  // semantics come from the dataset (synth ct_log providers), not the op.
+  if (!index_.has_provider(*r.provider)) {
+    return error_response("unknown_provider",
+                          "no history for provider '" + *r.provider + "'");
+  }
+  const auto echo = [&](ResponseWriter& w) {
+    w.field("date", r.date->to_string());
+    w.field("scope", to_string(r.scope));
+  };
+  const auto log_view = index_.store_at(*r.provider, *r.date, r.scope);
+  if (!log_view) {
+    return not_covered(r, *r.provider, index_.coverage(*r.provider), echo);
+  }
+
+  // Presence of every other provider at the date (name order).
+  std::vector<std::string> covered_names;
+  std::vector<const rs::store::IdSet*> covered_sets;
+  std::vector<std::string> skipped;
+  for (const auto& name : index_.providers()) {
+    if (name == *r.provider) continue;
+    const auto resolved = index_.store_at(name, *r.date, r.scope);
+    if (resolved) {
+      covered_names.push_back(name);
+      covered_sets.push_back(resolved->roots);
+    } else {
+      skipped.push_back(name);
+    }
+  }
+  const auto rows = rs::landscape::coverage_rows(*log_view->roots,
+                                                 covered_sets);
+  const std::size_t exclusive =
+      rs::landscape::log_exclusive_count(*log_view->roots, covered_sets);
+
+  // History-wide adoption lag: first-seen date in the log minus first-seen
+  // date in the store, over roots both ever carry.
+  const auto first_seen = rs::landscape::first_seen_tables(index_, r.scope);
+  const auto all_names = index_.providers();
+  std::size_t log_idx = 0;
+  for (std::size_t i = 0; i < all_names.size(); ++i) {
+    if (all_names[i] == *r.provider) log_idx = i;
+  }
+
+  ResponseWriter w = begin(r, "ok");
+  echo(w);
+  w.field("provider", log_view->provider);
+  w.field("snapshot_date", log_view->snapshot_date.to_string());
+  w.field_uint("log_size", log_view->roots->size());
+  w.field_uint("log_exclusive", exclusive);
+  w.key_only("coverage");
+  {
+    std::string& out = w.raw();
+    out.push_back('[');
+    for (std::size_t i = 0; i < covered_names.size(); ++i) {
+      std::size_t store_idx = 0;
+      for (std::size_t j = 0; j < all_names.size(); ++j) {
+        if (all_names[j] == covered_names[i]) store_idx = j;
+      }
+      const auto lag = rs::landscape::adoption_lag(first_seen[log_idx],
+                                                   first_seen[store_idx]);
+      if (i > 0) out.push_back(',');
+      out += "{\"provider\":";
+      append_json_string(out, covered_names[i]);
+      out += ",\"size\":";
+      out += std::to_string(rows[i].store_size);
+      out += ",\"covered\":";
+      out += std::to_string(rows[i].covered);
+      out += ",\"fraction\":";
+      append_json_string(
+          out, rs::landscape::format_ratio(
+                   static_cast<double>(rows[i].covered),
+                   static_cast<double>(rows[i].store_size), 4));
+      out += ",\"matched\":";
+      out += std::to_string(lag.matched);
+      out += ",\"mean_lag_days\":";
+      if (lag.matched == 0) {
+        out += "null";
+      } else {
+        append_json_string(
+            out, rs::landscape::format_ratio(
+                     static_cast<double>(lag.total_lag_days),
+                     static_cast<double>(lag.matched), 1));
+      }
+      out.push_back('}');
+    }
+    out.push_back(']');
+  }
+  w.field_strings("not_covered", skipped);
   return w.finish();
 }
 

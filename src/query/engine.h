@@ -73,6 +73,8 @@ class QueryEngine {
   std::string handle_stats() const;
   std::string handle_verify_chain(const Request& r) const;
   std::string handle_first_rejected_at(const Request& r) const;
+  std::string handle_agreement_at(const Request& r) const;
+  std::string handle_ct_coverage(const Request& r) const;
 
   TrustIndex index_;
   std::vector<rs::synth::UserAgentGroup> agents_;

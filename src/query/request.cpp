@@ -228,7 +228,7 @@ struct OpSpec {
 // ambiguous across OSes); everything else admissible is required (an
 // empty `pool` array is legal — the leaf may chain straight to an
 // anchor — but the field itself must be present).
-constexpr std::array<OpSpec, 11> kOpSpecs = {{
+constexpr std::array<OpSpec, 13> kOpSpecs = {{
     {Op::kIsTrusted, "is_trusted",
      true, true, true, false, false, false, false, true},
     {Op::kProvidersTrusting, "providers_trusting",
@@ -251,6 +251,10 @@ constexpr std::array<OpSpec, 11> kOpSpecs = {{
      false, true, true, false, false, false, false, true, true, true},
     {Op::kFirstRejectedAt, "first_rejected_at",
      false, true, false, false, false, false, false, true, true, true},
+    {Op::kAgreementAt, "agreement_at",
+     false, false, true, false, false, false, false, true},
+    {Op::kCtCoverage, "ct_coverage",
+     false, true, true, false, false, false, false, true},
 }};
 
 const OpSpec* spec_for(std::string_view name) noexcept {

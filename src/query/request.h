@@ -63,6 +63,8 @@ enum class Op : std::uint8_t {
   kReloadIndex,        // hot-swap the serve engine; server only
   kVerifyChain,        // would provider accept this chain at date? (VERIFY.md)
   kFirstRejectedAt,    // first date an accepted chain flips to rejected
+  kAgreementAt,        // cross-store agreement metrics at date (LANDSCAPE.md)
+  kCtCoverage,         // one provider as "the log" vs every other store
 };
 
 /// Trust scope of a query: one purpose's anchors, or bare presence.

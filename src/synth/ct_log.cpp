@@ -1,0 +1,105 @@
+#include "src/synth/ct_log.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/crypto/prng.h"
+#include "src/store/trust.h"
+
+namespace rs::synth {
+namespace {
+
+using rs::util::Date;
+
+/// Everything the acceptance draw needs about one certificate, collected
+/// from a sweep over every snapshot of every store.
+struct RootSighting {
+  std::shared_ptr<const rs::x509::Certificate> cert;
+  std::optional<Date> first_tls;    // earliest snapshot TLS-trusting it
+  std::optional<Date> last_tls;     // latest snapshot TLS-trusting it
+  std::optional<Date> first_present;
+};
+
+}  // namespace
+
+rs::store::ProviderHistory generate_ct_log(
+    const CtLogPolicy& policy, const rs::store::StoreDatabase& db) {
+  // Sorted-fingerprint map keeps the acceptance draws in a deterministic
+  // order regardless of database iteration order.
+  std::map<rs::crypto::Sha256Digest, RootSighting> sightings;
+  for (const auto& [name, history] : db.histories()) {
+    (void)name;
+    for (const auto& snap : history.snapshots()) {
+      for (const auto& entry : snap.entries) {
+        auto& s = sightings[entry.certificate->sha256()];
+        if (!s.cert) s.cert = entry.certificate;
+        if (!s.first_present || snap.date < *s.first_present) {
+          s.first_present = snap.date;
+        }
+        if (entry.is_anchor_for(rs::store::TrustPurpose::kServerAuth)) {
+          if (!s.first_tls || snap.date < *s.first_tls) s.first_tls = snap.date;
+          if (!s.last_tls || *s.last_tls < snap.date) s.last_tls = snap.date;
+        }
+      }
+    }
+  }
+
+  rs::crypto::Prng rng =
+      rs::crypto::Prng::from_label(policy.seed, "ct-log:" + policy.name);
+
+  struct Acceptance {
+    std::shared_ptr<const rs::x509::Certificate> cert;
+    Date accepted;
+    std::optional<Date> retired;
+  };
+  std::vector<Acceptance> accepted;
+  for (const auto& [fp, s] : sightings) {
+    (void)fp;
+    const int lag =
+        policy.accept_lag_days +
+        (policy.lag_jitter_days > 0
+             ? static_cast<int>(rng.uniform(
+                   static_cast<std::uint64_t>(policy.lag_jitter_days)))
+             : 0);
+    if (s.first_tls) {
+      if (!rng.chance(policy.accept_prob)) continue;
+      Acceptance a;
+      a.cert = s.cert;
+      a.accepted = *s.first_tls + lag;
+      // Rare retirement, only once every store has dropped the root; most
+      // accepted roots stay forever (logs append, they rarely prune).
+      if (rng.chance(policy.retire_prob)) {
+        a.retired = *s.last_tls + lag + 180;
+      }
+      accepted.push_back(std::move(a));
+    } else if (s.first_present) {
+      if (!rng.chance(policy.extra_accept_prob)) continue;
+      Acceptance a;
+      a.cert = s.cert;
+      a.accepted = *s.first_present + lag;
+      accepted.push_back(std::move(a));
+    }
+  }
+
+  rs::store::ProviderHistory history(policy.name);
+  int version = 0;
+  Date d = policy.start;
+  while (d <= policy.end) {
+    rs::store::Snapshot snap;
+    snap.provider = policy.name;
+    snap.date = d;
+    snap.version = "log-v" + std::to_string(++version);
+    for (const auto& a : accepted) {
+      if (a.accepted > d) continue;
+      if (a.retired && *a.retired <= d) continue;
+      snap.entries.push_back(rs::store::make_tls_anchor(a.cert));
+    }
+    history.add(std::move(snap));
+    d = d + policy.snapshot_interval_days;
+  }
+  return history;
+}
+
+}  // namespace rs::synth

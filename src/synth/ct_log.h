@@ -1,0 +1,53 @@
+// Synthetic CT-log accepted-roots histories.
+//
+// Korzhitskii & Carlsson show CT logs maintain their own root-acceptance
+// lists: broadly tracking the browser stores, but lagging adoptions,
+// rarely removing anything, and accepting roots browsers never TLS-trust.
+// This module generates such a provider from an existing ecosystem: given
+// the browser/store database, a log accepts each TLS root some lag after
+// its first browser adoption, keeps most roots even after browsers drop
+// them, and picks up a fraction of the present-but-never-TLS roots
+// (email-only and the like) — the log-exclusive population.
+//
+// Deterministic in (seed, name): generation draws from one labeled Prng
+// stream and walks certificates in sorted-fingerprint order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/store/database.h"
+#include "src/store/snapshot.h"
+#include "src/util/date.h"
+
+namespace rs::synth {
+
+/// Acceptance policy for one synthetic CT log.
+struct CtLogPolicy {
+  std::string name = "CtLog0";
+  std::uint64_t seed = 1;
+  /// Base acceptance lag after a root's first browser TLS adoption, plus a
+  /// uniform jitter in [0, lag_jitter_days).
+  int accept_lag_days = 90;
+  int lag_jitter_days = 90;
+  /// Chance the log ever accepts a browser-adopted TLS root.
+  double accept_prob = 0.95;
+  /// Chance the log accepts a root that is present in some store but never
+  /// a TLS anchor anywhere (these become log-exclusive under TLS scope).
+  double extra_accept_prob = 0.25;
+  /// Chance the log retires a root after every store has dropped it
+  /// (realistic churn: logs mostly only grow).
+  double retire_prob = 0.1;
+  /// Accepted-roots snapshot cadence.
+  int snapshot_interval_days = 90;
+  rs::util::Date start = rs::util::Date::ymd(2000, 1, 1);
+  rs::util::Date end = rs::util::Date::ymd(2021, 1, 1);
+};
+
+/// Generates the log's accepted-roots history from the stores in `db`.
+/// Accepted roots are modeled as TLS anchors (a log's accepted list has a
+/// single purpose).  Deterministic in (policy.seed, policy.name).
+rs::store::ProviderHistory generate_ct_log(const CtLogPolicy& policy,
+                                           const rs::store::StoreDatabase& db);
+
+}  // namespace rs::synth

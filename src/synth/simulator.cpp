@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/crypto/prng.h"
+#include "src/synth/ct_log.h"
 
 namespace rs::synth {
 
@@ -156,6 +157,36 @@ SimulatedEcosystem simulate_ecosystem(const SimulatorConfig& config) {
     out.database.add(
         generate_derivative(policy, timelines[0], factory, no_extra));
   }
+
+  // CT logs, generated over the finished store ecosystem (programs plus
+  // derivatives).  Labeled Prng streams keep every draw independent of the
+  // simulation above, so ct_log_count == 0 reproduces pre-log ecosystems
+  // byte for byte.
+  std::vector<rs::store::ProviderHistory> logs;
+  for (int i = 0; i < config.ct_log_count; ++i) {
+    CtLogPolicy policy;
+    policy.name = "CtLog" + std::to_string(i);
+    policy.seed = config.seed;
+    rs::crypto::Prng lrng =
+        rs::crypto::Prng::from_label(config.seed, "ct-policy-" + policy.name);
+    const int lag_span =
+        std::max(1, config.ct_max_lag_days - config.ct_min_lag_days);
+    policy.accept_lag_days =
+        config.ct_min_lag_days +
+        static_cast<int>(lrng.uniform(static_cast<std::uint64_t>(lag_span)));
+    policy.lag_jitter_days = 30 + static_cast<int>(lrng.uniform(90));
+    policy.accept_prob = 0.85 + lrng.uniform01() * 0.15;
+    policy.extra_accept_prob = lrng.uniform01() * 0.4;
+    policy.retire_prob = lrng.uniform01() * 0.2;
+    policy.snapshot_interval_days = config.snapshot_interval_days;
+    policy.start = config.start;
+    policy.end = config.end;
+    out.ct_log_names.push_back(policy.name);
+    // Generate before adding so every log reads the same pre-log store
+    // ecosystem (logs do not accept each other's lists).
+    logs.push_back(generate_ct_log(policy, out.database));
+  }
+  for (auto& log : logs) out.database.add(std::move(log));
 
   return out;
 }

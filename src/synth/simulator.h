@@ -35,6 +35,13 @@ struct SimulatorConfig {
   /// Derivative copy-lag bounds (days).
   int min_lag_days = 30;
   int max_lag_days = 600;
+  /// CT logs accepting roots from the whole ecosystem ("CtLog0", ...),
+  /// generated after programs and derivatives (see synth/ct_log.h).  The
+  /// default 0 keeps pre-existing simulations byte-identical.
+  int ct_log_count = 0;
+  /// Log acceptance-lag bounds (days after first browser adoption).
+  int ct_min_lag_days = 30;
+  int ct_max_lag_days = 365;
 };
 
 /// One simulated incident: a root every program trusted, removed by
@@ -51,6 +58,7 @@ struct SimulatedEcosystem {
   /// Name of the program that derivatives copy ("Prog0").
   std::string base_program;
   std::vector<std::string> derivative_names;
+  std::vector<std::string> ct_log_names;
 };
 
 /// Runs the simulation.  Deterministic in `config.seed`.

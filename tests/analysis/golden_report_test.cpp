@@ -50,6 +50,9 @@ std::vector<std::pair<std::string, std::string>> all_reports(
       {"fig2", study.report_figure2()},
       {"fig3", study.report_figure3()},
       {"fig4", study.report_figure4()},
+      {"agreement", study.report_agreement()},
+      {"exclusivity", study.report_exclusivity()},
+      {"ct_landscape", study.report_ct_landscape()},
   };
 }
 
@@ -97,7 +100,8 @@ TEST(GoldenReport, InstrumentationDoesNotChangeBytes) {
   for (const char* stage :
        {"report/table1", "report/table2", "report/table3", "report/table4",
         "report/table5", "report/table6", "report/table7", "report/fig1",
-        "report/fig2", "report/fig3", "report/fig4"}) {
+        "report/fig2", "report/fig3", "report/fig4", "report/agreement",
+        "report/exclusivity", "report/ct_landscape"}) {
     EXPECT_EQ(stats.count(stage), 1u) << "missing span for " << stage;
   }
   reg.reset();

@@ -202,6 +202,80 @@ TEST(QueryEngine, ReloadIndexIsNotServedByTheEngine) {
   EXPECT_NE(response.find("\"code\":\"not_serving\""), std::string::npos);
 }
 
+// --- Landscape ops --------------------------------------------------------
+
+/// Two providers with a one-root overlap so every cardinality below is
+/// hand-checkable: P carries {A} from 2019-01-01, Q carries {A, B} from
+/// 2019-06-01 (a single snapshot).
+StoreDatabase make_landscape_db() {
+  auto a = make_cert(1);
+  auto b = make_cert(2);
+  StoreDatabase db;
+  ProviderHistory p("P");
+  p.add(snap("P", Date::ymd(2019, 1, 1), {rs::store::make_tls_anchor(a)}));
+  p.add(snap("P", Date::ymd(2020, 1, 1), {rs::store::make_tls_anchor(a)}));
+  db.add(std::move(p));
+  ProviderHistory q("Q");
+  q.add(snap("Q", Date::ymd(2019, 6, 1),
+             {rs::store::make_tls_anchor(a), rs::store::make_tls_anchor(b)}));
+  db.add(std::move(q));
+  return db;
+}
+
+TEST(QueryEngine, AgreementAtOkShape) {
+  QueryEngine engine(make_landscape_db(), {});
+  EXPECT_EQ(
+      engine.handle_json(R"({"op":"agreement_at","date":"2019-06-01"})"),
+      R"({"op":"agreement_at","status":"ok","date":"2019-06-01",)"
+      R"("scope":"tls","providers":["P","Q"],"sizes":[1,2],)"
+      R"("exclusive":[0,1],"union_size":2,"intersection_size":1,)"
+      R"("global_agreement":"0.500000","pairs":[{"a":"P","b":"Q",)"
+      R"("intersection":1,"union":2,"agreement":"0.500000"}],)"
+      R"("not_covered":[]})");
+}
+
+TEST(QueryEngine, AgreementAtWithNoCoveredProvidersIsStillOk) {
+  QueryEngine engine(make_landscape_db(), {});
+  // Before any coverage: a total answer with empty arrays, and the
+  // empty-universe agreement convention (two empty worlds agree).
+  EXPECT_EQ(
+      engine.handle_json(R"({"op":"agreement_at","date":"2018-01-01"})"),
+      R"({"op":"agreement_at","status":"ok","date":"2018-01-01",)"
+      R"("scope":"tls","providers":[],"sizes":[],"exclusive":[],)"
+      R"("union_size":0,"intersection_size":0,)"
+      R"("global_agreement":"1.000000","pairs":[],)"
+      R"("not_covered":["P","Q"]})");
+}
+
+TEST(QueryEngine, CtCoverageOkShape) {
+  QueryEngine engine(make_landscape_db(), {});
+  // Q as "the log": covers P's one root; B is log-exclusive; A reached Q
+  // 151 days after P (2019-01-01 -> 2019-06-01).  The query lands on Q's
+  // sole snapshot date — any later and Q drops out of coverage.
+  EXPECT_EQ(
+      engine.handle_json(
+          R"({"op":"ct_coverage","provider":"Q","date":"2019-06-01"})"),
+      R"({"op":"ct_coverage","status":"ok","date":"2019-06-01",)"
+      R"("scope":"tls","provider":"Q","snapshot_date":"2019-06-01",)"
+      R"("log_size":2,"log_exclusive":1,"coverage":[{"provider":"P",)"
+      R"("size":1,"covered":1,"fraction":"1.0000","matched":1,)"
+      R"("mean_lag_days":"151.0"}],"not_covered":[]})");
+}
+
+TEST(QueryEngine, CtCoverageNotCoveredAndUnknownProvider) {
+  QueryEngine engine(make_landscape_db(), {});
+  EXPECT_EQ(
+      engine.handle_json(
+          R"({"op":"ct_coverage","provider":"Q","date":"2030-01-01"})"),
+      R"({"op":"ct_coverage","status":"not_covered","date":"2030-01-01",)"
+      R"("scope":"tls","provider":"Q","coverage_begin":"2019-06-01",)"
+      R"("coverage_end":"2019-06-01"})");
+  const std::string unknown = engine.handle_json(
+      R"({"op":"ct_coverage","provider":"Nope","date":"2019-08-01"})");
+  EXPECT_TRUE(QueryEngine::is_error_response(unknown));
+  EXPECT_NE(unknown.find("\"code\":\"unknown_provider\""), std::string::npos);
+}
+
 // --- Batch envelopes ------------------------------------------------------
 
 TEST(QueryEngine, BatchAnswersEverySubRequestInOrder) {

@@ -65,6 +65,67 @@ TEST(ParseRequest, AgentStoreOsOptional) {
   EXPECT_FALSE(without.value().os.has_value());
 }
 
+TEST(ParseRequest, AgreementAtTakesDateAndOptionalScope) {
+  auto minimal = parse_request(R"({"op":"agreement_at","date":"2020-06-01"})");
+  ASSERT_TRUE(minimal.ok()) << minimal.error();
+  EXPECT_EQ(minimal.value().op, Op::kAgreementAt);
+  EXPECT_EQ(*minimal.value().date, Date::ymd(2020, 6, 1));
+  EXPECT_EQ(minimal.value().scope, Scope::kTls);
+  auto scoped = parse_request(
+      R"({"op":"agreement_at","date":"2020-06-01","scope":"present"})");
+  ASSERT_TRUE(scoped.ok()) << scoped.error();
+  EXPECT_EQ(scoped.value().scope, Scope::kPresent);
+  // No provider/fp/date_a/... on this op.
+  EXPECT_FALSE(parse_request(R"({"op":"agreement_at"})").ok());
+  EXPECT_FALSE(
+      parse_request(
+          R"({"op":"agreement_at","date":"2020-06-01","provider":"NSS"})")
+          .ok());
+  EXPECT_FALSE(
+      parse_request(
+          R"({"op":"agreement_at","date":"2020-06-01","fp":")" + kFp + R"("})")
+          .ok());
+}
+
+TEST(ParseRequest, CtCoverageTakesProviderDateAndOptionalScope) {
+  auto r = parse_request(
+      R"({"op":"ct_coverage","provider":"CtLog0","date":"2020-06-01"})");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().op, Op::kCtCoverage);
+  EXPECT_EQ(*r.value().provider, "CtLog0");
+  EXPECT_EQ(r.value().scope, Scope::kTls);
+  EXPECT_FALSE(parse_request(R"({"op":"ct_coverage","date":"2020-06-01"})").ok());
+  EXPECT_FALSE(parse_request(R"({"op":"ct_coverage","provider":"CtLog0"})").ok());
+  EXPECT_FALSE(
+      parse_request(
+          R"({"op":"ct_coverage","provider":"CtLog0","date":"2020-06-01",)"
+          R"("user_agent":"Chrome"})")
+          .ok());
+}
+
+TEST(ParseRequest, LandscapeOpsEnforceTheDefaultCaps) {
+  // Neither op carries certificates, so both keep the tight budget.
+  EXPECT_EQ(max_request_bytes(Op::kAgreementAt), kMaxRequestBytes);
+  EXPECT_EQ(max_request_bytes(Op::kCtCoverage), kMaxRequestBytes);
+  std::string long_provider(kMaxValueBytes + 1, 'p');
+  EXPECT_FALSE(parse_request(R"({"op":"ct_coverage","provider":")" +
+                             long_provider + R"(","date":"2020-06-01"})")
+                   .ok());
+  std::string oversized = R"({"op":"agreement_at","date":"2020-06-01",)";
+  oversized.append(kMaxRequestBytes, ' ');
+  oversized += R"("scope":"tls"})";
+  EXPECT_FALSE(parse_request(oversized).ok());
+  // Duplicate fields are rejected for the new ops too.
+  EXPECT_FALSE(
+      parse_request(
+          R"({"op":"agreement_at","date":"2020-06-01","date":"2020-06-01"})")
+          .ok());
+  EXPECT_FALSE(
+      parse_request(
+          R"({"op":"ct_coverage","provider":"A","provider":"A","date":"2020-06-01"})")
+          .ok());
+}
+
 // --- Rejections -----------------------------------------------------------
 
 TEST(ParseRequest, RejectsEmptyAndNonObject) {
@@ -292,6 +353,10 @@ TEST(CanonicalRequest, IsAFixedPoint) {
       R"({"op":"agent_store","user_agent":"Chrome Mobile","os":"Android","date":"2020-06-01"})",
       R"({"op":"verify_chain","provider":"NSS","date":"2020-06-01","leaf":"AQID","pool":["Bw==","BAUG"]})",
       R"({"op":"first_rejected_at","provider":"Microsoft","leaf":"AQID","pool":[]})",
+      R"({"op":"agreement_at","date":"2020-06-01"})",
+      R"({"op":"agreement_at","scope":"present","date":"2020-06-01"})",
+      R"({"op":"ct_coverage","provider":"CtLog0","date":"2020-06-01","scope":"email"})",
+      R"({"op":"ct_coverage","date":"2020-06-01","provider":"CtLog0"})",
   };
   for (const char* line : lines) {
     auto first = parse_request(line);
@@ -332,6 +397,22 @@ TEST(ParseBatchRequest, SplitsItemsAsViewsIntoTheLine) {
   EXPECT_GE(items.value()[0].data(), line.data());
   EXPECT_LE(items.value()[1].data() + items.value()[1].size(),
             line.data() + line.size());
+}
+
+TEST(ParseBatchRequest, SplitsLandscapeOpsAndTheirItemsParse) {
+  const std::string line =
+      R"({"op":"batch","requests":[{"op":"agreement_at","date":"2020-06-01"},)"
+      R"({"op":"ct_coverage","provider":"CtLog0","date":"2020-06-01","scope":"present"}]})";
+  auto items = parse_batch_request(line);
+  ASSERT_TRUE(items.ok()) << items.error();
+  ASSERT_EQ(items.value().size(), 2u);
+  auto first = parse_request(items.value()[0]);
+  ASSERT_TRUE(first.ok()) << first.error();
+  EXPECT_EQ(first.value().op, Op::kAgreementAt);
+  auto second = parse_request(items.value()[1]);
+  ASSERT_TRUE(second.ok()) << second.error();
+  EXPECT_EQ(second.value().op, Op::kCtCoverage);
+  EXPECT_EQ(second.value().scope, Scope::kPresent);
 }
 
 TEST(ParseBatchRequest, EmptyRequestListIsValid) {

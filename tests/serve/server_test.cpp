@@ -174,6 +174,10 @@ std::vector<std::string> request_mix() {
       R"({"op":"lineage","fp":")" + fp_b + R"("})",
       R"({"op":"providers_trusting","fp":")" + fp_a +
           R"(","date":"2019-06-01"})",
+      R"({"op":"agreement_at","date":"2019-06-01"})",
+      R"({"op":"agreement_at","date":"2020-06-01","scope":"present"})",
+      R"({"op":"ct_coverage","provider":"P","date":"2020-06-01"})",
+      R"({"op":"ct_coverage","provider":"Nope","date":"2020-06-01"})",
       R"({"op":"store_at","provider":"Nope","date":"2019-06-01"})",
       R"(garbage that does not parse)",
   };
@@ -327,6 +331,31 @@ TEST(Server, CacheHitsAreCountedAndStatsServed) {
   const ServerStats s = f.server->stats();
   EXPECT_EQ(s.cache_hits, 2u);
   EXPECT_GE(s.cache_misses, 1u);
+  f.server->stop();
+}
+
+TEST(Server, LandscapeOpsShareOneCacheSlotAcrossSpellings) {
+  // agreement_at/ct_coverage ride the op-agnostic canonical cache key:
+  // whitespace, field order, and an explicit default scope must all hit
+  // the entry the first spelling populated.
+  ServerFixture f;
+  Client client(f.port);
+  ASSERT_TRUE(client.connected());
+  const auto first =
+      client.roundtrip(R"({"op":"agreement_at","date":"2019-06-01"})");
+  const auto spaced = client.roundtrip(
+      R"({ "op" : "agreement_at" , "scope" : "tls" , "date" : "2019-06-01" })");
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(spaced.has_value());
+  EXPECT_EQ(*spaced, *first);
+  const auto ct =
+      client.roundtrip(R"({"op":"ct_coverage","provider":"P","date":"2020-06-01"})");
+  const auto ct_reordered = client.roundtrip(
+      R"({"op":"ct_coverage","date":"2020-06-01","scope":"tls","provider":"P"})");
+  ASSERT_TRUE(ct.has_value());
+  ASSERT_TRUE(ct_reordered.has_value());
+  EXPECT_EQ(*ct_reordered, *ct);
+  EXPECT_EQ(f.server->stats().cache_hits, 2u);
   f.server->stop();
 }
 

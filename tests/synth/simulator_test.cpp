@@ -99,5 +99,53 @@ TEST(Simulator, ZeroDerivativesSupported) {
   EXPECT_TRUE(eco.derivative_names.empty());
 }
 
+TEST(Simulator, CtLogsAreGeneratedAndDeterministic) {
+  SimulatorConfig cfg;
+  cfg.seed = 5;
+  cfg.ca_count = 40;
+  cfg.program_count = 2;
+  cfg.derivative_count = 1;
+  cfg.ct_log_count = 2;
+  const auto eco = simulate_ecosystem(cfg);
+  ASSERT_EQ(eco.ct_log_names.size(), 2u);
+  EXPECT_EQ(eco.ct_log_names[0], "CtLog0");
+  EXPECT_EQ(eco.ct_log_names[1], "CtLog1");
+  EXPECT_EQ(eco.database.provider_count(), 5u);
+  for (const auto& name : eco.ct_log_names) {
+    const auto* h = eco.database.find(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_FALSE(h->empty()) << name;
+    // A log accepts roots from programs it watches, so it is non-trivial.
+    EXPECT_GT(h->back().tls_anchors().size(), 0u) << name;
+  }
+  const auto again = simulate_ecosystem(cfg);
+  for (const auto& name : eco.ct_log_names) {
+    EXPECT_EQ(eco.database.find(name)->back().all_fingerprints(),
+              again.database.find(name)->back().all_fingerprints())
+        << name;
+  }
+}
+
+TEST(Simulator, ZeroCtLogsLeavesTheEcosystemByteIdentical) {
+  SimulatorConfig base;
+  base.seed = 11;
+  base.ca_count = 30;
+  const auto before = simulate_ecosystem(base);
+  SimulatorConfig with_knobs = base;
+  with_knobs.ct_log_count = 0;  // explicit default: nothing changes
+  with_knobs.ct_min_lag_days = 90;
+  with_knobs.ct_max_lag_days = 120;
+  const auto after = simulate_ecosystem(with_knobs);
+  EXPECT_TRUE(after.ct_log_names.empty());
+  ASSERT_EQ(before.database.provider_count(), after.database.provider_count());
+  for (const auto& name : before.database.providers()) {
+    const auto* ha = before.database.find(name);
+    const auto* hb = after.database.find(name);
+    ASSERT_NE(hb, nullptr);
+    ASSERT_EQ(ha->size(), hb->size());
+    EXPECT_EQ(ha->back().all_fingerprints(), hb->back().all_fingerprints());
+  }
+}
+
 }  // namespace
 }  // namespace rs::synth

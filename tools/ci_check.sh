@@ -36,10 +36,13 @@
 #                        speedups into BENCH_incremental.json, gated
 #                        against the docs/PERSISTENCE.md floors (load >=
 #                        20x rebuild, append-one >= 10x full recompute),
-#                        and the chain-verification sweep into
+#                        the chain-verification sweep into
 #                        BENCH_verify.json, gated on the breakpoint
-#                        temporal scan beating the day-by-day scan >= 5x
-#                        (skip with ROOTSTORE_SKIP_BENCH=1)
+#                        temporal scan beating the day-by-day scan >= 5x,
+#                        and the landscape agreement-matrix comparison
+#                        into BENCH_landscape.json, gated on the IdSet
+#                        matrix beating the naive FingerprintSet scan
+#                        >= 5x (skip with ROOTSTORE_SKIP_BENCH=1)
 #   7. coverage          gcov build + full suite, enforcing the src/ line
 #                        coverage floor in tools/coverage_baseline.txt
 #                        (skip with ROOTSTORE_SKIP_COVERAGE=1)
@@ -68,7 +71,8 @@ cmake -B "$repo_root/build-tsan" -S "$repo_root" \
 cmake --build "$repo_root/build-tsan" -j "$jobs" \
       --target exec_tests --target intern_equivalence_tests \
       --target obs_tests --target query_property_tests --target serve_tests \
-      --target thread_annotations_tests --target verify_property_tests
+      --target thread_annotations_tests --target verify_property_tests \
+      --target landscape_property_tests
 ctest --test-dir "$repo_root/build-tsan" --output-on-failure -L tsan
 
 if [ "${ROOTSTORE_SKIP_STATIC:-0}" = "1" ]; then
@@ -104,16 +108,17 @@ echo "=== [5/7] clang-tidy ==="
 if [ "${ROOTSTORE_SKIP_BENCH:-0}" = "1" ]; then
   echo "=== [6/7] benches: SKIPPED (ROOTSTORE_SKIP_BENCH=1) ==="
 else
-  echo "=== [6/7] benches -> BENCH_parallel/intern/obs/serve/incremental/verify.json ==="
+  echo "=== [6/7] benches -> BENCH_parallel/intern/obs/serve/incremental/verify/landscape.json ==="
   cmake --build "$repo_root/build" -j "$jobs" --target perf_analysis \
-        --target perf_persist --target perf_verify --target rootstore \
-        --target serve_loadgen
+        --target perf_persist --target perf_verify --target perf_landscape \
+        --target rootstore --target serve_loadgen
   "$repo_root/tools/record_parallel_bench.sh" "$repo_root/build"
   "$repo_root/tools/record_intern_bench.sh" "$repo_root/build"
   "$repo_root/tools/record_obs_bench.sh" "$repo_root/build"
   "$repo_root/tools/record_serve_bench.sh" "$repo_root/build"
   "$repo_root/tools/record_incremental_bench.sh" "$repo_root/build"
   "$repo_root/tools/record_verify_bench.sh" "$repo_root/build"
+  "$repo_root/tools/record_landscape_bench.sh" "$repo_root/build"
 fi
 
 if [ "${ROOTSTORE_SKIP_COVERAGE:-0}" = "1" ]; then

@@ -65,7 +65,8 @@ int usage() {
       "  dataset verify <dir>      reload and verify a dataset directory\n"
       "  report <name> [--csv] [--threads N] [--from DIR]\n"
       "         [--trace-out FILE] [--metrics-out FILE]\n"
-      "                            table1..table7, fig1..fig4; --threads N\n"
+      "                            table1..table7, fig1..fig4, agreement,\n"
+      "                            exclusivity, ct_landscape; --threads N\n"
       "                            (or env ROOTSTORE_THREADS) runs the\n"
       "                            analysis hot paths on N worker threads\n"
       "                            with bitwise-identical output (0 = serial);\n"
@@ -78,7 +79,9 @@ int usage() {
       "  query '<json>' [--threads N] [--from DIR] [--index FILE]\n"
       "                            answer one trust query (is_trusted,\n"
       "                            providers_trusting, store_at, diff,\n"
-      "                            agent_store, lineage, stats) without a\n"
+      "                            agent_store, lineage, stats, verify_chain,\n"
+      "                            first_rejected_at, agreement_at,\n"
+      "                            ct_coverage) without a\n"
       "                            server; --index FILE answers from a\n"
       "                            persisted index (no rebuild); see\n"
       "                            docs/SERVING.md\n"
@@ -336,6 +339,9 @@ int cmd_report(const std::string& name, bool csv, std::size_t threads,
   else if (name == "fig2") out = study.report_figure2();
   else if (name == "fig3") out = study.report_figure3();
   else if (name == "fig4") out = study.report_figure4();
+  else if (name == "agreement") out = study.report_agreement();
+  else if (name == "exclusivity") out = study.report_exclusivity();
+  else if (name == "ct_landscape") out = study.report_ct_landscape();
   else return die("unknown report '" + name + "'");
   std::fputs(out.c_str(), stdout);
 

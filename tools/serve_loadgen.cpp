@@ -20,7 +20,12 @@
 //       as BENCH_serve.json.
 //
 // Request mix is generated deterministically from the scenario database,
-// so runs are comparable across machines and commits.  --request-file FILE
+// so runs are comparable across machines and commits.  --mix SPEC reshapes
+// the generated workload: SPEC is comma-separated op:weight pairs, e.g.
+// `--mix is_trusted:4,diff:2,agreement_at:1,ct_coverage:1`, and each
+// generated request picks its op with probability weight/total.  Ops:
+// store_at, diff, is_trusted, lineage, agreement_at, ct_coverage.  The
+// default is the four classic ops at equal weight.  --request-file FILE
 // substitutes the mix with the NDJSON lines of FILE, cycled to --requests
 // total (the hot set is the file's first 64 lines); this is how the verify
 // golden corpus (tests/golden/verify/requests.ndjson) drives the server
@@ -114,8 +119,50 @@ class Connection {
   std::string buffer_;
 };
 
+enum class MixOp { kStoreAt, kDiff, kIsTrusted, kLineage, kAgreementAt,
+                   kCtCoverage };
+
+/// Parses a `--mix` weights spec ("op:weight,op:weight,...") into a slot
+/// table: each op appears `weight` times, so a uniform pick over the table
+/// realises the requested ratios.  Returns false on unknown ops or bad
+/// weights.  An empty spec yields the classic equal-weight four-op mix.
+bool parse_mix(const std::string& spec, std::vector<MixOp>& slots) {
+  if (spec.empty()) {
+    slots = {MixOp::kStoreAt, MixOp::kDiff, MixOp::kIsTrusted,
+             MixOp::kLineage};
+    return true;
+  }
+  slots.clear();
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t colon = token.find(':');
+    if (colon == std::string::npos) return false;
+    const std::string op = token.substr(0, colon);
+    const char* digits = token.c_str() + colon + 1;
+    char* end = nullptr;
+    const unsigned long weight = std::strtoul(digits, &end, 10);
+    if (end == digits || *end != '\0' || weight == 0 || weight > 100) {
+      return false;
+    }
+    MixOp mix_op;
+    if (op == "store_at") mix_op = MixOp::kStoreAt;
+    else if (op == "diff") mix_op = MixOp::kDiff;
+    else if (op == "is_trusted") mix_op = MixOp::kIsTrusted;
+    else if (op == "lineage") mix_op = MixOp::kLineage;
+    else if (op == "agreement_at") mix_op = MixOp::kAgreementAt;
+    else if (op == "ct_coverage") mix_op = MixOp::kCtCoverage;
+    else return false;
+    slots.insert(slots.end(), weight, mix_op);
+  }
+  return !slots.empty();
+}
+
 /// Deterministic request mix drawn from the scenario database.
 std::vector<std::string> build_requests(const rs::store::StoreDatabase& db,
+                                        const std::vector<MixOp>& mix,
                                         std::size_t count,
                                         std::uint64_t salt) {
   std::vector<std::string> providers = db.providers();
@@ -139,12 +186,12 @@ std::vector<std::string> build_requests(const rs::store::StoreDatabase& db,
         static_cast<std::size_t>(history->last_date() - first) + 1;
     const std::string date = (first + static_cast<std::int64_t>(
                                           next(span_days))).to_string();
-    switch (next(4)) {
-      case 0:
+    switch (mix[next(mix.size())]) {
+      case MixOp::kStoreAt:
         requests.push_back("{\"op\":\"store_at\",\"provider\":\"" + provider +
                            "\",\"date\":\"" + date + "\"}");
         break;
-      case 1: {
+      case MixOp::kDiff: {
         const std::string date_b =
             (first + static_cast<std::int64_t>(next(span_days))).to_string();
         requests.push_back("{\"op\":\"diff\",\"provider\":\"" + provider +
@@ -152,14 +199,22 @@ std::vector<std::string> build_requests(const rs::store::StoreDatabase& db,
                            date_b + "\"}");
         break;
       }
-      case 2:
+      case MixOp::kIsTrusted:
         requests.push_back("{\"op\":\"is_trusted\",\"provider\":\"" +
                            provider + "\",\"fp\":\"" + fps[next(fps.size())] +
                            "\",\"date\":\"" + date + "\"}");
         break;
-      default:
+      case MixOp::kLineage:
         requests.push_back("{\"op\":\"lineage\",\"fp\":\"" +
                            fps[next(fps.size())] + "\"}");
+        break;
+      case MixOp::kAgreementAt:
+        requests.push_back("{\"op\":\"agreement_at\",\"date\":\"" + date +
+                           "\"}");
+        break;
+      case MixOp::kCtCoverage:
+        requests.push_back("{\"op\":\"ct_coverage\",\"provider\":\"" +
+                           provider + "\",\"date\":\"" + date + "\"}");
         break;
     }
   }
@@ -284,6 +339,7 @@ int main(int argc, char** argv) {
   std::string oneshot;
   std::string json_out;
   std::string request_file;
+  std::string mix_spec;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--port" && i + 1 < args.size()) {
       port = std::strtoul(args[++i].c_str(), nullptr, 10);
@@ -304,11 +360,13 @@ int main(int argc, char** argv) {
       json_out = args[++i];
     } else if (args[i] == "--request-file" && i + 1 < args.size()) {
       request_file = args[++i];
+    } else if (args[i] == "--mix" && i + 1 < args.size()) {
+      mix_spec = args[++i];
     } else {
       return die("usage: serve_loadgen --port N [--connections C] "
                  "[--requests M] [--duration S] [--batch K] "
-                 "[--json-out FILE] [--request-file FILE] "
-                 "[--oneshot '<json>']");
+                 "[--mix op:weight,...] [--json-out FILE] "
+                 "[--request-file FILE] [--oneshot '<json>']");
     }
   }
   if (port == 0 || port > 65535) return die("--port is required (1..65535)");
@@ -354,15 +412,21 @@ int main(int argc, char** argv) {
                        static_cast<std::ptrdiff_t>(
                            std::min<std::size_t>(64, file_lines.size())));
   } else {
+    std::vector<MixOp> mix;
+    if (!parse_mix(mix_spec, mix)) {
+      return die("bad --mix spec '" + mix_spec +
+                 "' (want op:weight,... over store_at/diff/is_trusted/"
+                 "lineage/agreement_at/ct_coverage, weights 1..100)");
+    }
     // The workload derives from the same scenario the server loaded, so
     // the requests below always hit covered providers and real
     // certificates.
     const auto scenario = rs::synth::build_paper_scenario();
     const auto& db = scenario.database();
-    miss_requests = build_requests(db, request_count, 1);
-    hot_set = build_requests(db, std::max<std::size_t>(
-                                     std::min<std::size_t>(64, request_count),
-                                     1),
+    miss_requests = build_requests(db, mix, request_count, 1);
+    hot_set = build_requests(db, mix,
+                             std::max<std::size_t>(
+                                 std::min<std::size_t>(64, request_count), 1),
                              2);
   }
   std::vector<std::string> hit_requests;

@@ -20,7 +20,7 @@ fi
 
 mkdir -p tests/golden
 for name in table1 table2 table3 table4 table5 table6 table7 \
-            fig1 fig2 fig3 fig4; do
+            fig1 fig2 fig3 fig4 agreement exclusivity ct_landscape; do
   # Serial execution is the reference; the test asserts that threaded and
   # instrumented runs reproduce these bytes exactly.
   "$ROOTSTORE" report "$name" --threads 0 > "tests/golden/report_$name.txt"
